@@ -1,0 +1,117 @@
+// Ablation: flowcube compression (paper Sections 4.3 / 4.4). Builds the
+// cube at several iceberg thresholds and measures how many cells the
+// iceberg condition and the redundancy analysis remove, plus the cost of
+// the optional exception mining.
+//
+// Expected: cell count falls steeply with the iceberg threshold; a
+// substantial fraction of surviving cells is redundant w.r.t. parents on
+// hierarchical Zipf data; exception mining dominates measure time.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "flowcube/builder.h"
+
+namespace {
+
+using namespace flowcube;
+using namespace flowcube::bench;
+
+DbCache& Cache() {
+  static DbCache cache;
+  return cache;
+}
+
+struct CubeRow {
+  std::string config;
+  double seconds = 0;
+  size_t cells = 0;
+  size_t redundant = 0;
+  size_t exceptions = 0;
+};
+
+std::vector<CubeRow>& Rows() {
+  static std::vector<CubeRow> rows;
+  return rows;
+}
+
+GeneratorConfig CubeConfig() {
+  // Smaller dimensionality so the full cuboid lattice is materialized.
+  GeneratorConfig cfg = BaselineConfig(3);
+  cfg.dim_distinct_per_level = {3, 3, 4};
+  return cfg;
+}
+
+void RunOne(const std::string& label, uint32_t minsup, bool exceptions,
+            double tau, benchmark::State& state) {
+  const size_t n = ScaledN(20);
+  const PathDatabase& db = Cache().Get(CubeConfig(), n);
+  for (auto _ : state) {
+    FlowCubePlan plan = FlowCubePlan::Default(db.schema()).value();
+    FlowCubeBuilderOptions opts;
+    opts.min_support = minsup;
+    opts.compute_exceptions = exceptions;
+    opts.exceptions.min_support = minsup;
+    opts.mark_redundant = true;
+    opts.redundancy_tau = tau;
+    FlowCubeBuilder builder(opts);
+    FlowCubeBuildStats stats;
+    Stopwatch watch;
+    Result<FlowCube> cube = builder.Build(db, plan, &stats);
+    const double seconds = watch.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+    if (cube.ok()) {
+      Rows().push_back(CubeRow{label, seconds, cube->TotalCells(),
+                               cube->RedundantCells(),
+                               stats.exceptions_found});
+    }
+  }
+}
+
+void RegisterAll() {
+  const size_t n = ScaledN(20);
+  struct Config {
+    std::string label;
+    uint32_t minsup;
+    bool exceptions;
+    double tau;
+  };
+  const uint32_t base = std::max<uint32_t>(2, static_cast<uint32_t>(n / 200));
+  const std::vector<Config> configs = {
+      {"iceberg=0.5%", base, false, 0.05},
+      {"iceberg=1%", base * 2, false, 0.05},
+      {"iceberg=2%", base * 4, false, 0.05},
+      {"iceberg=1%+exceptions", base * 2, true, 0.05},
+      {"iceberg=1%,tau=0.02", base * 2, false, 0.02},
+      {"iceberg=1%,tau=0.10", base * 2, false, 0.10},
+  };
+  for (const Config& c : configs) {
+    benchmark::RegisterBenchmark(
+        ("compression/" + c.label).c_str(),
+        [c](benchmark::State& state) {
+          RunOne(c.label, c.minsup, c.exceptions, c.tau, state);
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf(
+      "\n=== Ablation - flowcube compression (N=20k@scale%.2f, d=3) ===\n",
+      ScaleFromEnv());
+  std::printf("%-24s %10s %10s %12s %12s\n", "config", "seconds", "cells",
+              "redundant", "exceptions");
+  for (const auto& r : Rows()) {
+    std::printf("%-24s %10.3f %10zu %12zu %12zu\n", r.config.c_str(),
+                r.seconds, r.cells, r.redundant, r.exceptions);
+  }
+  return 0;
+}

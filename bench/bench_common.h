@@ -1,0 +1,196 @@
+#ifndef FLOWCUBE_BENCH_BENCH_COMMON_H_
+#define FLOWCUBE_BENCH_BENCH_COMMON_H_
+
+// Shared harness for the paper-reproduction benchmarks. Every figure binary
+// sweeps one knob, runs the algorithms end to end (transformation included,
+// as in the paper's measurements), and prints a paper-style series table.
+//
+// Scaling: the paper's baseline is N = 100,000 paths on a 2004 Pentium IV.
+// FLOWCUBE_BENCH_SCALE (default 0.2) multiplies every N so the whole suite
+// finishes in minutes; shapes are stable across scales. Set
+// FLOWCUBE_BENCH_SCALE=1 for paper-scale runs and FLOWCUBE_BENCH_BASIC=1 to
+// force algorithm Basic on the configurations where the paper itself could
+// not run it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "cube/cubing_miner.h"
+#include "gen/path_generator.h"
+#include "mining/shared_miner.h"
+
+namespace flowcube::bench {
+
+inline double ScaleFromEnv() {
+  const char* s = std::getenv("FLOWCUBE_BENCH_SCALE");
+  if (s == nullptr) return 0.2;
+  const double v = std::atof(s);
+  return v > 0 ? v : 0.2;
+}
+
+inline bool ForceBasic() {
+  const char* s = std::getenv("FLOWCUBE_BENCH_BASIC");
+  return s != nullptr && s[0] == '1';
+}
+
+// The paper's baseline point is 100k paths; ScaledN(100) is that point
+// under the current scale.
+inline size_t ScaledN(int thousands) {
+  return static_cast<size_t>(thousands * 1000 * ScaleFromEnv());
+}
+
+// The calibrated baseline workload (Section 6.1 knobs). Its multi-level
+// frequent-pattern density was tuned so that the candidate-count profile is
+// in the ballpark of the paper's Figure 11 (shared counting a few tens of
+// thousands of candidates at the baseline point, basic roughly an order of
+// magnitude more).
+inline GeneratorConfig BaselineConfig(int num_dimensions = 5) {
+  GeneratorConfig cfg;
+  cfg.num_dimensions = num_dimensions;
+  cfg.dim_distinct_per_level = {4, 4, 6};  // the paper's dataset "b"
+  cfg.num_sequences = 100;
+  cfg.num_distinct_durations = 15;
+  cfg.dim_zipf_alpha = 0.5;
+  cfg.location_zipf_alpha = 0.5;
+  cfg.sequence_zipf_alpha = 0.5;
+  cfg.duration_zipf_alpha = 0.5;
+  cfg.seed = 20060912;  // VLDB'06 opening day
+  return cfg;
+}
+
+struct MinerRun {
+  double seconds = 0.0;
+  uint64_t candidates = 0;
+  uint64_t frequent = 0;
+  int passes = 0;
+  std::vector<uint64_t> candidates_per_length;
+};
+
+// End-to-end runs (transformation of the path database included, as the
+// paper's end-to-end timings are).
+inline MinerRun RunShared(const PathDatabase& db, uint32_t minsup) {
+  Stopwatch watch;
+  MiningPlan plan = MiningPlan::Default(db.schema()).value();
+  TransformedDatabase tdb =
+      std::move(TransformPathDatabase(db, plan).value());
+  SharedMinerOptions opts;
+  opts.min_support = minsup;
+  SharedMiner miner(tdb, opts);
+  SharedMiningOutput out = miner.Run();
+  return MinerRun{watch.ElapsedSeconds(), out.stats.TotalCandidates(),
+                  static_cast<uint64_t>(out.frequent.size()),
+                  out.stats.passes, out.stats.candidates_per_length};
+}
+
+inline MinerRun RunBasic(const PathDatabase& db, uint32_t minsup) {
+  Stopwatch watch;
+  MiningPlan plan = MiningPlan::Default(db.schema()).value();
+  TransformedDatabase tdb =
+      std::move(TransformPathDatabase(db, plan).value());
+  SharedMinerOptions opts;
+  opts.min_support = minsup;
+  opts.prune_precount = false;
+  opts.prune_unlinkable = false;
+  opts.prune_ancestors = false;
+  SharedMiner miner(tdb, opts);
+  SharedMiningOutput out = miner.Run();
+  return MinerRun{watch.ElapsedSeconds(), out.stats.TotalCandidates(),
+                  static_cast<uint64_t>(out.frequent.size()),
+                  out.stats.passes, out.stats.candidates_per_length};
+}
+
+inline MinerRun RunCubing(const PathDatabase& db, uint32_t minsup) {
+  Stopwatch watch;
+  MiningPlan plan = MiningPlan::Default(db.schema()).value();
+  TransformedDatabase tdb =
+      std::move(TransformPathDatabase(db, plan).value());
+  CubingMiner miner(db, tdb, CubingMinerOptions{minsup});
+  SharedMiningOutput out = miner.Run();
+  return MinerRun{watch.ElapsedSeconds(), out.stats.TotalCandidates(),
+                  static_cast<uint64_t>(out.frequent.size()),
+                  out.stats.passes, out.stats.candidates_per_length};
+}
+
+// One row of a sweep table.
+struct Row {
+  std::string x;
+  std::string algo;
+  bool ran = false;
+  MinerRun run;
+  std::string note;
+};
+
+class Summary {
+ public:
+  Summary(std::string title, std::string expectation)
+      : title_(std::move(title)), expectation_(std::move(expectation)) {}
+
+  void Add(Row row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::printf("\n=== %s ===\n", title_.c_str());
+    std::printf("(scale=%.2f; paper expectation: %s)\n", ScaleFromEnv(),
+                expectation_.c_str());
+    std::printf("%-18s %-8s %12s %14s %12s %7s\n", "x", "algo", "seconds",
+                "candidates", "frequent", "passes");
+    for (const Row& r : rows_) {
+      if (r.ran) {
+        std::printf("%-18s %-8s %12.3f %14llu %12llu %7d\n", r.x.c_str(),
+                    r.algo.c_str(), r.run.seconds,
+                    static_cast<unsigned long long>(r.run.candidates),
+                    static_cast<unsigned long long>(r.run.frequent),
+                    r.run.passes);
+      } else {
+        std::printf("%-18s %-8s %12s   %s\n", r.x.c_str(), r.algo.c_str(),
+                    "n/a", r.note.c_str());
+      }
+    }
+  }
+
+ private:
+  std::string title_;
+  std::string expectation_;
+  std::vector<Row> rows_;
+};
+
+// Cache of generated databases so the three algorithms of one sweep point
+// share one dataset.
+class DbCache {
+ public:
+  const PathDatabase& Get(const GeneratorConfig& cfg, size_t n) {
+    const std::string key = Key(cfg, n);
+    auto it = dbs_.find(key);
+    if (it == dbs_.end()) {
+      PathGenerator gen(cfg);
+      it = dbs_.emplace(key,
+                        std::make_unique<PathDatabase>(gen.Generate(n)))
+               .first;
+    }
+    return *it->second;
+  }
+
+ private:
+  static std::string Key(const GeneratorConfig& cfg, size_t n) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%d|%d|%d|%d|%.2f|%zu|%llu",
+                  cfg.num_dimensions, cfg.num_sequences,
+                  cfg.num_distinct_durations,
+                  cfg.dim_distinct_per_level.empty()
+                      ? 0
+                      : cfg.dim_distinct_per_level[0],
+                  cfg.dim_zipf_alpha, n,
+                  static_cast<unsigned long long>(cfg.seed));
+    return buf;
+  }
+
+  std::map<std::string, std::unique_ptr<PathDatabase>> dbs_;
+};
+
+}  // namespace flowcube::bench
+
+#endif  // FLOWCUBE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,89 @@
+// Figure 10: runtime vs path density — the number of distinct valid
+// location sequences varies from 10 (dense) to 150 (sparse)
+// (N = 100k at scale 1, delta = 1%, d = 5).
+//
+// Paper shape: dense paths make mining expensive for both algorithms and
+// give shared a large advantage; basic could not run at all. In our
+// in-memory reproduction shared's cost falls steeply with sparsity while
+// cubing's stays flat (its tid-list handling dominates) — see
+// EXPERIMENTS.md for the discussion of the densest point.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace flowcube;
+using namespace flowcube::bench;
+
+Summary& GetSummary() {
+  static Summary summary(
+      "Figure 10 - runtime vs path density (N=100k@scale1, delta=1%, d=5)",
+      "mining cost falls as paths get sparser; cubing pays a flat "
+      "per-cell overhead; basic unrunnable (candidate explosion)");
+  return summary;
+}
+
+DbCache& Cache() {
+  static DbCache cache;
+  return cache;
+}
+
+void RegisterAll() {
+  const size_t n = ScaledN(100);
+  const uint32_t minsup =
+      std::max<uint32_t>(1, static_cast<uint32_t>(n / 100));
+  for (int sequences : {10, 25, 50, 100, 150}) {
+    GeneratorConfig cfg = BaselineConfig();
+    cfg.num_sequences = sequences;
+    const std::string x = std::to_string(sequences) + " seqs";
+
+    struct Algo {
+      const char* name;
+      MinerRun (*fn)(const PathDatabase&, uint32_t);
+      bool enabled;
+    };
+    const Algo algos[] = {
+        {"shared", &RunShared, true},
+        {"cubing", &RunCubing, true},
+        {"basic", &RunBasic, ForceBasic()},
+    };
+    for (const Algo& algo : algos) {
+      if (!algo.enabled) {
+        GetSummary().Add(Row{x, algo.name, false, MinerRun{},
+                             "skipped: candidate explosion on dense paths "
+                             "(paper could not run basic here either)"});
+        continue;
+      }
+      const std::string bench_name =
+          std::string("fig10/") + algo.name + "/seqs=" +
+          std::to_string(sequences);
+      benchmark::RegisterBenchmark(
+          bench_name.c_str(),
+          [n, minsup, x, cfg, algo](benchmark::State& state) {
+            const PathDatabase& db = Cache().Get(cfg, n);
+            for (auto _ : state) {
+              const MinerRun run = algo.fn(db, minsup);
+              state.SetIterationTime(run.seconds);
+              state.counters["candidates"] =
+                  static_cast<double>(run.candidates);
+              GetSummary().Add(Row{x, algo.name, true, run, ""});
+            }
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kSecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  GetSummary().Print();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 11: pruning power — the number of candidates Basic and Shared
+// must count, per candidate length (N = 100k at scale 1, delta = 1%,
+// d = 5).
+//
+// Paper shape: shared counts a small fraction of basic's candidates at
+// every length, and stops at shorter maximum pattern length (8 vs 12 in
+// the paper) because basic's transactions mix items with their ancestors.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace flowcube;
+using namespace flowcube::bench;
+
+DbCache& Cache() {
+  static DbCache cache;
+  return cache;
+}
+
+MinerRun g_shared;
+MinerRun g_basic;
+
+void BM_Shared(benchmark::State& state) {
+  const size_t n = ScaledN(100);
+  const PathDatabase& db = Cache().Get(BaselineConfig(), n);
+  for (auto _ : state) {
+    g_shared = RunShared(db, std::max<uint32_t>(1, n / 100));
+    state.SetIterationTime(g_shared.seconds);
+    state.counters["candidates"] = static_cast<double>(g_shared.candidates);
+  }
+}
+
+void BM_Basic(benchmark::State& state) {
+  const size_t n = ScaledN(100);
+  const PathDatabase& db = Cache().Get(BaselineConfig(), n);
+  for (auto _ : state) {
+    g_basic = RunBasic(db, std::max<uint32_t>(1, n / 100));
+    state.SetIterationTime(g_basic.seconds);
+    state.counters["candidates"] = static_cast<double>(g_basic.candidates);
+  }
+}
+
+BENCHMARK(BM_Shared)->UseManualTime()->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK(BM_Basic)->UseManualTime()->Iterations(1)->Unit(benchmark::kSecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf(
+      "\n=== Figure 11 - candidates counted per pattern length "
+      "(N=100k@scale%.2f, delta=1%%, d=5) ===\n",
+      ScaleFromEnv());
+  std::printf(
+      "(paper expectation: shared counts a small fraction of basic's "
+      "candidates and\n stops at a shorter maximum length — 8 vs 12 in the "
+      "paper)\n");
+  const size_t max_len = std::max(g_shared.candidates_per_length.size(),
+                                  g_basic.candidates_per_length.size());
+  std::printf("%-8s %14s %14s\n", "length", "shared", "basic");
+  for (size_t k = 1; k < max_len; ++k) {
+    const uint64_t s = k < g_shared.candidates_per_length.size()
+                           ? g_shared.candidates_per_length[k]
+                           : 0;
+    const uint64_t b = k < g_basic.candidates_per_length.size()
+                           ? g_basic.candidates_per_length[k]
+                           : 0;
+    if (s == 0 && b == 0) continue;
+    std::printf("%-8zu %14llu %14llu\n", k,
+                static_cast<unsigned long long>(s),
+                static_cast<unsigned long long>(b));
+  }
+  std::printf("%-8s %14llu %14llu\n", "total",
+              static_cast<unsigned long long>(g_shared.candidates),
+              static_cast<unsigned long long>(g_basic.candidates));
+  return 0;
+}

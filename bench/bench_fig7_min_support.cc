@@ -1,0 +1,90 @@
+// Figure 7: runtime vs minimum support (0.3%..2.0%; N = 100k at scale 1,
+// d = 5).
+//
+// Paper shape: all algorithms improve with rising support; basic improves
+// fastest (pruning matters less when few candidates exist); shared
+// outperforms cubing at every level and improves faster than cubing.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace flowcube;
+using namespace flowcube::bench;
+
+Summary& GetSummary() {
+  static Summary summary(
+      "Figure 7 - runtime vs minimum support (N=100k@scale1, d=5)",
+      "all improve with support; basic improves fastest; shared < cubing "
+      "throughout");
+  return summary;
+}
+
+DbCache& Cache() {
+  static DbCache cache;
+  return cache;
+}
+
+void RegisterAll() {
+  const size_t n = ScaledN(100);
+  const std::vector<double> fractions = {0.003, 0.005, 0.008,
+                                         0.010, 0.015, 0.020};
+  for (double frac : fractions) {
+    const uint32_t minsup =
+        std::max<uint32_t>(1, static_cast<uint32_t>(n * frac));
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f%%", frac * 100);
+    const std::string x = label;
+
+    struct Algo {
+      const char* name;
+      MinerRun (*fn)(const PathDatabase&, uint32_t);
+      bool enabled;
+    };
+    // Basic needs minutes below 1% support; gate it as the paper gated its
+    // own heavy runs.
+    const bool basic_ok = frac >= 0.01 || ForceBasic();
+    const Algo algos[] = {
+        {"shared", &RunShared, true},
+        {"cubing", &RunCubing, true},
+        {"basic", &RunBasic, basic_ok},
+    };
+    for (const Algo& algo : algos) {
+      if (!algo.enabled) {
+        GetSummary().Add(Row{x, algo.name, false, MinerRun{},
+                             "skipped below 1% support; set "
+                             "FLOWCUBE_BENCH_BASIC=1"});
+        continue;
+      }
+      const std::string bench_name =
+          std::string("fig7/") + algo.name + "/minsup=" + x;
+      benchmark::RegisterBenchmark(
+          bench_name.c_str(),
+          [n, minsup, x, algo](benchmark::State& state) {
+            const PathDatabase& db = Cache().Get(BaselineConfig(), n);
+            for (auto _ : state) {
+              const MinerRun run = algo.fn(db, minsup);
+              state.SetIterationTime(run.seconds);
+              state.counters["candidates"] =
+                  static_cast<double>(run.candidates);
+              GetSummary().Add(Row{x, algo.name, true, run, ""});
+            }
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kSecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  GetSummary().Print();
+  return 0;
+}

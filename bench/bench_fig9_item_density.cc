@@ -1,0 +1,95 @@
+// Figure 9: runtime vs item density — the paper's datasets a, b, c with
+// (2,2,5), (4,4,6) and (5,5,10) distinct values per hierarchy level
+// (N = 100k at scale 1, delta = 1%, d = 5).
+//
+// Paper shape: sparser dimensions (more distinct values) mean fewer
+// frequent cells/segments, so every algorithm gets faster from a to c;
+// basic could not run on the densest dataset a.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace flowcube;
+using namespace flowcube::bench;
+
+Summary& GetSummary() {
+  static Summary summary(
+      "Figure 9 - runtime vs item density (N=100k@scale1, delta=1%, d=5)",
+      "runtime falls from dataset a to c for every algorithm; basic "
+      "unrunnable on dataset a");
+  return summary;
+}
+
+DbCache& Cache() {
+  static DbCache cache;
+  return cache;
+}
+
+void RegisterAll() {
+  const size_t n = ScaledN(100);
+  const uint32_t minsup =
+      std::max<uint32_t>(1, static_cast<uint32_t>(n / 100));
+  struct Dataset {
+    const char* name;
+    std::vector<int> distinct;
+  };
+  const Dataset datasets[] = {
+      {"a(2,2,5)", {2, 2, 5}},
+      {"b(4,4,6)", {4, 4, 6}},
+      {"c(5,5,10)", {5, 5, 10}},
+  };
+  for (const Dataset& ds : datasets) {
+    GeneratorConfig cfg = BaselineConfig();
+    cfg.dim_distinct_per_level = ds.distinct;
+    struct Algo {
+      const char* name;
+      MinerRun (*fn)(const PathDatabase&, uint32_t);
+      bool enabled;
+    };
+    const bool is_dense_a = ds.distinct[0] == 2;
+    const Algo algos[] = {
+        {"shared", &RunShared, true},
+        {"cubing", &RunCubing, true},
+        {"basic", &RunBasic, !is_dense_a || ForceBasic()},
+    };
+    for (const Algo& algo : algos) {
+      if (!algo.enabled) {
+        GetSummary().Add(Row{ds.name, algo.name, false, MinerRun{},
+                             "skipped: candidate explosion (paper could not "
+                             "run basic on dataset a)"});
+        continue;
+      }
+      const std::string bench_name =
+          std::string("fig9/") + algo.name + "/" + ds.name;
+      const std::string x = ds.name;
+      benchmark::RegisterBenchmark(
+          bench_name.c_str(),
+          [n, minsup, x, cfg, algo](benchmark::State& state) {
+            const PathDatabase& db = Cache().Get(cfg, n);
+            for (auto _ : state) {
+              const MinerRun run = algo.fn(db, minsup);
+              state.SetIterationTime(run.seconds);
+              state.counters["candidates"] =
+                  static_cast<double>(run.candidates);
+              GetSummary().Add(Row{x, algo.name, true, run, ""});
+            }
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kSecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  GetSummary().Print();
+  return 0;
+}

@@ -1,0 +1,40 @@
+#ifndef FLOWCUBE_COMMON_LOGGING_H_
+#define FLOWCUBE_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checking. FC_CHECK aborts with a source location when its
+// condition is false; it is always on (benchmark-measured code paths avoid
+// heavy checks inside tight loops). FC_DCHECK compiles away in NDEBUG builds.
+//
+// These are for programmer errors (broken invariants). User-visible failures
+// (bad input, missing cells, ...) are reported through Status instead.
+
+#define FC_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FC_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define FC_CHECK_MSG(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FC_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define FC_DCHECK(cond) \
+  do {                  \
+  } while (false)
+#else
+#define FC_DCHECK(cond) FC_CHECK(cond)
+#endif
+
+#endif  // FLOWCUBE_COMMON_LOGGING_H_

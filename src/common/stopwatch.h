@@ -1,0 +1,32 @@
+#ifndef FLOWCUBE_COMMON_STOPWATCH_H_
+#define FLOWCUBE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace flowcube {
+
+// Wall-clock stopwatch used by the benchmark harness to time algorithm runs
+// the way the paper reports them (seconds of end-to-end runtime).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_COMMON_STOPWATCH_H_

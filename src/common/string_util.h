@@ -1,0 +1,28 @@
+#ifndef FLOWCUBE_COMMON_STRING_UTIL_H_
+#define FLOWCUBE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flowcube {
+
+// Joins the elements of `parts` with `sep`: {"a","b"} + "," -> "a,b".
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+// Splits `s` on the single character `sep`. Empty fields are preserved:
+// "a,,b" -> {"a","","b"}; "" -> {""}.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Renders a double with up to `digits` fractional digits, trimming trailing
+// zeros ("0.50" -> "0.5", "3.00" -> "3"). Used by the flowgraph renderer.
+std::string FormatDouble(double v, int digits);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,37 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace flowcube {
+
+ZipfSampler::ZipfSampler(size_t n, double alpha) : alpha_(alpha) {
+  FC_CHECK_MSG(n >= 1, "ZipfSampler requires n >= 1");
+  FC_CHECK_MSG(alpha >= 0.0, "ZipfSampler requires alpha >= 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfSampler::Sample(Random& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(size_t rank) const {
+  FC_CHECK(rank < cdf_.size());
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace flowcube

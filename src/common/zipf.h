@@ -1,0 +1,45 @@
+#ifndef FLOWCUBE_COMMON_ZIPF_H_
+#define FLOWCUBE_COMMON_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace flowcube {
+
+// Samples ranks 0..n-1 from a Zipf distribution with exponent alpha:
+// P(rank k) proportional to 1/(k+1)^alpha. alpha = 0 degenerates to uniform.
+//
+// The paper's generator (Section 6.1) draws hierarchy values, location
+// sequences and stage durations "from a Zipf distribution with varying alpha
+// to simulate different degrees of data skew"; this class is that substrate.
+//
+// Implementation: the CDF is precomputed (n is small in all our workloads:
+// distinct values per hierarchy level, number of location sequences, number
+// of distinct durations) and sampled with binary search in O(log n).
+class ZipfSampler {
+ public:
+  // Creates a sampler over n ranks with skew alpha. Requires n >= 1 and
+  // alpha >= 0.
+  ZipfSampler(size_t n, double alpha);
+
+  // Draws one rank in [0, n).
+  size_t Sample(Random& rng) const;
+
+  // Exact probability of a rank; exposed for tests and for analytical
+  // verification of generated workloads.
+  double Probability(size_t rank) const;
+
+  size_t n() const { return cdf_.size(); }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_COMMON_ZIPF_H_

@@ -1,0 +1,78 @@
+#include "cube/buc.h"
+
+#include <numeric>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace flowcube {
+
+BucIcebergCube::BucIcebergCube(Options options) : options_(options) {
+  FC_CHECK_MSG(options_.min_support >= 1, "min_support must be >= 1");
+}
+
+void BucIcebergCube::Visit(
+    const PathDatabase& db,
+    const std::function<void(const CubeCell&)>& callback) const {
+  std::vector<uint32_t> all(db.size());
+  std::iota(all.begin(), all.end(), 0);
+  CubeCell cell;
+  cell.coords.assign(db.schema().num_dimensions(), 0);  // all '*'
+  for (size_t d = 0; d < cell.coords.size(); ++d) {
+    cell.coords[d] = db.schema().dimensions[d].root();
+  }
+  if (all.size() >= options_.min_support) {
+    cell.tids = all;
+    callback(cell);
+    cell.tids.clear();
+    Expand(db, all, 0, &cell, callback);
+  }
+}
+
+void BucIcebergCube::Expand(
+    const PathDatabase& db, const std::vector<uint32_t>& tids, size_t next_dim,
+    CubeCell* cell,
+    const std::function<void(const CubeCell&)>& callback) const {
+  for (size_t d = next_dim; d < db.schema().num_dimensions(); ++d) {
+    Partition(db, tids, d, /*level=*/1, cell, callback);
+  }
+}
+
+void BucIcebergCube::Partition(
+    const PathDatabase& db, const std::vector<uint32_t>& tids, size_t dim,
+    int level, CubeCell* cell,
+    const std::function<void(const CubeCell&)>& callback) const {
+  const ConceptHierarchy& h = db.schema().dimensions[dim];
+  if (level > h.MaxLevel()) return;
+  std::unordered_map<NodeId, std::vector<uint32_t>> groups;
+  for (uint32_t tid : tids) {
+    const NodeId value = h.AncestorAtLevel(db.record(tid).dims[dim], level);
+    groups[value].push_back(tid);
+  }
+  const NodeId saved = cell->coords[dim];
+  for (auto& [value, group] : groups) {
+    if (group.size() < options_.min_support) continue;  // iceberg prune
+    if (h.Level(value) < level) {
+      // The record value itself is shallower than the requested level; the
+      // cell was already emitted when partitioning at that shallower level.
+      continue;
+    }
+    cell->coords[dim] = value;
+    cell->tids = group;
+    callback(*cell);
+    cell->tids.clear();
+    // Drill one level deeper inside this dimension ...
+    Partition(db, group, dim, level + 1, cell, callback);
+    // ... and instantiate further dimensions.
+    Expand(db, group, dim + 1, cell, callback);
+  }
+  cell->coords[dim] = saved;
+}
+
+std::vector<CubeCell> BucIcebergCube::Compute(const PathDatabase& db) const {
+  std::vector<CubeCell> out;
+  Visit(db, [&out](const CubeCell& cell) { out.push_back(cell); });
+  return out;
+}
+
+}  // namespace flowcube

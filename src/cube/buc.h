@@ -1,0 +1,52 @@
+#ifndef FLOWCUBE_CUBE_BUC_H_
+#define FLOWCUBE_CUBE_BUC_H_
+
+#include <functional>
+#include <vector>
+
+#include "cube/cell.h"
+#include "path/path_database.h"
+
+namespace flowcube {
+
+// Bottom-Up Computation of the iceberg cube over the path-independent
+// dimensions (Beyer & Ramakrishnan's BUC, extended with hierarchy
+// drill-down as algorithm Cubing requires, paper Section 5.2). The
+// recursion visits cells from high abstraction (few dimensions
+// instantiated, shallow levels) to low, partitioning tid lists and pruning
+// any partition below the iceberg threshold — so no descendant of an
+// infrequent cell is ever touched.
+class BucIcebergCube {
+ public:
+  struct Options {
+    // Iceberg threshold: cells with fewer paths are pruned together with
+    // their entire specialization subtree.
+    uint32_t min_support = 1;
+  };
+
+  explicit BucIcebergCube(Options options);
+
+  // Visits every frequent cell (including the apex, all dimensions '*')
+  // exactly once. The callback receives the cell with its tid list; the
+  // list is only valid during the call.
+  void Visit(const PathDatabase& db,
+             const std::function<void(const CubeCell&)>& callback) const;
+
+  // Convenience: collects every frequent cell. Memory-heavy on large
+  // databases (each cell copies its tid list) — prefer Visit.
+  std::vector<CubeCell> Compute(const PathDatabase& db) const;
+
+ private:
+  void Partition(const PathDatabase& db, const std::vector<uint32_t>& tids,
+                 size_t dim, int level, CubeCell* cell,
+                 const std::function<void(const CubeCell&)>& callback) const;
+  void Expand(const PathDatabase& db, const std::vector<uint32_t>& tids,
+              size_t next_dim, CubeCell* cell,
+              const std::function<void(const CubeCell&)>& callback) const;
+
+  Options options_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_CUBE_BUC_H_

@@ -1,0 +1,16 @@
+#include "cube/cell.h"
+
+#include "common/string_util.h"
+
+namespace flowcube {
+
+std::string CubeCell::ToString(const PathSchema& schema) const {
+  std::vector<std::string> parts;
+  parts.reserve(coords.size());
+  for (size_t d = 0; d < coords.size(); ++d) {
+    parts.push_back(schema.dimensions[d].Name(coords[d]));
+  }
+  return "(" + StrJoin(parts, ", ") + ")";
+}
+
+}  // namespace flowcube

@@ -1,0 +1,27 @@
+#ifndef FLOWCUBE_CUBE_CELL_H_
+#define FLOWCUBE_CUBE_CELL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "path/path.h"
+
+namespace flowcube {
+
+// One cell of the iceberg cube over the path-independent dimensions: a
+// value (hierarchy node) per dimension — the root node meaning '*' — plus
+// the ids of the paths aggregated into the cell. Produced by BUC; consumed
+// by algorithm Cubing, which mines frequent path segments per cell, and by
+// the flowcube builder, which computes a flowgraph per cell.
+struct CubeCell {
+  std::vector<NodeId> coords;
+  std::vector<uint32_t> tids;
+
+  // Renders like "(outerwear, nike)" / "(*, nike)".
+  std::string ToString(const PathSchema& schema) const;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_CUBE_CELL_H_

@@ -1,0 +1,78 @@
+#include "cube/cubing_miner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "mining/apriori.h"
+#include "mining/compatibility.h"
+
+namespace flowcube {
+
+CubingMiner::CubingMiner(const PathDatabase& paths,
+                         const TransformedDatabase& transformed,
+                         CubingMinerOptions options)
+    : paths_(paths), db_(transformed), options_(options) {
+  FC_CHECK_MSG(paths.size() == transformed.size(),
+               "path database and transformed database differ in size");
+}
+
+SharedMiningOutput CubingMiner::Run() {
+  SharedMiningOutput out;
+  const ItemCatalog& cat = db_.catalog();
+
+  BucIcebergCube cube(BucIcebergCube::Options{options_.min_support});
+  // Per-cell Apriori applies the local within-transaction rules any
+  // multi-level miner uses (level homogeneity, prefix linkability, no
+  // implied ancestors); what it cannot do is Shared's *global*
+  // cross-lattice pruning — every cell rediscovers globally infrequent
+  // stages from scratch.
+  const ItemCompatibility compat(&db_, /*prune_unlinkable=*/true,
+                                 /*prune_ancestors=*/true);
+  AprioriOptions aopts;
+  aopts.min_support = options_.min_support;
+  aopts.candidate_filter = [&compat](const Itemset& cand) {
+    return compat.CandidateOk(cand);
+  };
+  Apriori apriori(aopts);
+
+  cube.Visit(paths_, [&](const CubeCell& cell) {
+    // The cell's dimension itemset ('*' coordinates contribute nothing).
+    Itemset cell_items;
+    for (size_t d = 0; d < cell.coords.size(); ++d) {
+      if (db_.schema().dimensions[d].Level(cell.coords[d]) > 0) {
+        cell_items.push_back(cat.DimItem(d, cell.coords[d]));
+      }
+    }
+    std::sort(cell_items.begin(), cell_items.end());
+
+    if (!cell_items.empty()) {
+      out.frequent.push_back(FrequentItemset{
+          cell_items, static_cast<uint32_t>(cell.tids.size())});
+    }
+
+    // Algorithm 2 step 5, "read the transactions aggregated in the cell":
+    // the cell's transactions are materialized into a local buffer before
+    // mining. This data movement is the tid-list read cost the paper calls
+    // out ("these lists were much larger than the path database itself") —
+    // in-memory it is a copy, on disk it would be I/O.
+    std::vector<std::vector<ItemId>> cell_data;
+    cell_data.reserve(cell.tids.size());
+    for (uint32_t tid : cell.tids) {
+      const auto stages = db_.transactions()[tid].StageItems(cat);
+      cell_data.emplace_back(stages.begin(), stages.end());
+    }
+    std::vector<std::span<const ItemId>> cell_txns;
+    cell_txns.reserve(cell_data.size());
+    for (const auto& t : cell_data) cell_txns.emplace_back(t.data(), t.size());
+    for (FrequentItemset& fi : apriori.Mine(cell_txns)) {
+      Itemset combined = cell_items;
+      combined.insert(combined.end(), fi.items.begin(), fi.items.end());
+      out.frequent.push_back(FrequentItemset{std::move(combined), fi.support});
+    }
+  });
+
+  out.stats = apriori.stats();
+  return out;
+}
+
+}  // namespace flowcube

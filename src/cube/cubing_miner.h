@@ -1,0 +1,45 @@
+#ifndef FLOWCUBE_CUBE_CUBING_MINER_H_
+#define FLOWCUBE_CUBE_CUBING_MINER_H_
+
+#include "cube/buc.h"
+#include "mining/shared_miner.h"
+#include "mining/transform.h"
+
+namespace flowcube {
+
+// Options of algorithm Cubing.
+struct CubingMinerOptions {
+  // Absolute minimum support count, used both as the iceberg threshold of
+  // the BUC cube and as the per-cell Apriori support.
+  uint32_t min_support = 1;
+};
+
+// Algorithm Cubing (paper Section 5.2): the natural competitor to Shared.
+// It (1) computes the iceberg cube over the path-independent dimensions
+// with tid lists as measures, then (2) independently runs a plain Apriori
+// over the stage items of each frequent cell's transactions. It cannot
+// prune across the path abstraction lattice: a stage that is globally
+// infrequent is re-generated and re-counted as a candidate in every cell.
+//
+// The output is the same (frequent cells + frequent path segments per
+// cell, all abstraction levels) as SharedMiner's, modulo the redundant
+// patterns that Shared's candidate pruning skips (segments mixing path
+// levels, or containing a stage together with its implied ancestor).
+class CubingMiner {
+ public:
+  // `transformed` must be the transform of `paths` under the same plan the
+  // Shared run would use; both must outlive the miner.
+  CubingMiner(const PathDatabase& paths, const TransformedDatabase& transformed,
+              CubingMinerOptions options);
+
+  SharedMiningOutput Run();
+
+ private:
+  const PathDatabase& paths_;
+  const TransformedDatabase& db_;
+  CubingMinerOptions options_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_CUBE_CUBING_MINER_H_

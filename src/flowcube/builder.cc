@@ -1,0 +1,215 @@
+#include "flowcube/builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "flowgraph/builder.h"
+#include "mining/mining_result.h"
+#include "path/path_aggregator.h"
+
+namespace flowcube {
+namespace {
+
+// Maps a mined path segment (stage items) into flowgraph node space.
+// Returns false when some prefix has no node in `g` (cannot happen for
+// segments mined from the cell's own paths, but guards external input).
+bool SegmentToPattern(const SegmentPattern& segment, const ItemCatalog& cat,
+                      const FlowGraph& g,
+                      std::vector<StageCondition>* pattern) {
+  pattern->clear();
+  for (ItemId id : segment.stages) {
+    const auto& info = cat.StageOf(id);
+    FlowNodeId node = FlowGraph::kRoot;
+    for (NodeId loc : cat.trie().Locations(info.prefix)) {
+      node = g.FindChild(node, loc);
+      if (node == FlowGraph::kTerminate) return false;
+    }
+    pattern->push_back(StageCondition{node, info.duration});
+  }
+  std::sort(pattern->begin(), pattern->end(),
+            [&g](const StageCondition& a, const StageCondition& b) {
+              return g.depth(a.node) < g.depth(b.node);
+            });
+  return true;
+}
+
+// The parent coordinates of `cell` when dimension `dim` is generalized one
+// level. Returns false when the cell has no item of that dimension (already
+// at '*').
+bool ParentCell(const Itemset& cell, size_t dim, const ItemCatalog& cat,
+                const PathSchema& schema, Itemset* parent) {
+  *parent = cell;
+  for (size_t i = 0; i < parent->size(); ++i) {
+    const ItemId id = (*parent)[i];
+    if (cat.DimOf(id) != dim) continue;
+    const ConceptHierarchy& h = schema.dimensions[dim];
+    const NodeId up = h.Parent(cat.NodeOf(id));
+    if (h.Level(up) == 0) {
+      parent->erase(parent->begin() + static_cast<long>(i));
+    } else {
+      (*parent)[i] = cat.DimItem(dim, up);
+    }
+    std::sort(parent->begin(), parent->end());
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FlowCubeBuilder::FlowCubeBuilder(FlowCubeBuilderOptions options)
+    : options_(options) {
+  FC_CHECK_MSG(options_.min_support >= 1, "min_support must be >= 1");
+}
+
+Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
+                                        const FlowCubePlan& plan,
+                                        FlowCubeBuildStats* stats) const {
+  FlowCubeBuildStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Stopwatch watch;
+
+  // --- Phase 1: one Shared mining run over the transformed database.
+  Result<TransformedDatabase> transformed =
+      TransformPathDatabase(db, plan.mining);
+  if (!transformed.ok()) return transformed.status();
+  const TransformedDatabase& tdb = transformed.value();
+
+  SharedMinerOptions mopts = options_.mining;
+  mopts.min_support = options_.min_support;
+  SharedMiner miner(tdb, mopts);
+  SharedMiningOutput mined = miner.Run();
+  stats->mining = mined.stats;
+  const MiningResult result(&tdb, std::move(mined.frequent));
+  stats->seconds_mining = watch.ElapsedSeconds();
+  watch.Reset();
+
+  // --- Phase 2: materialize cells and their flowgraph measures.
+  FlowCube cube(plan, db.schema_ptr());
+  const ItemCatalog& cat = tdb.catalog();
+  const PathAggregator aggregator(db.schema_ptr());
+  const ExceptionMiner exception_miner(options_.exceptions);
+
+  // Aggregated view of every path at every materialized path level.
+  std::vector<std::vector<Path>> agg(plan.path_levels.size());
+  for (size_t p = 0; p < plan.path_levels.size(); ++p) {
+    const PathLevel& level =
+        plan.mining.path_levels[static_cast<size_t>(plan.path_levels[p])];
+    agg[p].reserve(db.size());
+    for (const PathRecord& rec : db.records()) {
+      agg[p].push_back(aggregator.AggregatePath(
+          rec.path, plan.mining.cuts[static_cast<size_t>(level.cut_index)],
+          level.duration_level));
+    }
+  }
+
+  for (size_t i = 0; i < plan.item_levels.size(); ++i) {
+    const ItemLevel& il = plan.item_levels[i];
+    // The frequent cells of this item level and their path ids.
+    std::unordered_map<Itemset, std::vector<uint32_t>, ItemsetHash> members;
+    {
+      std::unordered_set<Itemset, ItemsetHash> frequent_cells;
+      for (Itemset& cell : result.CellsAtLevel(il)) {
+        frequent_cells.insert(std::move(cell));
+      }
+      Itemset key;
+      for (uint32_t tid = 0; tid < db.size(); ++tid) {
+        const PathRecord& rec = db.record(tid);
+        key.clear();
+        for (size_t d = 0; d < rec.dims.size(); ++d) {
+          if (il.levels[d] == 0) continue;
+          const ConceptHierarchy& h = db.schema().dimensions[d];
+          const NodeId n = h.AncestorAtLevel(rec.dims[d], il.levels[d]);
+          if (h.Level(n) == 0) continue;
+          key.push_back(cat.DimItem(d, n));
+        }
+        std::sort(key.begin(), key.end());
+        if (frequent_cells.contains(key)) {
+          members[key].push_back(tid);
+        }
+      }
+    }
+
+    for (size_t p = 0; p < plan.path_levels.size(); ++p) {
+      Cuboid& cuboid = cube.mutable_cuboid(i, p);
+      for (const auto& [key, tids] : members) {
+        std::vector<Path> paths;
+        paths.reserve(tids.size());
+        for (uint32_t tid : tids) paths.push_back(agg[p][tid]);
+
+        FlowCell cell;
+        cell.dims = key;
+        cell.support = static_cast<uint32_t>(tids.size());
+        cell.graph = BuildFlowGraph(paths);
+
+        if (options_.compute_exceptions) {
+          std::vector<std::vector<StageCondition>> patterns;
+          std::vector<StageCondition> pattern;
+          for (const SegmentPattern& seg :
+               result.SegmentsForCell(key, plan.path_levels[p])) {
+            if (SegmentToPattern(seg, cat, cell.graph, &pattern)) {
+              patterns.push_back(pattern);
+            }
+          }
+          for (FlowException& e :
+               exception_miner.Mine(cell.graph, paths, patterns)) {
+            cell.graph.AddException(std::move(e));
+            stats->exceptions_found++;
+          }
+        }
+        cuboid.Insert(std::move(cell));
+        stats->cells_materialized++;
+      }
+    }
+  }
+  stats->seconds_measures = watch.ElapsedSeconds();
+  watch.Reset();
+
+  // --- Phase 3: redundancy marking, walking cells from low abstraction to
+  // high (Definition 4.4: redundant iff similar to every materialized
+  // parent at the same path level).
+  if (options_.mark_redundant) {
+    for (size_t i = 0; i < plan.item_levels.size(); ++i) {
+      const ItemLevel& il = plan.item_levels[i];
+      for (size_t p = 0; p < plan.path_levels.size(); ++p) {
+        Cuboid& cuboid = cube.mutable_cuboid(i, p);
+        cuboid.ForEachMutable([&](FlowCell* cell) {
+          int parents_found = 0;
+          bool all_similar = true;
+          for (size_t d = 0; d < il.levels.size(); ++d) {
+            if (il.levels[d] == 0) continue;
+            ItemLevel parent_level = il;
+            parent_level.levels[d]--;
+            const int pil = plan.FindItemLevel(parent_level);
+            if (pil < 0) continue;
+            Itemset parent_key;
+            if (!ParentCell(cell->dims, d, cat, db.schema(), &parent_key)) {
+              continue;
+            }
+            const FlowCell* parent =
+                cube.cuboid(static_cast<size_t>(pil), p).Find(parent_key);
+            if (parent == nullptr) continue;
+            parents_found++;
+            if (FlowGraphDistance(cell->graph, parent->graph,
+                                  options_.similarity) >
+                options_.redundancy_tau) {
+              all_similar = false;
+              break;
+            }
+          }
+          if (parents_found > 0 && all_similar) {
+            cell->redundant = true;
+            stats->cells_marked_redundant++;
+          }
+        });
+      }
+    }
+  }
+  stats->seconds_redundancy = watch.ElapsedSeconds();
+  return cube;
+}
+
+}  // namespace flowcube

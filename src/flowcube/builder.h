@@ -1,0 +1,68 @@
+#ifndef FLOWCUBE_FLOWCUBE_BUILDER_H_
+#define FLOWCUBE_FLOWCUBE_BUILDER_H_
+
+#include "common/status.h"
+#include "flowcube/flowcube.h"
+#include "flowgraph/exception_miner.h"
+#include "flowgraph/similarity.h"
+#include "mining/shared_miner.h"
+#include "path/path_database.h"
+
+namespace flowcube {
+
+// Knobs of flowcube construction.
+struct FlowCubeBuilderOptions {
+  // Iceberg threshold delta: only cells aggregating at least this many
+  // paths are materialized (Definition 4.5).
+  uint32_t min_support = 2;
+
+  // Candidate-pruning configuration of the Shared mining phase
+  // (min_support inside is overridden by the builder's).
+  SharedMinerOptions mining;
+
+  // Whether to mine flowgraph exceptions for every cell, and with which
+  // epsilon / delta (Section 3). Exception mining is the holistic part of
+  // the measure (Lemma 4.3) and dominates build time on dense cubes.
+  bool compute_exceptions = true;
+  ExceptionMinerOptions exceptions;
+
+  // Whether to run redundancy analysis (Definition 4.4): a cell is flagged
+  // redundant when its flowgraph is within `redundancy_tau` distance of
+  // every materialized parent cell's flowgraph at the same path level.
+  bool mark_redundant = true;
+  double redundancy_tau = 0.05;
+  SimilarityOptions similarity;
+};
+
+// Counters filled by FlowCubeBuilder::Build.
+struct FlowCubeBuildStats {
+  MiningStats mining;
+  size_t cells_materialized = 0;
+  size_t exceptions_found = 0;
+  size_t cells_marked_redundant = 0;
+  double seconds_mining = 0.0;
+  double seconds_measures = 0.0;
+  double seconds_redundancy = 0.0;
+};
+
+// Builds a non-redundant iceberg flowcube from a path database (the overall
+// algorithm of Section 5): one Shared mining run finds the frequent cells
+// and the frequent path segments of every cuboid; a partition pass then
+// assembles each cell's flowgraph, evaluates its exceptions against the
+// mined segments, and finally redundancy is marked by walking the item
+// lattice.
+class FlowCubeBuilder {
+ public:
+  explicit FlowCubeBuilder(FlowCubeBuilderOptions options);
+
+  // Builds the cube. `stats` may be null.
+  Result<FlowCube> Build(const PathDatabase& db, const FlowCubePlan& plan,
+                         FlowCubeBuildStats* stats = nullptr) const;
+
+ private:
+  FlowCubeBuilderOptions options_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_FLOWCUBE_BUILDER_H_

@@ -1,0 +1,107 @@
+#include "flowcube/flowcube.h"
+
+#include "common/logging.h"
+
+namespace flowcube {
+
+const FlowCell* Cuboid::Find(const Itemset& dims) const {
+  const auto it = cells_.find(dims);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+FlowCell* Cuboid::FindMutable(const Itemset& dims) {
+  const auto it = cells_.find(dims);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+void Cuboid::Insert(FlowCell cell) {
+  Itemset key = cell.dims;
+  const auto [it, inserted] = cells_.emplace(std::move(key), std::move(cell));
+  FC_CHECK_MSG(inserted, "cell already exists in cuboid");
+}
+
+bool Cuboid::Erase(const Itemset& dims) { return cells_.erase(dims) > 0; }
+
+FlowCube::FlowCube(FlowCubePlan plan, SchemaPtr schema)
+    : plan_(std::move(plan)),
+      schema_(std::move(schema)),
+      catalog_(std::make_unique<ItemCatalog>(schema_)) {
+  cuboids_.reserve(plan_.item_levels.size() * plan_.path_levels.size());
+  for (const ItemLevel& il : plan_.item_levels) {
+    for (int pl : plan_.path_levels) {
+      cuboids_.push_back(std::make_unique<Cuboid>(il, pl));
+    }
+  }
+}
+
+std::string FlowCube::CellName(const Itemset& dims) const {
+  std::vector<std::string> parts(schema_->num_dimensions(), "*");
+  for (ItemId id : dims) {
+    const size_t d = catalog_->DimOf(id);
+    parts[d] = schema_->dimensions[d].Name(catalog_->NodeOf(id));
+  }
+  std::string out = "(";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += parts[i];
+  }
+  return out + ")";
+}
+
+size_t FlowCube::Index(size_t il_index, size_t pl_index) const {
+  FC_CHECK(il_index < plan_.item_levels.size());
+  FC_CHECK(pl_index < plan_.path_levels.size());
+  return il_index * plan_.path_levels.size() + pl_index;
+}
+
+const Cuboid& FlowCube::cuboid(size_t il_index, size_t pl_index) const {
+  return *cuboids_[Index(il_index, pl_index)];
+}
+
+Cuboid& FlowCube::mutable_cuboid(size_t il_index, size_t pl_index) {
+  return *cuboids_[Index(il_index, pl_index)];
+}
+
+const Cuboid* FlowCube::FindCuboid(const ItemLevel& item_level,
+                                   int path_level) const {
+  const int il = plan_.FindItemLevel(item_level);
+  if (il < 0) return nullptr;
+  for (size_t p = 0; p < plan_.path_levels.size(); ++p) {
+    if (plan_.path_levels[p] == path_level) {
+      return cuboids_[Index(static_cast<size_t>(il), p)].get();
+    }
+  }
+  return nullptr;
+}
+
+size_t FlowCube::TotalCells() const {
+  size_t total = 0;
+  for (const auto& c : cuboids_) total += c->size();
+  return total;
+}
+
+size_t FlowCube::RedundantCells() const {
+  size_t total = 0;
+  for (const auto& c : cuboids_) {
+    c->ForEach([&total](const FlowCell& cell) {
+      if (cell.redundant) total++;
+    });
+  }
+  return total;
+}
+
+size_t FlowCube::EraseRedundant() {
+  size_t removed = 0;
+  for (const auto& c : cuboids_) {
+    std::vector<Itemset> to_erase;
+    c->ForEach([&to_erase](const FlowCell& cell) {
+      if (cell.redundant) to_erase.push_back(cell.dims);
+    });
+    for (const Itemset& dims : to_erase) {
+      removed += c->Erase(dims) ? 1 : 0;
+    }
+  }
+  return removed;
+}
+
+}  // namespace flowcube

@@ -1,0 +1,132 @@
+#ifndef FLOWCUBE_FLOWCUBE_FLOWCUBE_H_
+#define FLOWCUBE_FLOWCUBE_FLOWCUBE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include <string>
+
+#include "flowcube/plan.h"
+#include "flowgraph/flowgraph.h"
+#include "mining/item_catalog.h"
+#include "mining/transaction.h"
+
+namespace flowcube {
+
+// One materialized cell: its coordinates (the sorted dimension items
+// identifying it — dimensions at '*' are absent), the number of paths it
+// aggregates, and its flowgraph measure.
+struct FlowCell {
+  Itemset dims;
+  uint32_t support = 0;
+  FlowGraph graph;
+  // Set by redundancy analysis: the cell's flowgraph is within tau of every
+  // parent's (Definition 4.4) and can be dropped without information loss.
+  bool redundant = false;
+};
+
+// One cuboid <Il, Pl>: all materialized cells at one item abstraction level
+// and one path abstraction level.
+class Cuboid {
+ public:
+  Cuboid(ItemLevel item_level, int path_level)
+      : item_level_(std::move(item_level)), path_level_(path_level) {}
+
+  const ItemLevel& item_level() const { return item_level_; }
+  int path_level() const { return path_level_; }
+
+  size_t size() const { return cells_.size(); }
+
+  // The cell with the given coordinates, or nullptr.
+  const FlowCell* Find(const Itemset& dims) const;
+  FlowCell* FindMutable(const Itemset& dims);
+
+  // Inserts a cell (coordinates must be new).
+  void Insert(FlowCell cell);
+
+  // Removes a cell; returns whether it existed.
+  bool Erase(const Itemset& dims);
+
+  // Iteration over cells (unspecified order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [dims, cell] : cells_) fn(cell);
+  }
+  template <typename Fn>
+  void ForEachMutable(Fn&& fn) {
+    for (auto& [dims, cell] : cells_) fn(&cell);
+  }
+
+ private:
+  ItemLevel item_level_;
+  int path_level_;
+  std::unordered_map<Itemset, FlowCell, ItemsetHash> cells_;
+};
+
+// The flowcube (paper Definition 4.1): a collection of cuboids, each
+// grouping the path database's records into cells at an item abstraction
+// level with paths aggregated to a path abstraction level, measured by
+// flowgraphs. Built by FlowCubeBuilder; queried directly or through
+// FlowCubeQuery.
+class FlowCube {
+ public:
+  // `schema` is the path database's schema; the cube derives its own item
+  // catalog from it (dimension-item ids are deterministic given a schema,
+  // so they agree with the ids the mining phase used).
+  FlowCube(FlowCubePlan plan, SchemaPtr schema);
+
+  const FlowCubePlan& plan() const { return plan_; }
+  const PathSchema& schema() const { return *schema_; }
+  SchemaPtr schema_ptr() const { return schema_; }
+
+  // Decodes cell coordinates (FlowCell::dims) into dimension values.
+  const ItemCatalog& catalog() const { return *catalog_; }
+
+  // Renders a cell's coordinates like "(outerwear, nike)"; dimensions at
+  // '*' print as "*".
+  std::string CellName(const Itemset& dims) const;
+
+  size_t num_cuboids() const { return cuboids_.size(); }
+
+  // Cuboid by plan indices (il_index into plan.item_levels, pl_index into
+  // plan.path_levels).
+  const Cuboid& cuboid(size_t il_index, size_t pl_index) const;
+  Cuboid& mutable_cuboid(size_t il_index, size_t pl_index);
+
+  // Cuboid by levels; nullptr when not materialized. `path_level` is an
+  // index into plan().mining.path_levels.
+  const Cuboid* FindCuboid(const ItemLevel& item_level, int path_level) const;
+
+  // Total number of materialized cells across all cuboids.
+  size_t TotalCells() const;
+
+  // Number of cells currently flagged redundant.
+  size_t RedundantCells() const;
+
+  // Drops every redundant cell, turning this into the paper's
+  // *non-redundant flowcube*. Returns the number of cells removed.
+  size_t EraseRedundant();
+
+  template <typename Fn>
+  void ForEachCuboid(Fn&& fn) const {
+    for (const auto& c : cuboids_) fn(*c);
+  }
+  template <typename Fn>
+  void ForEachCuboidMutable(Fn&& fn) {
+    for (auto& c : cuboids_) fn(c.get());
+  }
+
+ private:
+  size_t Index(size_t il_index, size_t pl_index) const;
+
+  FlowCubePlan plan_;
+  SchemaPtr schema_;
+  std::unique_ptr<ItemCatalog> catalog_;
+  // Row-major: cuboids_[il * plan_.path_levels.size() + pl].
+  std::vector<std::unique_ptr<Cuboid>> cuboids_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_FLOWCUBE_FLOWCUBE_H_

@@ -1,0 +1,86 @@
+#include "flowcube/plan.h"
+
+#include "common/logging.h"
+
+namespace flowcube {
+namespace {
+
+std::vector<int> HierarchyDepths(const PathSchema& schema) {
+  std::vector<int> depths;
+  depths.reserve(schema.num_dimensions());
+  for (const ConceptHierarchy& h : schema.dimensions) {
+    depths.push_back(h.MaxLevel());
+  }
+  return depths;
+}
+
+}  // namespace
+
+Result<FlowCubePlan> FlowCubePlan::Default(const PathSchema& schema) {
+  FlowCubePlan plan;
+  Result<MiningPlan> mining = MiningPlan::Default(schema);
+  if (!mining.ok()) return mining.status();
+  plan.mining = std::move(mining.value());
+
+  plan.item_levels = ItemLattice(HierarchyDepths(schema)).AllLevels();
+  for (int pl = 0; pl < static_cast<int>(plan.mining.path_levels.size());
+       ++pl) {
+    plan.path_levels.push_back(pl);
+  }
+  return plan;
+}
+
+Result<FlowCubePlan> FlowCubePlan::Layered(const PathSchema& schema,
+                                           const ItemLevel& minimum_interest,
+                                           const ItemLevel& observation) {
+  const ItemLattice lattice(HierarchyDepths(schema));
+  if (!lattice.Contains(minimum_interest) || !lattice.Contains(observation)) {
+    return Status::InvalidArgument("layer outside the item lattice");
+  }
+  if (!ItemLattice::GeneralizesOrEquals(minimum_interest, observation)) {
+    return Status::InvalidArgument(
+        "the minimum-interest layer must generalize the observation layer");
+  }
+
+  FlowCubePlan plan;
+  Result<MiningPlan> mining = MiningPlan::Default(schema);
+  if (!mining.ok()) return mining.status();
+  plan.mining = std::move(mining.value());
+  // Restrict mined dimension levels to those the two layers span.
+  for (size_t d = 0; d < plan.mining.dim_levels.size(); ++d) {
+    std::vector<int> levels;
+    for (int l = minimum_interest.levels[d]; l <= observation.levels[d]; ++l) {
+      if (l >= 1) levels.push_back(l);
+    }
+    plan.mining.dim_levels[d] = std::move(levels);
+  }
+
+  // The chain: walk from the observation layer up to the minimum-interest
+  // layer, generalizing dimensions one step at a time in dimension order.
+  ItemLevel cur = observation;
+  plan.item_levels.push_back(cur);
+  while (!(cur == minimum_interest)) {
+    for (size_t d = 0; d < cur.levels.size(); ++d) {
+      if (cur.levels[d] > minimum_interest.levels[d]) {
+        cur.levels[d]--;
+        break;
+      }
+    }
+    plan.item_levels.push_back(cur);
+  }
+
+  for (int pl = 0; pl < static_cast<int>(plan.mining.path_levels.size());
+       ++pl) {
+    plan.path_levels.push_back(pl);
+  }
+  return plan;
+}
+
+int FlowCubePlan::FindItemLevel(const ItemLevel& level) const {
+  for (size_t i = 0; i < item_levels.size(); ++i) {
+    if (item_levels[i] == level) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace flowcube

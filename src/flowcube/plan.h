@@ -1,0 +1,43 @@
+#ifndef FLOWCUBE_FLOWCUBE_PLAN_H_
+#define FLOWCUBE_FLOWCUBE_PLAN_H_
+
+#include <vector>
+
+#include "hierarchy/lattice.h"
+#include "mining/transform.h"
+
+namespace flowcube {
+
+// The materialization plan of a flowcube: which cuboids <Il, Pl> to
+// materialize (paper Sections 4.1 and 5, "partial materialization"). The
+// mining plan determines which abstraction levels are counted; item_levels
+// and path_levels select the cuboids actually built from those counts.
+struct FlowCubePlan {
+  MiningPlan mining;
+
+  // Item abstraction levels of the materialized cuboids.
+  std::vector<ItemLevel> item_levels;
+
+  // Path abstraction levels of the materialized cuboids, as indices into
+  // mining.path_levels.
+  std::vector<int> path_levels;
+
+  // Full plan: every item level of the lattice x every mined path level.
+  static Result<FlowCubePlan> Default(const PathSchema& schema);
+
+  // Partial materialization in the style of [Han, Stefanovic, Koperski 98]
+  // (paper Section 5): a minimum-interest layer, an observation layer, and
+  // the chain of cuboids between them obtained by generalizing one
+  // dimension at a time (in dimension order). `observation` must be at or
+  // below `minimum_interest` in the lattice (i.e. more specific).
+  static Result<FlowCubePlan> Layered(const PathSchema& schema,
+                                      const ItemLevel& minimum_interest,
+                                      const ItemLevel& observation);
+
+  // Index of `level` in item_levels, or -1.
+  int FindItemLevel(const ItemLevel& level) const;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_FLOWCUBE_PLAN_H_

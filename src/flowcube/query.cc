@@ -1,0 +1,218 @@
+#include "flowcube/query.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "flowgraph/merge.h"
+
+namespace flowcube {
+namespace {
+
+// Enumerates all root-to-termination paths of `g` by depth-first search,
+// carrying the transition-probability product.
+void EnumeratePaths(const FlowGraph& g, FlowNodeId node, Path* prefix,
+                    double prob, std::vector<TypicalPath>* out) {
+  const double term = g.TransitionProbability(node, FlowGraph::kTerminate);
+  if (node != FlowGraph::kRoot && term > 0.0) {
+    out->push_back(TypicalPath{*prefix, prob * term});
+  }
+  for (FlowNodeId c : g.children(node)) {
+    // Most likely duration at the child.
+    Duration best = kAnyDuration;
+    uint32_t best_count = 0;
+    for (const auto& [d, cnt] : g.duration_counts(c)) {
+      if (cnt > best_count) {
+        best = d;
+        best_count = cnt;
+      }
+    }
+    prefix->stages.push_back(Stage{g.location(c), best});
+    EnumeratePaths(g, c, prefix, prob * g.TransitionProbability(node, c), out);
+    prefix->stages.pop_back();
+  }
+}
+
+}  // namespace
+
+FlowCubeQuery::FlowCubeQuery(const FlowCube* cube) : cube_(cube) {
+  FC_CHECK(cube_ != nullptr);
+}
+
+Result<CellRef> FlowCubeQuery::Cell(const std::vector<std::string>& values,
+                                    size_t pl_index) const {
+  const PathSchema& schema = cube_->schema();
+  if (values.size() != schema.num_dimensions()) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu dimension values, got %zu",
+                  schema.num_dimensions(), values.size()));
+  }
+  if (pl_index >= cube_->plan().path_levels.size()) {
+    return Status::InvalidArgument("path level index out of range");
+  }
+  ItemLevel level;
+  level.levels.resize(values.size(), 0);
+  Itemset key;
+  for (size_t d = 0; d < values.size(); ++d) {
+    if (values[d] == "*") continue;
+    Result<NodeId> node = schema.dimensions[d].Find(values[d]);
+    if (!node.ok()) return node.status();
+    level.levels[d] = schema.dimensions[d].Level(node.value());
+    key.push_back(cube_->catalog().DimItem(d, node.value()));
+  }
+  std::sort(key.begin(), key.end());
+
+  const int il = cube_->plan().FindItemLevel(level);
+  if (il < 0) {
+    return Status::NotFound("cuboid at item level " + level.ToString() +
+                            " is not materialized");
+  }
+  const FlowCell* cell =
+      cube_->cuboid(static_cast<size_t>(il), pl_index).Find(key);
+  if (cell == nullptr) {
+    return Status::NotFound("cell " + cube_->CellName(key) +
+                            " is not materialized (below the iceberg "
+                            "threshold or pruned)");
+  }
+  return CellRef{cell, static_cast<size_t>(il), pl_index};
+}
+
+Result<CellRef> FlowCubeQuery::RollUp(const CellRef& ref, size_t dim) const {
+  const ItemLevel& il = cube_->plan().item_levels[ref.il_index];
+  if (dim >= il.levels.size()) {
+    return Status::InvalidArgument("dimension index out of range");
+  }
+  if (il.levels[dim] == 0) {
+    return Status::FailedPrecondition("dimension already at '*'");
+  }
+  ItemLevel parent_level = il;
+  parent_level.levels[dim]--;
+  const int pil = cube_->plan().FindItemLevel(parent_level);
+  if (pil < 0) {
+    return Status::NotFound("parent cuboid not materialized");
+  }
+  const ItemCatalog& cat = cube_->catalog();
+  const PathSchema& schema = cube_->schema();
+  Itemset key;
+  for (ItemId id : ref.cell->dims) {
+    if (cat.DimOf(id) != dim) {
+      key.push_back(id);
+      continue;
+    }
+    const NodeId up = schema.dimensions[dim].Parent(cat.NodeOf(id));
+    if (schema.dimensions[dim].Level(up) > 0) {
+      key.push_back(cat.DimItem(dim, up));
+    }
+  }
+  std::sort(key.begin(), key.end());
+  const FlowCell* cell =
+      cube_->cuboid(static_cast<size_t>(pil), ref.pl_index).Find(key);
+  if (cell == nullptr) {
+    return Status::NotFound("parent cell not materialized");
+  }
+  return CellRef{cell, static_cast<size_t>(pil), ref.pl_index};
+}
+
+std::vector<CellRef> FlowCubeQuery::DrillDown(const CellRef& ref,
+                                              size_t dim) const {
+  std::vector<CellRef> out;
+  const ItemLevel& il = cube_->plan().item_levels[ref.il_index];
+  if (dim >= il.levels.size()) return out;
+  ItemLevel child_level = il;
+  child_level.levels[dim]++;
+  const int cil = cube_->plan().FindItemLevel(child_level);
+  if (cil < 0) return out;
+
+  const ItemCatalog& cat = cube_->catalog();
+  const Cuboid& child_cuboid =
+      cube_->cuboid(static_cast<size_t>(cil), ref.pl_index);
+  const PathSchema& schema = cube_->schema();
+  child_cuboid.ForEach([&](const FlowCell& cell) {
+    // Check that generalizing `dim` in the child's coordinates yields the
+    // reference cell's coordinates.
+    Itemset rolled;
+    for (ItemId id : cell.dims) {
+      if (cat.DimOf(id) != dim) {
+        rolled.push_back(id);
+        continue;
+      }
+      const NodeId up = schema.dimensions[dim].Parent(cat.NodeOf(id));
+      if (schema.dimensions[dim].Level(up) > 0) {
+        rolled.push_back(cat.DimItem(dim, up));
+      }
+    }
+    std::sort(rolled.begin(), rolled.end());
+    if (rolled == ref.cell->dims) {
+      out.push_back(CellRef{&cell, static_cast<size_t>(cil), ref.pl_index});
+    }
+  });
+  std::sort(out.begin(), out.end(), [](const CellRef& a, const CellRef& b) {
+    return a.cell->dims < b.cell->dims;
+  });
+  return out;
+}
+
+Result<std::vector<CellRef>> FlowCubeQuery::Slice(
+    size_t il_index, size_t pl_index, size_t dim,
+    const std::string& value) const {
+  if (il_index >= cube_->plan().item_levels.size() ||
+      pl_index >= cube_->plan().path_levels.size()) {
+    return Status::InvalidArgument("cuboid index out of range");
+  }
+  const PathSchema& schema = cube_->schema();
+  if (dim >= schema.num_dimensions()) {
+    return Status::InvalidArgument("dimension index out of range");
+  }
+  Result<NodeId> node = schema.dimensions[dim].Find(value);
+  if (!node.ok()) return node.status();
+  const ItemId want = cube_->catalog().DimItem(dim, node.value());
+
+  std::vector<CellRef> out;
+  const Cuboid& cuboid = cube_->cuboid(il_index, pl_index);
+  cuboid.ForEach([&](const FlowCell& cell) {
+    if (std::binary_search(cell.dims.begin(), cell.dims.end(), want)) {
+      out.push_back(CellRef{&cell, il_index, pl_index});
+    }
+  });
+  std::sort(out.begin(), out.end(), [](const CellRef& a, const CellRef& b) {
+    return a.cell->dims < b.cell->dims;
+  });
+  return out;
+}
+
+std::vector<TypicalPath> FlowCubeQuery::TypicalPaths(const CellRef& ref,
+                                                     size_t k) const {
+  std::vector<TypicalPath> all;
+  Path prefix;
+  EnumeratePaths(ref.cell->graph, FlowGraph::kRoot, &prefix, 1.0, &all);
+  std::sort(all.begin(), all.end(), [](const TypicalPath& a,
+                                       const TypicalPath& b) {
+    return a.probability > b.probability;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+double FlowCubeQuery::Compare(const CellRef& a, const CellRef& b,
+                              const SimilarityOptions& options) const {
+  return FlowGraphDistance(a.cell->graph, b.cell->graph, options);
+}
+
+Result<FlowGraph> FlowCubeQuery::MergeChildren(const CellRef& ref,
+                                               size_t dim) const {
+  const std::vector<CellRef> children = DrillDown(ref, dim);
+  uint32_t covered = 0;
+  for (const CellRef& c : children) covered += c.cell->support;
+  if (covered != ref.cell->support) {
+    return Status::FailedPrecondition(StrFormat(
+        "children cover %u of %u paths (iceberg pruning); the algebraic "
+        "merge would be incomplete",
+        covered, ref.cell->support));
+  }
+  std::vector<const FlowGraph*> graphs;
+  graphs.reserve(children.size());
+  for (const CellRef& c : children) graphs.push_back(&c.cell->graph);
+  return MergeFlowGraphs(graphs);
+}
+
+}  // namespace flowcube

@@ -1,0 +1,84 @@
+#ifndef FLOWCUBE_FLOWCUBE_QUERY_H_
+#define FLOWCUBE_FLOWCUBE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "flowcube/flowcube.h"
+#include "flowgraph/similarity.h"
+
+namespace flowcube {
+
+// A resolved reference to a materialized cell: the cell plus its position
+// in the cube (indices into plan().item_levels / plan().path_levels).
+struct CellRef {
+  const FlowCell* cell = nullptr;
+  size_t il_index = 0;
+  size_t pl_index = 0;
+};
+
+// A typical path through a cell's flowgraph: a full root-to-termination
+// location sequence with the most likely duration at each stage, and the
+// probability the model assigns to that location sequence.
+struct TypicalPath {
+  Path path;
+  double probability = 0.0;
+};
+
+// OLAP-style query surface over a materialized flowcube: point lookups by
+// value names, roll-up / drill-down along item dimensions, slicing a
+// cuboid, extracting typical paths, and comparing cells' flowgraphs. All
+// operations are read-only.
+class FlowCubeQuery {
+ public:
+  // `cube` must outlive the query object.
+  explicit FlowCubeQuery(const FlowCube* cube);
+
+  // Resolves a cell by dimension value names, one per dimension ("*" for a
+  // dimension at its top level). The item level is inferred from the named
+  // values' hierarchy levels; `pl_index` indexes plan().path_levels.
+  Result<CellRef> Cell(const std::vector<std::string>& values,
+                       size_t pl_index = 0) const;
+
+  // The parent cell with dimension `dim` generalized one hierarchy level
+  // (to '*' when it was at level 1). Fails when that cuboid or cell is not
+  // materialized.
+  Result<CellRef> RollUp(const CellRef& ref, size_t dim) const;
+
+  // All materialized child cells with dimension `dim` specialized one
+  // hierarchy level. Empty when the child cuboid is not materialized or no
+  // child cell passed the iceberg threshold.
+  std::vector<CellRef> DrillDown(const CellRef& ref, size_t dim) const;
+
+  // All cells of cuboid (il_index, pl_index) whose dimension `dim` has the
+  // value named `value`.
+  Result<std::vector<CellRef>> Slice(size_t il_index, size_t pl_index,
+                                     size_t dim,
+                                     const std::string& value) const;
+
+  // The k most probable root-to-termination paths of a cell's flowgraph
+  // (paper query 1: "the most typical paths, with average duration at each
+  // stage").
+  std::vector<TypicalPath> TypicalPaths(const CellRef& ref, size_t k) const;
+
+  // Distance between two cells' flowgraphs (paper query 3 style
+  // contrasting).
+  double Compare(const CellRef& a, const CellRef& b,
+                 const SimilarityOptions& options = {}) const;
+
+  // Lemma 4.2 in action: reconstructs `ref`'s duration/transition
+  // distributions by algebraically merging its drill-down children along
+  // `dim`, without touching the path database. Fails with
+  // FailedPrecondition when the children do not cover the parent (some
+  // child fell below the iceberg threshold), since the merged counts would
+  // be incomplete. The result carries no exceptions (Lemma 4.3).
+  Result<FlowGraph> MergeChildren(const CellRef& ref, size_t dim) const;
+
+ private:
+  const FlowCube* cube_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_FLOWCUBE_QUERY_H_

@@ -1,0 +1,13 @@
+#include "flowgraph/builder.h"
+
+namespace flowcube {
+
+FlowGraph BuildFlowGraph(std::span<const Path> paths) {
+  FlowGraph g;
+  for (const Path& p : paths) {
+    g.AddPath(p);
+  }
+  return g;
+}
+
+}  // namespace flowcube

@@ -1,0 +1,207 @@
+#include "flowgraph/exception_miner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "mining/apriori.h"
+
+namespace flowcube {
+namespace {
+
+// Per-path node chains: chain[i] is the flowgraph node of stage i.
+std::vector<std::vector<FlowNodeId>> BuildChains(const FlowGraph& g,
+                                                 std::span<const Path> paths) {
+  std::vector<std::vector<FlowNodeId>> chains;
+  chains.reserve(paths.size());
+  for (const Path& p : paths) {
+    std::vector<FlowNodeId> chain;
+    chain.reserve(p.stages.size());
+    FlowNodeId cur = FlowGraph::kRoot;
+    for (const Stage& s : p.stages) {
+      cur = g.FindChild(cur, s.location);
+      FC_CHECK_MSG(cur != FlowGraph::kTerminate,
+                   "path does not belong to this flowgraph");
+      chain.push_back(cur);
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+bool Matches(const std::vector<StageCondition>& pattern, const Path& path,
+             const std::vector<FlowNodeId>& chain, const FlowGraph& g) {
+  for (const StageCondition& c : pattern) {
+    const int d = g.depth(c.node);
+    FC_DCHECK(d >= 1);
+    const size_t idx = static_cast<size_t>(d - 1);
+    if (idx >= chain.size() || chain[idx] != c.node) return false;
+    if (c.duration != kAnyDuration &&
+        path.stages[idx].duration != c.duration) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Informative(const std::vector<StageCondition>& pattern) {
+  for (const StageCondition& c : pattern) {
+    if (c.duration != kAnyDuration) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ExceptionMiner::ExceptionMiner(ExceptionMinerOptions options)
+    : options_(options) {
+  FC_CHECK_MSG(options_.epsilon > 0.0 && options_.epsilon <= 1.0,
+               "epsilon must be in (0, 1]");
+  FC_CHECK_MSG(options_.min_support >= 1, "min_support must be >= 1");
+}
+
+std::vector<FlowException> ExceptionMiner::Mine(
+    const FlowGraph& g, std::span<const Path> paths,
+    const std::vector<std::vector<StageCondition>>& patterns) const {
+  std::vector<FlowException> out;
+  const auto chains = BuildChains(g, paths);
+
+  for (const std::vector<StageCondition>& pattern : patterns) {
+    if (pattern.empty() || !Informative(pattern)) continue;
+    FC_DCHECK(std::is_sorted(pattern.begin(), pattern.end(),
+                             [&g](const StageCondition& a,
+                                  const StageCondition& b) {
+                               return g.depth(a.node) < g.depth(b.node);
+                             }));
+    const FlowNodeId deepest = pattern.back().node;
+    const size_t dd = static_cast<size_t>(g.depth(deepest));
+
+    std::vector<uint32_t> matching;
+    for (uint32_t i = 0; i < paths.size(); ++i) {
+      if (Matches(pattern, paths[i], chains[i], g)) matching.push_back(i);
+    }
+    if (matching.size() < options_.min_support) continue;
+    const double n_match = static_cast<double>(matching.size());
+
+    // --- Conditional transition distribution at the deepest node.
+    std::map<FlowNodeId, uint32_t> trans_counts;
+    for (uint32_t i : matching) {
+      const FlowNodeId target =
+          chains[i].size() > dd ? chains[i][dd] : FlowGraph::kTerminate;
+      trans_counts[target]++;
+    }
+    // Compare over every possible target (children + termination), so that
+    // conditional probability 0 against a large global probability is also
+    // recorded.
+    std::vector<FlowNodeId> targets = g.children(deepest);
+    targets.push_back(FlowGraph::kTerminate);
+    for (FlowNodeId target : targets) {
+      const auto it = trans_counts.find(target);
+      const double p_cond =
+          it == trans_counts.end() ? 0.0 : it->second / n_match;
+      const double p_glob = g.TransitionProbability(deepest, target);
+      if (std::fabs(p_cond - p_glob) >= options_.epsilon) {
+        FlowException e;
+        e.kind = FlowException::Kind::kTransition;
+        e.condition = pattern;
+        e.node = deepest;
+        e.transition_target = target;
+        e.global_probability = p_glob;
+        e.conditional_probability = p_cond;
+        e.condition_support = static_cast<uint32_t>(matching.size());
+        out.push_back(std::move(e));
+      }
+    }
+
+    // --- Conditional duration distribution at each child of the deepest
+    // node ("durations at a location given previous durations").
+    for (FlowNodeId child : g.children(deepest)) {
+      std::map<Duration, uint32_t> dur_counts;
+      uint32_t n_child = 0;
+      for (uint32_t i : matching) {
+        if (chains[i].size() > dd && chains[i][dd] == child) {
+          dur_counts[paths[i].stages[dd].duration]++;
+          n_child++;
+        }
+      }
+      if (n_child < options_.min_support) continue;
+      // Union of conditional and global duration values.
+      std::map<Duration, uint32_t> all_values = g.duration_counts(child);
+      for (const auto& [d, c] : dur_counts) all_values[d] += 0;
+      for (const auto& [d, unused] : all_values) {
+        const auto it = dur_counts.find(d);
+        const double p_cond =
+            it == dur_counts.end() ? 0.0 : static_cast<double>(it->second) / n_child;
+        const double p_glob = g.DurationProbability(child, d);
+        if (std::fabs(p_cond - p_glob) >= options_.epsilon) {
+          FlowException e;
+          e.kind = FlowException::Kind::kDuration;
+          e.condition = pattern;
+          e.node = child;
+          e.duration_value = d;
+          e.global_probability = p_glob;
+          e.conditional_probability = p_cond;
+          e.condition_support = n_child;
+          out.push_back(std::move(e));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<FlowException> ExceptionMiner::MineWithLocalPatterns(
+    const FlowGraph& g, std::span<const Path> paths) const {
+  // Encode each path as a transaction of (node, duration) items and mine
+  // frequent chains with Apriori. Items are interned locally.
+  const auto chains = BuildChains(g, paths);
+  std::unordered_map<uint64_t, ItemId> intern;
+  std::vector<StageCondition> decode;
+  std::vector<std::vector<ItemId>> txns(paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    for (size_t j = 0; j < chains[i].size(); ++j) {
+      const Duration dur = paths[i].stages[j].duration;
+      const uint64_t key = (static_cast<uint64_t>(chains[i][j]) << 32) |
+                           static_cast<uint32_t>(dur + 1);
+      auto [it, inserted] =
+          intern.try_emplace(key, static_cast<ItemId>(decode.size()));
+      if (inserted) decode.push_back(StageCondition{chains[i][j], dur});
+      txns[i].push_back(it->second);
+    }
+    std::sort(txns[i].begin(), txns[i].end());
+  }
+
+  AprioriOptions opts;
+  opts.min_support = options_.min_support;
+  // Two constraints on one node cannot both hold (a stage has one
+  // duration).
+  opts.candidate_filter = [&decode](const Itemset& cand) {
+    for (size_t a = 0; a + 1 < cand.size(); ++a) {
+      for (size_t b = a + 1; b < cand.size(); ++b) {
+        if (decode[cand[a]].node == decode[cand[b]].node) return false;
+      }
+    }
+    return true;
+  };
+  Apriori apriori(opts);
+  std::vector<std::span<const ItemId>> spans;
+  spans.reserve(txns.size());
+  for (const auto& t : txns) spans.emplace_back(t.data(), t.size());
+
+  std::vector<std::vector<StageCondition>> patterns;
+  for (const FrequentItemset& fi : apriori.Mine(spans)) {
+    std::vector<StageCondition> pattern;
+    pattern.reserve(fi.items.size());
+    for (ItemId id : fi.items) pattern.push_back(decode[id]);
+    std::sort(pattern.begin(), pattern.end(),
+              [&g](const StageCondition& a, const StageCondition& b) {
+                return g.depth(a.node) < g.depth(b.node);
+              });
+    patterns.push_back(std::move(pattern));
+  }
+  return Mine(g, paths, patterns);
+}
+
+}  // namespace flowcube

@@ -1,0 +1,116 @@
+#include "flowgraph/flowgraph.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace flowcube {
+
+FlowGraph::FlowGraph() { nodes_.emplace_back(); }
+
+void FlowGraph::AddPath(const Path& path) {
+  FC_CHECK_MSG(!path.empty(), "cannot add an empty path to a flowgraph");
+  nodes_[kRoot].path_count++;
+  FlowNodeId cur = kRoot;
+  for (const Stage& s : path.stages) {
+    FlowNodeId child = FindChild(cur, s.location);
+    if (child == kTerminate) {
+      child = static_cast<FlowNodeId>(nodes_.size());
+      Node node;
+      node.location = s.location;
+      node.parent = cur;
+      node.depth = nodes_[cur].depth + 1;
+      nodes_.push_back(std::move(node));
+      nodes_[cur].children.push_back(child);
+    }
+    nodes_[child].path_count++;
+    nodes_[child].duration_counts[s.duration]++;
+    cur = child;
+  }
+  nodes_[cur].terminate_count++;
+}
+
+void FlowGraph::MergeFrom(const FlowGraph& other) {
+  // Iterative pairwise walk over (other node, this node).
+  std::vector<std::pair<FlowNodeId, FlowNodeId>> work = {{kRoot, kRoot}};
+  while (!work.empty()) {
+    const auto [src, dst] = work.back();
+    work.pop_back();
+    const Node& from = other.nodes_[src];
+    nodes_[dst].path_count += from.path_count;
+    nodes_[dst].terminate_count += from.terminate_count;
+    for (const auto& [d, c] : from.duration_counts) {
+      nodes_[dst].duration_counts[d] += c;
+    }
+    for (FlowNodeId src_child : from.children) {
+      const NodeId loc = other.nodes_[src_child].location;
+      FlowNodeId dst_child = FindChild(dst, loc);
+      if (dst_child == kTerminate) {
+        dst_child = static_cast<FlowNodeId>(nodes_.size());
+        Node node;
+        node.location = loc;
+        node.parent = dst;
+        node.depth = nodes_[dst].depth + 1;
+        nodes_.push_back(std::move(node));
+        nodes_[dst].children.push_back(dst_child);
+      }
+      work.emplace_back(src_child, dst_child);
+    }
+  }
+}
+
+FlowNodeId FlowGraph::FindChild(FlowNodeId n, NodeId loc) const {
+  FC_DCHECK(n < nodes_.size());
+  for (FlowNodeId c : nodes_[n].children) {
+    if (nodes_[c].location == loc) return c;
+  }
+  return kTerminate;
+}
+
+FlowNodeId FlowGraph::Walk(const Path& path, size_t upto) const {
+  FlowNodeId cur = kRoot;
+  const size_t n = std::min(upto, path.stages.size());
+  for (size_t i = 0; i < n; ++i) {
+    cur = FindChild(cur, path.stages[i].location);
+    if (cur == kTerminate) return kTerminate;
+  }
+  return cur;
+}
+
+double FlowGraph::DurationProbability(FlowNodeId n, Duration d) const {
+  FC_CHECK(n < nodes_.size());
+  const Node& node = nodes_[n];
+  if (node.path_count == 0) return 0.0;
+  const auto it = node.duration_counts.find(d);
+  if (it == node.duration_counts.end()) return 0.0;
+  return static_cast<double>(it->second) / node.path_count;
+}
+
+double FlowGraph::TransitionProbability(FlowNodeId n, FlowNodeId target) const {
+  FC_CHECK(n < nodes_.size());
+  const Node& node = nodes_[n];
+  if (node.path_count == 0) return 0.0;
+  if (target == kTerminate) {
+    return static_cast<double>(node.terminate_count) / node.path_count;
+  }
+  FC_CHECK(target < nodes_.size());
+  FC_CHECK_MSG(nodes_[target].parent == n && target != kRoot,
+               "transition target must be a child of the node");
+  return static_cast<double>(nodes_[target].path_count) / node.path_count;
+}
+
+double FlowGraph::PathProbability(const Path& path) const {
+  double p = 1.0;
+  FlowNodeId cur = kRoot;
+  for (const Stage& s : path.stages) {
+    const FlowNodeId child = FindChild(cur, s.location);
+    if (child == kTerminate) return 0.0;
+    p *= TransitionProbability(cur, child);
+    p *= DurationProbability(child, s.duration);
+    cur = child;
+  }
+  p *= TransitionProbability(cur, kTerminate);
+  return p;
+}
+
+}  // namespace flowcube

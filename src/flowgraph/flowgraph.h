@@ -1,0 +1,151 @@
+#ifndef FLOWCUBE_FLOWGRAPH_FLOWGRAPH_H_
+#define FLOWCUBE_FLOWGRAPH_FLOWGRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "path/path.h"
+
+namespace flowcube {
+
+// Index of a node inside one FlowGraph.
+using FlowNodeId = uint32_t;
+
+// One duration (or passage) constraint of an exception condition: the path
+// visited flowgraph node `node` with the given duration (kAnyDuration = any
+// duration, i.e. only passage through the node is required).
+struct StageCondition {
+  FlowNodeId node = 0;
+  Duration duration = kAnyDuration;
+
+  friend bool operator==(const StageCondition& a, const StageCondition& b) {
+    return a.node == b.node && a.duration == b.duration;
+  }
+};
+
+// A recorded deviation from the flowgraph's general distributions given a
+// frequent path prefix (paper Section 3): conditioned on `condition`, the
+// probability of `transition_target` (or of `duration_value`) at `node`
+// differs from the unconditional one by at least epsilon, with the
+// condition matched by at least delta paths.
+struct FlowException {
+  enum class Kind { kTransition, kDuration };
+
+  Kind kind = Kind::kTransition;
+  // Conditions sorted by node depth; every condition node is an ancestor of
+  // (or equal to, for transition exceptions) `node`.
+  std::vector<StageCondition> condition;
+  // The node whose distribution deviates.
+  FlowNodeId node = 0;
+  // Kind::kTransition — the deviating transition (child node index, or
+  // FlowGraph::kTerminate for the termination probability).
+  FlowNodeId transition_target = 0;
+  // Kind::kDuration — the deviating duration value.
+  Duration duration_value = 0;
+  double global_probability = 0.0;
+  double conditional_probability = 0.0;
+  // Number of paths matching the condition (and reaching `node`).
+  uint32_t condition_support = 0;
+};
+
+// The flowgraph (paper Definition 3.1): a tree-shaped probabilistic
+// workflow. Each node corresponds to a unique path prefix; it carries a
+// multinomial distribution over stay durations, a multinomial distribution
+// over transitions to child locations (plus termination), and a set of
+// exceptions to those distributions under frequent path prefixes.
+//
+// The tree is built by accumulating counts over a collection of paths
+// (AddPath); distributions are exact count ratios, which is what makes the
+// distribution component an algebraic measure (Lemma 4.2).
+class FlowGraph {
+ public:
+  // Sentinel transition target meaning "path terminates here".
+  static constexpr FlowNodeId kTerminate = static_cast<FlowNodeId>(-1);
+  // The virtual root node (empty prefix). Its children are the first
+  // locations of paths; its path_count is the total number of paths.
+  static constexpr FlowNodeId kRoot = 0;
+
+  FlowGraph();
+
+  // Accumulates one path into the counts.
+  void AddPath(const Path& path);
+
+  // Adds `other`'s counts into this graph, creating missing branches — the
+  // algebraic aggregation of Lemma 4.2. Exceptions are holistic (Lemma
+  // 4.3) and are NOT merged; this graph's exception list is left unchanged
+  // and should be re-mined when needed.
+  void MergeFrom(const FlowGraph& other);
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+  // Total number of paths added.
+  uint32_t total_paths() const { return nodes_[kRoot].path_count; }
+
+  // --- Node structure -------------------------------------------------------
+
+  NodeId location(FlowNodeId n) const { return nodes_[n].location; }
+  FlowNodeId parent(FlowNodeId n) const { return nodes_[n].parent; }
+  const std::vector<FlowNodeId>& children(FlowNodeId n) const {
+    return nodes_[n].children;
+  }
+  int depth(FlowNodeId n) const { return nodes_[n].depth; }
+
+  // Child of `n` whose location is `loc`, or kTerminate if none.
+  FlowNodeId FindChild(FlowNodeId n, NodeId loc) const;
+
+  // Node reached by following the path's locations from the root, or
+  // kTerminate when the graph has no such branch. `upto` limits the number
+  // of stages followed (SIZE_MAX = all).
+  FlowNodeId Walk(const Path& path, size_t upto = SIZE_MAX) const;
+
+  // --- Counts and distributions ----------------------------------------------
+
+  // Paths passing through the node.
+  uint32_t path_count(FlowNodeId n) const { return nodes_[n].path_count; }
+  // Paths terminating at the node.
+  uint32_t terminate_count(FlowNodeId n) const {
+    return nodes_[n].terminate_count;
+  }
+  // Count of each observed stay duration at the node.
+  const std::map<Duration, uint32_t>& duration_counts(FlowNodeId n) const {
+    return nodes_[n].duration_counts;
+  }
+
+  // P(duration = d | at node), exact count ratio.
+  double DurationProbability(FlowNodeId n, Duration d) const;
+
+  // P(next = child | at node) for a child node index; use kTerminate for
+  // the termination probability.
+  double TransitionProbability(FlowNodeId n, FlowNodeId target) const;
+
+  // Probability of observing exactly `path` under the model (product of
+  // transition and duration probabilities, with termination). 0 when the
+  // path leaves the tree.
+  double PathProbability(const Path& path) const;
+
+  // --- Exceptions (paper Section 3) ------------------------------------------
+
+  void AddException(FlowException e) {
+    exceptions_.push_back(std::move(e));
+  }
+  const std::vector<FlowException>& exceptions() const { return exceptions_; }
+
+ private:
+  struct Node {
+    NodeId location = kInvalidNode;
+    FlowNodeId parent = kRoot;
+    int depth = 0;
+    std::vector<FlowNodeId> children;
+    uint32_t path_count = 0;
+    uint32_t terminate_count = 0;
+    std::map<Duration, uint32_t> duration_counts;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<FlowException> exceptions_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_FLOWGRAPH_FLOWGRAPH_H_

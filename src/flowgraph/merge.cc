@@ -1,0 +1,17 @@
+#include "flowgraph/merge.h"
+
+namespace flowcube {
+
+void MergeInto(const FlowGraph& src, FlowGraph* dst) {
+  dst->MergeFrom(src);
+}
+
+FlowGraph MergeFlowGraphs(std::span<const FlowGraph* const> graphs) {
+  FlowGraph out;
+  for (const FlowGraph* g : graphs) {
+    out.MergeFrom(*g);
+  }
+  return out;
+}
+
+}  // namespace flowcube

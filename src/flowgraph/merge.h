@@ -1,0 +1,29 @@
+#ifndef FLOWCUBE_FLOWGRAPH_MERGE_H_
+#define FLOWCUBE_FLOWGRAPH_MERGE_H_
+
+#include <span>
+
+#include "flowgraph/flowgraph.h"
+
+namespace flowcube {
+
+// Algebraic flowgraph aggregation (paper Lemma 4.2): the duration and
+// transition distributions of a flowgraph are algebraic measures, so the
+// flowgraph of a union of path sets is computed exactly by adding the
+// per-node counts of the parts — no access to the underlying path database
+// is needed. This is what lets a flowcube derive a high-level cell's
+// measure from already-materialized low-level cells.
+//
+// The exception set is *holistic* (Lemma 4.3) and cannot be merged; the
+// result of a merge carries no exceptions (re-mine them if needed).
+
+// Adds `src`'s counts into `dst`, creating missing branches. Both graphs
+// must be over the same location space (the same path abstraction level).
+void MergeInto(const FlowGraph& src, FlowGraph* dst);
+
+// Merges any number of flowgraphs into a fresh one.
+FlowGraph MergeFlowGraphs(std::span<const FlowGraph* const> graphs);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_FLOWGRAPH_MERGE_H_

@@ -1,0 +1,87 @@
+#include "flowgraph/render.h"
+
+#include "common/string_util.h"
+
+namespace flowcube {
+namespace {
+
+std::string DurationDist(const FlowGraph& g, const PathSchema& schema,
+                         FlowNodeId n, int digits) {
+  std::vector<std::string> parts;
+  const double total = g.path_count(n);
+  for (const auto& [d, c] : g.duration_counts(n)) {
+    parts.push_back(schema.durations.ToString(d) + ":" +
+                    FormatDouble(c / total, digits));
+  }
+  return "dur{" + StrJoin(parts, ", ") + "}";
+}
+
+void RenderNode(const FlowGraph& g, const PathSchema& schema,
+                const RenderOptions& options, FlowNodeId n, int indent,
+                std::string* out) {
+  const std::string pad(static_cast<size_t>(indent) * 4, ' ');
+  for (FlowNodeId c : g.children(n)) {
+    *out += pad + "|-> " + schema.locations.Name(g.location(c)) +
+            " p=" + FormatDouble(g.TransitionProbability(n, c), options.digits);
+    if (options.durations) {
+      *out += "  " + DurationDist(g, schema, c, options.digits);
+    }
+    *out += "\n";
+    RenderNode(g, schema, options, c, indent + 1, out);
+  }
+  const double term = g.TransitionProbability(n, FlowGraph::kTerminate);
+  if (term > 0.0 && n != FlowGraph::kRoot) {
+    *out += pad + "|-> (terminate) p=" + FormatDouble(term, options.digits) +
+            "\n";
+  }
+}
+
+std::string ConditionString(const FlowGraph& g, const PathSchema& schema,
+                            const std::vector<StageCondition>& condition) {
+  std::vector<std::string> parts;
+  parts.reserve(condition.size());
+  for (const StageCondition& c : condition) {
+    parts.push_back("(" + schema.locations.Name(g.location(c.node)) + "," +
+                    schema.durations.ToString(c.duration) + ")");
+  }
+  return "{" + StrJoin(parts, ",") + "}";
+}
+
+}  // namespace
+
+std::string RenderException(const FlowGraph& g, const PathSchema& schema,
+                            const FlowException& e, int digits) {
+  std::string out;
+  if (e.kind == FlowException::Kind::kTransition) {
+    const std::string target =
+        e.transition_target == FlowGraph::kTerminate
+            ? "(terminate)"
+            : schema.locations.Name(g.location(e.transition_target));
+    out = "transition " + schema.locations.Name(g.location(e.node)) + "->" +
+          target;
+  } else {
+    out = "duration " + schema.locations.Name(g.location(e.node)) + "=" +
+          schema.durations.ToString(e.duration_value);
+  }
+  out += ": " + FormatDouble(e.global_probability, digits) + " -> " +
+         FormatDouble(e.conditional_probability, digits) + " given " +
+         ConditionString(g, schema, e.condition) +
+         StrFormat(" (n=%u)", e.condition_support);
+  return out;
+}
+
+std::string RenderFlowGraph(const FlowGraph& g, const PathSchema& schema,
+                            const RenderOptions& options) {
+  std::string out =
+      StrFormat("flowgraph over %u paths\n", g.total_paths());
+  RenderNode(g, schema, options, FlowGraph::kRoot, 0, &out);
+  if (options.exceptions && !g.exceptions().empty()) {
+    out += StrFormat("exceptions (%zu):\n", g.exceptions().size());
+    for (const FlowException& e : g.exceptions()) {
+      out += "  " + RenderException(g, schema, e, options.digits) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace flowcube

@@ -1,0 +1,41 @@
+#ifndef FLOWCUBE_FLOWGRAPH_RENDER_H_
+#define FLOWCUBE_FLOWGRAPH_RENDER_H_
+
+#include <string>
+
+#include "flowgraph/flowgraph.h"
+#include "path/path.h"
+
+namespace flowcube {
+
+// What RenderFlowGraph includes.
+struct RenderOptions {
+  // Print the per-node duration distributions.
+  bool durations = true;
+  // Print the exception list after the tree.
+  bool exceptions = true;
+  // Probabilities are rounded to this many digits.
+  int digits = 2;
+};
+
+// Renders a flowgraph as an indented text tree, one node per line with its
+// transition probabilities — the textual equivalent of the paper's
+// Figure 3:
+//
+//   factory  dur{5:0.38, 10:0.62}
+//   |-> dist.center p=0.65  dur{1:0.2, 2:0.8}
+//   |   |-> truck p=1.00 ...
+//   |-> truck p=0.35 ...
+//
+// `schema` supplies location and duration names.
+std::string RenderFlowGraph(const FlowGraph& g, const PathSchema& schema,
+                            const RenderOptions& options = {});
+
+// Renders one exception on a single line, e.g.:
+//   "transition truck->warehouse: 0.33 -> 0.50 given {(truck,1)} (n=2)".
+std::string RenderException(const FlowGraph& g, const PathSchema& schema,
+                            const FlowException& e, int digits = 2);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_FLOWGRAPH_RENDER_H_

@@ -1,0 +1,168 @@
+#include "flowgraph/similarity.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace flowcube {
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+// A categorical distribution keyed by int64 outcomes (locations cast up,
+// kTerminate mapped to a sentinel, durations as-is).
+using Categorical = std::map<int64_t, double>;
+
+double KlDivergence(const Categorical& p, const Categorical& q,
+                    double smoothing) {
+  // Support union with additive smoothing.
+  Categorical keys = p;
+  for (const auto& [k, v] : q) keys.emplace(k, 0.0);
+  const double n = static_cast<double>(keys.size());
+  double d = 0.0;
+  for (const auto& [k, unused] : keys) {
+    const auto pi = p.find(k);
+    const auto qi = q.find(k);
+    const double pp =
+        ((pi != p.end() ? pi->second : 0.0) + smoothing) / (1.0 + smoothing * n);
+    const double qq =
+        ((qi != q.end() ? qi->second : 0.0) + smoothing) / (1.0 + smoothing * n);
+    d += pp * std::log(pp / qq);
+  }
+  return d;
+}
+
+// Jensen-Shannon divergence normalized to [0, 1].
+double JsDivergence(const Categorical& p, const Categorical& q) {
+  Categorical keys = p;
+  for (const auto& [k, v] : q) keys.emplace(k, 0.0);
+  double d = 0.0;
+  for (const auto& [k, unused] : keys) {
+    const auto pi = p.find(k);
+    const auto qi = q.find(k);
+    const double pp = pi != p.end() ? pi->second : 0.0;
+    const double qq = qi != q.end() ? qi->second : 0.0;
+    const double m = 0.5 * (pp + qq);
+    if (pp > 0.0) d += 0.5 * pp * std::log(pp / m);
+    if (qq > 0.0) d += 0.5 * qq * std::log(qq / m);
+  }
+  return d / kLn2;
+}
+
+double Divergence(const Categorical& p, const Categorical& q,
+                  const SimilarityOptions& options) {
+  switch (options.kind) {
+    case DivergenceKind::kJensenShannon:
+      return JsDivergence(p, q);
+    case DivergenceKind::kKullbackLeibler:
+      return 0.5 * (KlDivergence(p, q, options.kl_smoothing) +
+                    KlDivergence(q, p, options.kl_smoothing));
+  }
+  return 0.0;
+}
+
+// The maximal value a divergence can take, used for unmatched branches.
+double MaxDivergence(const SimilarityOptions& options) {
+  switch (options.kind) {
+    case DivergenceKind::kJensenShannon:
+      return 1.0;
+    case DivergenceKind::kKullbackLeibler:
+      // Disjoint binary supports under the configured smoothing.
+      return KlDivergence({{0, 1.0}}, {{1, 1.0}}, options.kl_smoothing);
+  }
+  return 1.0;
+}
+
+constexpr int64_t kTerminateKey = -1;
+
+Categorical TransitionCategorical(const FlowGraph& g, FlowNodeId n) {
+  Categorical out;
+  for (FlowNodeId c : g.children(n)) {
+    out[static_cast<int64_t>(g.location(c))] = g.TransitionProbability(n, c);
+  }
+  out[kTerminateKey] = g.TransitionProbability(n, FlowGraph::kTerminate);
+  return out;
+}
+
+Categorical DurationCategorical(const FlowGraph& g, FlowNodeId n) {
+  Categorical out;
+  const double total = g.path_count(n);
+  for (const auto& [d, c] : g.duration_counts(n)) {
+    out[d] = c / total;
+  }
+  return out;
+}
+
+struct Accumulator {
+  double weighted_divergence = 0.0;
+  double total_weight = 0.0;
+};
+
+double ReachProbability(const FlowGraph& g, FlowNodeId n) {
+  if (g.total_paths() == 0) return 0.0;
+  return static_cast<double>(g.path_count(n)) / g.total_paths();
+}
+
+// Recursively matches nodes of `a` and `b` by location and accumulates
+// weighted divergences; `na`/`nb` are matched nodes (or kTerminate when one
+// side has no counterpart).
+void Accumulate(const FlowGraph& a, const FlowGraph& b, FlowNodeId na,
+                FlowNodeId nb, const SimilarityOptions& options,
+                Accumulator* acc) {
+  const bool in_a = na != FlowGraph::kTerminate;
+  const bool in_b = nb != FlowGraph::kTerminate;
+  FC_CHECK(in_a || in_b);
+  const double wa = in_a ? ReachProbability(a, na) : 0.0;
+  const double wb = in_b ? ReachProbability(b, nb) : 0.0;
+  const double w = 0.5 * (wa + wb);
+  if (w <= 0.0) return;
+
+  if (in_a && in_b) {
+    const double dt = Divergence(TransitionCategorical(a, na),
+                                 TransitionCategorical(b, nb), options);
+    if (na == FlowGraph::kRoot) {
+      // The root has no stay duration; only its transition mix counts.
+      acc->weighted_divergence += w * dt;
+    } else {
+      const double dd = Divergence(DurationCategorical(a, na),
+                                   DurationCategorical(b, nb), options);
+      acc->weighted_divergence += w * 0.5 * (dt + dd);
+    }
+    acc->total_weight += w;
+    // Recurse on the union of child locations.
+    for (FlowNodeId ca : a.children(na)) {
+      Accumulate(a, b, ca, b.FindChild(nb, a.location(ca)), options, acc);
+    }
+    for (FlowNodeId cb : b.children(nb)) {
+      if (a.FindChild(na, b.location(cb)) == FlowGraph::kTerminate) {
+        Accumulate(a, b, FlowGraph::kTerminate, cb, options, acc);
+      }
+    }
+    return;
+  }
+
+  // Branch present in only one graph: maximal disagreement, weighted by the
+  // reach probability on the side that has it; no recursion needed (the
+  // whole subtree is unmatched and its weight is bounded by this node's).
+  acc->weighted_divergence += w * MaxDivergence(options);
+  acc->total_weight += w;
+}
+
+}  // namespace
+
+double FlowGraphDistance(const FlowGraph& a, const FlowGraph& b,
+                         const SimilarityOptions& options) {
+  if (a.total_paths() == 0 && b.total_paths() == 0) return 0.0;
+  if (a.total_paths() == 0 || b.total_paths() == 0) {
+    return MaxDivergence(options);
+  }
+  Accumulator acc;
+  Accumulate(a, b, FlowGraph::kRoot, FlowGraph::kRoot, options, &acc);
+  if (acc.total_weight <= 0.0) return 0.0;
+  return acc.weighted_divergence / acc.total_weight;
+}
+
+}  // namespace flowcube

@@ -1,0 +1,98 @@
+#include "flowgraph/stats.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace flowcube {
+
+double MeanDuration(const FlowGraph& g, FlowNodeId node) {
+  FC_CHECK(node < g.num_nodes());
+  if (g.path_count(node) == 0) return 0.0;
+  double total = 0.0;
+  uint32_t counted = 0;
+  for (const auto& [d, c] : g.duration_counts(node)) {
+    if (d == kAnyDuration) continue;
+    total += static_cast<double>(d) * c;
+    counted += c;
+  }
+  return counted == 0 ? 0.0 : total / counted;
+}
+
+double ExpectedLeadTime(const FlowGraph& g) {
+  if (g.total_paths() == 0) return 0.0;
+  double total = 0.0;
+  for (FlowNodeId n = 1; n < g.num_nodes(); ++n) {
+    const double reach =
+        static_cast<double>(g.path_count(n)) / g.total_paths();
+    total += reach * MeanDuration(g, n);
+  }
+  return total;
+}
+
+double ExpectedPathLength(const FlowGraph& g) {
+  if (g.total_paths() == 0) return 0.0;
+  // Every non-root node is visited path_count times; the expected length
+  // is the total number of stage visits over the number of paths.
+  double visits = 0.0;
+  for (FlowNodeId n = 1; n < g.num_nodes(); ++n) {
+    visits += g.path_count(n);
+  }
+  return visits / g.total_paths();
+}
+
+double VisitProbability(const FlowGraph& g, NodeId location) {
+  if (g.total_paths() == 0) return 0.0;
+  // Sum reach over the *highest* nodes with the location on each branch:
+  // nodes whose ancestors do not already carry it (avoids double counting
+  // paths that revisit the location).
+  double covered = 0.0;
+  std::vector<std::pair<FlowNodeId, bool>> work = {{FlowGraph::kRoot, false}};
+  while (!work.empty()) {
+    const auto [node, seen] = work.back();
+    work.pop_back();
+    const bool here = node != FlowGraph::kRoot && g.location(node) == location;
+    if (here && !seen) {
+      covered += g.path_count(node);
+      continue;  // everything below is already counted
+    }
+    for (FlowNodeId c : g.children(node)) {
+      work.emplace_back(c, seen || here);
+    }
+  }
+  return covered / g.total_paths();
+}
+
+std::vector<LocationDwell> DwellByLocation(const FlowGraph& g) {
+  std::map<NodeId, LocationDwell> by_location;
+  std::map<NodeId, double> weighted_total;
+  std::map<NodeId, uint32_t> counted;
+  for (FlowNodeId n = 1; n < g.num_nodes(); ++n) {
+    LocationDwell& dwell = by_location[g.location(n)];
+    dwell.location = g.location(n);
+    dwell.visits += g.path_count(n);
+    for (const auto& [d, c] : g.duration_counts(n)) {
+      if (d == kAnyDuration) continue;
+      weighted_total[g.location(n)] += static_cast<double>(d) * c;
+      counted[g.location(n)] += c;
+      dwell.max_duration = std::max(dwell.max_duration, d);
+    }
+  }
+  std::vector<LocationDwell> out;
+  out.reserve(by_location.size());
+  for (auto& [loc, dwell] : by_location) {
+    if (counted[loc] > 0) {
+      dwell.mean_duration = weighted_total[loc] / counted[loc];
+    }
+    out.push_back(dwell);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LocationDwell& a, const LocationDwell& b) {
+              if (a.visits != b.visits) return a.visits > b.visits;
+              return a.location < b.location;
+            });
+  return out;
+}
+
+}  // namespace flowcube

@@ -1,0 +1,46 @@
+#ifndef FLOWCUBE_FLOWGRAPH_STATS_H_
+#define FLOWCUBE_FLOWGRAPH_STATS_H_
+
+#include <vector>
+
+#include "flowgraph/flowgraph.h"
+
+namespace flowcube {
+
+// Summary statistics over a flowgraph — the quantitative side of the
+// paper's motivating queries ("average duration at each stage",
+// "durations spent at quality control points", "contrast path durations").
+// All statistics are exact functions of the flowgraph's counts; stages
+// with duration '*' (fully aggregated cuboids) contribute nothing to
+// duration-based metrics.
+
+// Expected total time an item spends in the system: the sum over nodes of
+// the node's mean stay duration weighted by its reach probability.
+double ExpectedLeadTime(const FlowGraph& g);
+
+// Mean stay duration at one node (0 when the node only has '*' durations).
+double MeanDuration(const FlowGraph& g, FlowNodeId node);
+
+// Expected number of stages a path visits.
+double ExpectedPathLength(const FlowGraph& g);
+
+// Probability that a path ever visits a node whose location is `location`.
+double VisitProbability(const FlowGraph& g, NodeId location);
+
+// Per-location dwell summary, aggregated over every node with that
+// location (a location can appear at several tree positions).
+struct LocationDwell {
+  NodeId location = kInvalidNode;
+  // Paths that visited the location at least once, counting multiplicity.
+  uint32_t visits = 0;
+  double mean_duration = 0.0;
+  Duration max_duration = 0;
+};
+
+// Dwell statistics for every location occurring in the graph, sorted by
+// descending visits.
+std::vector<LocationDwell> DwellByLocation(const FlowGraph& g);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_FLOWGRAPH_STATS_H_

@@ -1,0 +1,60 @@
+#ifndef FLOWCUBE_GEN_GENERATOR_CONFIG_H_
+#define FLOWCUBE_GEN_GENERATOR_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace flowcube {
+
+// Configuration of the synthetic path generator, mirroring the knobs the
+// paper's experiments vary (Section 6.1):
+//   * number of records N and path-independent dimensions d,
+//   * distinct values and skew per concept-hierarchy level (item density),
+//   * number of distinct valid location sequences (path density),
+//   * Zipf skew for dimension values, sequence choice, and durations.
+struct GeneratorConfig {
+  // Path-independent dimensions; each gets a 3-level concept hierarchy
+  // ("Each dimension has a 3 level concept hierarchy").
+  int num_dimensions = 5;
+
+  // Distinct values per hierarchy level for every dimension, from the most
+  // general level down. Fig. 9's datasets a/b/c use (2,2,5), (4,4,6),
+  // (5,5,10): level 1 has distinct_per_level[0] nodes, each with
+  // distinct_per_level[1] children, each with distinct_per_level[2] leaves.
+  std::vector<int> dim_distinct_per_level = {4, 4, 6};
+
+  // Zipf exponent used when drawing a value at each dimension level.
+  double dim_zipf_alpha = 0.8;
+
+  // Stage locations get a 2-level hierarchy ("Each location ... has an
+  // associated concept hierarchy with 2 levels of abstraction"): level 1 has
+  // num_location_groups nodes, each with locations_per_group level-2 leaves.
+  int num_location_groups = 8;
+  int locations_per_group = 5;
+
+  // Zipf exponent for drawing locations when building the sequence pool.
+  double location_zipf_alpha = 0.8;
+
+  // "We first generate the set of all valid sequences of locations that an
+  // item can take": size of that pool (Fig. 10 varies 10..150) and the
+  // length range of each sequence.
+  int num_sequences = 50;
+  int min_sequence_length = 3;
+  int max_sequence_length = 8;
+
+  // Zipf exponent for choosing which valid sequence a generated path takes.
+  double sequence_zipf_alpha = 0.8;
+
+  // Stage durations are ranks drawn from Zipf over this many distinct
+  // values.
+  int num_distinct_durations = 10;
+  double duration_zipf_alpha = 0.8;
+
+  // Seed for the whole generation process; equal configs with equal seeds
+  // produce byte-identical databases.
+  uint64_t seed = 42;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_GEN_GENERATOR_CONFIG_H_

@@ -1,0 +1,84 @@
+#include "gen/paper_example.h"
+
+#include "common/logging.h"
+
+namespace flowcube {
+namespace {
+
+NodeId MustAddPath(ConceptHierarchy* h, const std::vector<std::string>& names) {
+  Result<NodeId> r = h->AddPath(names);
+  FC_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  return r.value();
+}
+
+NodeId MustFind(const ConceptHierarchy& h, const std::string& name) {
+  Result<NodeId> r = h.Find(name);
+  FC_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  return r.value();
+}
+
+}  // namespace
+
+SchemaPtr MakePaperSchema() {
+  auto schema = std::make_shared<PathSchema>();
+
+  ConceptHierarchy product("product");
+  MustAddPath(&product, {"clothing", "shoes", "tennis"});
+  MustAddPath(&product, {"clothing", "shoes", "sandals"});
+  MustAddPath(&product, {"clothing", "outerwear", "shirt"});
+  MustAddPath(&product, {"clothing", "outerwear", "jacket"});
+  schema->dimensions.push_back(std::move(product));
+
+  ConceptHierarchy brand("brand");
+  MustAddPath(&brand, {"premium", "nike"});
+  MustAddPath(&brand, {"value", "adidas"});
+  schema->dimensions.push_back(std::move(brand));
+
+  MustAddPath(&schema->locations, {"transportation", "dist.center"});
+  MustAddPath(&schema->locations, {"transportation", "truck"});
+  MustAddPath(&schema->locations, {"production", "factory"});
+  MustAddPath(&schema->locations, {"store", "warehouse"});
+  MustAddPath(&schema->locations, {"store", "shelf"});
+  MustAddPath(&schema->locations, {"store", "checkout"});
+
+  schema->durations = DurationHierarchy();
+  return schema;
+}
+
+PathDatabase MakePaperDatabase() {
+  SchemaPtr schema = MakePaperSchema();
+  PathDatabase db(schema);
+
+  const NodeId tennis = MustFind(schema->dimensions[0], "tennis");
+  const NodeId sandals = MustFind(schema->dimensions[0], "sandals");
+  const NodeId shirt = MustFind(schema->dimensions[0], "shirt");
+  const NodeId jacket = MustFind(schema->dimensions[0], "jacket");
+  const NodeId nike = MustFind(schema->dimensions[1], "nike");
+  const NodeId adidas = MustFind(schema->dimensions[1], "adidas");
+  const NodeId f = MustFind(schema->locations, "factory");
+  const NodeId d = MustFind(schema->locations, "dist.center");
+  const NodeId t = MustFind(schema->locations, "truck");
+  const NodeId w = MustFind(schema->locations, "warehouse");
+  const NodeId s = MustFind(schema->locations, "shelf");
+  const NodeId c = MustFind(schema->locations, "checkout");
+
+  auto add = [&db](std::vector<NodeId> dims, std::vector<Stage> stages) {
+    PathRecord rec;
+    rec.dims = std::move(dims);
+    rec.path.stages = std::move(stages);
+    const Status st = db.Append(std::move(rec));
+    FC_CHECK_MSG(st.ok(), st.ToString().c_str());
+  };
+
+  add({tennis, nike}, {{f, 10}, {d, 2}, {t, 1}, {s, 5}, {c, 0}});
+  add({tennis, nike}, {{f, 5}, {d, 2}, {t, 1}, {s, 10}, {c, 0}});
+  add({sandals, nike}, {{f, 10}, {d, 1}, {t, 2}, {s, 5}, {c, 0}});
+  add({shirt, nike}, {{f, 10}, {t, 1}, {s, 5}, {c, 0}});
+  add({jacket, nike}, {{f, 10}, {t, 2}, {s, 5}, {c, 1}});
+  add({jacket, nike}, {{f, 10}, {t, 1}, {w, 5}});
+  add({tennis, adidas}, {{f, 5}, {d, 2}, {t, 2}, {s, 20}});
+  add({tennis, adidas}, {{f, 5}, {d, 2}, {t, 3}, {s, 10}, {d, 5}});
+  return db;
+}
+
+}  // namespace flowcube

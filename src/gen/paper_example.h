@@ -1,0 +1,39 @@
+#ifndef FLOWCUBE_GEN_PAPER_EXAMPLE_H_
+#define FLOWCUBE_GEN_PAPER_EXAMPLE_H_
+
+#include "path/path_database.h"
+
+namespace flowcube {
+
+// The paper's running example. Builds the schema of Table 1:
+//
+//   * dimension "product" with hierarchy
+//       clothing -> {shoes -> {tennis, sandals}, outerwear -> {shirt,
+//       jacket}}
+//   * dimension "brand" with hierarchy
+//       brand -> {premium -> {nike}, value -> {adidas}}
+//   * location hierarchy of Figure 5:
+//       transportation -> {dist.center, truck}; factory; store ->
+//       {warehouse, shelf, checkout}
+//
+// (The paper abbreviates locations as f, d, t, w, s, c; this schema uses
+// full names. The brand hierarchy's intermediate level is ours — the paper
+// leaves brand's hierarchy unspecified but the encoding "211" implies a
+// 2-level one.)
+SchemaPtr MakePaperSchema();
+
+// The 8 records of Table 1 against MakePaperSchema():
+//
+//   1 tennis  nike   (f,10)(d,2)(t,1)(s,5)(c,0)
+//   2 tennis  nike   (f,5)(d,2)(t,1)(s,10)(c,0)
+//   3 sandals nike   (f,10)(d,1)(t,2)(s,5)(c,0)
+//   4 shirt   nike   (f,10)(t,1)(s,5)(c,0)
+//   5 jacket  nike   (f,10)(t,2)(s,5)(c,1)
+//   6 jacket  nike   (f,10)(t,1)(w,5)
+//   7 tennis  adidas (f,5)(d,2)(t,2)(s,20)
+//   8 tennis  adidas (f,5)(d,2)(t,3)(s,10)(d,5)
+PathDatabase MakePaperDatabase();
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_GEN_PAPER_EXAMPLE_H_

@@ -1,0 +1,113 @@
+#include "gen/path_generator.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/zipf.h"
+
+namespace flowcube {
+
+PathGenerator::PathGenerator(const GeneratorConfig& config)
+    : config_(config), rng_(config.seed) {
+  FC_CHECK_MSG(config_.num_dimensions >= 1, "need at least one dimension");
+  FC_CHECK_MSG(!config_.dim_distinct_per_level.empty(),
+               "dim_distinct_per_level must not be empty");
+  for (int v : config_.dim_distinct_per_level) {
+    FC_CHECK_MSG(v >= 1, "distinct values per level must be >= 1");
+  }
+
+  auto schema = std::make_shared<PathSchema>();
+  // Dimension hierarchies: a full tree with
+  // dim_distinct_per_level[l] children at each level-l node.
+  leaf_ids_.resize(static_cast<size_t>(config_.num_dimensions));
+  for (int d = 0; d < config_.num_dimensions; ++d) {
+    ConceptHierarchy h(StrFormat("dim%d", d));
+    std::vector<NodeId> frontier = {h.root()};
+    for (size_t level = 0; level < config_.dim_distinct_per_level.size();
+         ++level) {
+      std::vector<NodeId> next;
+      const int fanout = config_.dim_distinct_per_level[level];
+      for (NodeId parent : frontier) {
+        const std::string prefix =
+            parent == h.root() ? StrFormat("d%d_", d) : h.Name(parent) + ".";
+        for (int i = 0; i < fanout; ++i) {
+          Result<NodeId> child = h.AddChild(parent, prefix + std::to_string(i));
+          FC_CHECK(child.ok());
+          next.push_back(child.value());
+        }
+      }
+      frontier = std::move(next);
+    }
+    leaf_ids_[static_cast<size_t>(d)] = frontier;
+    schema->dimensions.push_back(std::move(h));
+  }
+
+  SequencePool::BuildLocationHierarchy(config_, &schema->locations);
+  schema->durations = DurationHierarchy();
+  schema_ = std::move(schema);
+  pool_ = std::make_unique<SequencePool>(config_, schema_->locations, rng_);
+}
+
+PathDatabase PathGenerator::Generate(size_t num_paths) {
+  PathDatabase db(schema_);
+  const size_t num_levels = config_.dim_distinct_per_level.size();
+  std::vector<ZipfSampler> level_pick;
+  level_pick.reserve(num_levels);
+  for (size_t l = 0; l < num_levels; ++l) {
+    level_pick.emplace_back(
+        static_cast<size_t>(config_.dim_distinct_per_level[l]),
+        config_.dim_zipf_alpha);
+  }
+  const ZipfSampler seq_pick(pool_->size(), config_.sequence_zipf_alpha);
+  const ZipfSampler dur_pick(
+      static_cast<size_t>(config_.num_distinct_durations),
+      config_.duration_zipf_alpha);
+
+  for (size_t n = 0; n < num_paths; ++n) {
+    PathRecord rec;
+    rec.dims.resize(static_cast<size_t>(config_.num_dimensions));
+    for (int d = 0; d < config_.num_dimensions; ++d) {
+      // Walk the dimension tree level by level with Zipf-skewed branching;
+      // the flattened index of the reached leaf is the mixed-radix number of
+      // the branch choices.
+      size_t flat = 0;
+      for (size_t l = 0; l < num_levels; ++l) {
+        flat = flat * static_cast<size_t>(config_.dim_distinct_per_level[l]) +
+               level_pick[l].Sample(rng_);
+      }
+      rec.dims[static_cast<size_t>(d)] = leaf_ids_[static_cast<size_t>(d)][flat];
+    }
+    const std::vector<NodeId>& seq = pool_->sequence(seq_pick.Sample(rng_));
+    rec.path.stages.reserve(seq.size());
+    for (NodeId loc : seq) {
+      rec.path.stages.push_back(
+          Stage{loc, static_cast<Duration>(dur_pick.Sample(rng_))});
+    }
+    const Status s = db.Append(std::move(rec));
+    FC_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+  return db;
+}
+
+std::vector<Itinerary> PathGenerator::ToItineraries(const PathDatabase& db,
+                                                    int64_t bin_seconds) {
+  FC_CHECK(bin_seconds > 0);
+  std::vector<Itinerary> out;
+  out.reserve(db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    const PathRecord& rec = db.record(static_cast<PathDatabase::PathId>(i));
+    Itinerary it;
+    it.epc = static_cast<EpcId>(i + 1);
+    int64_t t = 0;
+    for (const Stage& s : rec.path.stages) {
+      // A duration of k bins means the stay lasted k full bins; give it a
+      // midpoint so it discretizes back to k.
+      const int64_t length = s.duration * bin_seconds + bin_seconds / 2;
+      it.stays.push_back(Stay{s.location, t, t + length});
+      t += length + 1;
+    }
+    out.push_back(std::move(it));
+  }
+  return out;
+}
+
+}  // namespace flowcube

@@ -1,0 +1,53 @@
+#ifndef FLOWCUBE_GEN_PATH_GENERATOR_H_
+#define FLOWCUBE_GEN_PATH_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "gen/generator_config.h"
+#include "gen/sequence_pool.h"
+#include "path/path_database.h"
+#include "rfid/reading.h"
+
+namespace flowcube {
+
+// The synthetic path generator of Section 6.1: "simulates the movement of
+// items in a retail operation". Construction builds the schema (dimension
+// hierarchies, location hierarchy) and the valid-sequence pool; Generate()
+// then draws any number of records:
+//   1. dimension values are drawn level by level from Zipf distributions,
+//   2. a valid location sequence is drawn (Zipf over the pool),
+//   3. each stage gets a Zipf-distributed duration.
+class PathGenerator {
+ public:
+  explicit PathGenerator(const GeneratorConfig& config);
+
+  // The schema shared by everything generated from this generator.
+  SchemaPtr schema() const { return schema_; }
+
+  const SequencePool& sequence_pool() const { return *pool_; }
+
+  // Generates a fresh database of `num_paths` records. Repeated calls
+  // continue the generator's random stream (they produce different data);
+  // rebuild the PathGenerator to replay from the seed.
+  PathDatabase Generate(size_t num_paths);
+
+  // Expands a generated database into ground-truth itineraries with absolute
+  // timestamps (stage k of item i runs back-to-back, each duration unit
+  // lasting `bin_seconds`). Lets examples/tests drive the full RFID
+  // pipeline: itineraries -> ReaderSimulator -> ReadingCleaner -> paths.
+  static std::vector<Itinerary> ToItineraries(const PathDatabase& db,
+                                              int64_t bin_seconds);
+
+ private:
+  GeneratorConfig config_;
+  SchemaPtr schema_;
+  std::unique_ptr<SequencePool> pool_;
+  Random rng_;
+  // leaf_ids_[dim] indexes leaves as [i1][i2][i3] flattened.
+  std::vector<std::vector<NodeId>> leaf_ids_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_GEN_PATH_GENERATOR_H_

@@ -1,0 +1,70 @@
+#include "gen/sequence_pool.h"
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/zipf.h"
+
+namespace flowcube {
+
+void SequencePool::BuildLocationHierarchy(const GeneratorConfig& config,
+                                          ConceptHierarchy* locations) {
+  FC_CHECK(locations != nullptr);
+  FC_CHECK_MSG(locations->NodeCount() == 1,
+               "location hierarchy must be empty");
+  for (int g = 0; g < config.num_location_groups; ++g) {
+    Result<NodeId> group =
+        locations->AddChild(locations->root(), StrFormat("T%d", g));
+    FC_CHECK(group.ok());
+    for (int j = 0; j < config.locations_per_group; ++j) {
+      Result<NodeId> leaf =
+          locations->AddChild(group.value(), StrFormat("T%d.%d", g, j));
+      FC_CHECK(leaf.ok());
+    }
+  }
+}
+
+SequencePool::SequencePool(const GeneratorConfig& config,
+                           const ConceptHierarchy& locations, Random& rng) {
+  FC_CHECK_MSG(config.num_sequences > 0, "need at least one sequence");
+  FC_CHECK_MSG(config.min_sequence_length >= 1 &&
+                   config.max_sequence_length >= config.min_sequence_length,
+               "invalid sequence length range");
+  const std::vector<NodeId> leaves = locations.Leaves();
+  FC_CHECK_MSG(leaves.size() >= 2, "need at least two concrete locations");
+  const ZipfSampler location_pick(leaves.size(), config.location_zipf_alpha);
+
+  std::set<std::vector<NodeId>> seen;
+  // A finite location set bounds the number of distinct sequences; cap the
+  // attempts so a tiny configuration cannot loop forever.
+  const int max_attempts = config.num_sequences * 200;
+  int attempts = 0;
+  while (static_cast<int>(sequences_.size()) < config.num_sequences &&
+         attempts < max_attempts) {
+    ++attempts;
+    const int len = static_cast<int>(rng.UniformRange(
+        config.min_sequence_length, config.max_sequence_length));
+    std::vector<NodeId> seq;
+    seq.reserve(static_cast<size_t>(len));
+    for (int i = 0; i < len; ++i) {
+      NodeId loc = leaves[location_pick.Sample(rng)];
+      // No immediate repetitions: a stay at one location is one stage.
+      while (!seq.empty() && loc == seq.back()) {
+        loc = leaves[rng.Uniform(leaves.size())];
+      }
+      seq.push_back(loc);
+    }
+    if (seen.insert(seq).second) {
+      sequences_.push_back(std::move(seq));
+    }
+  }
+  FC_CHECK_MSG(!sequences_.empty(), "failed to generate any sequence");
+}
+
+const std::vector<NodeId>& SequencePool::sequence(size_t i) const {
+  FC_CHECK(i < sequences_.size());
+  return sequences_[i];
+}
+
+}  // namespace flowcube

@@ -1,0 +1,40 @@
+#ifndef FLOWCUBE_GEN_SEQUENCE_POOL_H_
+#define FLOWCUBE_GEN_SEQUENCE_POOL_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "gen/generator_config.h"
+#include "hierarchy/concept_hierarchy.h"
+
+namespace flowcube {
+
+// The pool of valid location sequences items may traverse (paper
+// Section 6.1: "We first generate the set of all valid sequences of
+// locations that an item can take through the system"). A sequence is a
+// list of concrete (leaf) location nodes with no immediate repetitions.
+class SequencePool {
+ public:
+  // Builds the pool against `locations` (which must already contain the
+  // generator's 2-level hierarchy; see BuildLocationHierarchy). Sequences
+  // are distinct; lengths are uniform in [min, max]; locations are drawn
+  // Zipf-skewed so some sites are much hotter than others.
+  SequencePool(const GeneratorConfig& config,
+               const ConceptHierarchy& locations, Random& rng);
+
+  size_t size() const { return sequences_.size(); }
+
+  const std::vector<NodeId>& sequence(size_t i) const;
+
+  // Constructs the generator's location hierarchy into an empty hierarchy:
+  // groups "T0".."T{g-1}" at level 1, leaves "T{i}.{j}" at level 2.
+  static void BuildLocationHierarchy(const GeneratorConfig& config,
+                                     ConceptHierarchy* locations);
+
+ private:
+  std::vector<std::vector<NodeId>> sequences_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_GEN_SEQUENCE_POOL_H_

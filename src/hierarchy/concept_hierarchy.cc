@@ -1,0 +1,120 @@
+#include "hierarchy/concept_hierarchy.h"
+
+#include "common/logging.h"
+
+namespace flowcube {
+
+ConceptHierarchy::ConceptHierarchy(std::string dimension_name)
+    : dimension_name_(std::move(dimension_name)) {
+  parent_.push_back(kInvalidNode);
+  level_.push_back(0);
+  name_.push_back("*");
+  children_.emplace_back();
+  by_name_.emplace("*", 0);
+}
+
+Result<NodeId> ConceptHierarchy::AddChild(NodeId parent,
+                                          std::string_view name) {
+  if (!Valid(parent)) {
+    return Status::InvalidArgument("AddChild: parent id out of range");
+  }
+  std::string key(name);
+  if (by_name_.count(key) > 0) {
+    return Status::AlreadyExists("concept name already used: " + key);
+  }
+  const NodeId id = static_cast<NodeId>(parent_.size());
+  parent_.push_back(parent);
+  level_.push_back(level_[parent] + 1);
+  name_.push_back(key);
+  children_.emplace_back();
+  children_[parent].push_back(id);
+  by_name_.emplace(std::move(key), id);
+  if (level_.back() > max_level_) max_level_ = level_.back();
+  return id;
+}
+
+Result<NodeId> ConceptHierarchy::AddPath(const std::vector<std::string>& names) {
+  if (names.empty()) {
+    return Status::InvalidArgument("AddPath: empty name chain");
+  }
+  NodeId cur = root();
+  for (const std::string& n : names) {
+    auto it = by_name_.find(n);
+    if (it != by_name_.end()) {
+      if (parent_[it->second] != cur) {
+        return Status::AlreadyExists("concept '" + n +
+                                     "' exists under a different parent");
+      }
+      cur = it->second;
+      continue;
+    }
+    Result<NodeId> added = AddChild(cur, n);
+    if (!added.ok()) return added.status();
+    cur = added.value();
+  }
+  return cur;
+}
+
+Result<NodeId> ConceptHierarchy::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("no concept named '" + std::string(name) +
+                            "' in dimension " + dimension_name_);
+  }
+  return it->second;
+}
+
+NodeId ConceptHierarchy::Parent(NodeId node) const {
+  FC_CHECK(Valid(node));
+  return parent_[node];
+}
+
+int ConceptHierarchy::Level(NodeId node) const {
+  FC_CHECK(Valid(node));
+  return level_[node];
+}
+
+const std::string& ConceptHierarchy::Name(NodeId node) const {
+  FC_CHECK(Valid(node));
+  return name_[node];
+}
+
+const std::vector<NodeId>& ConceptHierarchy::Children(NodeId node) const {
+  FC_CHECK(Valid(node));
+  return children_[node];
+}
+
+NodeId ConceptHierarchy::AncestorAtLevel(NodeId node, int level) const {
+  FC_CHECK(Valid(node));
+  FC_CHECK(level >= 0);
+  NodeId cur = node;
+  while (level_[cur] > level) {
+    cur = parent_[cur];
+  }
+  return cur;
+}
+
+bool ConceptHierarchy::IsAncestorOrSelf(NodeId ancestor, NodeId node) const {
+  FC_CHECK(Valid(ancestor));
+  FC_CHECK(Valid(node));
+  if (level_[ancestor] > level_[node]) return false;
+  return AncestorAtLevel(node, level_[ancestor]) == ancestor;
+}
+
+std::vector<NodeId> ConceptHierarchy::NodesAtLevel(int level) const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < parent_.size(); ++n) {
+    if (level_[n] == level) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<NodeId> ConceptHierarchy::Leaves() const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < parent_.size(); ++n) {
+    if (children_[n].empty()) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace flowcube

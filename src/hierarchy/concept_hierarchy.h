@@ -1,0 +1,114 @@
+#ifndef FLOWCUBE_HIERARCHY_CONCEPT_HIERARCHY_H_
+#define FLOWCUBE_HIERARCHY_CONCEPT_HIERARCHY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flowcube {
+
+// Identifier of a concept inside one ConceptHierarchy. Dense: the i-th node
+// added has id i. Valid ids are < ConceptHierarchy::NodeCount().
+using NodeId = uint32_t;
+
+// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+// A concept hierarchy (paper Section 4.1): a tree whose nodes are concepts
+// and whose edges are is-a relationships. The most general concept '*' is
+// the root at level 0; the most specific concepts are leaves. Every
+// dimension of the flowcube — each path-independent item dimension, the
+// stage location dimension, and the stage duration dimension — owns one
+// ConceptHierarchy.
+//
+// Example (the paper's Figure 5, location dimension):
+//
+//   ConceptHierarchy loc("location");
+//   NodeId transp = *loc.AddChild(loc.root(), "transportation");
+//   NodeId truck  = *loc.AddChild(transp, "truck");
+//   ...
+//
+// Node names must be unique within a hierarchy so that values in raw data
+// can be resolved with Find().
+class ConceptHierarchy {
+ public:
+  // Creates a hierarchy containing only the root concept '*'.
+  // `dimension_name` labels the dimension this hierarchy describes.
+  explicit ConceptHierarchy(std::string dimension_name);
+
+  ConceptHierarchy(const ConceptHierarchy&) = default;
+  ConceptHierarchy& operator=(const ConceptHierarchy&) = default;
+  ConceptHierarchy(ConceptHierarchy&&) = default;
+  ConceptHierarchy& operator=(ConceptHierarchy&&) = default;
+
+  // The dimension this hierarchy describes ("product", "location", ...).
+  const std::string& dimension_name() const { return dimension_name_; }
+
+  // The root concept '*', always node 0 at level 0.
+  NodeId root() const { return 0; }
+
+  // Adds a child concept under `parent`. Fails with AlreadyExists if `name`
+  // is already used in this hierarchy, or InvalidArgument if `parent` is out
+  // of range.
+  Result<NodeId> AddChild(NodeId parent, std::string_view name);
+
+  // Adds a root-to-leaf chain of concepts, creating missing intermediate
+  // nodes: AddPath({"clothing","outerwear","jacket"}) creates/reuses
+  // "clothing" under '*', "outerwear" under it, and returns "jacket"'s id.
+  // Fails if an existing name would be reattached under a different parent.
+  Result<NodeId> AddPath(const std::vector<std::string>& names);
+
+  // Finds a concept by name ('*' resolves to the root).
+  Result<NodeId> Find(std::string_view name) const;
+
+  // Number of concepts including the root.
+  size_t NodeCount() const { return parent_.size(); }
+
+  // Parent of a node; the root's parent is kInvalidNode.
+  NodeId Parent(NodeId node) const;
+
+  // Depth of a node: root is level 0, its children level 1, etc.
+  int Level(NodeId node) const;
+
+  // Concept name; the root renders as "*".
+  const std::string& Name(NodeId node) const;
+
+  // Children of a node in insertion order.
+  const std::vector<NodeId>& Children(NodeId node) const;
+
+  // The ancestor of `node` at exactly `level`, or `node` itself when its
+  // level is already <= `level`. AncestorAtLevel(x, 0) == root().
+  NodeId AncestorAtLevel(NodeId node, int level) const;
+
+  // True when `ancestor` lies on the root path of `node` (or equals it).
+  bool IsAncestorOrSelf(NodeId ancestor, NodeId node) const;
+
+  // Deepest level present in the hierarchy (0 for a root-only hierarchy).
+  int MaxLevel() const { return max_level_; }
+
+  // All nodes at exactly `level`, in id order.
+  std::vector<NodeId> NodesAtLevel(int level) const;
+
+  // All leaf nodes (no children), in id order. The root counts as a leaf
+  // only in an otherwise empty hierarchy.
+  std::vector<NodeId> Leaves() const;
+
+ private:
+  bool Valid(NodeId node) const { return node < parent_.size(); }
+
+  std::string dimension_name_;
+  std::vector<NodeId> parent_;
+  std::vector<int> level_;
+  std::vector<std::string> name_;
+  std::vector<std::vector<NodeId>> children_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  int max_level_ = 0;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_HIERARCHY_CONCEPT_HIERARCHY_H_

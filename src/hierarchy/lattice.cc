@@ -1,0 +1,188 @@
+#include "hierarchy/lattice.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace flowcube {
+
+std::string ItemLevel::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(levels.size());
+  for (int l : levels) parts.push_back(std::to_string(l));
+  return "(" + StrJoin(parts, ",") + ")";
+}
+
+ItemLattice::ItemLattice(std::vector<int> max_levels)
+    : max_levels_(std::move(max_levels)) {
+  for (int m : max_levels_) {
+    FC_CHECK_MSG(m >= 0, "dimension hierarchy depth must be >= 0");
+  }
+}
+
+ItemLevel ItemLattice::Apex() const {
+  return ItemLevel{std::vector<int>(max_levels_.size(), 0)};
+}
+
+ItemLevel ItemLattice::Base() const { return ItemLevel{max_levels_}; }
+
+std::vector<ItemLevel> ItemLattice::AllLevels() const {
+  // Odometer enumeration grouped by total level sum so that more general
+  // points (smaller sums) come first; within a group, lexicographic.
+  std::vector<ItemLevel> all;
+  ItemLevel cur = Apex();
+  for (;;) {
+    all.push_back(cur);
+    // Advance the odometer.
+    size_t i = 0;
+    while (i < cur.levels.size()) {
+      if (cur.levels[i] < max_levels_[i]) {
+        cur.levels[i]++;
+        for (size_t j = 0; j < i; ++j) cur.levels[j] = 0;
+        break;
+      }
+      ++i;
+    }
+    if (i == cur.levels.size()) break;
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const ItemLevel& a, const ItemLevel& b) {
+                     int sa = 0, sb = 0;
+                     for (int l : a.levels) sa += l;
+                     for (int l : b.levels) sb += l;
+                     return sa < sb;
+                   });
+  return all;
+}
+
+std::vector<ItemLevel> ItemLattice::Parents(const ItemLevel& level) const {
+  FC_CHECK(Contains(level));
+  std::vector<ItemLevel> out;
+  for (size_t i = 0; i < level.levels.size(); ++i) {
+    if (level.levels[i] > 0) {
+      ItemLevel p = level;
+      p.levels[i]--;
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+std::vector<ItemLevel> ItemLattice::Children(const ItemLevel& level) const {
+  FC_CHECK(Contains(level));
+  std::vector<ItemLevel> out;
+  for (size_t i = 0; i < level.levels.size(); ++i) {
+    if (level.levels[i] < max_levels_[i]) {
+      ItemLevel c = level;
+      c.levels[i]++;
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+bool ItemLattice::GeneralizesOrEquals(const ItemLevel& general,
+                                      const ItemLevel& specific) {
+  if (general.levels.size() != specific.levels.size()) return false;
+  for (size_t i = 0; i < general.levels.size(); ++i) {
+    if (general.levels[i] > specific.levels[i]) return false;
+  }
+  return true;
+}
+
+bool ItemLattice::Contains(const ItemLevel& level) const {
+  if (level.levels.size() != max_levels_.size()) return false;
+  for (size_t i = 0; i < max_levels_.size(); ++i) {
+    if (level.levels[i] < 0 || level.levels[i] > max_levels_[i]) return false;
+  }
+  return true;
+}
+
+Result<LocationCut> LocationCut::Uniform(const ConceptHierarchy& locations,
+                                         int level) {
+  if (level < 0) {
+    return Status::InvalidArgument("LocationCut level must be >= 0");
+  }
+  std::vector<NodeId> nodes;
+  for (NodeId n = 0; n < locations.NodeCount(); ++n) {
+    const bool at_level = locations.Level(n) == level;
+    const bool shallow_leaf =
+        locations.Level(n) < level && locations.Children(n).empty();
+    if (at_level || shallow_leaf) nodes.push_back(n);
+  }
+  return FromNodes(locations, nodes);
+}
+
+Result<LocationCut> LocationCut::FromNodes(const ConceptHierarchy& locations,
+                                           const std::vector<NodeId>& nodes) {
+  for (NodeId n : nodes) {
+    if (n >= locations.NodeCount()) {
+      return Status::InvalidArgument("LocationCut node id out of range");
+    }
+  }
+  LocationCut cut;
+  cut.nodes_ = nodes;
+  std::sort(cut.nodes_.begin(), cut.nodes_.end());
+  cut.nodes_.erase(std::unique(cut.nodes_.begin(), cut.nodes_.end()),
+                   cut.nodes_.end());
+
+  // rep_[n]: walk up from n until a cut node is found.
+  cut.rep_.assign(locations.NodeCount(), kInvalidNode);
+  for (NodeId n = 0; n < locations.NodeCount(); ++n) {
+    NodeId cur = n;
+    while (cur != kInvalidNode) {
+      if (std::binary_search(cut.nodes_.begin(), cut.nodes_.end(), cur)) {
+        cut.rep_[n] = cur;
+        break;
+      }
+      cur = locations.Parent(cur);
+    }
+  }
+
+  // Validate: every leaf must be covered exactly once. Walking up and taking
+  // the first hit guarantees "at most one" only if no cut node is an ancestor
+  // of another; check that and coverage.
+  for (NodeId a : cut.nodes_) {
+    for (NodeId b : cut.nodes_) {
+      if (a != b && locations.IsAncestorOrSelf(a, b)) {
+        return Status::InvalidArgument(
+            "LocationCut nodes must not be ancestors of one another: '" +
+            locations.Name(a) + "' covers '" + locations.Name(b) + "'");
+      }
+    }
+  }
+  for (NodeId leaf : locations.Leaves()) {
+    if (leaf != locations.root() && cut.rep_[leaf] == kInvalidNode) {
+      return Status::InvalidArgument("LocationCut does not cover leaf '" +
+                                     locations.Name(leaf) + "'");
+    }
+  }
+
+  cut.identity_ = true;
+  for (NodeId n = 0; n < locations.NodeCount(); ++n) {
+    if (cut.rep_[n] != kInvalidNode && cut.rep_[n] != n) {
+      cut.identity_ = false;
+      break;
+    }
+  }
+  return cut;
+}
+
+NodeId LocationCut::Map(NodeId location) const {
+  FC_CHECK(location < rep_.size());
+  return rep_[location];
+}
+
+std::string LocationCut::ToString(const ConceptHierarchy& locations) const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (NodeId n : nodes_) names.push_back(locations.Name(n));
+  return "cut{" + StrJoin(names, ",") + "}";
+}
+
+std::string PathLevel::ToString() const {
+  return StrFormat("<cut=%d,dur=%d>", cut_index, duration_level);
+}
+
+}  // namespace flowcube

@@ -1,0 +1,139 @@
+#ifndef FLOWCUBE_HIERARCHY_LATTICE_H_
+#define FLOWCUBE_HIERARCHY_LATTICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hierarchy/concept_hierarchy.h"
+
+namespace flowcube {
+
+// ---------------------------------------------------------------------------
+// Item abstraction lattice (paper Section 4.1, "Item Lattice")
+// ---------------------------------------------------------------------------
+
+// One point of the item abstraction lattice: the hierarchy level at which
+// each path-independent dimension is viewed. levels[i] == 0 means dimension
+// i is fully aggregated ('*'); levels[i] == max level means the raw values.
+struct ItemLevel {
+  std::vector<int> levels;
+
+  friend bool operator==(const ItemLevel& a, const ItemLevel& b) {
+    return a.levels == b.levels;
+  }
+
+  // Renders as "(2,0,1)" for logs and cuboid naming.
+  std::string ToString() const;
+};
+
+// The lattice of all item abstraction levels for a set of dimensions with
+// given maximum hierarchy depths. A node n1 is *higher* (more general) than
+// n2, written n1 <= n2 in the paper, when every dimension's level in n1 is
+// <= the one in n2.
+class ItemLattice {
+ public:
+  // `max_levels[i]` is the depth of dimension i's concept hierarchy.
+  explicit ItemLattice(std::vector<int> max_levels);
+
+  size_t num_dimensions() const { return max_levels_.size(); }
+  const std::vector<int>& max_levels() const { return max_levels_; }
+
+  // The apex (all dimensions at '*') and base (all raw) of the lattice.
+  ItemLevel Apex() const;
+  ItemLevel Base() const;
+
+  // Every lattice point, enumerated in an order where parents (more general
+  // points) always precede children. Size = prod(max_levels[i] + 1).
+  std::vector<ItemLevel> AllLevels() const;
+
+  // Direct parents of a point: each dimension with level > 0 decremented.
+  std::vector<ItemLevel> Parents(const ItemLevel& level) const;
+
+  // Direct children of a point: each dimension with level < max incremented.
+  std::vector<ItemLevel> Children(const ItemLevel& level) const;
+
+  // True when `general` is at-or-above `specific` in the lattice (i.e., the
+  // paper's general <= specific relation holds component-wise).
+  static bool GeneralizesOrEquals(const ItemLevel& general,
+                                  const ItemLevel& specific);
+
+  // True when `level` is a valid point of this lattice.
+  bool Contains(const ItemLevel& level) const;
+
+ private:
+  std::vector<int> max_levels_;
+};
+
+// ---------------------------------------------------------------------------
+// Path abstraction lattice (paper Section 4.1, "Path Lattice")
+// ---------------------------------------------------------------------------
+
+// A LocationCut fixes the abstraction at which stage locations are viewed:
+// a set of nodes {v1..vk} of the location hierarchy such that every leaf
+// location has exactly one ancestor-or-self in the set (the paper's
+// "(<v1,...,vk>, tl)" tuple, Figure 5). Aggregating a path maps each stage
+// location to its representative cut node and then merges consecutive equal
+// representatives.
+//
+// Cuts can be uniform (every location rolled up to one level) — what the
+// paper's experiments use — or mixed, e.g. the Figure 5 "transportation
+// manager" view that keeps distribution centers and trucks while collapsing
+// all store locations to "store".
+class LocationCut {
+ public:
+  // A cut selecting all nodes at exactly `level` plus any leaves shallower
+  // than `level` (so the cut always covers every leaf).
+  static Result<LocationCut> Uniform(const ConceptHierarchy& locations,
+                                     int level);
+
+  // A cut from an explicit node set. Fails unless every leaf of `locations`
+  // has exactly one ancestor-or-self among `nodes`.
+  static Result<LocationCut> FromNodes(const ConceptHierarchy& locations,
+                                       const std::vector<NodeId>& nodes);
+
+  // Representative cut node for `location` (any node at-or-below the cut);
+  // kInvalidNode when `location` lies strictly above the cut.
+  NodeId Map(NodeId location) const;
+
+  // The cut's nodes, sorted by id.
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+
+  // True if this cut maps every location to itself (identity / raw view).
+  bool IsIdentity() const { return identity_; }
+
+  // Human-readable description, e.g. "cut{dist.center,truck,store,...}".
+  std::string ToString(const ConceptHierarchy& locations) const;
+
+  friend bool operator==(const LocationCut& a, const LocationCut& b) {
+    return a.nodes_ == b.nodes_;
+  }
+
+ private:
+  LocationCut() = default;
+
+  std::vector<NodeId> nodes_;
+  std::vector<NodeId> rep_;  // rep_[node] = cut node covering it
+  bool identity_ = false;
+};
+
+// One point of the path abstraction lattice: how stage locations are viewed
+// (index into a plan's list of LocationCuts) and at which level durations
+// are viewed. duration_level 0 means durations are fully aggregated ('*');
+// higher values select increasingly fine views (see DurationHierarchy in
+// rfid/discretizer.h).
+struct PathLevel {
+  int cut_index = 0;
+  int duration_level = 1;
+
+  friend bool operator==(const PathLevel& a, const PathLevel& b) {
+    return a.cut_index == b.cut_index && a.duration_level == b.duration_level;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_HIERARCHY_LATTICE_H_

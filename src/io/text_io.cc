@@ -1,0 +1,209 @@
+#include "io/text_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace flowcube {
+namespace {
+
+constexpr char kMagic[] = "flowcube-paths v1";
+
+bool NameIsSafe(const std::string& name) {
+  for (char c : name) {
+    if (c == ',' || c == '|' || c == ':' || c == ';' || c == ' ' ||
+        c == '\t' || c == '\n' || c == '\r') {
+      return false;
+    }
+  }
+  return !name.empty();
+}
+
+Status WriteHierarchy(const ConceptHierarchy& h, std::ostream& out) {
+  // Ids ascend from the root, so parents always precede children.
+  for (NodeId n = 1; n < h.NodeCount(); ++n) {
+    const std::string& name = h.Name(n);
+    const std::string& parent =
+        h.Parent(n) == h.root() ? "*" : h.Name(h.Parent(n));
+    if (!NameIsSafe(name)) {
+      return Status::InvalidArgument("concept name '" + name +
+                                     "' contains a delimiter");
+    }
+    out << "concept " << name << " " << parent << "\n";
+  }
+  out << "end\n";
+  return Status::OK();
+}
+
+// Reads "concept <name> <parent>" lines until "end" into `h`.
+Status ReadHierarchy(std::istream& in, ConceptHierarchy* h) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line == "end") return Status::OK();
+    std::istringstream ls(line);
+    std::string tag, name, parent;
+    if (!(ls >> tag >> name >> parent) || tag != "concept") {
+      return Status::InvalidArgument("malformed concept line: " + line);
+    }
+    NodeId parent_id = h->root();
+    if (parent != "*") {
+      Result<NodeId> p = h->Find(parent);
+      if (!p.ok()) return p.status();
+      parent_id = p.value();
+    }
+    Result<NodeId> added = h->AddChild(parent_id, name);
+    if (!added.ok()) return added.status();
+  }
+  return Status::InvalidArgument("unterminated hierarchy block");
+}
+
+}  // namespace
+
+Status WritePathDatabase(const PathDatabase& db, std::ostream& out) {
+  const PathSchema& schema = db.schema();
+  out << kMagic << "\n";
+  for (const ConceptHierarchy& dim : schema.dimensions) {
+    if (!NameIsSafe(dim.dimension_name())) {
+      return Status::InvalidArgument("dimension name contains a delimiter");
+    }
+    out << "dimension " << dim.dimension_name() << "\n";
+    FC_RETURN_IF_ERROR(WriteHierarchy(dim, out));
+  }
+  out << "locations\n";
+  FC_RETURN_IF_ERROR(WriteHierarchy(schema.locations, out));
+  out << "durations";
+  for (int64_t factor : schema.durations.factors()) {
+    out << " " << factor;
+  }
+  out << "\n";
+  out << "records " << db.size() << "\n";
+  for (const PathRecord& rec : db.records()) {
+    std::string line;
+    for (size_t d = 0; d < rec.dims.size(); ++d) {
+      const std::string& name = schema.dimensions[d].Name(rec.dims[d]);
+      if (!NameIsSafe(name) && name != "*") {
+        return Status::InvalidArgument("value name contains a delimiter");
+      }
+      if (d > 0) line += ",";
+      line += name;
+    }
+    line += "|";
+    for (size_t s = 0; s < rec.path.stages.size(); ++s) {
+      const Stage& stage = rec.path.stages[s];
+      if (s > 0) line += ";";
+      line += schema.locations.Name(stage.location) + ":" +
+              std::to_string(stage.duration);
+    }
+    out << line << "\n";
+  }
+  return out.good() ? Status::OK() : Status::Internal("stream write failed");
+}
+
+Status WritePathDatabaseFile(const PathDatabase& db,
+                             const std::string& filename) {
+  std::ofstream out(filename);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open " + filename + " for writing");
+  }
+  return WritePathDatabase(db, out);
+}
+
+Result<PathDatabase> ReadPathDatabase(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::InvalidArgument("missing flowcube-paths header");
+  }
+  auto schema = std::make_shared<PathSchema>();
+  std::vector<int64_t> factors;
+  size_t num_records = 0;
+  for (;;) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("unexpected end of schema section");
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "dimension") {
+      std::string name;
+      if (!(ls >> name)) {
+        return Status::InvalidArgument("dimension line missing name");
+      }
+      ConceptHierarchy dim(name);
+      FC_RETURN_IF_ERROR(ReadHierarchy(in, &dim));
+      schema->dimensions.push_back(std::move(dim));
+    } else if (tag == "locations") {
+      FC_RETURN_IF_ERROR(ReadHierarchy(in, &schema->locations));
+    } else if (tag == "durations") {
+      int64_t factor = 0;
+      while (ls >> factor) {
+        if (factor < 2) {
+          return Status::InvalidArgument("duration factors must be >= 2");
+        }
+        factors.push_back(factor);
+      }
+    } else if (tag == "records") {
+      if (!(ls >> num_records)) {
+        return Status::InvalidArgument("records line missing count");
+      }
+      break;
+    } else {
+      return Status::InvalidArgument("unknown section: " + line);
+    }
+  }
+  schema->durations = DurationHierarchy(factors);
+
+  PathDatabase db(schema);
+  for (size_t i = 0; i < num_records; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument(
+          StrFormat("expected %zu records, got %zu", num_records, i));
+    }
+    const size_t bar = line.find('|');
+    if (bar == std::string::npos) {
+      return Status::InvalidArgument("record line missing '|': " + line);
+    }
+    PathRecord rec;
+    for (const std::string& value : StrSplit(line.substr(0, bar), ',')) {
+      const size_t d = rec.dims.size();
+      if (d >= schema->num_dimensions()) {
+        return Status::InvalidArgument("too many dimension values: " + line);
+      }
+      Result<NodeId> node = schema->dimensions[d].Find(value);
+      if (!node.ok()) return node.status();
+      rec.dims.push_back(node.value());
+    }
+    for (const std::string& stage_str :
+         StrSplit(line.substr(bar + 1), ';')) {
+      const size_t colon = stage_str.rfind(':');
+      if (colon == std::string::npos) {
+        return Status::InvalidArgument("stage missing ':': " + stage_str);
+      }
+      Result<NodeId> loc =
+          schema->locations.Find(stage_str.substr(0, colon));
+      if (!loc.ok()) return loc.status();
+      char* end = nullptr;
+      const long long dur =
+          std::strtoll(stage_str.c_str() + colon + 1, &end, 10);
+      if (end == stage_str.c_str() + colon + 1) {
+        return Status::InvalidArgument("bad duration in: " + stage_str);
+      }
+      rec.path.stages.push_back(
+          Stage{loc.value(), static_cast<Duration>(dur)});
+    }
+    FC_RETURN_IF_ERROR(db.Append(std::move(rec)));
+  }
+  return db;
+}
+
+Result<PathDatabase> ReadPathDatabaseFile(const std::string& filename) {
+  std::ifstream in(filename);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open " + filename);
+  }
+  return ReadPathDatabase(in);
+}
+
+}  // namespace flowcube

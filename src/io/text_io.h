@@ -1,0 +1,46 @@
+#ifndef FLOWCUBE_IO_TEXT_IO_H_
+#define FLOWCUBE_IO_TEXT_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "path/path_database.h"
+
+namespace flowcube {
+
+// Self-contained text serialization of a path database: the schema (every
+// concept hierarchy and the duration hierarchy) followed by the records.
+// The format is line-oriented and diff-friendly:
+//
+//   flowcube-paths v1
+//   dimension product
+//   concept clothing *
+//   concept shoes clothing
+//   ...
+//   end
+//   locations
+//   concept transportation *
+//   ...
+//   end
+//   durations 24 7
+//   records 8
+//   tennis,nike|factory:10;dist.center:2;truck:1;shelf:5;checkout:0
+//   ...
+//
+// Concept names must not contain the delimiters (',', '|', ':', ';', or
+// whitespace); writing fails with InvalidArgument otherwise.
+
+// Serializes `db` to a stream / file.
+Status WritePathDatabase(const PathDatabase& db, std::ostream& out);
+Status WritePathDatabaseFile(const PathDatabase& db,
+                             const std::string& filename);
+
+// Parses a database previously written by WritePathDatabase. The returned
+// database owns a freshly built schema.
+Result<PathDatabase> ReadPathDatabase(std::istream& in);
+Result<PathDatabase> ReadPathDatabaseFile(const std::string& filename);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_IO_TEXT_IO_H_

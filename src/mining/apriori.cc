@@ -1,0 +1,265 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace flowcube {
+namespace {
+
+constexpr uint32_t kNoCandidate = static_cast<uint32_t>(-1);
+
+uint64_t PairKey(ItemId a, ItemId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+void EnsureLength(std::vector<uint64_t>* v, size_t len) {
+  if (v->size() <= len) v->resize(len + 1, 0);
+}
+
+}  // namespace
+
+void CandidateCounter::Clear() {
+  finalized_ = false;
+  candidates_.clear();
+  counts_.clear();
+  slot_key_.clear();
+  slot_head_.clear();
+  next_.clear();
+  slot_mask_ = 0;
+  relevant_.clear();
+  first_.clear();
+}
+
+size_t CandidateCounter::Add(Itemset candidate) {
+  FC_DCHECK(!finalized_);
+  FC_DCHECK(candidate.size() >= 2);
+  FC_DCHECK(std::is_sorted(candidate.begin(), candidate.end()));
+  const size_t idx = candidates_.size();
+  candidates_.push_back(std::move(candidate));
+  counts_.push_back(0);
+  return idx;
+}
+
+uint32_t CandidateCounter::FindSlot(uint64_t key) const {
+  // splitmix-style finalizer for the probe start.
+  uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 32;
+  size_t slot = static_cast<size_t>(h & slot_mask_);
+  for (;;) {
+    if (slot_key_[slot] == key || slot_head_[slot] == kNoCandidate) {
+      return static_cast<uint32_t>(slot);
+    }
+    slot = (slot + 1) & slot_mask_;
+  }
+}
+
+void CandidateCounter::Finalize() {
+  FC_CHECK(!finalized_);
+  finalized_ = true;
+  if (candidates_.empty()) return;
+
+  ItemId max_item = 0;
+  for (const Itemset& cand : candidates_) {
+    max_item = std::max(max_item, cand.back());
+  }
+  relevant_.assign(static_cast<size_t>(max_item) + 1, 0);
+  first_.assign(static_cast<size_t>(max_item) + 1, 0);
+
+  size_t capacity = 16;
+  while (capacity < candidates_.size() * 2) capacity <<= 1;
+  slot_mask_ = capacity - 1;
+  slot_key_.assign(capacity, 0);
+  slot_head_.assign(capacity, kNoCandidate);
+  next_.assign(candidates_.size(), kNoCandidate);
+
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    const Itemset& cand = candidates_[i];
+    for (ItemId id : cand) relevant_[id] = 1;
+    first_[cand[0]] = 1;
+    const uint64_t key = PairKey(cand[0], cand[1]);
+    const uint32_t slot = FindSlot(key);
+    slot_key_[slot] = key;
+    next_[i] = slot_head_[slot];
+    slot_head_[slot] = static_cast<uint32_t>(i);
+  }
+}
+
+void CandidateCounter::CountTransaction(std::span<const ItemId> raw_txn) {
+  FC_DCHECK(finalized_);
+  if (candidates_.empty() || raw_txn.size() < 2) return;
+  filtered_.clear();
+  for (ItemId id : raw_txn) {
+    if (id < relevant_.size() && relevant_[id]) filtered_.push_back(id);
+  }
+  const std::vector<ItemId>& txn = filtered_;
+  if (txn.size() < 2) return;
+  for (size_t i = 0; i + 1 < txn.size(); ++i) {
+    if (!first_[txn[i]]) continue;
+    for (size_t j = i + 1; j < txn.size(); ++j) {
+      const uint64_t key = PairKey(txn[i], txn[j]);
+      const uint32_t slot = FindSlot(key);
+      if (slot_key_[slot] != key) continue;
+      for (uint32_t idx = slot_head_[slot]; idx != kNoCandidate;
+           idx = next_[idx]) {
+        const Itemset& cand = candidates_[idx];
+        if (cand.size() == 2) {
+          counts_[idx]++;
+          continue;
+        }
+        // Verify the remaining items (cand[2..]) against txn[j+1..]; both
+        // sides are sorted and cand's first two items are its smallest.
+        size_t ci = 2;
+        size_t ti = j + 1;
+        while (ci < cand.size() && ti < txn.size()) {
+          if (txn[ti] < cand[ci]) {
+            ++ti;
+          } else if (txn[ti] == cand[ci]) {
+            ++ti;
+            ++ci;
+          } else {
+            break;
+          }
+        }
+        if (ci == cand.size()) counts_[idx]++;
+      }
+    }
+  }
+}
+
+std::vector<Itemset> AprioriJoin(const std::vector<Itemset>& frequent) {
+  std::vector<Itemset> out;
+  if (frequent.empty()) return out;
+  const size_t k1 = frequent.front().size();
+  // Group by shared (k-2)-prefix; frequent is sorted lexicographically so
+  // groups are contiguous.
+  size_t group_start = 0;
+  for (size_t i = 1; i <= frequent.size(); ++i) {
+    const bool same_group =
+        i < frequent.size() &&
+        std::equal(frequent[i].begin(), frequent[i].end() - 1,
+                   frequent[group_start].begin(),
+                   frequent[group_start].end() - 1);
+    if (same_group) continue;
+    for (size_t a = group_start; a < i; ++a) {
+      for (size_t b = a + 1; b < i; ++b) {
+        Itemset cand = frequent[a];
+        cand.push_back(frequent[b].back());
+        FC_DCHECK(cand.size() == k1 + 1);
+        out.push_back(std::move(cand));
+      }
+    }
+    group_start = i;
+  }
+  return out;
+}
+
+bool AllSubsetsFrequent(
+    const Itemset& candidate,
+    const std::unordered_set<Itemset, ItemsetHash>& frequent_set) {
+  Itemset sub;
+  sub.reserve(candidate.size() - 1);
+  for (size_t skip = 0; skip < candidate.size(); ++skip) {
+    sub.clear();
+    for (size_t i = 0; i < candidate.size(); ++i) {
+      if (i != skip) sub.push_back(candidate[i]);
+    }
+    if (!frequent_set.contains(sub)) return false;
+  }
+  return true;
+}
+
+uint64_t MiningStats::TotalCandidates() const {
+  uint64_t total = 0;
+  for (uint64_t c : candidates_per_length) total += c;
+  return total;
+}
+
+uint64_t MiningStats::TotalFrequent() const {
+  uint64_t total = 0;
+  for (uint64_t c : frequent_per_length) total += c;
+  return total;
+}
+
+void MiningStats::Merge(const MiningStats& other) {
+  if (candidates_per_length.size() < other.candidates_per_length.size()) {
+    candidates_per_length.resize(other.candidates_per_length.size(), 0);
+  }
+  if (frequent_per_length.size() < other.frequent_per_length.size()) {
+    frequent_per_length.resize(other.frequent_per_length.size(), 0);
+  }
+  for (size_t i = 0; i < other.candidates_per_length.size(); ++i) {
+    candidates_per_length[i] += other.candidates_per_length[i];
+  }
+  for (size_t i = 0; i < other.frequent_per_length.size(); ++i) {
+    frequent_per_length[i] += other.frequent_per_length[i];
+  }
+  passes += other.passes;
+}
+
+Apriori::Apriori(AprioriOptions options) : options_(std::move(options)) {
+  FC_CHECK_MSG(options_.min_support >= 1, "min_support must be >= 1");
+}
+
+std::vector<FrequentItemset> Apriori::Mine(
+    const std::vector<std::span<const ItemId>>& txns) {
+  std::vector<FrequentItemset> result;
+
+  // Pass 1: count single items.
+  std::unordered_map<ItemId, uint32_t> item_counts;
+  for (const auto& txn : txns) {
+    for (ItemId id : txn) item_counts[id]++;
+  }
+  stats_.passes++;
+  EnsureLength(&stats_.candidates_per_length, 1);
+  EnsureLength(&stats_.frequent_per_length, 1);
+  stats_.candidates_per_length[1] += item_counts.size();
+
+  std::vector<Itemset> frequent_k;
+  for (const auto& [id, count] : item_counts) {
+    if (count >= options_.min_support) {
+      result.push_back(FrequentItemset{{id}, count});
+      frequent_k.push_back({id});
+    }
+  }
+  std::sort(frequent_k.begin(), frequent_k.end());
+  stats_.frequent_per_length[1] += frequent_k.size();
+
+  // Passes k = 2, 3, ... until no candidates survive.
+  while (!frequent_k.empty()) {
+    const size_t k = frequent_k.front().size() + 1;
+    std::unordered_set<Itemset, ItemsetHash> frequent_set(
+        frequent_k.begin(), frequent_k.end());
+    CandidateCounter counter;
+    for (Itemset& cand : AprioriJoin(frequent_k)) {
+      if (k > 2 && !AllSubsetsFrequent(cand, frequent_set)) continue;
+      if (options_.candidate_filter && !options_.candidate_filter(cand)) {
+        continue;
+      }
+      counter.Add(std::move(cand));
+    }
+    if (counter.size() == 0) break;
+    counter.Finalize();
+
+    for (const auto& txn : txns) counter.CountTransaction(txn);
+    stats_.passes++;
+    EnsureLength(&stats_.candidates_per_length, k);
+    EnsureLength(&stats_.frequent_per_length, k);
+    stats_.candidates_per_length[k] += counter.size();
+
+    std::vector<Itemset> next;
+    for (size_t i = 0; i < counter.size(); ++i) {
+      if (counter.count(i) >= options_.min_support) {
+        result.push_back(FrequentItemset{counter.candidate(i),
+                                         counter.count(i)});
+        next.push_back(counter.candidate(i));
+      }
+    }
+    std::sort(next.begin(), next.end());
+    stats_.frequent_per_length[k] += next.size();
+    frequent_k = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace flowcube

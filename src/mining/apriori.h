@@ -1,0 +1,122 @@
+#ifndef FLOWCUBE_MINING_APRIORI_H_
+#define FLOWCUBE_MINING_APRIORI_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mining/transaction.h"
+
+namespace flowcube {
+
+// Counts supports of a set of candidate itemsets (each of length >= 2,
+// sorted) in one scan over transactions. Candidates are indexed by their
+// two smallest items in a flat open-addressing hash table; per transaction,
+// every in-transaction item pair is enumerated and the matching chain's
+// candidates verified by subset check. Supports mixed candidate lengths in
+// one pass, which is what lets algorithm Shared pre-count length-(k+1)
+// high-level patterns while counting length-k candidates.
+//
+// Usage: Add() every candidate, call Finalize() once, then CountTransaction
+// per transaction.
+class CandidateCounter {
+ public:
+  // Removes all candidates and counts.
+  void Clear();
+
+  // Adds a candidate (sorted, unique, length >= 2); returns its index.
+  size_t Add(Itemset candidate);
+
+  size_t size() const { return candidates_.size(); }
+
+  // Builds the pair index and item bitmaps. Must be called after the last
+  // Add() and before the first CountTransaction().
+  void Finalize();
+
+  // Registers one transaction's (sorted) items against every candidate.
+  void CountTransaction(std::span<const ItemId> txn);
+
+  const Itemset& candidate(size_t idx) const { return candidates_[idx]; }
+  uint32_t count(size_t idx) const { return counts_[idx]; }
+
+ private:
+  uint32_t FindSlot(uint64_t key) const;
+
+  bool finalized_ = false;
+  std::vector<Itemset> candidates_;
+  std::vector<uint32_t> counts_;
+  // Open-addressing table from (first << 32 | second) pair keys to chains
+  // of candidate indices (chained through next_).
+  std::vector<uint64_t> slot_key_;
+  std::vector<uint32_t> slot_head_;
+  std::vector<uint32_t> next_;
+  uint64_t slot_mask_ = 0;
+  // Bitmaps by item id: items appearing in any candidate, and items that
+  // are some candidate's smallest.
+  std::vector<uint8_t> relevant_;
+  std::vector<uint8_t> first_;
+  // Scratch buffer reused across CountTransaction calls.
+  std::vector<ItemId> filtered_;
+};
+
+// The classic Apriori candidate join: pairs of frequent (k-1)-itemsets
+// sharing their first k-2 items produce a k-candidate. `frequent` must be
+// sorted lexicographically. Returns sorted candidates.
+std::vector<Itemset> AprioriJoin(const std::vector<Itemset>& frequent);
+
+// True when every (k-1)-subset of `candidate` is present in `frequent_set`.
+bool AllSubsetsFrequent(
+    const Itemset& candidate,
+    const std::unordered_set<Itemset, ItemsetHash>& frequent_set);
+
+// Options of the plain Apriori miner.
+struct AprioriOptions {
+  // Absolute minimum support count.
+  uint32_t min_support = 1;
+  // Optional extra candidate filter; return false to drop a candidate
+  // before counting. Applied after the standard subset-frequency prune.
+  std::function<bool(const Itemset&)> candidate_filter;
+};
+
+// Statistics every miner reports; Figure 11 plots candidates_per_length.
+struct MiningStats {
+  // candidates counted / found frequent, indexed by itemset length
+  // (index 0 unused).
+  std::vector<uint64_t> candidates_per_length;
+  std::vector<uint64_t> frequent_per_length;
+  // Number of passes over the transaction data.
+  int passes = 0;
+
+  uint64_t TotalCandidates() const;
+  uint64_t TotalFrequent() const;
+  // Accumulates `other` into this (used when Cubing sums per-cell runs).
+  void Merge(const MiningStats& other);
+};
+
+// Plain Apriori over a list of transactions (each a sorted item span). This
+// is the per-cell miner that algorithm Cubing invokes; it has no knowledge
+// of the item/path abstraction lattices beyond what the encoded items
+// carry, so it cannot cross-prune between them — exactly the handicap the
+// paper ascribes to the cubing approach.
+class Apriori {
+ public:
+  explicit Apriori(AprioriOptions options);
+
+  // Mines all frequent itemsets of length >= 1. Stats accumulate across
+  // calls (merge per-cell runs); call stats() once at the end.
+  std::vector<FrequentItemset> Mine(
+      const std::vector<std::span<const ItemId>>& txns);
+
+  const MiningStats& stats() const { return stats_; }
+
+ private:
+  AprioriOptions options_;
+  MiningStats stats_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_MINING_APRIORI_H_

@@ -1,0 +1,69 @@
+#include "mining/compatibility.h"
+
+#include "common/logging.h"
+
+namespace flowcube {
+
+ItemCompatibility::ItemCompatibility(const TransformedDatabase* db,
+                                     bool prune_unlinkable,
+                                     bool prune_ancestors)
+    : db_(db),
+      prune_unlinkable_(prune_unlinkable),
+      prune_ancestors_(prune_ancestors) {
+  FC_CHECK(db_ != nullptr);
+}
+
+bool ItemCompatibility::Compatible(ItemId a, ItemId b) const {
+  const ItemCatalog& cat = db_->catalog();
+  const bool a_dim = cat.IsDimItem(a);
+  const bool b_dim = cat.IsDimItem(b);
+  if (a_dim != b_dim) return true;  // a dimension value and a stage
+
+  if (a_dim) {
+    if (cat.DimOf(a) != cat.DimOf(b)) return true;
+    const ConceptHierarchy& h = db_->schema().dimensions[cat.DimOf(a)];
+    const bool related = h.IsAncestorOrSelf(cat.NodeOf(a), cat.NodeOf(b)) ||
+                         h.IsAncestorOrSelf(cat.NodeOf(b), cat.NodeOf(a));
+    if (related) {
+      // An item together with its own ancestor: the ancestor is implied, so
+      // the pair carries no information.
+      return !prune_ancestors_;
+    }
+    // Two unrelated values of one dimension can never share a transaction.
+    return !prune_unlinkable_;
+  }
+
+  const auto& sa = cat.StageOf(a);
+  const auto& sb = cat.StageOf(b);
+  if (prune_unlinkable_) {
+    // Frequent path segments live inside one cuboid, i.e. one path
+    // abstraction level; and two stages can only co-occur in a path when
+    // one's prefix strictly extends the other's.
+    if (sa.path_level != sb.path_level) return false;
+    const PrefixTrie& trie = cat.trie();
+    if (!trie.IsStrictAncestor(sa.prefix, sb.prefix) &&
+        !trie.IsStrictAncestor(sb.prefix, sa.prefix)) {
+      return false;
+    }
+  }
+  if (prune_ancestors_) {
+    // A stage together with its duration-'*' twin at the same cut: the twin
+    // is implied.
+    if (sa.prefix == sb.prefix) {
+      const auto& pls = db_->plan().path_levels;
+      const bool same_cut =
+          pls[sa.path_level].cut_index == pls[sb.path_level].cut_index;
+      const bool star_twin =
+          (sa.duration == kAnyDuration) != (sb.duration == kAnyDuration);
+      if (same_cut && star_twin) return false;
+    }
+  }
+  return true;
+}
+
+bool ItemCompatibility::CandidateOk(const Itemset& cand) const {
+  if (cand.size() < 2) return true;
+  return Compatible(cand[cand.size() - 2], cand[cand.size() - 1]);
+}
+
+}  // namespace flowcube

@@ -1,0 +1,45 @@
+#ifndef FLOWCUBE_MINING_COMPATIBILITY_H_
+#define FLOWCUBE_MINING_COMPATIBILITY_H_
+
+#include "mining/transform.h"
+
+namespace flowcube {
+
+// Structural co-occurrence rules over encoded items, shared by the miners:
+//
+//  * two unrelated values of one dimension can never share a transaction;
+//  * an item never needs to be counted together with its own ancestor (the
+//    ancestor is implied — Srikant & Agrawal's multi-level optimization);
+//  * two stages can only share a path when one's prefix strictly extends
+//    the other's, and a mined path segment lives inside a single path
+//    abstraction level.
+//
+// SharedMiner applies these through its option toggles; CubingMiner's
+// per-cell Apriori applies them unconditionally (they are local,
+// within-transaction rules any multi-level Apriori implements — what
+// Cubing lacks, per the paper, is the *global* cross-lattice pruning).
+class ItemCompatibility {
+ public:
+  // `db` must outlive this object. The two flags select which rule groups
+  // are enforced (both false accepts everything, which is algorithm Basic).
+  ItemCompatibility(const TransformedDatabase* db, bool prune_unlinkable,
+                    bool prune_ancestors);
+
+  // True when items a and b may appear together in a candidate.
+  bool Compatible(ItemId a, ItemId b) const;
+
+  // Checks the one item pair of `cand` not already vetted by previous
+  // generations: its two largest items. Valid as an Apriori candidate
+  // filter because the join extends a filtered (k-1)-itemset by one item
+  // larger than all others, so every other pair was checked before.
+  bool CandidateOk(const Itemset& cand) const;
+
+ private:
+  const TransformedDatabase* db_;
+  bool prune_unlinkable_;
+  bool prune_ancestors_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_MINING_COMPATIBILITY_H_

@@ -1,0 +1,101 @@
+#include "mining/item_catalog.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace flowcube {
+namespace {
+
+uint64_t DimKey(size_t dim, NodeId node) {
+  return (static_cast<uint64_t>(dim) << 32) | node;
+}
+
+uint64_t StageKey(uint8_t path_level, PrefixId prefix, Duration duration) {
+  // prefix < 2^28, path_level < 16, duration + 1 < 2^32 (durations are
+  // discretized, small, and >= -1).
+  FC_DCHECK(prefix < (1u << 28));
+  FC_DCHECK(path_level < 16);
+  FC_DCHECK(duration >= -1 &&
+            duration + 1 < static_cast<int64_t>(1) << 32);
+  return (static_cast<uint64_t>(prefix) << 36) |
+         (static_cast<uint64_t>(path_level) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(duration + 1));
+}
+
+}  // namespace
+
+ItemCatalog::ItemCatalog(SchemaPtr schema) : schema_(std::move(schema)) {
+  FC_CHECK_MSG(schema_ != nullptr, "ItemCatalog requires a schema");
+  // Pre-intern every dimension value at every level >= 1 ('*' items are
+  // dropped, the paper's "pruning of path independent dimensions aggregated
+  // to the highest abstraction level").
+  for (size_t d = 0; d < schema_->num_dimensions(); ++d) {
+    const ConceptHierarchy& h = schema_->dimensions[d];
+    for (NodeId n = 0; n < h.NodeCount(); ++n) {
+      if (h.Level(n) == 0) continue;
+      const ItemId id = static_cast<ItemId>(dim_of_.size());
+      dim_of_.push_back(static_cast<uint16_t>(d));
+      node_of_.push_back(n);
+      dim_level_of_.push_back(static_cast<int8_t>(h.Level(n)));
+      dim_lookup_.emplace(DimKey(d, n), id);
+    }
+  }
+}
+
+ItemId ItemCatalog::DimItem(size_t dim, NodeId node) const {
+  const auto it = dim_lookup_.find(DimKey(dim, node));
+  FC_CHECK_MSG(it != dim_lookup_.end(), "unknown dimension item");
+  return it->second;
+}
+
+size_t ItemCatalog::DimOf(ItemId id) const {
+  FC_CHECK(IsDimItem(id));
+  return dim_of_[id];
+}
+
+NodeId ItemCatalog::NodeOf(ItemId id) const {
+  FC_CHECK(IsDimItem(id));
+  return node_of_[id];
+}
+
+int ItemCatalog::DimLevelOf(ItemId id) const {
+  FC_CHECK(IsDimItem(id));
+  return dim_level_of_[id];
+}
+
+ItemId ItemCatalog::InternStageItem(uint8_t path_level, PrefixId prefix,
+                                    Duration duration) {
+  const uint64_t key = StageKey(path_level, prefix, duration);
+  auto [it, inserted] = stage_lookup_.try_emplace(
+      key, static_cast<ItemId>(num_items()));
+  if (inserted) {
+    stage_info_.push_back(StageInfo{prefix, duration, path_level});
+  }
+  return it->second;
+}
+
+ItemId ItemCatalog::FindStageItem(uint8_t path_level, PrefixId prefix,
+                                  Duration duration) const {
+  const auto it = stage_lookup_.find(StageKey(path_level, prefix, duration));
+  return it == stage_lookup_.end() ? kInvalidItem : it->second;
+}
+
+const ItemCatalog::StageInfo& ItemCatalog::StageOf(ItemId id) const {
+  FC_CHECK(IsStageItem(id));
+  return stage_info_[id - num_dim_items()];
+}
+
+std::string ItemCatalog::ToString(ItemId id) const {
+  if (IsDimItem(id)) {
+    const size_t d = DimOf(id);
+    return schema_->dimensions[d].dimension_name() + "=" +
+           schema_->dimensions[d].Name(NodeOf(id));
+  }
+  const StageInfo& s = StageOf(id);
+  return StrFormat("(%s,%s)@L%d",
+                   trie_.ToString(s.prefix, schema_->locations).c_str(),
+                   schema_->durations.ToString(s.duration).c_str(),
+                   s.path_level);
+}
+
+}  // namespace flowcube

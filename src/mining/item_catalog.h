@@ -1,0 +1,98 @@
+#ifndef FLOWCUBE_MINING_ITEM_CATALOG_H_
+#define FLOWCUBE_MINING_ITEM_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mining/stage_catalog.h"
+#include "path/path.h"
+#include "rfid/discretizer.h"
+
+namespace flowcube {
+
+// Dense id of a mined item. An item is either a *dimension item* — a value
+// of one path-independent dimension at some hierarchy level (the paper's
+// "112" encoding) — or a *stage item* — a (prefix, duration) pair at some
+// path abstraction level (the paper's "(fdt,1)" encoding).
+using ItemId = uint32_t;
+inline constexpr ItemId kInvalidItem = static_cast<ItemId>(-1);
+
+// Interns all mined items. Dimension items are pre-interned at construction
+// (every node at level >= 1 of every dimension hierarchy), so they occupy
+// the id range [0, num_dim_items()); stage items are interned on demand
+// during transaction encoding and occupy ids >= num_dim_items(). This split
+// lets a sorted transaction be partitioned into its cell part and its
+// path-segment part with one binary search.
+class ItemCatalog {
+ public:
+  // Metadata of a stage item.
+  struct StageInfo {
+    PrefixId prefix = kEmptyPrefix;
+    Duration duration = 0;
+    // Index into the mining plan's path_levels.
+    uint8_t path_level = 0;
+  };
+
+  explicit ItemCatalog(SchemaPtr schema);
+
+  // Total interned items (dimension + stage).
+  size_t num_items() const { return dim_of_.size() + stage_info_.size(); }
+
+  size_t num_dim_items() const { return dim_of_.size(); }
+
+  bool IsDimItem(ItemId id) const { return id < num_dim_items(); }
+  bool IsStageItem(ItemId id) const {
+    return id >= num_dim_items() && id < num_items();
+  }
+
+  // --- Dimension items -----------------------------------------------------
+
+  // The item for `node` of dimension `dim`. `node` must be at level >= 1.
+  ItemId DimItem(size_t dim, NodeId node) const;
+
+  // Dimension index / hierarchy node / hierarchy level of a dim item.
+  size_t DimOf(ItemId id) const;
+  NodeId NodeOf(ItemId id) const;
+  int DimLevelOf(ItemId id) const;
+
+  // --- Stage items ----------------------------------------------------------
+
+  // Interns (or finds) the stage item (path_level, prefix, duration).
+  // duration may be kAnyDuration.
+  ItemId InternStageItem(uint8_t path_level, PrefixId prefix,
+                         Duration duration);
+
+  // Finds an already-interned stage item or returns kInvalidItem.
+  ItemId FindStageItem(uint8_t path_level, PrefixId prefix,
+                       Duration duration) const;
+
+  const StageInfo& StageOf(ItemId id) const;
+
+  // The shared prefix trie all stage items reference.
+  const PrefixTrie& trie() const { return trie_; }
+  PrefixTrie& mutable_trie() { return trie_; }
+
+  // Renders an item for humans: "product=outerwear" or "(f>d>t,1)@L2".
+  std::string ToString(ItemId id) const;
+
+ private:
+  SchemaPtr schema_;
+  PrefixTrie trie_;
+
+  // Dimension items, indexed by id.
+  std::vector<uint16_t> dim_of_;
+  std::vector<NodeId> node_of_;
+  std::vector<int8_t> dim_level_of_;
+  // (dim << 32 | node) -> id.
+  std::unordered_map<uint64_t, ItemId> dim_lookup_;
+
+  // Stage items, indexed by (id - num_dim_items()).
+  std::vector<StageInfo> stage_info_;
+  std::unordered_map<uint64_t, ItemId> stage_lookup_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_MINING_ITEM_CATALOG_H_

@@ -1,0 +1,109 @@
+#include "mining/mining_result.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace flowcube {
+
+MiningResult::MiningResult(const TransformedDatabase* db,
+                           std::vector<FrequentItemset> frequent)
+    : db_(db), frequent_(std::move(frequent)) {
+  FC_CHECK(db_ != nullptr);
+  const ItemCatalog& cat = db_->catalog();
+  const ItemId boundary = static_cast<ItemId>(cat.num_dim_items());
+  for (uint32_t i = 0; i < frequent_.size(); ++i) {
+    const Itemset& items = frequent_[i].items;
+    const auto split =
+        std::lower_bound(items.begin(), items.end(), boundary);
+    Itemset cell(items.begin(), split);
+    by_cell_[std::move(cell)].push_back(i);
+  }
+}
+
+std::optional<uint32_t> MiningResult::CellSupport(
+    const Itemset& cell_dims) const {
+  if (cell_dims.empty()) {
+    return static_cast<uint32_t>(db_->size());
+  }
+  const auto it = by_cell_.find(cell_dims);
+  if (it == by_cell_.end()) return std::nullopt;
+  for (uint32_t idx : it->second) {
+    if (frequent_[idx].items.size() == cell_dims.size()) {
+      return frequent_[idx].support;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Itemset> MiningResult::FrequentCells() const {
+  std::vector<Itemset> out;
+  out.push_back({});  // apex
+  const ItemCatalog& cat = db_->catalog();
+  for (const FrequentItemset& fi : frequent_) {
+    if (fi.items.empty()) continue;
+    if (cat.IsDimItem(fi.items.back())) {
+      out.push_back(fi.items);
+    }
+  }
+  return out;
+}
+
+std::vector<Itemset> MiningResult::CellsAtLevel(const ItemLevel& level) const {
+  const ItemCatalog& cat = db_->catalog();
+  FC_CHECK(level.levels.size() == db_->schema().num_dimensions());
+  std::vector<Itemset> out;
+  for (const Itemset& cell : FrequentCells()) {
+    std::vector<int> seen(level.levels.size(), 0);
+    bool ok = true;
+    for (ItemId id : cell) {
+      const size_t d = cat.DimOf(id);
+      if (cat.DimLevelOf(id) != level.levels[d] || seen[d] != 0) {
+        ok = false;
+        break;
+      }
+      seen[d] = 1;
+    }
+    if (!ok) continue;
+    for (size_t d = 0; d < level.levels.size(); ++d) {
+      if (level.levels[d] > 0 && seen[d] == 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(cell);
+  }
+  return out;
+}
+
+std::vector<SegmentPattern> MiningResult::SegmentsForCell(
+    const Itemset& cell_dims, int path_level) const {
+  std::vector<SegmentPattern> out;
+  const auto it = by_cell_.find(cell_dims);
+  if (it == by_cell_.end()) return out;
+  const ItemCatalog& cat = db_->catalog();
+  for (uint32_t idx : it->second) {
+    const FrequentItemset& fi = frequent_[idx];
+    if (fi.items.size() == cell_dims.size()) continue;  // the cell itself
+    SegmentPattern seg;
+    seg.support = fi.support;
+    bool ok = true;
+    for (size_t i = cell_dims.size(); i < fi.items.size(); ++i) {
+      const ItemId id = fi.items[i];
+      if (cat.StageOf(id).path_level != path_level) {
+        ok = false;
+        break;
+      }
+      seg.stages.push_back(id);
+    }
+    if (ok) out.push_back(std::move(seg));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SegmentPattern& a, const SegmentPattern& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.stages < b.stages;
+            });
+  return out;
+}
+
+}  // namespace flowcube

@@ -1,0 +1,66 @@
+#ifndef FLOWCUBE_MINING_MINING_RESULT_H_
+#define FLOWCUBE_MINING_MINING_RESULT_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hierarchy/lattice.h"
+#include "mining/transform.h"
+
+namespace flowcube {
+
+// A frequent path segment of one cell: a set of stage items (all at one
+// path abstraction level) with the support it reached among the cell's
+// paths.
+struct SegmentPattern {
+  Itemset stages;
+  uint32_t support = 0;
+};
+
+// Organizes a miner's raw frequent itemsets into the structure the flowcube
+// needs: frequent cells (itemsets of dimension items only) and, for each
+// cell, the frequent path segments mined inside it (itemsets combining the
+// cell's dimension items with stage items).
+//
+// The empty itemset is the apex cell (every dimension at '*'); its support
+// is the database size and its segments are the dimension-free patterns.
+class MiningResult {
+ public:
+  // `db` must outlive the result. `frequent` is a miner's output.
+  MiningResult(const TransformedDatabase* db,
+               std::vector<FrequentItemset> frequent);
+
+  const TransformedDatabase& db() const { return *db_; }
+
+  // Every mined frequent itemset.
+  const std::vector<FrequentItemset>& all() const { return frequent_; }
+
+  // Support of a cell given by its sorted dimension items; empty = apex.
+  // nullopt when the cell is not frequent (or, for non-apex cells, unknown).
+  std::optional<uint32_t> CellSupport(const Itemset& cell_dims) const;
+
+  // All frequent cells (dimension-only itemsets), including the apex.
+  std::vector<Itemset> FrequentCells() const;
+
+  // Frequent cells whose dimension items sit exactly at `level` (absent
+  // dimensions must be at level 0).
+  std::vector<Itemset> CellsAtLevel(const ItemLevel& level) const;
+
+  // The frequent path segments of a cell at a path abstraction level:
+  // patterns whose dimension part equals `cell_dims` and whose stage items
+  // all live at path level `path_level`. Sorted by decreasing support.
+  std::vector<SegmentPattern> SegmentsForCell(const Itemset& cell_dims,
+                                              int path_level) const;
+
+ private:
+  const TransformedDatabase* db_;
+  std::vector<FrequentItemset> frequent_;
+  // cell dims -> indices into frequent_ (both cell-only and cell+segment).
+  std::unordered_map<Itemset, std::vector<uint32_t>, ItemsetHash> by_cell_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_MINING_MINING_RESULT_H_

@@ -1,0 +1,92 @@
+#include "mining/stage_catalog.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace flowcube {
+namespace {
+
+uint64_t ChildKey(PrefixId parent, NodeId location) {
+  return (static_cast<uint64_t>(parent) << 32) | location;
+}
+
+}  // namespace
+
+PrefixTrie::PrefixTrie() {
+  parent_.push_back(kInvalidPrefix);
+  location_.push_back(kInvalidNode);
+  depth_.push_back(0);
+}
+
+PrefixId PrefixTrie::Intern(PrefixId parent, NodeId location) {
+  FC_DCHECK(parent < parent_.size());
+  const uint64_t key = ChildKey(parent, location);
+  auto [it, inserted] = children_.try_emplace(
+      key, static_cast<PrefixId>(parent_.size()));
+  if (inserted) {
+    parent_.push_back(parent);
+    location_.push_back(location);
+    depth_.push_back(depth_[parent] + 1);
+  }
+  return it->second;
+}
+
+PrefixId PrefixTrie::Find(PrefixId parent, NodeId location) const {
+  const auto it = children_.find(ChildKey(parent, location));
+  return it == children_.end() ? kInvalidPrefix : it->second;
+}
+
+NodeId PrefixTrie::location(PrefixId p) const {
+  FC_CHECK(p < location_.size());
+  return location_[p];
+}
+
+PrefixId PrefixTrie::parent(PrefixId p) const {
+  FC_CHECK(p < parent_.size());
+  return parent_[p];
+}
+
+int PrefixTrie::depth(PrefixId p) const {
+  FC_CHECK(p < depth_.size());
+  return depth_[p];
+}
+
+bool PrefixTrie::IsStrictAncestor(PrefixId ancestor,
+                                  PrefixId descendant) const {
+  FC_DCHECK(ancestor < parent_.size());
+  FC_DCHECK(descendant < parent_.size());
+  if (depth_[ancestor] >= depth_[descendant]) return false;
+  return AncestorAtDepth(descendant, depth_[ancestor]) == ancestor;
+}
+
+PrefixId PrefixTrie::AncestorAtDepth(PrefixId p, int depth) const {
+  FC_DCHECK(p < parent_.size());
+  FC_DCHECK(depth >= 0 && depth <= depth_[p]);
+  PrefixId cur = p;
+  while (depth_[cur] > depth) cur = parent_[cur];
+  return cur;
+}
+
+std::vector<NodeId> PrefixTrie::Locations(PrefixId p) const {
+  FC_CHECK(p < parent_.size());
+  std::vector<NodeId> out;
+  out.reserve(static_cast<size_t>(depth_[p]));
+  for (PrefixId cur = p; cur != kEmptyPrefix; cur = parent_[cur]) {
+    out.push_back(location_[cur]);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string PrefixTrie::ToString(PrefixId p,
+                                 const ConceptHierarchy& locations) const {
+  std::string out;
+  for (NodeId loc : Locations(p)) {
+    if (!out.empty()) out += ">";
+    out += locations.Name(loc);
+  }
+  return out;
+}
+
+}  // namespace flowcube

@@ -1,0 +1,75 @@
+#ifndef FLOWCUBE_MINING_STAGE_CATALOG_H_
+#define FLOWCUBE_MINING_STAGE_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hierarchy/concept_hierarchy.h"
+
+namespace flowcube {
+
+// Identifier of an interned location prefix. kEmptyPrefix is the empty
+// prefix (start of every path).
+using PrefixId = uint32_t;
+inline constexpr PrefixId kEmptyPrefix = 0;
+
+// Interns location prefixes — the "fdt" part of the paper's stage encoding
+// (Section 5, Table 3): a stage is identified by the full sequence of
+// locations from the start of the (aggregated) path up to and including the
+// stage's own location. Prefixes form a trie; the trie structure is what
+// lets the miners check in O(depth) whether two stages can appear in the
+// same path (one prefix must strictly extend the other).
+//
+// One trie serves every path abstraction level: nodes are location NodeIds,
+// which are unique across the location hierarchy regardless of level.
+class PrefixTrie {
+ public:
+  PrefixTrie();
+
+  // Interns (or finds) the child of `parent` labelled with `location`.
+  PrefixId Intern(PrefixId parent, NodeId location);
+
+  // Finds the child or returns kInvalidPrefix.
+  static constexpr PrefixId kInvalidPrefix = static_cast<PrefixId>(-1);
+  PrefixId Find(PrefixId parent, NodeId location) const;
+
+  // Number of interned prefixes including the empty prefix.
+  size_t size() const { return parent_.size(); }
+
+  // The last location of a prefix; kInvalidNode for the empty prefix.
+  NodeId location(PrefixId p) const;
+
+  // The prefix without its last location; kInvalidPrefix for the empty one.
+  PrefixId parent(PrefixId p) const;
+
+  // Number of locations in the prefix (0 for the empty prefix).
+  int depth(PrefixId p) const;
+
+  // True when `ancestor` is a strict prefix of `descendant` (both interned).
+  // Two stages can co-occur in one path exactly when one's prefix is a
+  // strict ancestor of the other's.
+  bool IsStrictAncestor(PrefixId ancestor, PrefixId descendant) const;
+
+  // The ancestor of `p` at exactly `depth` (walks up). Requires
+  // depth <= depth(p).
+  PrefixId AncestorAtDepth(PrefixId p, int depth) const;
+
+  // The locations of the prefix from first to last.
+  std::vector<NodeId> Locations(PrefixId p) const;
+
+  // Renders like "f>d>t" using hierarchy names.
+  std::string ToString(PrefixId p, const ConceptHierarchy& locations) const;
+
+ private:
+  std::vector<PrefixId> parent_;
+  std::vector<NodeId> location_;
+  std::vector<int> depth_;
+  // (parent, location) -> child.
+  std::unordered_map<uint64_t, PrefixId> children_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_MINING_STAGE_CATALOG_H_

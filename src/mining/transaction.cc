@@ -1,0 +1,33 @@
+#include "mining/transaction.h"
+
+#include <algorithm>
+
+namespace flowcube {
+
+std::span<const ItemId> Transaction::DimItems(
+    const ItemCatalog& catalog) const {
+  const auto split = std::lower_bound(
+      items.begin(), items.end(), static_cast<ItemId>(catalog.num_dim_items()));
+  return {items.data(), static_cast<size_t>(split - items.begin())};
+}
+
+std::span<const ItemId> Transaction::StageItems(
+    const ItemCatalog& catalog) const {
+  const auto split = std::lower_bound(
+      items.begin(), items.end(), static_cast<ItemId>(catalog.num_dim_items()));
+  const size_t offset = static_cast<size_t>(split - items.begin());
+  return {items.data() + offset, items.size() - offset};
+}
+
+std::string FrequentItemsetToString(const ItemCatalog& catalog,
+                                    const FrequentItemset& fi) {
+  std::string out = "{";
+  for (size_t i = 0; i < fi.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += catalog.ToString(fi.items[i]);
+  }
+  out += "} : " + std::to_string(fi.support);
+  return out;
+}
+
+}  // namespace flowcube

@@ -1,0 +1,61 @@
+#ifndef FLOWCUBE_MINING_TRANSACTION_H_
+#define FLOWCUBE_MINING_TRANSACTION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mining/item_catalog.h"
+
+namespace flowcube {
+
+// A sorted set of item ids. Used both for transactions and for mined
+// itemsets/candidates.
+using Itemset = std::vector<ItemId>;
+
+// FNV-1a hash over an itemset; itemsets are always kept sorted so equal sets
+// hash equally.
+struct ItemsetHash {
+  size_t operator()(const Itemset& items) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (ItemId id : items) {
+      h ^= id;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// One transformed transaction (paper Table 3): the encoded form of one path
+// record, holding the record's dimension items at every interesting level
+// plus its stage items at every interesting path abstraction level. Items
+// are sorted and unique; because dimension items occupy the low id range,
+// the cell part and the segment part are contiguous.
+struct Transaction {
+  Itemset items;
+
+  // Items that are dimension values (the potential cell coordinates).
+  std::span<const ItemId> DimItems(const ItemCatalog& catalog) const;
+
+  // Items that are path stages.
+  std::span<const ItemId> StageItems(const ItemCatalog& catalog) const;
+};
+
+// A frequent itemset with its exact support count.
+struct FrequentItemset {
+  Itemset items;
+  uint32_t support = 0;
+
+  friend bool operator==(const FrequentItemset& a, const FrequentItemset& b) {
+    return a.items == b.items && a.support == b.support;
+  }
+};
+
+// Renders "{product=shoes, (f>d,2)@L0} : 4".
+std::string FrequentItemsetToString(const ItemCatalog& catalog,
+                                    const FrequentItemset& fi);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_MINING_TRANSACTION_H_

@@ -1,0 +1,114 @@
+#include "mining/transform.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace flowcube {
+
+Result<MiningPlan> MiningPlan::Default(const PathSchema& schema) {
+  MiningPlan plan;
+  plan.dim_levels.reserve(schema.num_dimensions());
+  for (const ConceptHierarchy& h : schema.dimensions) {
+    std::vector<int> levels;
+    for (int l = 1; l <= h.MaxLevel(); ++l) levels.push_back(l);
+    plan.dim_levels.push_back(std::move(levels));
+  }
+
+  const int leaf_level = schema.locations.MaxLevel();
+  Result<LocationCut> fine = LocationCut::Uniform(schema.locations, leaf_level);
+  if (!fine.ok()) return fine.status();
+  plan.cuts.push_back(std::move(fine.value()));
+  if (leaf_level > 1) {
+    Result<LocationCut> coarse =
+        LocationCut::Uniform(schema.locations, leaf_level - 1);
+    if (!coarse.ok()) return coarse.status();
+    plan.cuts.push_back(std::move(coarse.value()));
+  }
+
+  const int dur_max = schema.durations.MaxLevel();
+  for (int c = 0; c < static_cast<int>(plan.cuts.size()); ++c) {
+    plan.path_levels.push_back(PathLevel{c, dur_max});
+    plan.path_levels.push_back(PathLevel{c, 0});
+  }
+  return plan;
+}
+
+int MiningPlan::DurationStarLevel(int pl) const {
+  FC_CHECK(pl >= 0 && pl < static_cast<int>(path_levels.size()));
+  const int cut = path_levels[static_cast<size_t>(pl)].cut_index;
+  for (size_t i = 0; i < path_levels.size(); ++i) {
+    if (path_levels[i].cut_index == cut && path_levels[i].duration_level == 0) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+TransformedDatabase::TransformedDatabase(SchemaPtr schema, MiningPlan plan)
+    : schema_(std::move(schema)),
+      plan_(std::move(plan)),
+      catalog_(std::make_unique<ItemCatalog>(schema_)),
+      aggregator_(schema_) {
+  FC_CHECK_MSG(plan_.dim_levels.size() == schema_->num_dimensions(),
+               "plan covers a different number of dimensions than the schema");
+  FC_CHECK_MSG(plan_.path_levels.size() < 16,
+               "at most 15 path abstraction levels are supported");
+  for (const PathLevel& pl : plan_.path_levels) {
+    FC_CHECK(pl.cut_index >= 0 &&
+             pl.cut_index < static_cast<int>(plan_.cuts.size()));
+    FC_CHECK(pl.duration_level >= 0 &&
+             pl.duration_level <= schema_->durations.MaxLevel());
+  }
+}
+
+void TransformedDatabase::Append(const PathRecord& record) {
+  Transaction t;
+  // Dimension items at every interesting level (the multi-level encoding of
+  // Table 3: "121" contributes 121 and 12*).
+  for (size_t d = 0; d < record.dims.size(); ++d) {
+    const ConceptHierarchy& h = schema_->dimensions[d];
+    for (int level : plan_.dim_levels[d]) {
+      const NodeId n = h.AncestorAtLevel(record.dims[d], level);
+      if (h.Level(n) == 0) continue;  // record value above this level
+      t.items.push_back(catalog_->DimItem(d, n));
+    }
+  }
+  // Stage items at every interesting path abstraction level, encoded as
+  // (prefix, duration) with the prefix interned in the shared trie.
+  for (size_t pl = 0; pl < plan_.path_levels.size(); ++pl) {
+    const PathLevel& level = plan_.path_levels[pl];
+    const Path aggregated = aggregator_.AggregatePath(
+        record.path, plan_.cuts[static_cast<size_t>(level.cut_index)],
+        level.duration_level);
+    PrefixId prefix = kEmptyPrefix;
+    for (const Stage& s : aggregated.stages) {
+      prefix = catalog_->mutable_trie().Intern(prefix, s.location);
+      t.items.push_back(catalog_->InternStageItem(static_cast<uint8_t>(pl),
+                                                  prefix, s.duration));
+    }
+  }
+  std::sort(t.items.begin(), t.items.end());
+  t.items.erase(std::unique(t.items.begin(), t.items.end()), t.items.end());
+  txns_.push_back(std::move(t));
+}
+
+Result<TransformedDatabase> TransformPathDatabase(const PathDatabase& db,
+                                                  const MiningPlan& plan) {
+  if (plan.dim_levels.size() != db.schema().num_dimensions()) {
+    return Status::InvalidArgument(
+        "mining plan does not match the schema's dimension count");
+  }
+  if (plan.cuts.empty() || plan.path_levels.empty()) {
+    return Status::InvalidArgument(
+        "mining plan needs at least one cut and one path level");
+  }
+  TransformedDatabase out(db.schema_ptr(), plan);
+  for (const PathRecord& rec : db.records()) {
+    out.Append(rec);
+  }
+  return out;
+}
+
+}  // namespace flowcube

@@ -1,0 +1,78 @@
+#ifndef FLOWCUBE_MINING_TRANSFORM_H_
+#define FLOWCUBE_MINING_TRANSFORM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "hierarchy/lattice.h"
+#include "mining/transaction.h"
+#include "path/path_aggregator.h"
+#include "path/path_database.h"
+
+namespace flowcube {
+
+// The materialization plan for mining: which abstraction levels of the item
+// and path lattices are "interesting" (paper Section 5, partial
+// materialization). The miners collect counts only at these levels.
+struct MiningPlan {
+  // For each dimension, the hierarchy levels (>= 1) to encode, ascending.
+  std::vector<std::vector<int>> dim_levels;
+
+  // The location cuts in use. cuts[0] should be the finest (identity) cut.
+  std::vector<LocationCut> cuts;
+
+  // The path abstraction levels: (cut index, duration level) pairs. The
+  // paper's experiments use 4: {raw cut, one-up cut} x {raw duration, '*'}.
+  std::vector<PathLevel> path_levels;
+
+  // Builds the default plan for `schema`: every dimension level, the
+  // identity location cut plus the one-level-up cut, durations at their
+  // finest level and at '*'.
+  static Result<MiningPlan> Default(const PathSchema& schema);
+
+  // Index of the path level with the same cut as `pl` but duration '*'; -1
+  // if the plan does not contain one. Used for pre-counting.
+  int DurationStarLevel(int pl) const;
+};
+
+// The transformed transaction database (paper Table 3) plus the catalogs
+// required to interpret it. Produced by TransformPathDatabase; consumed by
+// every miner. Movable, not copyable (the catalogs can be large).
+class TransformedDatabase {
+ public:
+  TransformedDatabase(SchemaPtr schema, MiningPlan plan);
+  TransformedDatabase(TransformedDatabase&&) = default;
+  TransformedDatabase& operator=(TransformedDatabase&&) = default;
+  TransformedDatabase(const TransformedDatabase&) = delete;
+  TransformedDatabase& operator=(const TransformedDatabase&) = delete;
+
+  const PathSchema& schema() const { return *schema_; }
+  SchemaPtr schema_ptr() const { return schema_; }
+  const MiningPlan& plan() const { return plan_; }
+  const ItemCatalog& catalog() const { return *catalog_; }
+
+  const std::vector<Transaction>& transactions() const { return txns_; }
+  size_t size() const { return txns_.size(); }
+
+  // Encodes and appends one record. Transaction ids equal the record's
+  // position in the source path database when records are appended in
+  // order.
+  void Append(const PathRecord& record);
+
+ private:
+  SchemaPtr schema_;
+  MiningPlan plan_;
+  std::unique_ptr<ItemCatalog> catalog_;
+  PathAggregator aggregator_;
+  std::vector<Transaction> txns_;
+};
+
+// Encodes the whole path database (the "first scan" of algorithm Shared,
+// step 1). Fails if the plan is inconsistent with the schema.
+Result<TransformedDatabase> TransformPathDatabase(const PathDatabase& db,
+                                                  const MiningPlan& plan);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_MINING_TRANSFORM_H_

@@ -1,0 +1,25 @@
+#include "path/path.h"
+
+#include "common/string_util.h"
+
+namespace flowcube {
+
+std::string PathToString(const PathSchema& schema, const Path& path) {
+  std::string out;
+  for (const Stage& s : path.stages) {
+    out += "(" + schema.locations.Name(s.location) + "," +
+           schema.durations.ToString(s.duration) + ")";
+  }
+  return out;
+}
+
+std::string RecordToString(const PathSchema& schema, const PathRecord& rec) {
+  std::vector<std::string> dims;
+  dims.reserve(rec.dims.size());
+  for (size_t i = 0; i < rec.dims.size(); ++i) {
+    dims.push_back(schema.dimensions[i].Name(rec.dims[i]));
+  }
+  return StrJoin(dims, ",") + " : " + PathToString(schema, rec.path);
+}
+
+}  // namespace flowcube

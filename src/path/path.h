@@ -1,0 +1,70 @@
+#ifndef FLOWCUBE_PATH_PATH_H_
+#define FLOWCUBE_PATH_PATH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hierarchy/concept_hierarchy.h"
+#include "rfid/discretizer.h"
+
+namespace flowcube {
+
+// One stage of a path (paper Section 2): the item sat at `location` (a node
+// of the schema's location hierarchy) for `duration` discretized time units.
+struct Stage {
+  NodeId location = kInvalidNode;
+  Duration duration = 0;
+
+  friend bool operator==(const Stage& a, const Stage& b) {
+    return a.location == b.location && a.duration == b.duration;
+  }
+};
+
+// The ordered sequence of stages an item traversed.
+struct Path {
+  std::vector<Stage> stages;
+
+  size_t size() const { return stages.size(); }
+  bool empty() const { return stages.empty(); }
+
+  friend bool operator==(const Path& a, const Path& b) {
+    return a.stages == b.stages;
+  }
+};
+
+// The schema of a path database: one concept hierarchy per path-independent
+// dimension, the location hierarchy for stages, and the duration hierarchy.
+// Shared immutably (via SchemaPtr) between the database, the miners, and the
+// flowcube.
+struct PathSchema {
+  // Path-independent dimensions (product, brand, ...), paper Section 2.
+  std::vector<ConceptHierarchy> dimensions;
+  // Stage location hierarchy (Figure 5).
+  ConceptHierarchy locations{"location"};
+  // Stage duration hierarchy.
+  DurationHierarchy durations;
+
+  size_t num_dimensions() const { return dimensions.size(); }
+};
+
+using SchemaPtr = std::shared_ptr<const PathSchema>;
+
+// One record of the path database: the item's dimension values (a node per
+// dimension, normally a leaf) plus the path it traversed. This is the
+// cleaned, duration-relative form of Table 1.
+struct PathRecord {
+  std::vector<NodeId> dims;
+  Path path;
+};
+
+// Renders a path like "(f,10)(d,2)(t,1)(s,5)(c,0)" using schema names.
+std::string PathToString(const PathSchema& schema, const Path& path);
+
+// Renders a record like "tennis,nike : (f,10)(d,2)...".
+std::string RecordToString(const PathSchema& schema, const PathRecord& rec);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_PATH_PATH_H_

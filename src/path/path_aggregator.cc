@@ -1,0 +1,51 @@
+#include "path/path_aggregator.h"
+
+#include "common/logging.h"
+
+namespace flowcube {
+
+PathAggregator::PathAggregator(SchemaPtr schema)
+    : schema_(std::move(schema)) {
+  FC_CHECK_MSG(schema_ != nullptr, "PathAggregator requires a schema");
+}
+
+Path PathAggregator::AggregatePath(const Path& path, const LocationCut& cut,
+                                   int duration_level) const {
+  Path out;
+  out.stages.reserve(path.stages.size());
+  NodeId run_location = kInvalidNode;
+  Duration run_raw_duration = 0;
+  auto flush = [&]() {
+    if (run_location == kInvalidNode) return;
+    out.stages.push_back(Stage{
+        run_location,
+        schema_->durations.Aggregate(run_raw_duration, duration_level)});
+  };
+  for (const Stage& s : path.stages) {
+    const NodeId mapped = cut.Map(s.location);
+    FC_CHECK_MSG(mapped != kInvalidNode,
+                 "stage location lies above the location cut");
+    if (mapped == run_location) {
+      run_raw_duration += s.duration;
+    } else {
+      flush();
+      run_location = mapped;
+      run_raw_duration = s.duration;
+    }
+  }
+  flush();
+  return out;
+}
+
+std::vector<NodeId> PathAggregator::AggregateDims(
+    const std::vector<NodeId>& dims, const ItemLevel& level) const {
+  FC_CHECK(dims.size() == schema_->num_dimensions());
+  FC_CHECK(level.levels.size() == dims.size());
+  std::vector<NodeId> out(dims.size());
+  for (size_t i = 0; i < dims.size(); ++i) {
+    out[i] = schema_->dimensions[i].AncestorAtLevel(dims[i], level.levels[i]);
+  }
+  return out;
+}
+
+}  // namespace flowcube

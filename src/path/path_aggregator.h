@@ -1,0 +1,43 @@
+#ifndef FLOWCUBE_PATH_PATH_AGGREGATOR_H_
+#define FLOWCUBE_PATH_PATH_AGGREGATOR_H_
+
+#include <vector>
+
+#include "hierarchy/lattice.h"
+#include "path/path.h"
+
+namespace flowcube {
+
+// Path and item aggregation (paper Section 4.1).
+//
+// Path aggregation is the operation that is unique to flowcubes: the
+// dimensions of a record stay unchanged, but the path itself is rewritten to
+// a coarser view. Per the paper it happens in two steps:
+//   1. each stage's location is mapped to its representative node in the
+//      location cut, and its duration to the requested duration level;
+//   2. consecutive stages that mapped to the same concept are merged. The
+//      merged stage's duration is the sum of the *raw* durations of the run,
+//      aggregated to the requested level afterwards (the paper leaves the
+//      merge rule application-defined and suggests summing; summing raw
+//      values before bucketing keeps the merge associative).
+class PathAggregator {
+ public:
+  explicit PathAggregator(SchemaPtr schema);
+
+  // Aggregates `path` to the path abstraction level (`cut`,
+  // `duration_level`). Every stage location must be at-or-below the cut.
+  Path AggregatePath(const Path& path, const LocationCut& cut,
+                     int duration_level) const;
+
+  // Aggregates a record's dimension values to an item abstraction level:
+  // dims[i] is replaced by its ancestor at level.levels[i].
+  std::vector<NodeId> AggregateDims(const std::vector<NodeId>& dims,
+                                    const ItemLevel& level) const;
+
+ private:
+  SchemaPtr schema_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_PATH_PATH_AGGREGATOR_H_

@@ -1,0 +1,54 @@
+#include "path/path_database.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace flowcube {
+
+PathDatabase::PathDatabase(SchemaPtr schema) : schema_(std::move(schema)) {
+  FC_CHECK_MSG(schema_ != nullptr, "PathDatabase requires a schema");
+}
+
+Status PathDatabase::Append(PathRecord record) {
+  if (record.dims.size() != schema_->num_dimensions()) {
+    return Status::InvalidArgument(StrFormat(
+        "record has %zu dimension values, schema has %zu dimensions",
+        record.dims.size(), schema_->num_dimensions()));
+  }
+  for (size_t i = 0; i < record.dims.size(); ++i) {
+    if (record.dims[i] >= schema_->dimensions[i].NodeCount()) {
+      return Status::InvalidArgument(
+          StrFormat("dimension %zu value id out of range", i));
+    }
+  }
+  if (record.path.empty()) {
+    return Status::InvalidArgument("record has an empty path");
+  }
+  for (const Stage& s : record.path.stages) {
+    if (s.location >= schema_->locations.NodeCount()) {
+      return Status::InvalidArgument("stage location id out of range");
+    }
+    if (s.duration < 0) {
+      return Status::InvalidArgument("stage duration must be >= 0");
+    }
+  }
+  records_.push_back(std::move(record));
+  return Status::OK();
+}
+
+const PathRecord& PathDatabase::record(PathId id) const {
+  FC_CHECK(id < records_.size());
+  return records_[id];
+}
+
+size_t PathDatabase::ApproximateBytes() const {
+  size_t bytes = 0;
+  for (const PathRecord& r : records_) {
+    bytes += r.dims.size() * sizeof(NodeId);
+    bytes += r.path.stages.size() * sizeof(Stage);
+    bytes += sizeof(PathRecord);
+  }
+  return bytes;
+}
+
+}  // namespace flowcube

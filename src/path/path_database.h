@@ -1,0 +1,48 @@
+#ifndef FLOWCUBE_PATH_PATH_DATABASE_H_
+#define FLOWCUBE_PATH_PATH_DATABASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "path/path.h"
+
+namespace flowcube {
+
+// A collection of PathRecords over a fixed schema (paper Section 2,
+// Table 1). Records are append-only and identified by dense PathId in
+// insertion order, which the miners use as transaction ids.
+class PathDatabase {
+ public:
+  using PathId = uint32_t;
+
+  // The database keeps `schema` alive; all node ids inside records are
+  // interpreted against it.
+  explicit PathDatabase(SchemaPtr schema);
+
+  const PathSchema& schema() const { return *schema_; }
+  SchemaPtr schema_ptr() const { return schema_; }
+
+  // Appends a record after validating that it matches the schema: one value
+  // per dimension, ids in range, non-empty path, non-negative durations.
+  Status Append(PathRecord record);
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  const PathRecord& record(PathId id) const;
+
+  const std::vector<PathRecord>& records() const { return records_; }
+
+  // Approximate in-memory footprint in bytes; used by benchmarks to report
+  // dataset sizes the way the paper does ("disk size of 6 to 65 MB").
+  size_t ApproximateBytes() const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<PathRecord> records_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_PATH_PATH_DATABASE_H_

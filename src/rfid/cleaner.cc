@@ -1,0 +1,55 @@
+#include "rfid/cleaner.h"
+
+#include <algorithm>
+#include <map>
+
+namespace flowcube {
+
+ReadingCleaner::ReadingCleaner(CleanerOptions options) : options_(options) {}
+
+std::vector<Itinerary> ReadingCleaner::Clean(
+    const std::vector<RawReading>& readings) const {
+  std::map<EpcId, std::vector<RawReading>> by_epc;
+  for (const RawReading& r : readings) {
+    by_epc[r.epc].push_back(r);
+  }
+
+  std::vector<Itinerary> out;
+  out.reserve(by_epc.size());
+  for (auto& [epc, group] : by_epc) {
+    std::stable_sort(group.begin(), group.end(),
+                     [](const RawReading& a, const RawReading& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+    Itinerary it;
+    it.epc = epc;
+    for (const RawReading& r : group) {
+      if (!it.stays.empty()) {
+        Stay& last = it.stays.back();
+        const bool same_location = last.location == r.location;
+        const bool within_gap =
+            r.timestamp - last.time_out <= options_.max_gap_seconds;
+        if (same_location && within_gap) {
+          last.time_out = std::max(last.time_out, r.timestamp);
+          continue;
+        }
+      }
+      it.stays.push_back(Stay{r.location, r.timestamp, r.timestamp});
+    }
+    out.push_back(std::move(it));
+  }
+  return out;
+}
+
+Path ReadingCleaner::ToPath(const Itinerary& itinerary,
+                            const DurationDiscretizer& discretizer) {
+  Path path;
+  path.stages.reserve(itinerary.stays.size());
+  for (const Stay& s : itinerary.stays) {
+    path.stages.push_back(Stage{
+        s.location, discretizer.Discretize(s.time_out - s.time_in)});
+  }
+  return path;
+}
+
+}  // namespace flowcube

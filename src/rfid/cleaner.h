@@ -1,0 +1,43 @@
+#ifndef FLOWCUBE_RFID_CLEANER_H_
+#define FLOWCUBE_RFID_CLEANER_H_
+
+#include <vector>
+
+#include "path/path.h"
+#include "rfid/discretizer.h"
+#include "rfid/reading.h"
+
+namespace flowcube {
+
+// Knobs for the reading-stream cleaner.
+struct CleanerOptions {
+  // Two readings of the same tag at the same location more than this many
+  // seconds apart start a new stay (the item left and came back).
+  int64_t max_gap_seconds = 3600;
+};
+
+// The data-cleaning stage of Section 2: turns a raw (EPC, location, time)
+// stream into per-item stays of the form (location, time_in, time_out), and
+// from there into relative-duration paths.
+class ReadingCleaner {
+ public:
+  explicit ReadingCleaner(CleanerOptions options);
+
+  // Groups `readings` by EPC, sorts each group by time, deduplicates, and
+  // merges runs of same-location readings (with gaps <= max_gap_seconds)
+  // into stays. Output itineraries are sorted by EPC; stays are in time
+  // order.
+  std::vector<Itinerary> Clean(const std::vector<RawReading>& readings) const;
+
+  // Converts cleaned stays to a Path by discarding absolute time and
+  // discretizing each stay length (time_out - time_in).
+  static Path ToPath(const Itinerary& itinerary,
+                     const DurationDiscretizer& discretizer);
+
+ private:
+  CleanerOptions options_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_RFID_CLEANER_H_

@@ -1,0 +1,44 @@
+#include "rfid/discretizer.h"
+
+#include "common/logging.h"
+
+namespace flowcube {
+
+DurationHierarchy::DurationHierarchy(std::vector<int64_t> factors)
+    : factors_(std::move(factors)) {
+  for (int64_t f : factors_) {
+    FC_CHECK_MSG(f >= 2, "duration bucket factors must be >= 2");
+  }
+  // cumulative_[l] for l in [0, MaxLevel()]: divisor from raw to level l.
+  // Level MaxLevel() -> 1; level 0 unused (always '*').
+  cumulative_.assign(static_cast<size_t>(MaxLevel()) + 1, 1);
+  int64_t acc = 1;
+  for (int l = MaxLevel() - 1; l >= 1; --l) {
+    acc *= factors_[static_cast<size_t>(MaxLevel() - 1 - l)];
+    cumulative_[static_cast<size_t>(l)] = acc;
+  }
+}
+
+Duration DurationHierarchy::Aggregate(Duration raw, int level) const {
+  FC_CHECK(level >= 0 && level <= MaxLevel());
+  if (raw == kAnyDuration || level == 0) return kAnyDuration;
+  FC_CHECK_MSG(raw >= 0, "durations must be non-negative");
+  return raw / cumulative_[static_cast<size_t>(level)];
+}
+
+std::string DurationHierarchy::ToString(Duration value) const {
+  if (value == kAnyDuration) return "*";
+  return std::to_string(value);
+}
+
+DurationDiscretizer::DurationDiscretizer(int64_t bin_seconds)
+    : bin_seconds_(bin_seconds) {
+  FC_CHECK_MSG(bin_seconds > 0, "bin_seconds must be > 0");
+}
+
+Duration DurationDiscretizer::Discretize(int64_t seconds) const {
+  if (seconds < 0) seconds = 0;
+  return seconds / bin_seconds_;
+}
+
+}  // namespace flowcube

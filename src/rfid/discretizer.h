@@ -1,0 +1,84 @@
+#ifndef FLOWCUBE_RFID_DISCRETIZER_H_
+#define FLOWCUBE_RFID_DISCRETIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flowcube {
+
+// Discretized stage duration. Raw RFID timestamps are reduced to relative
+// durations and then discretized (paper Section 2: "duration may not need to
+// be at the precision of seconds, we could discretize the value by
+// aggregating it to a higher abstraction level"). kAnyDuration is the fully
+// aggregated '*' duration.
+using Duration = int64_t;
+inline constexpr Duration kAnyDuration = -1;
+
+// The concept hierarchy over durations. Unlike categorical hierarchies this
+// one is arithmetic: level `max` is the discretized value itself and each
+// step up divides by that level's bucket factor; level 0 is '*'.
+//
+// Example: DurationHierarchy({24, 7}) models hour -> day -> week:
+//   level 3 = hours (raw discretized value),
+//   level 2 = hour / 24  (days),
+//   level 1 = hour / (24*7) (weeks),
+//   level 0 = '*'.
+//
+// The default DurationHierarchy() has the single factor-free refinement the
+// paper's experiments use: level 1 = the value, level 0 = '*'.
+class DurationHierarchy {
+ public:
+  // `factors[i]` is the bucket width dividing level (max-i) into level
+  // (max-i-1); see the class comment. Factors must be >= 2.
+  explicit DurationHierarchy(std::vector<int64_t> factors = {});
+
+  // Deepest level (raw values). Equal to factors.size() + 1.
+  int MaxLevel() const { return static_cast<int>(factors_.size()) + 1; }
+
+  // Aggregates a raw (deepest-level) duration to `level`. Level 0 returns
+  // kAnyDuration; MaxLevel() returns the value unchanged. kAnyDuration
+  // aggregates to kAnyDuration at every level.
+  Duration Aggregate(Duration raw, int level) const;
+
+  // Renders a duration at a level ("5", "*", ...).
+  std::string ToString(Duration value) const;
+
+  // The bucket factors this hierarchy was built from (empty for the
+  // default two-level hierarchy). Exposed for serialization.
+  const std::vector<int64_t>& factors() const { return factors_; }
+
+  friend bool operator==(const DurationHierarchy& a,
+                         const DurationHierarchy& b) {
+    return a.factors_ == b.factors_;
+  }
+
+ private:
+  std::vector<int64_t> factors_;
+  // cumulative_[l] = product of factors needed to go from MaxLevel to l.
+  std::vector<int64_t> cumulative_;
+};
+
+// Maps continuous stay lengths (in seconds) to discretized Duration values,
+// the numerosity-reduction step of Section 2. Uniform-width binning: a stay
+// of s seconds becomes floor(s / bin_seconds).
+class DurationDiscretizer {
+ public:
+  // `bin_seconds` is the width of one discrete duration unit (e.g. 3600 for
+  // hours). Must be > 0.
+  explicit DurationDiscretizer(int64_t bin_seconds);
+
+  // Discretizes a stay length in seconds (negative stays clamp to 0).
+  Duration Discretize(int64_t seconds) const;
+
+  int64_t bin_seconds() const { return bin_seconds_; }
+
+ private:
+  int64_t bin_seconds_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_RFID_DISCRETIZER_H_

@@ -1,0 +1,54 @@
+#include "rfid/reader_simulator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace flowcube {
+
+ReaderSimulator::ReaderSimulator(ReaderSimulatorOptions options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  FC_CHECK_MSG(options_.read_interval_seconds > 0,
+               "read_interval_seconds must be > 0");
+}
+
+std::vector<RawReading> ReaderSimulator::Simulate(
+    const std::vector<Itinerary>& itineraries) {
+  std::vector<RawReading> out;
+  for (const Itinerary& it : itineraries) {
+    for (const Stay& stay : it.stays) {
+      FC_CHECK_MSG(stay.time_out >= stay.time_in,
+                   "stay must have time_out >= time_in");
+      bool emitted_any = false;
+      for (int64_t t = stay.time_in; t <= stay.time_out;
+           t += options_.read_interval_seconds) {
+        if (rng_.Bernoulli(options_.drop_probability)) continue;
+        int64_t ts = t;
+        if (options_.timestamp_jitter_seconds > 0) {
+          ts += rng_.UniformRange(-options_.timestamp_jitter_seconds,
+                                  options_.timestamp_jitter_seconds);
+          ts = std::clamp(ts, stay.time_in, stay.time_out);
+        }
+        out.push_back(RawReading{it.epc, stay.location, ts});
+        emitted_any = true;
+        if (rng_.Bernoulli(options_.duplicate_probability)) {
+          out.push_back(RawReading{it.epc, stay.location, ts});
+        }
+      }
+      if (!emitted_any) {
+        // Guarantee recoverability: a stay is never completely silent.
+        const int64_t mid = stay.time_in + (stay.time_out - stay.time_in) / 2;
+        out.push_back(RawReading{it.epc, stay.location, mid});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RawReading& a, const RawReading& b) {
+              if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+              if (a.epc != b.epc) return a.epc < b.epc;
+              return a.location < b.location;
+            });
+  return out;
+}
+
+}  // namespace flowcube

@@ -1,0 +1,54 @@
+#ifndef FLOWCUBE_RFID_READER_SIMULATOR_H_
+#define FLOWCUBE_RFID_READER_SIMULATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "rfid/reading.h"
+
+namespace flowcube {
+
+// Knobs for the RFID reading-stream simulator.
+struct ReaderSimulatorOptions {
+  // A reader scans its field every `read_interval_seconds`; an item standing
+  // at the location produces one reading per scan cycle it is present for
+  // (so a long stay yields the "hundreds of readings" the paper describes).
+  int64_t read_interval_seconds = 600;
+
+  // Each scheduled reading is dropped with this probability (tag not
+  // energized, occlusion).
+  double drop_probability = 0.05;
+
+  // Each emitted reading is duplicated with this probability (two antennas
+  // covering the same portal).
+  double duplicate_probability = 0.10;
+
+  // Uniform timestamp jitter in [-jitter, +jitter] seconds applied per
+  // reading (reader clock skew). Jittered timestamps are clamped to the
+  // stay's [time_in, time_out] window.
+  int64_t timestamp_jitter_seconds = 30;
+};
+
+// Simulates the raw data stream of an RFID deployment. This is the
+// substitution for real reader hardware: given ground-truth itineraries it
+// produces the interleaved, noisy (EPC, location, time) stream that the
+// cleaning stage (rfid/cleaner.h) consumes, so the full
+// readings -> stays -> paths pipeline of Section 2 is exercised.
+class ReaderSimulator {
+ public:
+  ReaderSimulator(ReaderSimulatorOptions options, uint64_t seed);
+
+  // Emits the noisy reading stream for `itineraries`, globally sorted by
+  // timestamp (ties broken by EPC) the way a collected site-wide stream
+  // would arrive. Every stay produces at least one reading even under
+  // drops, so cleaning can recover the itinerary structure.
+  std::vector<RawReading> Simulate(const std::vector<Itinerary>& itineraries);
+
+ private:
+  ReaderSimulatorOptions options_;
+  Random rng_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_RFID_READER_SIMULATOR_H_

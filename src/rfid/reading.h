@@ -1,0 +1,50 @@
+#ifndef FLOWCUBE_RFID_READING_H_
+#define FLOWCUBE_RFID_READING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hierarchy/concept_hierarchy.h"
+
+namespace flowcube {
+
+// Electronic Product Code — the unique identifier on an RFID tag.
+using EpcId = uint64_t;
+
+// One raw RFID reading (paper Section 2): tag `epc` was seen by the reader
+// at `location` at Unix-style `timestamp` (seconds). An item generates many
+// readings per location; the cleaning step collapses them into stays.
+struct RawReading {
+  EpcId epc = 0;
+  NodeId location = kInvalidNode;
+  int64_t timestamp = 0;
+
+  friend bool operator==(const RawReading& a, const RawReading& b) {
+    return a.epc == b.epc && a.location == b.location &&
+           a.timestamp == b.timestamp;
+  }
+};
+
+// A cleaned stay: the item occupied `location` from `time_in` to `time_out`
+// (the (location, time_in, time_out) stage form of Section 2).
+struct Stay {
+  NodeId location = kInvalidNode;
+  int64_t time_in = 0;
+  int64_t time_out = 0;
+
+  friend bool operator==(const Stay& a, const Stay& b) {
+    return a.location == b.location && a.time_in == b.time_in &&
+           a.time_out == b.time_out;
+  }
+};
+
+// The full movement history of one item: its EPC plus ordered stays. Used
+// both as simulator ground truth and as cleaner output.
+struct Itinerary {
+  EpcId epc = 0;
+  std::vector<Stay> stays;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_RFID_READING_H_

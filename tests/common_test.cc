@@ -1,0 +1,222 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/zipf.h"
+
+namespace flowcube {
+namespace {
+
+// --- Status / Result --------------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, ErrorFactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), Status::Code::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad input").ToString(),
+            "InvalidArgument: bad input");
+  EXPECT_FALSE(Status::Internal("x").ok());
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(Result, WorksWithMoveOnlyAndNonDefaultConstructible) {
+  struct NoDefault {
+    explicit NoDefault(int v) : value(v) {}
+    int value;
+  };
+  Result<NoDefault> ok(NoDefault(7));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->value, 7);
+  Result<NoDefault> err(Status::Internal("x"));
+  EXPECT_FALSE(err.ok());
+}
+
+TEST(Result, ReturnIfErrorMacroPropagates) {
+  auto inner = []() -> Status { return Status::OutOfRange("stop"); };
+  auto outer = [&]() -> Status {
+    FC_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), Status::Code::kOutOfRange);
+}
+
+// --- Random ------------------------------------------------------------------
+
+TEST(Random, DeterministicForSameSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) equal++;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Random, UniformStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Random, UniformCoversAllValues) {
+  Random rng(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Random, NextDoubleInHalfOpenUnitInterval) {
+  Random rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Random, BernoulliMatchesProbability) {
+  Random rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+// --- Zipf --------------------------------------------------------------------
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  ZipfSampler z(10, 0.8);
+  double total = 0.0;
+  for (size_t k = 0; k < z.n(); ++k) total += z.Probability(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  ZipfSampler z(5, 0.0);
+  for (size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(z.Probability(k), 0.2, 1e-9);
+  }
+}
+
+TEST(Zipf, ProbabilityDecreasesWithRank) {
+  ZipfSampler z(20, 1.2);
+  for (size_t k = 1; k < 20; ++k) {
+    EXPECT_GT(z.Probability(k - 1), z.Probability(k));
+  }
+}
+
+TEST(Zipf, HigherAlphaIsMoreSkewed) {
+  ZipfSampler flat(10, 0.2);
+  ZipfSampler steep(10, 2.0);
+  EXPECT_GT(steep.Probability(0), flat.Probability(0));
+}
+
+TEST(Zipf, EmpiricalFrequenciesMatchTheory) {
+  ZipfSampler z(8, 1.0);
+  Random rng(42);
+  std::vector<int> counts(8, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) counts[z.Sample(rng)]++;
+  for (size_t k = 0; k < 8; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, z.Probability(k), 0.01)
+        << "rank " << k;
+  }
+}
+
+TEST(Zipf, SingleRankAlwaysSampled) {
+  ZipfSampler z(1, 1.5);
+  Random rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.Sample(rng), 0u);
+}
+
+// --- String utilities --------------------------------------------------------
+
+TEST(StringUtil, StrJoin) {
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"a"}, ","), "a");
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtil, StrSplit) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtil, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtil, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(0.5, 2), "0.5");
+  EXPECT_EQ(FormatDouble(3.0, 2), "3");
+  EXPECT_EQ(FormatDouble(0.38, 2), "0.38");
+  EXPECT_EQ(FormatDouble(0.625, 2), "0.62");  // rounds
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch w;
+  EXPECT_GE(w.ElapsedSeconds(), 0.0);
+  w.Reset();
+  EXPECT_LT(w.ElapsedSeconds(), 1.0);
+  EXPECT_GE(w.ElapsedMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace flowcube

@@ -1,0 +1,199 @@
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cube/buc.h"
+#include "cube/cubing_miner.h"
+#include "gen/paper_example.h"
+#include "gen/path_generator.h"
+#include "mining/shared_miner.h"
+
+namespace flowcube {
+namespace {
+
+// Brute-force iceberg cube: enumerate every (dim value or ancestor) combo.
+std::map<std::vector<NodeId>, size_t> BruteForceCube(const PathDatabase& db,
+                                                     uint32_t minsup) {
+  std::map<std::vector<NodeId>, size_t> counts;
+  for (const PathRecord& rec : db.records()) {
+    // All ancestor combinations of the record's dim values.
+    std::vector<std::vector<NodeId>> choices;
+    for (size_t d = 0; d < rec.dims.size(); ++d) {
+      std::vector<NodeId> chain;
+      NodeId cur = rec.dims[d];
+      while (cur != kInvalidNode) {
+        chain.push_back(cur);
+        cur = db.schema().dimensions[d].Parent(cur);
+      }
+      choices.push_back(chain);
+    }
+    std::vector<size_t> idx(choices.size(), 0);
+    for (;;) {
+      std::vector<NodeId> key(choices.size());
+      for (size_t d = 0; d < choices.size(); ++d) key[d] = choices[d][idx[d]];
+      counts[key]++;
+      size_t d = 0;
+      while (d < idx.size()) {
+        if (++idx[d] < choices[d].size()) break;
+        idx[d] = 0;
+        ++d;
+      }
+      if (d == idx.size()) break;
+    }
+  }
+  std::map<std::vector<NodeId>, size_t> frequent;
+  for (const auto& [key, c] : counts) {
+    if (c >= minsup) frequent[key] = c;
+  }
+  return frequent;
+}
+
+TEST(BucIcebergCube, PaperDatabaseCellsMatchBruteForce) {
+  PathDatabase db = MakePaperDatabase();
+  for (uint32_t minsup : {1u, 2u, 3u, 5u}) {
+    BucIcebergCube cube(BucIcebergCube::Options{minsup});
+    std::map<std::vector<NodeId>, size_t> got;
+    cube.Visit(db, [&](const CubeCell& cell) {
+      EXPECT_FALSE(got.contains(cell.coords)) << "cell visited twice";
+      got[cell.coords] = cell.tids.size();
+    });
+    EXPECT_EQ(got, BruteForceCube(db, minsup)) << "minsup=" << minsup;
+  }
+}
+
+TEST(BucIcebergCube, ApexCellContainsEverything) {
+  PathDatabase db = MakePaperDatabase();
+  BucIcebergCube cube(BucIcebergCube::Options{1});
+  bool seen_apex = false;
+  cube.Visit(db, [&](const CubeCell& cell) {
+    bool all_root = true;
+    for (size_t d = 0; d < cell.coords.size(); ++d) {
+      if (cell.coords[d] != db.schema().dimensions[d].root()) all_root = false;
+    }
+    if (all_root) {
+      seen_apex = true;
+      EXPECT_EQ(cell.tids.size(), db.size());
+    }
+  });
+  EXPECT_TRUE(seen_apex);
+}
+
+TEST(BucIcebergCube, IcebergPrunesSmallCells) {
+  PathDatabase db = MakePaperDatabase();
+  BucIcebergCube cube(BucIcebergCube::Options{3});
+  cube.Visit(db, [&](const CubeCell& cell) {
+    EXPECT_GE(cell.tids.size(), 3u) << cell.ToString(db.schema());
+  });
+}
+
+TEST(BucIcebergCube, HighThresholdLeavesOnlyApex) {
+  PathDatabase db = MakePaperDatabase();
+  BucIcebergCube cube(BucIcebergCube::Options{8});
+  std::vector<CubeCell> cells = cube.Compute(db);
+  // Apex (8 paths), (*, nike) has 6, (clothing, *) has 8,
+  // (clothing, nike) has 6 ... only support-8 cells survive.
+  for (const CubeCell& cell : cells) {
+    EXPECT_EQ(cell.tids.size(), 8u);
+  }
+  EXPECT_GE(cells.size(), 2u);  // apex + (clothing, *)
+}
+
+TEST(BucIcebergCube, TidListsPartitionPerLevel) {
+  PathDatabase db = MakePaperDatabase();
+  BucIcebergCube cube(BucIcebergCube::Options{1});
+  // Cells with product at level 3 and brand at '*' partition the db.
+  std::set<uint32_t> seen;
+  cube.Visit(db, [&](const CubeCell& cell) {
+    const auto& product = db.schema().dimensions[0];
+    if (product.Level(cell.coords[0]) == 3 &&
+        cell.coords[1] == db.schema().dimensions[1].root()) {
+      for (uint32_t tid : cell.tids) {
+        EXPECT_TRUE(seen.insert(tid).second);
+      }
+    }
+  });
+  EXPECT_EQ(seen.size(), db.size());
+}
+
+TEST(BucIcebergCube, CellToStringRendersNames) {
+  PathDatabase db = MakePaperDatabase();
+  CubeCell cell;
+  cell.coords = {db.schema().dimensions[0].Find("outerwear").value(),
+                 db.schema().dimensions[1].root()};
+  EXPECT_EQ(cell.ToString(db.schema()), "(outerwear, *)");
+}
+
+// --- CubingMiner -------------------------------------------------------------------
+
+TEST(CubingMiner, MatchesSharedOnPaperDatabase) {
+  PathDatabase db = MakePaperDatabase();
+  MiningPlan plan = MiningPlan::Default(db.schema()).value();
+  TransformedDatabase tdb = std::move(TransformPathDatabase(db, plan).value());
+
+  for (uint32_t minsup : {2u, 3u}) {
+    SharedMinerOptions sopts;
+    sopts.min_support = minsup;
+    SharedMiner shared(tdb, sopts);
+    std::map<Itemset, uint32_t> s;
+    for (const auto& fi : shared.Run().frequent) s[fi.items] = fi.support;
+
+    CubingMiner cubing(db, tdb, CubingMinerOptions{minsup});
+    std::map<Itemset, uint32_t> c;
+    for (const auto& fi : cubing.Run().frequent) c[fi.items] = fi.support;
+
+    EXPECT_EQ(s, c) << "minsup=" << minsup;
+  }
+}
+
+class CubingConsistency : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CubingConsistency, MatchesSharedOnGeneratedData) {
+  GeneratorConfig cfg;
+  cfg.num_dimensions = 3;
+  cfg.dim_distinct_per_level = {2, 2, 3};
+  cfg.num_sequences = 12;
+  cfg.seed = GetParam();
+  PathGenerator gen(cfg);
+  PathDatabase db = gen.Generate(400);
+  MiningPlan plan = MiningPlan::Default(db.schema()).value();
+  TransformedDatabase tdb = std::move(TransformPathDatabase(db, plan).value());
+
+  SharedMinerOptions sopts;
+  sopts.min_support = 20;
+  SharedMiner shared(tdb, sopts);
+  std::map<Itemset, uint32_t> s;
+  for (const auto& fi : shared.Run().frequent) s[fi.items] = fi.support;
+
+  CubingMiner cubing(db, tdb, CubingMinerOptions{20});
+  std::map<Itemset, uint32_t> c;
+  for (const auto& fi : cubing.Run().frequent) c[fi.items] = fi.support;
+
+  EXPECT_EQ(s, c);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CubingConsistency,
+                         ::testing::Values(5u, 17u, 99u));
+
+TEST(CubingMiner, CountsMoreCandidatesThanShared) {
+  // The structural claim behind Figures 6-11: cubing re-generates
+  // candidates per cell and cannot cross-prune, so it counts far more.
+  GeneratorConfig cfg;
+  cfg.num_dimensions = 3;
+  cfg.seed = 4;
+  PathGenerator gen(cfg);
+  PathDatabase db = gen.Generate(1000);
+  MiningPlan plan = MiningPlan::Default(db.schema()).value();
+  TransformedDatabase tdb = std::move(TransformPathDatabase(db, plan).value());
+
+  SharedMinerOptions sopts;
+  sopts.min_support = 20;
+  SharedMiner shared(tdb, sopts);
+  CubingMiner cubing(db, tdb, CubingMinerOptions{20});
+  EXPECT_GT(cubing.Run().stats.TotalCandidates(),
+            shared.Run().stats.TotalCandidates());
+}
+
+}  // namespace
+}  // namespace flowcube

@@ -1,0 +1,193 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "flowgraph/builder.h"
+#include "flowgraph/render.h"
+#include "gen/paper_example.h"
+#include "path/path_aggregator.h"
+
+namespace flowcube {
+namespace {
+
+class FlowGraphTest : public ::testing::Test {
+ protected:
+  FlowGraphTest() : db_(MakePaperDatabase()) {
+    for (const PathRecord& rec : db_.records()) paths_.push_back(rec.path);
+    graph_ = BuildFlowGraph(paths_);
+  }
+
+  NodeId Loc(const std::string& name) const {
+    return db_.schema().locations.Find(name).value();
+  }
+
+  FlowNodeId Node(const std::vector<std::string>& names) const {
+    FlowNodeId cur = FlowGraph::kRoot;
+    for (const auto& n : names) {
+      cur = graph_.FindChild(cur, Loc(n));
+      EXPECT_NE(cur, FlowGraph::kTerminate) << n;
+    }
+    return cur;
+  }
+
+  PathDatabase db_;
+  std::vector<Path> paths_;
+  FlowGraph graph_;
+};
+
+TEST_F(FlowGraphTest, CountsTotalPaths) {
+  EXPECT_EQ(graph_.total_paths(), 8u);
+}
+
+TEST_F(FlowGraphTest, Figure3FactoryDistributions) {
+  // Figure 3's annotation box for the factory node:
+  //   duration 5 : 0.38 (3/8), 10 : 0.62 (5/8);
+  //   transitions dist.center : 0.65-ish (5/8), truck : 0.35-ish (3/8),
+  //   terminate : 0.
+  const FlowNodeId f = Node({"factory"});
+  EXPECT_EQ(graph_.path_count(f), 8u);
+  EXPECT_DOUBLE_EQ(graph_.DurationProbability(f, 5), 3.0 / 8);
+  EXPECT_DOUBLE_EQ(graph_.DurationProbability(f, 10), 5.0 / 8);
+  EXPECT_DOUBLE_EQ(graph_.DurationProbability(f, 7), 0.0);
+
+  const FlowNodeId fd = Node({"factory", "dist.center"});
+  const FlowNodeId ft = Node({"factory", "truck"});
+  EXPECT_DOUBLE_EQ(graph_.TransitionProbability(f, fd), 5.0 / 8);
+  EXPECT_DOUBLE_EQ(graph_.TransitionProbability(f, ft), 3.0 / 8);
+  EXPECT_DOUBLE_EQ(graph_.TransitionProbability(f, FlowGraph::kTerminate),
+                   0.0);
+}
+
+TEST_F(FlowGraphTest, Figure3TruckBranch) {
+  // From factory>truck (paths 4, 5, 6): shelf 2/3, warehouse 1/3.
+  const FlowNodeId ft = Node({"factory", "truck"});
+  EXPECT_EQ(graph_.path_count(ft), 3u);
+  const FlowNodeId fts = Node({"factory", "truck", "shelf"});
+  const FlowNodeId ftw = Node({"factory", "truck", "warehouse"});
+  EXPECT_DOUBLE_EQ(graph_.TransitionProbability(ft, fts), 2.0 / 3);
+  EXPECT_DOUBLE_EQ(graph_.TransitionProbability(ft, ftw), 1.0 / 3);
+  // Warehouse is terminal in path 6.
+  EXPECT_DOUBLE_EQ(graph_.TransitionProbability(ftw, FlowGraph::kTerminate),
+                   1.0);
+}
+
+TEST_F(FlowGraphTest, CommonPrefixesShareBranches) {
+  // Paths 1, 2, 3, 7, 8 share factory>dist.center.
+  const FlowNodeId fd = Node({"factory", "dist.center"});
+  EXPECT_EQ(graph_.path_count(fd), 5u);
+  EXPECT_EQ(graph_.depth(fd), 2);
+  EXPECT_EQ(graph_.parent(fd), Node({"factory"}));
+}
+
+TEST_F(FlowGraphTest, TerminationCountsAreConsistent) {
+  // At every node: path_count == terminate_count + sum child path_counts.
+  for (FlowNodeId n = 0; n < graph_.num_nodes(); ++n) {
+    uint32_t child_sum = 0;
+    for (FlowNodeId c : graph_.children(n)) child_sum += graph_.path_count(c);
+    EXPECT_EQ(graph_.path_count(n), graph_.terminate_count(n) + child_sum);
+  }
+}
+
+TEST_F(FlowGraphTest, TransitionProbabilitiesSumToOne) {
+  for (FlowNodeId n = 0; n < graph_.num_nodes(); ++n) {
+    if (graph_.path_count(n) == 0) continue;
+    double total = graph_.TransitionProbability(n, FlowGraph::kTerminate);
+    for (FlowNodeId c : graph_.children(n)) {
+      total += graph_.TransitionProbability(n, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_F(FlowGraphTest, DurationProbabilitiesSumToOne) {
+  for (FlowNodeId n = 1; n < graph_.num_nodes(); ++n) {
+    double total = 0.0;
+    for (const auto& [d, c] : graph_.duration_counts(n)) {
+      total += graph_.DurationProbability(n, d);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_F(FlowGraphTest, WalkFollowsLocations) {
+  EXPECT_EQ(graph_.Walk(paths_[0], 2), Node({"factory", "dist.center"}));
+  EXPECT_EQ(graph_.Walk(paths_[0]),
+            Node({"factory", "dist.center", "truck", "shelf", "checkout"}));
+  Path unknown;
+  unknown.stages = {Stage{Loc("shelf"), 1}};
+  EXPECT_EQ(graph_.Walk(unknown), FlowGraph::kTerminate);
+}
+
+TEST_F(FlowGraphTest, PathProbabilityOfObservedPath) {
+  // Path 6: (f,10)(t,1)(w,5):
+  //   P = P(f)*P(10|f) * P(t|f)*P(1|t) * P(w|t)*P(5|w) * P(term|w)
+  //     = 1 * 5/8 * 3/8 * 2/3 * 1/3 * 1 * 1 = 5/96... with durations:
+  const double p = graph_.PathProbability(paths_[5]);
+  const double expected = 1.0 * (5.0 / 8) * (3.0 / 8) * (2.0 / 3) *
+                          (1.0 / 3) * 1.0 * 1.0;
+  EXPECT_NEAR(p, expected, 1e-12);
+  // A path that leaves the tree has probability 0.
+  Path off;
+  off.stages = {Stage{Loc("checkout"), 1}};
+  EXPECT_DOUBLE_EQ(graph_.PathProbability(off), 0.0);
+}
+
+TEST_F(FlowGraphTest, AggregatedCellGraphMatchesFigure4) {
+  // Figure 4: flowgraph for cell (outerwear, nike) — paths 4, 5, 6:
+  // factory -> truck (1.0); truck -> shelf (0.67) / warehouse (0.33);
+  // shelf -> checkout (1.0).
+  std::vector<Path> cell_paths = {paths_[3], paths_[4], paths_[5]};
+  const FlowGraph g = BuildFlowGraph(cell_paths);
+  const FlowNodeId f = g.FindChild(FlowGraph::kRoot, Loc("factory"));
+  const FlowNodeId ft = g.FindChild(f, Loc("truck"));
+  ASSERT_NE(ft, FlowGraph::kTerminate);
+  EXPECT_DOUBLE_EQ(g.TransitionProbability(f, ft), 1.0);
+  const FlowNodeId fts = g.FindChild(ft, Loc("shelf"));
+  const FlowNodeId ftw = g.FindChild(ft, Loc("warehouse"));
+  EXPECT_NEAR(g.TransitionProbability(ft, fts), 2.0 / 3, 1e-9);
+  EXPECT_NEAR(g.TransitionProbability(ft, ftw), 1.0 / 3, 1e-9);
+  const FlowNodeId ftsc = g.FindChild(fts, Loc("checkout"));
+  EXPECT_DOUBLE_EQ(g.TransitionProbability(fts, ftsc), 1.0);
+}
+
+TEST_F(FlowGraphTest, RenderContainsStructure) {
+  RenderOptions opts;
+  const std::string text = RenderFlowGraph(graph_, db_.schema(), opts);
+  EXPECT_NE(text.find("flowgraph over 8 paths"), std::string::npos);
+  EXPECT_NE(text.find("factory"), std::string::npos);
+  EXPECT_NE(text.find("dist.center p=0.62"), std::string::npos);
+  EXPECT_NE(text.find("dur{"), std::string::npos);
+  EXPECT_NE(text.find("(terminate)"), std::string::npos);
+}
+
+TEST(FlowGraphEdge, EmptyGraphHasOnlyRoot) {
+  FlowGraph g;
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.total_paths(), 0u);
+}
+
+TEST(FlowGraphEdge, SinglePath) {
+  FlowGraph g;
+  Path p;
+  p.stages = {Stage{3, 1}, Stage{5, 2}};
+  g.AddPath(p);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_DOUBLE_EQ(g.PathProbability(p), 1.0);
+}
+
+TEST(FlowGraphEdge, ExceptionStorage) {
+  FlowGraph g;
+  Path p;
+  p.stages = {Stage{3, 1}};
+  g.AddPath(p);
+  FlowException e;
+  e.kind = FlowException::Kind::kDuration;
+  e.node = 1;
+  e.duration_value = 1;
+  g.AddException(e);
+  ASSERT_EQ(g.exceptions().size(), 1u);
+  EXPECT_EQ(g.exceptions()[0].node, 1u);
+}
+
+}  // namespace
+}  // namespace flowcube

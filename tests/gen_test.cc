@@ -1,0 +1,183 @@
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "gen/path_generator.h"
+#include "gen/sequence_pool.h"
+
+namespace flowcube {
+namespace {
+
+TEST(SequencePool, BuildsLocationHierarchyShape) {
+  GeneratorConfig cfg;
+  cfg.num_location_groups = 3;
+  cfg.locations_per_group = 4;
+  ConceptHierarchy loc("location");
+  SequencePool::BuildLocationHierarchy(cfg, &loc);
+  EXPECT_EQ(loc.NodesAtLevel(1).size(), 3u);
+  EXPECT_EQ(loc.NodesAtLevel(2).size(), 12u);
+  EXPECT_EQ(loc.MaxLevel(), 2);
+}
+
+TEST(SequencePool, SequencesAreDistinctAndValid) {
+  GeneratorConfig cfg;
+  cfg.num_sequences = 30;
+  ConceptHierarchy loc("location");
+  SequencePool::BuildLocationHierarchy(cfg, &loc);
+  Random rng(1);
+  SequencePool pool(cfg, loc, rng);
+  EXPECT_EQ(pool.size(), 30u);
+
+  std::set<std::vector<NodeId>> seen;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const auto& seq = pool.sequence(i);
+    EXPECT_GE(seq.size(), static_cast<size_t>(cfg.min_sequence_length));
+    EXPECT_LE(seq.size(), static_cast<size_t>(cfg.max_sequence_length));
+    for (size_t j = 1; j < seq.size(); ++j) {
+      EXPECT_NE(seq[j], seq[j - 1]) << "immediate repetition";
+    }
+    for (NodeId n : seq) {
+      EXPECT_EQ(loc.Level(n), 2) << "sequences use concrete locations";
+    }
+    EXPECT_TRUE(seen.insert(seq).second) << "duplicate sequence";
+  }
+}
+
+TEST(SequencePool, CapsWhenSpaceExhausted) {
+  // 2 locations, length-1..2 sequences: only a handful of distinct ones
+  // exist; the pool must stop rather than loop forever.
+  GeneratorConfig cfg;
+  cfg.num_location_groups = 1;
+  cfg.locations_per_group = 2;
+  cfg.num_sequences = 100;
+  cfg.min_sequence_length = 1;
+  cfg.max_sequence_length = 2;
+  ConceptHierarchy loc("location");
+  SequencePool::BuildLocationHierarchy(cfg, &loc);
+  Random rng(2);
+  SequencePool pool(cfg, loc, rng);
+  EXPECT_GT(pool.size(), 0u);
+  EXPECT_LE(pool.size(), 4u);  // a, b, ab, ba
+}
+
+TEST(PathGenerator, DeterministicForSameSeed) {
+  GeneratorConfig cfg;
+  cfg.seed = 77;
+  PathGenerator g1(cfg);
+  PathGenerator g2(cfg);
+  PathDatabase a = g1.Generate(100);
+  PathDatabase b = g2.Generate(100);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.record(i).dims, b.record(i).dims);
+    EXPECT_EQ(a.record(i).path, b.record(i).path);
+  }
+}
+
+TEST(PathGenerator, DifferentSeedsDiffer) {
+  GeneratorConfig c1;
+  c1.seed = 1;
+  GeneratorConfig c2;
+  c2.seed = 2;
+  PathDatabase a = PathGenerator(c1).Generate(50);
+  PathDatabase b = PathGenerator(c2).Generate(50);
+  int differing = 0;
+  for (size_t i = 0; i < 50; ++i) {
+    if (!(a.record(i).path == b.record(i).path)) differing++;
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(PathGenerator, SchemaMatchesConfig) {
+  GeneratorConfig cfg;
+  cfg.num_dimensions = 3;
+  cfg.dim_distinct_per_level = {2, 3, 4};
+  PathGenerator gen(cfg);
+  const PathSchema& schema = *gen.schema();
+  ASSERT_EQ(schema.num_dimensions(), 3u);
+  for (const auto& dim : schema.dimensions) {
+    EXPECT_EQ(dim.MaxLevel(), 3);
+    EXPECT_EQ(dim.NodesAtLevel(1).size(), 2u);
+    EXPECT_EQ(dim.NodesAtLevel(2).size(), 6u);
+    EXPECT_EQ(dim.NodesAtLevel(3).size(), 24u);
+  }
+}
+
+TEST(PathGenerator, RecordsAreSchemaValid) {
+  GeneratorConfig cfg;
+  cfg.num_distinct_durations = 5;
+  PathGenerator gen(cfg);
+  PathDatabase db = gen.Generate(200);
+  ASSERT_EQ(db.size(), 200u);
+  for (const PathRecord& rec : db.records()) {
+    for (size_t d = 0; d < rec.dims.size(); ++d) {
+      EXPECT_EQ(db.schema().dimensions[d].Level(rec.dims[d]), 3);
+    }
+    for (const Stage& s : rec.path.stages) {
+      EXPECT_GE(s.duration, 0);
+      EXPECT_LT(s.duration, 5);
+      EXPECT_EQ(db.schema().locations.Level(s.location), 2);
+    }
+  }
+}
+
+TEST(PathGenerator, PathsComeFromSequencePool) {
+  GeneratorConfig cfg;
+  cfg.num_sequences = 5;
+  PathGenerator gen(cfg);
+  std::set<std::vector<NodeId>> pool;
+  for (size_t i = 0; i < gen.sequence_pool().size(); ++i) {
+    pool.insert(gen.sequence_pool().sequence(i));
+  }
+  PathDatabase db = gen.Generate(100);
+  for (const PathRecord& rec : db.records()) {
+    std::vector<NodeId> locs;
+    for (const Stage& s : rec.path.stages) locs.push_back(s.location);
+    EXPECT_TRUE(pool.contains(locs));
+  }
+}
+
+TEST(PathGenerator, ZipfSkewConcentratesValues) {
+  GeneratorConfig skewed;
+  skewed.dim_zipf_alpha = 2.5;
+  skewed.seed = 5;
+  GeneratorConfig flat;
+  flat.dim_zipf_alpha = 0.0;
+  flat.seed = 5;
+
+  auto top_share = [](PathGenerator& gen) {
+    PathDatabase db = gen.Generate(2000);
+    std::map<NodeId, int> counts;
+    for (const PathRecord& r : db.records()) counts[r.dims[0]]++;
+    int max = 0;
+    for (const auto& [n, c] : counts) max = std::max(max, c);
+    return static_cast<double>(max) / db.size();
+  };
+  PathGenerator gs(skewed);
+  PathGenerator gf(flat);
+  EXPECT_GT(top_share(gs), top_share(gf) * 2);
+}
+
+TEST(PathGenerator, ToItinerariesRoundTripsDurations) {
+  GeneratorConfig cfg;
+  cfg.seed = 9;
+  PathGenerator gen(cfg);
+  PathDatabase db = gen.Generate(20);
+  const int64_t bin = 3600;
+  const auto its = PathGenerator::ToItineraries(db, bin);
+  ASSERT_EQ(its.size(), db.size());
+  const DurationDiscretizer disc(bin);
+  for (size_t i = 0; i < its.size(); ++i) {
+    ASSERT_EQ(its[i].stays.size(), db.record(i).path.size());
+    for (size_t s = 0; s < its[i].stays.size(); ++s) {
+      const Stay& stay = its[i].stays[s];
+      EXPECT_EQ(stay.location, db.record(i).path.stages[s].location);
+      EXPECT_EQ(disc.Discretize(stay.time_out - stay.time_in),
+                db.record(i).path.stages[s].duration);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flowcube

@@ -1,0 +1,255 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/concept_hierarchy.h"
+#include "hierarchy/lattice.h"
+
+namespace flowcube {
+namespace {
+
+ConceptHierarchy MakeLocationHierarchy() {
+  // The paper's Figure 5.
+  ConceptHierarchy h("location");
+  EXPECT_TRUE(h.AddPath({"transportation", "dist.center"}).ok());
+  EXPECT_TRUE(h.AddPath({"transportation", "truck"}).ok());
+  EXPECT_TRUE(h.AddPath({"factory"}).ok());
+  EXPECT_TRUE(h.AddPath({"store", "warehouse"}).ok());
+  EXPECT_TRUE(h.AddPath({"store", "shelf"}).ok());
+  EXPECT_TRUE(h.AddPath({"store", "checkout"}).ok());
+  return h;
+}
+
+// --- ConceptHierarchy --------------------------------------------------------
+
+TEST(ConceptHierarchy, RootExistsAtLevelZero) {
+  ConceptHierarchy h("d");
+  EXPECT_EQ(h.NodeCount(), 1u);
+  EXPECT_EQ(h.Level(h.root()), 0);
+  EXPECT_EQ(h.Name(h.root()), "*");
+  EXPECT_EQ(h.Parent(h.root()), kInvalidNode);
+  EXPECT_EQ(h.MaxLevel(), 0);
+}
+
+TEST(ConceptHierarchy, AddChildAssignsLevelsAndParents) {
+  ConceptHierarchy h("d");
+  Result<NodeId> a = h.AddChild(h.root(), "a");
+  ASSERT_TRUE(a.ok());
+  Result<NodeId> b = h.AddChild(a.value(), "b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(h.Level(a.value()), 1);
+  EXPECT_EQ(h.Level(b.value()), 2);
+  EXPECT_EQ(h.Parent(b.value()), a.value());
+  EXPECT_EQ(h.MaxLevel(), 2);
+  EXPECT_EQ(h.Children(a.value()).size(), 1u);
+}
+
+TEST(ConceptHierarchy, DuplicateNameRejected) {
+  ConceptHierarchy h("d");
+  ASSERT_TRUE(h.AddChild(h.root(), "a").ok());
+  Result<NodeId> dup = h.AddChild(h.root(), "a");
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), Status::Code::kAlreadyExists);
+}
+
+TEST(ConceptHierarchy, AddChildRejectsBadParent) {
+  ConceptHierarchy h("d");
+  EXPECT_FALSE(h.AddChild(999, "x").ok());
+}
+
+TEST(ConceptHierarchy, AddPathReusesExistingPrefix) {
+  ConceptHierarchy h("d");
+  Result<NodeId> leaf1 = h.AddPath({"a", "b"});
+  ASSERT_TRUE(leaf1.ok());
+  Result<NodeId> leaf2 = h.AddPath({"a", "c"});
+  ASSERT_TRUE(leaf2.ok());
+  // "a" was reused, so: root, a, b, c.
+  EXPECT_EQ(h.NodeCount(), 4u);
+  EXPECT_EQ(h.Parent(leaf1.value()), h.Parent(leaf2.value()));
+}
+
+TEST(ConceptHierarchy, AddPathRejectsReparenting) {
+  ConceptHierarchy h("d");
+  ASSERT_TRUE(h.AddPath({"a", "b"}).ok());
+  // "b" exists under "a"; re-adding it under "c" must fail.
+  EXPECT_FALSE(h.AddPath({"c", "b"}).ok());
+}
+
+TEST(ConceptHierarchy, AddPathRejectsEmpty) {
+  ConceptHierarchy h("d");
+  EXPECT_FALSE(h.AddPath({}).ok());
+}
+
+TEST(ConceptHierarchy, FindByName) {
+  ConceptHierarchy h = MakeLocationHierarchy();
+  ASSERT_TRUE(h.Find("truck").ok());
+  EXPECT_EQ(h.Level(h.Find("truck").value()), 2);
+  EXPECT_EQ(h.Find("*").value(), h.root());
+  EXPECT_FALSE(h.Find("spaceship").ok());
+}
+
+TEST(ConceptHierarchy, AncestorAtLevel) {
+  ConceptHierarchy h = MakeLocationHierarchy();
+  const NodeId truck = h.Find("truck").value();
+  const NodeId transportation = h.Find("transportation").value();
+  EXPECT_EQ(h.AncestorAtLevel(truck, 1), transportation);
+  EXPECT_EQ(h.AncestorAtLevel(truck, 0), h.root());
+  // A node at or above the requested level stays put.
+  EXPECT_EQ(h.AncestorAtLevel(truck, 2), truck);
+  EXPECT_EQ(h.AncestorAtLevel(transportation, 2), transportation);
+}
+
+TEST(ConceptHierarchy, IsAncestorOrSelf) {
+  ConceptHierarchy h = MakeLocationHierarchy();
+  const NodeId truck = h.Find("truck").value();
+  const NodeId transportation = h.Find("transportation").value();
+  const NodeId store = h.Find("store").value();
+  EXPECT_TRUE(h.IsAncestorOrSelf(transportation, truck));
+  EXPECT_TRUE(h.IsAncestorOrSelf(truck, truck));
+  EXPECT_TRUE(h.IsAncestorOrSelf(h.root(), truck));
+  EXPECT_FALSE(h.IsAncestorOrSelf(truck, transportation));
+  EXPECT_FALSE(h.IsAncestorOrSelf(store, truck));
+}
+
+TEST(ConceptHierarchy, NodesAtLevelAndLeaves) {
+  ConceptHierarchy h = MakeLocationHierarchy();
+  EXPECT_EQ(h.NodesAtLevel(1).size(), 3u);  // transportation, factory, store
+  EXPECT_EQ(h.NodesAtLevel(2).size(), 5u);
+  // factory is a level-1 leaf; the other five leaves are at level 2.
+  EXPECT_EQ(h.Leaves().size(), 6u);
+}
+
+// --- ItemLattice --------------------------------------------------------------
+
+TEST(ItemLattice, ApexAndBase) {
+  ItemLattice lat({3, 2});
+  EXPECT_EQ(lat.Apex().levels, (std::vector<int>{0, 0}));
+  EXPECT_EQ(lat.Base().levels, (std::vector<int>{3, 2}));
+}
+
+TEST(ItemLattice, AllLevelsEnumeratesProduct) {
+  ItemLattice lat({2, 1});
+  const auto all = lat.AllLevels();
+  EXPECT_EQ(all.size(), 6u);  // 3 * 2
+  // Parents precede children: apex first, base last.
+  EXPECT_EQ(all.front().levels, (std::vector<int>{0, 0}));
+  EXPECT_EQ(all.back().levels, (std::vector<int>{2, 1}));
+  // General-before-specific ordering by total level sum.
+  for (size_t i = 1; i < all.size(); ++i) {
+    int prev = 0, cur = 0;
+    for (int l : all[i - 1].levels) prev += l;
+    for (int l : all[i].levels) cur += l;
+    EXPECT_LE(prev, cur);
+  }
+}
+
+TEST(ItemLattice, ParentsAndChildren) {
+  ItemLattice lat({2, 2});
+  const ItemLevel mid{{1, 1}};
+  const auto parents = lat.Parents(mid);
+  ASSERT_EQ(parents.size(), 2u);
+  EXPECT_EQ(parents[0].levels, (std::vector<int>{0, 1}));
+  EXPECT_EQ(parents[1].levels, (std::vector<int>{1, 0}));
+  const auto children = lat.Children(mid);
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0].levels, (std::vector<int>{2, 1}));
+  EXPECT_EQ(children[1].levels, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(lat.Parents(lat.Apex()).empty());
+  EXPECT_TRUE(lat.Children(lat.Base()).empty());
+}
+
+TEST(ItemLattice, GeneralizesOrEquals) {
+  EXPECT_TRUE(ItemLattice::GeneralizesOrEquals(ItemLevel{{0, 1}},
+                                               ItemLevel{{2, 1}}));
+  EXPECT_TRUE(ItemLattice::GeneralizesOrEquals(ItemLevel{{1, 1}},
+                                               ItemLevel{{1, 1}}));
+  EXPECT_FALSE(ItemLattice::GeneralizesOrEquals(ItemLevel{{2, 0}},
+                                                ItemLevel{{1, 1}}));
+  EXPECT_FALSE(
+      ItemLattice::GeneralizesOrEquals(ItemLevel{{0}}, ItemLevel{{0, 0}}));
+}
+
+TEST(ItemLattice, Contains) {
+  ItemLattice lat({2, 1});
+  EXPECT_TRUE(lat.Contains(ItemLevel{{2, 1}}));
+  EXPECT_TRUE(lat.Contains(ItemLevel{{0, 0}}));
+  EXPECT_FALSE(lat.Contains(ItemLevel{{3, 0}}));
+  EXPECT_FALSE(lat.Contains(ItemLevel{{1}}));
+}
+
+TEST(ItemLevel, ToStringRendersLevels) {
+  EXPECT_EQ((ItemLevel{{2, 0, 1}}).ToString(), "(2,0,1)");
+}
+
+// --- LocationCut ---------------------------------------------------------------
+
+TEST(LocationCut, UniformAtLeafLevelIsIdentity) {
+  ConceptHierarchy h = MakeLocationHierarchy();
+  Result<LocationCut> cut = LocationCut::Uniform(h, 2);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_TRUE(cut->IsIdentity());
+  const NodeId truck = h.Find("truck").value();
+  EXPECT_EQ(cut->Map(truck), truck);
+  // factory is a shallow leaf (level 1); a level-2 cut must still cover it.
+  const NodeId factory = h.Find("factory").value();
+  EXPECT_EQ(cut->Map(factory), factory);
+}
+
+TEST(LocationCut, UniformLevelOneAggregates) {
+  ConceptHierarchy h = MakeLocationHierarchy();
+  Result<LocationCut> cut = LocationCut::Uniform(h, 1);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_FALSE(cut->IsIdentity());
+  EXPECT_EQ(cut->Map(h.Find("truck").value()),
+            h.Find("transportation").value());
+  EXPECT_EQ(cut->Map(h.Find("shelf").value()), h.Find("store").value());
+  EXPECT_EQ(cut->Map(h.Find("factory").value()), h.Find("factory").value());
+}
+
+TEST(LocationCut, MixedCutPerFigure5) {
+  // Transportation manager view: keep dist.center/truck detailed, collapse
+  // the store.
+  ConceptHierarchy h = MakeLocationHierarchy();
+  Result<LocationCut> cut = LocationCut::FromNodes(
+      h, {h.Find("dist.center").value(), h.Find("truck").value(),
+          h.Find("factory").value(), h.Find("store").value()});
+  ASSERT_TRUE(cut.ok()) << cut.status().ToString();
+  EXPECT_EQ(cut->Map(h.Find("truck").value()), h.Find("truck").value());
+  EXPECT_EQ(cut->Map(h.Find("shelf").value()), h.Find("store").value());
+  EXPECT_EQ(cut->Map(h.Find("checkout").value()), h.Find("store").value());
+}
+
+TEST(LocationCut, RejectsNestedCutNodes) {
+  ConceptHierarchy h = MakeLocationHierarchy();
+  Result<LocationCut> cut = LocationCut::FromNodes(
+      h, {h.Find("store").value(), h.Find("shelf").value(),
+          h.Find("transportation").value(), h.Find("factory").value()});
+  EXPECT_FALSE(cut.ok());
+}
+
+TEST(LocationCut, RejectsIncompleteCover) {
+  ConceptHierarchy h = MakeLocationHierarchy();
+  Result<LocationCut> cut =
+      LocationCut::FromNodes(h, {h.Find("store").value()});
+  EXPECT_FALSE(cut.ok());
+}
+
+TEST(LocationCut, MapAboveCutIsInvalid) {
+  ConceptHierarchy h = MakeLocationHierarchy();
+  Result<LocationCut> cut = LocationCut::Uniform(h, 2);
+  ASSERT_TRUE(cut.ok());
+  // "store" (level 1, above the leaf cut) has no representative.
+  EXPECT_EQ(cut->Map(h.Find("store").value()), kInvalidNode);
+}
+
+TEST(PathLevel, ToStringAndEquality) {
+  PathLevel a{0, 1};
+  PathLevel b{0, 1};
+  PathLevel c{1, 0};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(c.ToString(), "<cut=1,dur=0>");
+}
+
+}  // namespace
+}  // namespace flowcube

@@ -1,0 +1,238 @@
+// Full-pipeline integration tests: raw RFID readings -> cleaning -> path
+// database -> flowcube -> OLAP queries, plus three-way miner consistency on
+// generated workloads.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "cube/cubing_miner.h"
+#include "flowcube/builder.h"
+#include "flowcube/query.h"
+#include "gen/path_generator.h"
+#include "mining/compatibility.h"
+#include "mining/shared_miner.h"
+#include "rfid/cleaner.h"
+#include "rfid/reader_simulator.h"
+
+namespace flowcube {
+namespace {
+
+TEST(Integration, ReadingsToFlowCube) {
+  // 1. Generate ground-truth commodity movements.
+  GeneratorConfig cfg;
+  cfg.num_dimensions = 2;
+  cfg.dim_distinct_per_level = {2, 2, 2};
+  cfg.num_sequences = 8;
+  cfg.seed = 404;
+  PathGenerator gen(cfg);
+  PathDatabase truth = gen.Generate(300);
+
+  // 2. Simulate the reader stream and clean it back into paths.
+  const int64_t bin = 3600;
+  ReaderSimulatorOptions sim_opts;
+  sim_opts.timestamp_jitter_seconds = 0;
+  sim_opts.drop_probability = 0.0;
+  ReaderSimulator sim(sim_opts, 7);
+  const auto readings =
+      sim.Simulate(PathGenerator::ToItineraries(truth, bin));
+  ReadingCleaner cleaner(CleanerOptions{/*max_gap_seconds=*/6000});
+  const auto itineraries = cleaner.Clean(readings);
+  ASSERT_EQ(itineraries.size(), truth.size());
+
+  // 3. Rebuild the path database from the cleaned stream.
+  PathDatabase db(truth.schema_ptr());
+  const DurationDiscretizer disc(bin);
+  for (const Itinerary& it : itineraries) {
+    PathRecord rec;
+    rec.dims = truth.record(static_cast<uint32_t>(it.epc - 1)).dims;
+    rec.path = ReadingCleaner::ToPath(it, disc);
+    ASSERT_TRUE(db.Append(std::move(rec)).ok());
+  }
+
+  // The cleaned database must exactly reproduce the ground truth (no noise
+  // was injected).
+  for (size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(db.record(i).path, truth.record(i).path) << "record " << i;
+  }
+
+  // 4. Build the flowcube and query it.
+  FlowCubePlan plan = FlowCubePlan::Default(db.schema()).value();
+  FlowCubeBuilderOptions opts;
+  opts.min_support = 15;
+  opts.exceptions.min_support = 15;
+  FlowCubeBuilder builder(opts);
+  FlowCubeBuildStats stats;
+  Result<FlowCube> cube = builder.Build(db, plan, &stats);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  EXPECT_GT(stats.cells_materialized, 0u);
+
+  FlowCubeQuery query(&cube.value());
+  const Result<CellRef> apex =
+      query.Cell(std::vector<std::string>(2, "*"), 0);
+  ASSERT_TRUE(apex.ok());
+  EXPECT_EQ(apex->cell->support, 300u);
+  EXPECT_FALSE(query.TypicalPaths(*apex, 3).empty());
+}
+
+// Three-way consistency: Shared == Cubing exactly, and both equal Basic
+// restricted to structurally sound patterns, across several workloads.
+struct ConsistencyParam {
+  uint64_t seed;
+  int num_sequences;
+  uint32_t min_support;
+};
+
+class ThreeWayConsistency
+    : public ::testing::TestWithParam<ConsistencyParam> {};
+
+TEST_P(ThreeWayConsistency, AllMinersAgree) {
+  const ConsistencyParam param = GetParam();
+  GeneratorConfig cfg;
+  cfg.num_dimensions = 2;
+  cfg.dim_distinct_per_level = {2, 2, 2};
+  cfg.num_sequences = param.num_sequences;
+  cfg.max_sequence_length = 5;
+  cfg.seed = param.seed;
+  PathGenerator gen(cfg);
+  PathDatabase db = gen.Generate(250);
+  MiningPlan plan = MiningPlan::Default(db.schema()).value();
+  TransformedDatabase tdb = std::move(TransformPathDatabase(db, plan).value());
+
+  SharedMinerOptions sopts;
+  sopts.min_support = param.min_support;
+  SharedMiner shared(tdb, sopts);
+  std::map<Itemset, uint32_t> s;
+  for (const auto& fi : shared.Run().frequent) s[fi.items] = fi.support;
+
+  CubingMiner cubing(db, tdb, CubingMinerOptions{param.min_support});
+  std::map<Itemset, uint32_t> c;
+  for (const auto& fi : cubing.Run().frequent) c[fi.items] = fi.support;
+  EXPECT_EQ(s, c);
+
+  SharedMinerOptions bopts = sopts;
+  bopts.prune_precount = false;
+  bopts.prune_unlinkable = false;
+  bopts.prune_ancestors = false;
+  SharedMiner basic(tdb, bopts);
+  std::map<Itemset, uint32_t> b;
+  for (const auto& fi : basic.Run().frequent) b[fi.items] = fi.support;
+  for (const auto& [items, support] : s) {
+    ASSERT_TRUE(b.contains(items));
+    EXPECT_EQ(b.at(items), support);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ThreeWayConsistency,
+    ::testing::Values(ConsistencyParam{1, 6, 10},
+                      ConsistencyParam{2, 15, 12},
+                      ConsistencyParam{3, 30, 25},
+                      ConsistencyParam{8, 10, 5}));
+
+TEST(Integration, FlowCubeFromCustomTransportationPlan) {
+  // A Figure 1 / Figure 5 style analysis plan: the transportation manager's
+  // mixed cut as an extra path level.
+  GeneratorConfig cfg;
+  cfg.num_dimensions = 2;
+  cfg.dim_distinct_per_level = {2, 2, 2};
+  cfg.num_location_groups = 3;
+  cfg.locations_per_group = 3;
+  cfg.num_sequences = 6;
+  cfg.seed = 5;
+  PathGenerator gen(cfg);
+  PathDatabase db = gen.Generate(200);
+
+  FlowCubePlan plan = FlowCubePlan::Default(db.schema()).value();
+  // Custom cut: group T0 stays detailed, T1/T2 collapse.
+  const auto& loc = db.schema().locations;
+  std::vector<NodeId> nodes;
+  for (NodeId child : loc.Children(loc.Find("T0").value())) {
+    nodes.push_back(child);
+  }
+  nodes.push_back(loc.Find("T1").value());
+  nodes.push_back(loc.Find("T2").value());
+  Result<LocationCut> cut = LocationCut::FromNodes(loc, nodes);
+  ASSERT_TRUE(cut.ok()) << cut.status().ToString();
+  plan.mining.cuts.push_back(std::move(cut.value()));
+  const int cut_index = static_cast<int>(plan.mining.cuts.size()) - 1;
+  plan.mining.path_levels.push_back(PathLevel{cut_index, 1});
+  plan.path_levels.push_back(
+      static_cast<int>(plan.mining.path_levels.size()) - 1);
+
+  FlowCubeBuilderOptions opts;
+  opts.min_support = 10;
+  opts.compute_exceptions = false;
+  FlowCubeBuilder builder(opts);
+  Result<FlowCube> cube = builder.Build(db, plan);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+
+  // The custom-level graphs contain collapsed T1/T2 nodes but detailed T0
+  // leaves.
+  const size_t custom_pl = cube->plan().path_levels.size() - 1;
+  const int il = cube->plan().FindItemLevel(ItemLevel{{0, 0}});
+  const FlowCell* apex =
+      cube->cuboid(static_cast<size_t>(il), custom_pl).Find({});
+  ASSERT_NE(apex, nullptr);
+  bool saw_group = false;
+  bool saw_leaf = false;
+  for (FlowNodeId n = 1; n < apex->graph.num_nodes(); ++n) {
+    const int level = loc.Level(apex->graph.location(n));
+    if (level == 1) saw_group = true;
+    if (level == 2) saw_leaf = true;
+  }
+  EXPECT_TRUE(saw_group);
+  EXPECT_TRUE(saw_leaf);
+}
+
+TEST(Integration, IcebergThresholdShrinksCube) {
+  GeneratorConfig cfg;
+  cfg.num_dimensions = 2;
+  cfg.seed = 99;
+  PathGenerator gen(cfg);
+  PathDatabase db = gen.Generate(400);
+  FlowCubePlan plan = FlowCubePlan::Default(db.schema()).value();
+
+  size_t previous = SIZE_MAX;
+  for (uint32_t minsup : {4u, 20u, 100u}) {
+    FlowCubeBuilderOptions opts;
+    opts.min_support = minsup;
+    opts.compute_exceptions = false;
+    opts.mark_redundant = false;
+    FlowCubeBuilder builder(opts);
+    Result<FlowCube> cube = builder.Build(db, plan);
+    ASSERT_TRUE(cube.ok());
+    EXPECT_LT(cube->TotalCells(), previous);
+    previous = cube->TotalCells();
+  }
+}
+
+TEST(Integration, NonRedundantCubeIsSmallerButQueryable) {
+  GeneratorConfig cfg;
+  cfg.num_dimensions = 2;
+  cfg.dim_distinct_per_level = {2, 2, 2};
+  cfg.seed = 123;
+  PathGenerator gen(cfg);
+  PathDatabase db = gen.Generate(300);
+  FlowCubePlan plan = FlowCubePlan::Default(db.schema()).value();
+  FlowCubeBuilderOptions opts;
+  opts.min_support = 10;
+  opts.compute_exceptions = false;
+  opts.redundancy_tau = 0.10;
+  FlowCubeBuilder builder(opts);
+  Result<FlowCube> cube = builder.Build(db, plan);
+  ASSERT_TRUE(cube.ok());
+
+  const size_t total = cube->TotalCells();
+  const size_t redundant = cube->RedundantCells();
+  EXPECT_GT(redundant, 0u);  // hierarchical zipf data always has lookalikes
+  cube->EraseRedundant();
+  EXPECT_EQ(cube->TotalCells(), total - redundant);
+
+  // The apex remains queryable after compaction.
+  FlowCubeQuery query(&cube.value());
+  EXPECT_TRUE(query.Cell({"*", "*"}).ok());
+}
+
+}  // namespace
+}  // namespace flowcube

@@ -1,0 +1,146 @@
+// Tests of algebraic flowgraph aggregation (Lemma 4.2): merging the
+// flowgraphs of a partition must reproduce the flowgraph of the union
+// exactly, and the flowcube query API must exploit it for roll-ups.
+
+#include <gtest/gtest.h>
+
+#include "flowcube/builder.h"
+#include "flowcube/query.h"
+#include "flowgraph/builder.h"
+#include "flowgraph/merge.h"
+#include "flowgraph/similarity.h"
+#include "gen/paper_example.h"
+#include "gen/path_generator.h"
+
+namespace flowcube {
+namespace {
+
+void ExpectSameCounts(const FlowGraph& a, const FlowGraph& b,
+                      FlowNodeId na = FlowGraph::kRoot,
+                      FlowNodeId nb = FlowGraph::kRoot) {
+  ASSERT_EQ(a.path_count(na), b.path_count(nb));
+  ASSERT_EQ(a.terminate_count(na), b.terminate_count(nb));
+  ASSERT_EQ(a.duration_counts(na), b.duration_counts(nb));
+  ASSERT_EQ(a.children(na).size(), b.children(nb).size());
+  for (FlowNodeId ca : a.children(na)) {
+    const FlowNodeId cb = b.FindChild(nb, a.location(ca));
+    ASSERT_NE(cb, FlowGraph::kTerminate);
+    ExpectSameCounts(a, b, ca, cb);
+  }
+}
+
+TEST(Merge, PartitionMergeEqualsDirectConstruction) {
+  PathDatabase db = MakePaperDatabase();
+  std::vector<Path> all;
+  for (const PathRecord& r : db.records()) all.push_back(r.path);
+
+  // Partition the paths arbitrarily into three parts.
+  std::vector<Path> p1(all.begin(), all.begin() + 3);
+  std::vector<Path> p2(all.begin() + 3, all.begin() + 5);
+  std::vector<Path> p3(all.begin() + 5, all.end());
+  const FlowGraph g1 = BuildFlowGraph(p1);
+  const FlowGraph g2 = BuildFlowGraph(p2);
+  const FlowGraph g3 = BuildFlowGraph(p3);
+
+  const std::vector<const FlowGraph*> parts = {&g1, &g2, &g3};
+  const FlowGraph merged = MergeFlowGraphs(parts);
+  const FlowGraph direct = BuildFlowGraph(all);
+
+  ExpectSameCounts(merged, direct);
+  EXPECT_DOUBLE_EQ(FlowGraphDistance(merged, direct), 0.0);
+}
+
+TEST(Merge, MergeFromAccumulatesInPlace) {
+  PathDatabase db = MakePaperDatabase();
+  FlowGraph acc;
+  std::vector<Path> all;
+  for (const PathRecord& r : db.records()) {
+    std::vector<Path> one = {r.path};
+    acc.MergeFrom(BuildFlowGraph(one));
+    all.push_back(r.path);
+  }
+  ExpectSameCounts(acc, BuildFlowGraph(all));
+}
+
+TEST(Merge, EmptyMergeIsNeutral) {
+  FlowGraph empty;
+  std::vector<Path> paths = {Path{{Stage{1, 2}, Stage{3, 4}}}};
+  FlowGraph g = BuildFlowGraph(paths);
+  g.MergeFrom(empty);
+  EXPECT_EQ(g.total_paths(), 1u);
+  FlowGraph g2;
+  g2.MergeFrom(g);
+  ExpectSameCounts(g2, g);
+}
+
+TEST(Merge, MergeDoesNotCarryExceptions) {
+  std::vector<Path> paths = {Path{{Stage{1, 2}}}};
+  FlowGraph g = BuildFlowGraph(paths);
+  FlowException e;
+  e.node = 1;
+  g.AddException(e);
+  FlowGraph merged;
+  merged.MergeFrom(g);
+  EXPECT_TRUE(merged.exceptions().empty());
+}
+
+TEST(Merge, RandomPartitionProperty) {
+  GeneratorConfig cfg;
+  cfg.num_dimensions = 1;
+  cfg.num_sequences = 10;
+  cfg.seed = 8;
+  PathGenerator gen(cfg);
+  PathDatabase db = gen.Generate(200);
+  std::vector<Path> all;
+  std::vector<Path> even;
+  std::vector<Path> odd;
+  for (size_t i = 0; i < db.size(); ++i) {
+    all.push_back(db.record(i).path);
+    (i % 2 == 0 ? even : odd).push_back(db.record(i).path);
+  }
+  FlowGraph merged = BuildFlowGraph(even);
+  merged.MergeFrom(BuildFlowGraph(odd));
+  ExpectSameCounts(merged, BuildFlowGraph(all));
+}
+
+TEST(Merge, QueryMergeChildrenMatchesParent) {
+  // With min_support 1 every child cell materializes, so the children
+  // cover the parent exactly and the algebraic roll-up must reproduce it.
+  PathDatabase db = MakePaperDatabase();
+  FlowCubePlan plan = FlowCubePlan::Default(db.schema()).value();
+  FlowCubeBuilderOptions opts;
+  opts.min_support = 1;
+  opts.compute_exceptions = false;
+  FlowCubeBuilder builder(opts);
+  Result<FlowCube> cube = builder.Build(db, plan);
+  ASSERT_TRUE(cube.ok());
+
+  FlowCubeQuery query(&cube.value());
+  const Result<CellRef> shoes = query.Cell({"shoes", "nike"});
+  ASSERT_TRUE(shoes.ok());
+  const Result<FlowGraph> merged = query.MergeChildren(*shoes, 0);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ExpectSameCounts(merged.value(), shoes->cell->graph);
+}
+
+TEST(Merge, QueryMergeChildrenFailsUnderIcebergPruning) {
+  // With min_support 2 the (shirt, nike) child of (outerwear, nike) is
+  // pruned, so the algebraic roll-up must refuse.
+  PathDatabase db = MakePaperDatabase();
+  FlowCubePlan plan = FlowCubePlan::Default(db.schema()).value();
+  FlowCubeBuilderOptions opts;
+  opts.min_support = 2;
+  opts.compute_exceptions = false;
+  FlowCubeBuilder builder(opts);
+  Result<FlowCube> cube = builder.Build(db, plan);
+  ASSERT_TRUE(cube.ok());
+
+  FlowCubeQuery query(&cube.value());
+  const Result<CellRef> outerwear = query.Cell({"outerwear", "nike"});
+  ASSERT_TRUE(outerwear.ok());
+  const Result<FlowGraph> merged = query.MergeChildren(*outerwear, 0);
+  EXPECT_EQ(merged.status().code(), Status::Code::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace flowcube

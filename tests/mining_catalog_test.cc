@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "gen/paper_example.h"
+#include "mining/item_catalog.h"
+#include "mining/stage_catalog.h"
+
+namespace flowcube {
+namespace {
+
+// --- PrefixTrie ------------------------------------------------------------------
+
+TEST(PrefixTrie, EmptyPrefixIsRoot) {
+  PrefixTrie trie;
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.depth(kEmptyPrefix), 0);
+  EXPECT_EQ(trie.location(kEmptyPrefix), kInvalidNode);
+  EXPECT_EQ(trie.parent(kEmptyPrefix), PrefixTrie::kInvalidPrefix);
+}
+
+TEST(PrefixTrie, InternIsIdempotent) {
+  PrefixTrie trie;
+  const PrefixId a = trie.Intern(kEmptyPrefix, 5);
+  const PrefixId b = trie.Intern(kEmptyPrefix, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(trie.size(), 2u);
+  EXPECT_EQ(trie.Find(kEmptyPrefix, 5), a);
+  EXPECT_EQ(trie.Find(kEmptyPrefix, 6), PrefixTrie::kInvalidPrefix);
+}
+
+TEST(PrefixTrie, TracksDepthAndParent) {
+  PrefixTrie trie;
+  const PrefixId f = trie.Intern(kEmptyPrefix, 1);
+  const PrefixId fd = trie.Intern(f, 2);
+  const PrefixId fdt = trie.Intern(fd, 3);
+  EXPECT_EQ(trie.depth(fdt), 3);
+  EXPECT_EQ(trie.parent(fdt), fd);
+  EXPECT_EQ(trie.location(fdt), 3u);
+  EXPECT_EQ(trie.Locations(fdt), (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(PrefixTrie, StrictAncestorRelation) {
+  PrefixTrie trie;
+  const PrefixId f = trie.Intern(kEmptyPrefix, 1);
+  const PrefixId fd = trie.Intern(f, 2);
+  const PrefixId fdt = trie.Intern(fd, 3);
+  const PrefixId ft = trie.Intern(f, 3);  // diverging branch
+  EXPECT_TRUE(trie.IsStrictAncestor(f, fd));
+  EXPECT_TRUE(trie.IsStrictAncestor(f, fdt));
+  EXPECT_TRUE(trie.IsStrictAncestor(kEmptyPrefix, f));
+  EXPECT_FALSE(trie.IsStrictAncestor(fd, fd));      // not strict
+  EXPECT_FALSE(trie.IsStrictAncestor(fdt, fd));     // wrong direction
+  EXPECT_FALSE(trie.IsStrictAncestor(ft, fdt));     // diverged
+  EXPECT_FALSE(trie.IsStrictAncestor(fd, ft));
+}
+
+TEST(PrefixTrie, AncestorAtDepth) {
+  PrefixTrie trie;
+  const PrefixId a = trie.Intern(kEmptyPrefix, 1);
+  const PrefixId ab = trie.Intern(a, 2);
+  const PrefixId abc = trie.Intern(ab, 3);
+  EXPECT_EQ(trie.AncestorAtDepth(abc, 3), abc);
+  EXPECT_EQ(trie.AncestorAtDepth(abc, 2), ab);
+  EXPECT_EQ(trie.AncestorAtDepth(abc, 1), a);
+  EXPECT_EQ(trie.AncestorAtDepth(abc, 0), kEmptyPrefix);
+}
+
+// --- ItemCatalog -----------------------------------------------------------------
+
+TEST(ItemCatalog, PreInternsDimensionItems) {
+  SchemaPtr schema = MakePaperSchema();
+  ItemCatalog cat(schema);
+  // product: clothing + shoes + outerwear + 4 leaves = 7 non-root nodes;
+  // brand: premium + value + nike + adidas = 4.
+  EXPECT_EQ(cat.num_dim_items(), 11u);
+  EXPECT_EQ(cat.num_items(), 11u);
+}
+
+TEST(ItemCatalog, DimItemMetadata) {
+  SchemaPtr schema = MakePaperSchema();
+  ItemCatalog cat(schema);
+  const NodeId tennis = schema->dimensions[0].Find("tennis").value();
+  const ItemId id = cat.DimItem(0, tennis);
+  EXPECT_TRUE(cat.IsDimItem(id));
+  EXPECT_FALSE(cat.IsStageItem(id));
+  EXPECT_EQ(cat.DimOf(id), 0u);
+  EXPECT_EQ(cat.NodeOf(id), tennis);
+  EXPECT_EQ(cat.DimLevelOf(id), 3);
+  EXPECT_EQ(cat.ToString(id), "product=tennis");
+}
+
+TEST(ItemCatalog, StageItemInterningAndLookup) {
+  SchemaPtr schema = MakePaperSchema();
+  ItemCatalog cat(schema);
+  const NodeId f = schema->locations.Find("factory").value();
+  const PrefixId pf = cat.mutable_trie().Intern(kEmptyPrefix, f);
+
+  const ItemId raw = cat.InternStageItem(0, pf, 10);
+  const ItemId again = cat.InternStageItem(0, pf, 10);
+  EXPECT_EQ(raw, again);
+  EXPECT_TRUE(cat.IsStageItem(raw));
+  EXPECT_GE(raw, cat.num_dim_items());
+
+  const ItemId star = cat.InternStageItem(1, pf, kAnyDuration);
+  EXPECT_NE(star, raw);
+  EXPECT_EQ(cat.FindStageItem(0, pf, 10), raw);
+  EXPECT_EQ(cat.FindStageItem(1, pf, kAnyDuration), star);
+  EXPECT_EQ(cat.FindStageItem(2, pf, 10), kInvalidItem);
+
+  const auto& info = cat.StageOf(raw);
+  EXPECT_EQ(info.prefix, pf);
+  EXPECT_EQ(info.duration, 10);
+  EXPECT_EQ(info.path_level, 0);
+}
+
+TEST(ItemCatalog, StageItemsDistinguishedByAllKeyParts) {
+  SchemaPtr schema = MakePaperSchema();
+  ItemCatalog cat(schema);
+  const NodeId f = schema->locations.Find("factory").value();
+  const NodeId t = schema->locations.Find("truck").value();
+  const PrefixId pf = cat.mutable_trie().Intern(kEmptyPrefix, f);
+  const PrefixId pft = cat.mutable_trie().Intern(pf, t);
+
+  const ItemId a = cat.InternStageItem(0, pf, 5);
+  const ItemId b = cat.InternStageItem(0, pf, 6);     // other duration
+  const ItemId c = cat.InternStageItem(1, pf, 5);     // other level
+  const ItemId d = cat.InternStageItem(0, pft, 5);    // other prefix
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_EQ(cat.num_items(), cat.num_dim_items() + 4);
+}
+
+TEST(ItemCatalog, ToStringRendersStageItem) {
+  SchemaPtr schema = MakePaperSchema();
+  ItemCatalog cat(schema);
+  const NodeId f = schema->locations.Find("factory").value();
+  const NodeId t = schema->locations.Find("truck").value();
+  const PrefixId pf = cat.mutable_trie().Intern(kEmptyPrefix, f);
+  const PrefixId pft = cat.mutable_trie().Intern(pf, t);
+  const ItemId id = cat.InternStageItem(2, pft, kAnyDuration);
+  EXPECT_EQ(cat.ToString(id), "(factory>truck,*)@L2");
+}
+
+}  // namespace
+}  // namespace flowcube

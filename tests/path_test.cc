@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "gen/paper_example.h"
+#include "path/path_aggregator.h"
+#include "path/path_database.h"
+
+namespace flowcube {
+namespace {
+
+// --- PathDatabase ----------------------------------------------------------------
+
+TEST(PathDatabase, AppendValidatesDimensionCount) {
+  SchemaPtr schema = MakePaperSchema();
+  PathDatabase db(schema);
+  PathRecord rec;
+  rec.dims = {0};  // schema has 2 dimensions
+  rec.path.stages = {Stage{schema->locations.Find("factory").value(), 1}};
+  EXPECT_EQ(db.Append(rec).code(), Status::Code::kInvalidArgument);
+}
+
+TEST(PathDatabase, AppendValidatesIdsAndDurations) {
+  SchemaPtr schema = MakePaperSchema();
+  PathDatabase db(schema);
+  const NodeId f = schema->locations.Find("factory").value();
+  PathRecord rec;
+  rec.dims = {schema->dimensions[0].Find("tennis").value(),
+              schema->dimensions[1].Find("nike").value()};
+
+  rec.path.stages = {};
+  EXPECT_FALSE(db.Append(rec).ok());  // empty path
+
+  rec.path.stages = {Stage{9999, 1}};
+  EXPECT_FALSE(db.Append(rec).ok());  // bad location
+
+  rec.path.stages = {Stage{f, -1}};
+  EXPECT_FALSE(db.Append(rec).ok());  // negative duration
+
+  rec.path.stages = {Stage{f, 1}};
+  EXPECT_TRUE(db.Append(rec).ok());
+  EXPECT_EQ(db.size(), 1u);
+
+  PathRecord bad_dim = rec;
+  bad_dim.dims[0] = 9999;
+  EXPECT_FALSE(db.Append(bad_dim).ok());
+}
+
+TEST(PathDatabase, RecordsKeptInInsertionOrder) {
+  PathDatabase db = MakePaperDatabase();
+  ASSERT_EQ(db.size(), 8u);
+  EXPECT_EQ(db.schema().dimensions[0].Name(db.record(0).dims[0]), "tennis");
+  EXPECT_EQ(db.schema().dimensions[0].Name(db.record(3).dims[0]), "shirt");
+  EXPECT_EQ(db.schema().dimensions[1].Name(db.record(7).dims[1]), "adidas");
+}
+
+TEST(PathDatabase, ApproximateBytesGrowsWithRecords) {
+  PathDatabase db = MakePaperDatabase();
+  EXPECT_GT(db.ApproximateBytes(), 0u);
+}
+
+TEST(PathDatabase, RecordToStringRendersTable1Row) {
+  PathDatabase db = MakePaperDatabase();
+  EXPECT_EQ(
+      RecordToString(db.schema(), db.record(5)),
+      "jacket,nike : (factory,10)(truck,1)(warehouse,5)");
+}
+
+// --- PathAggregator ---------------------------------------------------------------
+
+class PathAggregatorTest : public ::testing::Test {
+ protected:
+  PathAggregatorTest()
+      : db_(MakePaperDatabase()),
+        schema_(db_.schema_ptr()),
+        aggregator_(schema_) {}
+
+  NodeId Loc(const std::string& name) const {
+    return schema_->locations.Find(name).value();
+  }
+
+  PathDatabase db_;
+  SchemaPtr schema_;
+  PathAggregator aggregator_;
+};
+
+TEST_F(PathAggregatorTest, IdentityCutKeepsPath) {
+  const LocationCut cut =
+      LocationCut::Uniform(schema_->locations, 2).value();
+  const Path& original = db_.record(0).path;
+  const Path agg = aggregator_.AggregatePath(original, cut, 1);
+  EXPECT_EQ(agg, original);
+}
+
+TEST_F(PathAggregatorTest, LevelOneCutMergesConsecutiveStages) {
+  // Path 1: (f,10)(d,2)(t,1)(s,5)(c,0) aggregated to level 1 merges d+t
+  // into transportation (duration 3) and s+c into store (duration 5).
+  const LocationCut cut =
+      LocationCut::Uniform(schema_->locations, 1).value();
+  const Path agg = aggregator_.AggregatePath(db_.record(0).path, cut, 1);
+  ASSERT_EQ(agg.size(), 3u);
+  EXPECT_EQ(agg.stages[0], (Stage{Loc("production"), 10}));
+  EXPECT_EQ(agg.stages[1], (Stage{Loc("transportation"), 3}));
+  EXPECT_EQ(agg.stages[2], (Stage{Loc("store"), 5}));
+}
+
+TEST_F(PathAggregatorTest, Figure1TransportationViewKeepsDetail) {
+  // The Figure 1 "transportation view": dist.center and truck stay
+  // detailed, store locations collapse.
+  const LocationCut cut =
+      LocationCut::FromNodes(
+          schema_->locations,
+          {Loc("dist.center"), Loc("truck"), Loc("production"), Loc("store")})
+          .value();
+  const Path agg = aggregator_.AggregatePath(db_.record(0).path, cut, 1);
+  ASSERT_EQ(agg.size(), 4u);
+  EXPECT_EQ(agg.stages[0].location, Loc("production"));
+  EXPECT_EQ(agg.stages[1].location, Loc("dist.center"));
+  EXPECT_EQ(agg.stages[2].location, Loc("truck"));
+  EXPECT_EQ(agg.stages[3].location, Loc("store"));
+  EXPECT_EQ(agg.stages[3].duration, 5);  // shelf 5 + checkout 0
+}
+
+TEST_F(PathAggregatorTest, DurationStarLevelErasesDurations) {
+  const LocationCut cut =
+      LocationCut::Uniform(schema_->locations, 2).value();
+  const Path agg = aggregator_.AggregatePath(db_.record(0).path, cut, 0);
+  ASSERT_EQ(agg.size(), 5u);
+  for (const Stage& s : agg.stages) {
+    EXPECT_EQ(s.duration, kAnyDuration);
+  }
+}
+
+TEST_F(PathAggregatorTest, NonConsecutiveSameConceptStaysSeparate) {
+  // Path 8 ends (s,10)(d,5): after level-1 aggregation the trailing d maps
+  // to transportation again but is NOT adjacent to the earlier
+  // transportation run, so it stays a separate stage.
+  const LocationCut cut =
+      LocationCut::Uniform(schema_->locations, 1).value();
+  const Path agg = aggregator_.AggregatePath(db_.record(7).path, cut, 1);
+  ASSERT_EQ(agg.size(), 4u);
+  EXPECT_EQ(agg.stages[1].location, Loc("transportation"));
+  EXPECT_EQ(agg.stages[3].location, Loc("transportation"));
+}
+
+TEST_F(PathAggregatorTest, MergedDurationSumsRawBeforeBucketing) {
+  // With a duration hierarchy that buckets by 4, stages of raw durations 2
+  // and 3 merging must give bucket (2+3)/4 = 1, not 2/4 + 3/4 = 0.
+  auto schema = std::make_shared<PathSchema>();
+  ConceptHierarchy dim("d");
+  ASSERT_TRUE(dim.AddChild(dim.root(), "v").ok());
+  schema->dimensions.push_back(std::move(dim));
+  ASSERT_TRUE(schema->locations.AddPath({"g", "x"}).ok());
+  ASSERT_TRUE(schema->locations.AddPath({"g", "y"}).ok());
+  schema->durations = DurationHierarchy({4});
+
+  PathAggregator agg(schema);
+  const LocationCut cut = LocationCut::Uniform(schema->locations, 1).value();
+  Path p;
+  p.stages = {Stage{schema->locations.Find("x").value(), 2},
+              Stage{schema->locations.Find("y").value(), 3}};
+  const Path out = agg.AggregatePath(p, cut, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.stages[0].duration, 1);
+}
+
+TEST_F(PathAggregatorTest, AggregateDimsRollsUpEachDimension) {
+  const std::vector<NodeId> dims = db_.record(0).dims;  // tennis, nike
+  const auto up = aggregator_.AggregateDims(dims, ItemLevel{{2, 1}});
+  EXPECT_EQ(schema_->dimensions[0].Name(up[0]), "shoes");
+  EXPECT_EQ(schema_->dimensions[1].Name(up[1]), "premium");
+  const auto apex = aggregator_.AggregateDims(dims, ItemLevel{{0, 0}});
+  EXPECT_EQ(apex[0], schema_->dimensions[0].root());
+  EXPECT_EQ(apex[1], schema_->dimensions[1].root());
+}
+
+}  // namespace
+}  // namespace flowcube

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "gen/path_generator.h"
+#include "rfid/cleaner.h"
+#include "rfid/discretizer.h"
+#include "rfid/reader_simulator.h"
+
+namespace flowcube {
+namespace {
+
+// --- DurationHierarchy ---------------------------------------------------------
+
+TEST(DurationHierarchy, DefaultHasTwoLevels) {
+  DurationHierarchy h;
+  EXPECT_EQ(h.MaxLevel(), 1);
+  EXPECT_EQ(h.Aggregate(7, 1), 7);
+  EXPECT_EQ(h.Aggregate(7, 0), kAnyDuration);
+}
+
+TEST(DurationHierarchy, FactorsBucketCorrectly) {
+  // hour -> day -> week.
+  DurationHierarchy h({24, 7});
+  EXPECT_EQ(h.MaxLevel(), 3);
+  EXPECT_EQ(h.Aggregate(50, 3), 50);       // hours
+  EXPECT_EQ(h.Aggregate(50, 2), 2);        // days
+  EXPECT_EQ(h.Aggregate(50, 1), 0);        // weeks
+  EXPECT_EQ(h.Aggregate(24 * 7 * 3, 1), 3);
+  EXPECT_EQ(h.Aggregate(50, 0), kAnyDuration);
+}
+
+TEST(DurationHierarchy, AnyDurationStaysAny) {
+  DurationHierarchy h({10});
+  EXPECT_EQ(h.Aggregate(kAnyDuration, 2), kAnyDuration);
+  EXPECT_EQ(h.Aggregate(kAnyDuration, 1), kAnyDuration);
+}
+
+TEST(DurationHierarchy, ToStringRendersStar) {
+  DurationHierarchy h;
+  EXPECT_EQ(h.ToString(5), "5");
+  EXPECT_EQ(h.ToString(kAnyDuration), "*");
+}
+
+TEST(DurationDiscretizer, BinsBySeconds) {
+  DurationDiscretizer d(3600);
+  EXPECT_EQ(d.Discretize(0), 0);
+  EXPECT_EQ(d.Discretize(3599), 0);
+  EXPECT_EQ(d.Discretize(3600), 1);
+  EXPECT_EQ(d.Discretize(7201), 2);
+  EXPECT_EQ(d.Discretize(-5), 0);  // clamped
+}
+
+// --- ReaderSimulator -------------------------------------------------------------
+
+ConceptHierarchy TwoLocations() {
+  ConceptHierarchy h("location");
+  EXPECT_TRUE(h.AddPath({"site", "a"}).ok());
+  EXPECT_TRUE(h.AddPath({"site", "b"}).ok());
+  return h;
+}
+
+TEST(ReaderSimulator, EmitsReadingsWithinStayWindows) {
+  ConceptHierarchy loc = TwoLocations();
+  const NodeId a = loc.Find("a").value();
+  Itinerary it;
+  it.epc = 42;
+  it.stays = {Stay{a, 1000, 5000}};
+  ReaderSimulator sim(ReaderSimulatorOptions{}, /*seed=*/1);
+  const auto readings = sim.Simulate({it});
+  ASSERT_FALSE(readings.empty());
+  for (const RawReading& r : readings) {
+    EXPECT_EQ(r.epc, 42u);
+    EXPECT_EQ(r.location, a);
+    EXPECT_GE(r.timestamp, 1000);
+    EXPECT_LE(r.timestamp, 5000);
+  }
+}
+
+TEST(ReaderSimulator, LongStayYieldsManyReadings) {
+  ConceptHierarchy loc = TwoLocations();
+  Itinerary it;
+  it.epc = 1;
+  it.stays = {Stay{loc.Find("a").value(), 0, 600 * 200}};
+  ReaderSimulatorOptions opts;
+  opts.read_interval_seconds = 600;
+  ReaderSimulator sim(opts, 2);
+  const auto readings = sim.Simulate({it});
+  // ~200 scan cycles, some dropped, some duplicated.
+  EXPECT_GT(readings.size(), 150u);
+}
+
+TEST(ReaderSimulator, EveryStayProducesAtLeastOneReadingEvenWithFullDrops) {
+  ConceptHierarchy loc = TwoLocations();
+  Itinerary it;
+  it.epc = 9;
+  it.stays = {Stay{loc.Find("a").value(), 0, 100},
+              Stay{loc.Find("b").value(), 200, 300}};
+  ReaderSimulatorOptions opts;
+  opts.drop_probability = 1.0;  // drop everything scheduled
+  ReaderSimulator sim(opts, 3);
+  const auto readings = sim.Simulate({it});
+  EXPECT_EQ(readings.size(), 2u);  // one fallback reading per stay
+}
+
+TEST(ReaderSimulator, OutputSortedByTimestamp) {
+  ConceptHierarchy loc = TwoLocations();
+  std::vector<Itinerary> its;
+  for (int i = 0; i < 5; ++i) {
+    Itinerary it;
+    it.epc = static_cast<EpcId>(i);
+    it.stays = {Stay{loc.Find("a").value(), i * 100, i * 100 + 5000},
+                Stay{loc.Find("b").value(), i * 100 + 5001, i * 100 + 9000}};
+    its.push_back(it);
+  }
+  ReaderSimulator sim(ReaderSimulatorOptions{}, 4);
+  const auto readings = sim.Simulate(its);
+  for (size_t i = 1; i < readings.size(); ++i) {
+    EXPECT_LE(readings[i - 1].timestamp, readings[i].timestamp);
+  }
+}
+
+// --- ReadingCleaner -------------------------------------------------------------
+
+TEST(ReadingCleaner, MergesSameLocationRuns) {
+  ConceptHierarchy loc = TwoLocations();
+  const NodeId a = loc.Find("a").value();
+  const NodeId b = loc.Find("b").value();
+  std::vector<RawReading> readings = {
+      {1, a, 100}, {1, a, 200}, {1, a, 300}, {1, b, 400}, {1, b, 500},
+  };
+  ReadingCleaner cleaner(CleanerOptions{});
+  const auto its = cleaner.Clean(readings);
+  ASSERT_EQ(its.size(), 1u);
+  ASSERT_EQ(its[0].stays.size(), 2u);
+  EXPECT_EQ(its[0].stays[0], (Stay{a, 100, 300}));
+  EXPECT_EQ(its[0].stays[1], (Stay{b, 400, 500}));
+}
+
+TEST(ReadingCleaner, GapSplitsRevisits) {
+  ConceptHierarchy loc = TwoLocations();
+  const NodeId a = loc.Find("a").value();
+  CleanerOptions opts;
+  opts.max_gap_seconds = 100;
+  ReadingCleaner cleaner(opts);
+  const auto its = cleaner.Clean({{1, a, 0}, {1, a, 50}, {1, a, 500}});
+  ASSERT_EQ(its.size(), 1u);
+  ASSERT_EQ(its[0].stays.size(), 2u);  // revisit after a 450s silence
+}
+
+TEST(ReadingCleaner, HandlesUnsortedAndDuplicateReadings) {
+  ConceptHierarchy loc = TwoLocations();
+  const NodeId a = loc.Find("a").value();
+  const NodeId b = loc.Find("b").value();
+  ReadingCleaner cleaner(CleanerOptions{});
+  const auto its =
+      cleaner.Clean({{1, b, 900}, {1, a, 100}, {1, a, 100}, {1, a, 400}});
+  ASSERT_EQ(its.size(), 1u);
+  ASSERT_EQ(its[0].stays.size(), 2u);
+  EXPECT_EQ(its[0].stays[0].location, a);
+  EXPECT_EQ(its[0].stays[1].location, b);
+}
+
+TEST(ReadingCleaner, SeparatesItemsByEpc) {
+  ConceptHierarchy loc = TwoLocations();
+  const NodeId a = loc.Find("a").value();
+  ReadingCleaner cleaner(CleanerOptions{});
+  const auto its = cleaner.Clean({{1, a, 100}, {2, a, 100}, {3, a, 100}});
+  EXPECT_EQ(its.size(), 3u);
+}
+
+TEST(ReadingCleaner, ToPathDiscretizesStayLengths) {
+  ConceptHierarchy loc = TwoLocations();
+  const NodeId a = loc.Find("a").value();
+  const NodeId b = loc.Find("b").value();
+  Itinerary it;
+  it.epc = 1;
+  it.stays = {Stay{a, 0, 7200}, Stay{b, 7300, 7400}};
+  const Path p = ReadingCleaner::ToPath(it, DurationDiscretizer(3600));
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.stages[0], (Stage{a, 2}));
+  EXPECT_EQ(p.stages[1], (Stage{b, 0}));
+}
+
+// --- Full pipeline property: simulate -> clean recovers ground truth ------------
+
+class PipelineRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelineRoundTrip, CleanedPathsMatchGroundTruth) {
+  GeneratorConfig cfg;
+  cfg.num_dimensions = 2;
+  cfg.num_sequences = 10;
+  cfg.seed = GetParam();
+  PathGenerator gen(cfg);
+  PathDatabase db = gen.Generate(50);
+  const int64_t bin = 3600;
+  const auto itineraries = PathGenerator::ToItineraries(db, bin);
+
+  ReaderSimulatorOptions sim_opts;
+  sim_opts.read_interval_seconds = 600;
+  sim_opts.timestamp_jitter_seconds = 0;  // keep endpoints exact
+  sim_opts.drop_probability = 0.02;
+  ReaderSimulator sim(sim_opts, GetParam() + 1);
+  const auto readings = sim.Simulate(itineraries);
+
+  // The gap tolerance must cover a run of dropped scan cycles: with a 2%
+  // drop rate, runs of up to ~5 consecutive drops occur over thousands of
+  // readings.
+  ReadingCleaner cleaner(CleanerOptions{/*max_gap_seconds=*/6000});
+  const auto cleaned = cleaner.Clean(readings);
+  ASSERT_EQ(cleaned.size(), db.size());
+
+  const DurationDiscretizer disc(bin);
+  size_t exact_locations = 0;
+  for (size_t i = 0; i < cleaned.size(); ++i) {
+    // EPC i+1 is record i.
+    const size_t rec = static_cast<size_t>(cleaned[i].epc) - 1;
+    const Path p = ReadingCleaner::ToPath(cleaned[i], disc);
+    ASSERT_EQ(p.size(), db.record(rec).path.size());
+    bool all_match = true;
+    for (size_t s = 0; s < p.size(); ++s) {
+      if (p.stages[s].location != db.record(rec).path.stages[s].location) {
+        all_match = false;
+      }
+    }
+    if (all_match) exact_locations++;
+  }
+  // Location sequences must always be recovered (no stay is fully silent).
+  EXPECT_EQ(exact_locations, cleaned.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineRoundTrip,
+                         ::testing::Values(1u, 7u, 2026u));
+
+}  // namespace
+}  // namespace flowcube

@@ -1,0 +1,354 @@
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_example.h"
+#include "gen/path_generator.h"
+#include "mining/compatibility.h"
+#include "mining/mining_result.h"
+#include "mining/shared_miner.h"
+
+namespace flowcube {
+namespace {
+
+class SharedMinerTest : public ::testing::Test {
+ protected:
+  SharedMinerTest() : db_(MakePaperDatabase()) {
+    MiningPlan plan = MiningPlan::Default(db_.schema()).value();
+    tdb_ = std::make_unique<TransformedDatabase>(
+        std::move(TransformPathDatabase(db_, plan).value()));
+  }
+
+  ItemId Dim(size_t d, const std::string& name) const {
+    return tdb_->catalog().DimItem(
+        d, db_.schema().dimensions[d].Find(name).value());
+  }
+
+  // Raw-level (path level 0) stage item for a location-name chain.
+  ItemId StageItem(const std::vector<std::string>& locs, Duration dur,
+                   uint8_t path_level = 0) const {
+    const ItemCatalog& cat = tdb_->catalog();
+    PrefixId p = kEmptyPrefix;
+    for (const auto& name : locs) {
+      p = cat.trie().Find(p, db_.schema().locations.Find(name).value());
+      EXPECT_NE(p, PrefixTrie::kInvalidPrefix) << name;
+    }
+    const ItemId id = cat.FindStageItem(path_level, p, dur);
+    EXPECT_NE(id, kInvalidItem);
+    return id;
+  }
+
+  std::map<Itemset, uint32_t> Mine(SharedMinerOptions opts) {
+    SharedMiner miner(*tdb_, opts);
+    std::map<Itemset, uint32_t> out;
+    for (const auto& fi : miner.Run().frequent) {
+      out[fi.items] = fi.support;
+    }
+    return out;
+  }
+
+  PathDatabase db_;
+  std::unique_ptr<TransformedDatabase> tdb_;
+};
+
+// --- Table 4 ground truth (recomputed from Table 1) --------------------------
+
+TEST_F(SharedMinerTest, Length1SupportsMatchTable1) {
+  SharedMinerOptions opts;
+  opts.min_support = 3;
+  const auto got = Mine(opts);
+
+  EXPECT_EQ(got.at({Dim(0, "tennis")}), 4u);
+  EXPECT_EQ(got.at({Dim(0, "shoes")}), 5u);
+  EXPECT_EQ(got.at({Dim(0, "outerwear")}), 3u);
+  EXPECT_EQ(got.at({Dim(1, "nike")}), 6u);
+  // Table 4 rows that are consistent with Table 1:
+  EXPECT_EQ(got.at({StageItem({"factory"}, 10)}), 5u);
+  EXPECT_EQ(got.at({StageItem({"factory"}, kAnyDuration, 1)}), 8u);
+  EXPECT_EQ(got.at({StageItem({"factory", "dist.center"}, 2)}), 4u);
+}
+
+TEST_F(SharedMinerTest, Length2SupportsMatchTable1) {
+  SharedMinerOptions opts;
+  opts.min_support = 3;
+  const auto got = Mine(opts);
+
+  // {shoes, nike} = paths 1,2,3.
+  Itemset shoes_nike = {Dim(0, "shoes"), Dim(1, "nike")};
+  std::sort(shoes_nike.begin(), shoes_nike.end());
+  EXPECT_EQ(got.at(shoes_nike), 3u);
+
+  // {(f,5), (fd,2)} = paths 2,7,8 (Table 4 agrees: 3).
+  Itemset seg = {StageItem({"factory"}, 5),
+                 StageItem({"factory", "dist.center"}, 2)};
+  std::sort(seg.begin(), seg.end());
+  EXPECT_EQ(got.at(seg), 3u);
+
+  // {nike, (f,10)} = paths 1,3,4,5,6.
+  Itemset mixed = {Dim(1, "nike"), StageItem({"factory"}, 10)};
+  std::sort(mixed.begin(), mixed.end());
+  EXPECT_EQ(got.at(mixed), 5u);
+}
+
+TEST_F(SharedMinerTest, InfrequentItemsExcluded) {
+  SharedMinerOptions opts;
+  opts.min_support = 3;
+  const auto got = Mine(opts);
+  EXPECT_FALSE(got.contains({Dim(0, "shirt")}));    // support 1
+  EXPECT_FALSE(got.contains({Dim(0, "sandals")}));  // support 1
+  EXPECT_FALSE(got.contains({Dim(1, "adidas")}));   // support 2
+}
+
+TEST_F(SharedMinerTest, MinSupportOneFindsEverything) {
+  SharedMinerOptions opts;
+  opts.min_support = 1;
+  const auto got = Mine(opts);
+  EXPECT_TRUE(got.contains({Dim(0, "shirt")}));
+  EXPECT_EQ(got.at({Dim(0, "shirt")}), 1u);
+}
+
+// --- Pruning-rule semantics ---------------------------------------------------
+
+TEST_F(SharedMinerTest, CompatibilityRules) {
+  SharedMinerOptions opts;
+  SharedMiner miner(*tdb_, opts);
+
+  // Dimension value with a stage: compatible.
+  EXPECT_TRUE(miner.ItemsCompatible(Dim(0, "tennis"),
+                                    StageItem({"factory"}, 10)));
+  // Different dimensions: compatible.
+  EXPECT_TRUE(miner.ItemsCompatible(Dim(0, "tennis"), Dim(1, "nike")));
+  // Same dimension, unrelated values: never co-occur.
+  EXPECT_FALSE(miner.ItemsCompatible(Dim(0, "tennis"), Dim(0, "sandals")));
+  // Item with its ancestor: implied, pruned.
+  EXPECT_FALSE(miner.ItemsCompatible(Dim(0, "tennis"), Dim(0, "shoes")));
+  // Stages with chained prefixes at the same level: compatible.
+  EXPECT_TRUE(miner.ItemsCompatible(
+      StageItem({"factory"}, 10),
+      StageItem({"factory", "dist.center"}, 2)));
+  // Stages with diverging prefixes (the paper's (fd,2) vs (fts,5)).
+  EXPECT_FALSE(miner.ItemsCompatible(
+      StageItem({"factory", "dist.center"}, 2),
+      StageItem({"factory", "truck", "shelf"}, 5)));
+  // Stages at different path abstraction levels.
+  EXPECT_FALSE(miner.ItemsCompatible(
+      StageItem({"factory"}, 10),
+      StageItem({"factory"}, kAnyDuration, 1)));
+}
+
+TEST_F(SharedMinerTest, GeneralizeItemMapsToHighLevel) {
+  SharedMinerOptions opts;
+  opts.high_level_dim_level = 2;
+  SharedMiner miner(*tdb_, opts);
+
+  EXPECT_EQ(miner.GeneralizeItem(Dim(0, "tennis")), Dim(0, "shoes"));
+  EXPECT_EQ(miner.GeneralizeItem(Dim(0, "shoes")), Dim(0, "shoes"));
+  EXPECT_EQ(miner.GeneralizeItem(Dim(1, "nike")), Dim(1, "nike"));
+  EXPECT_EQ(miner.GeneralizeItem(StageItem({"factory"}, 10)),
+            StageItem({"factory"}, kAnyDuration, 1));
+  EXPECT_TRUE(miner.IsHighLevel(Dim(0, "shoes")));
+  EXPECT_FALSE(miner.IsHighLevel(Dim(0, "tennis")));
+  EXPECT_TRUE(miner.IsHighLevel(StageItem({"factory"}, kAnyDuration, 1)));
+  EXPECT_FALSE(miner.IsHighLevel(StageItem({"factory"}, 10)));
+}
+
+TEST_F(SharedMinerTest, PrunedRedundantPatternsAbsent) {
+  SharedMinerOptions opts;
+  opts.min_support = 2;
+  const auto got = Mine(opts);
+  // {tennis, shoes}: ancestor pair, pruned even though it co-occurs.
+  Itemset pair = {Dim(0, "tennis"), Dim(0, "shoes")};
+  std::sort(pair.begin(), pair.end());
+  EXPECT_FALSE(got.contains(pair));
+  // Cross-path-level stage pair, pruned.
+  Itemset cross = {StageItem({"factory"}, 10),
+                   StageItem({"factory"}, kAnyDuration, 1)};
+  std::sort(cross.begin(), cross.end());
+  EXPECT_FALSE(got.contains(cross));
+}
+
+TEST_F(SharedMinerTest, BasicFindsSupersetWithEqualSupports) {
+  SharedMinerOptions shared_opts;
+  shared_opts.min_support = 2;
+  const auto shared = Mine(shared_opts);
+
+  SharedMinerOptions basic_opts;
+  basic_opts.min_support = 2;
+  basic_opts.prune_precount = false;
+  basic_opts.prune_unlinkable = false;
+  basic_opts.prune_ancestors = false;
+  const auto basic = Mine(basic_opts);
+
+  EXPECT_GT(basic.size(), shared.size());
+  for (const auto& [items, support] : shared) {
+    ASSERT_TRUE(basic.contains(items));
+    EXPECT_EQ(basic.at(items), support);
+  }
+  // Every extra pattern in basic violates a compatibility rule.
+  const ItemCompatibility compat(tdb_.get(), true, true);
+  for (const auto& [items, support] : basic) {
+    if (shared.contains(items)) continue;
+    bool violates = false;
+    for (size_t i = 0; i < items.size() && !violates; ++i) {
+      for (size_t j = i + 1; j < items.size() && !violates; ++j) {
+        violates = !compat.Compatible(items[i], items[j]);
+      }
+    }
+    EXPECT_TRUE(violates);
+  }
+}
+
+TEST_F(SharedMinerTest, PrecountDoesNotChangeResults) {
+  for (uint32_t minsup : {2u, 3u, 4u}) {
+    SharedMinerOptions with;
+    with.min_support = minsup;
+    SharedMinerOptions without = with;
+    without.prune_precount = false;
+    EXPECT_EQ(Mine(with), Mine(without)) << "minsup=" << minsup;
+  }
+}
+
+TEST_F(SharedMinerTest, PrecountCountsFewerCandidates) {
+  SharedMinerOptions with;
+  with.min_support = 2;
+  SharedMinerOptions without = with;
+  without.prune_precount = false;
+  SharedMiner m1(*tdb_, with);
+  SharedMiner m2(*tdb_, without);
+  EXPECT_LE(m1.Run().stats.TotalCandidates(),
+            m2.Run().stats.TotalCandidates());
+}
+
+TEST_F(SharedMinerTest, BasicCountsManyMoreCandidates) {
+  SharedMinerOptions shared_opts;
+  shared_opts.min_support = 2;
+  SharedMinerOptions basic_opts = shared_opts;
+  basic_opts.prune_precount = false;
+  basic_opts.prune_unlinkable = false;
+  basic_opts.prune_ancestors = false;
+  SharedMiner shared(*tdb_, shared_opts);
+  SharedMiner basic(*tdb_, basic_opts);
+  const auto s_stats = shared.Run().stats;
+  const auto b_stats = basic.Run().stats;
+  EXPECT_GT(b_stats.TotalCandidates(), 2 * s_stats.TotalCandidates());
+  // Figure 11's second observation: basic considers longer patterns because
+  // its transactions mix items with their ancestors.
+  size_t s_max = 0, b_max = 0;
+  for (size_t k = 0; k < s_stats.frequent_per_length.size(); ++k) {
+    if (s_stats.frequent_per_length[k] > 0) s_max = k;
+  }
+  for (size_t k = 0; k < b_stats.frequent_per_length.size(); ++k) {
+    if (b_stats.frequent_per_length[k] > 0) b_max = k;
+  }
+  EXPECT_GT(b_max, s_max);
+}
+
+// --- MiningResult ---------------------------------------------------------------
+
+TEST_F(SharedMinerTest, MiningResultIndexesCellsAndSegments) {
+  SharedMinerOptions opts;
+  opts.min_support = 2;
+  SharedMiner miner(*tdb_, opts);
+  MiningResult result(tdb_.get(), miner.Run().frequent);
+
+  // Apex cell support = database size.
+  EXPECT_EQ(result.CellSupport({}).value(), 8u);
+
+  Itemset nike_cell = {Dim(1, "nike")};
+  EXPECT_EQ(result.CellSupport(nike_cell).value(), 6u);
+  EXPECT_EQ(result.CellSupport({Dim(1, "adidas")}).value(), 2u);
+  EXPECT_FALSE(result.CellSupport({Dim(0, "shirt")}).has_value());
+
+  // Cells at item level (0,1): brand at level 1 -> premium (6) and
+  // value (2), both at or above min support 2.
+  const auto cells = result.CellsAtLevel(ItemLevel{{0, 1}});
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_TRUE(std::find(cells.begin(), cells.end(),
+                        Itemset{Dim(1, "premium")}) != cells.end());
+  EXPECT_TRUE(std::find(cells.begin(), cells.end(),
+                        Itemset{Dim(1, "value")}) != cells.end());
+
+  // Segments of the apex cell at raw path level contain (f,10).
+  bool found = false;
+  for (const auto& seg : result.SegmentsForCell({}, 0)) {
+    if (seg.stages == Itemset{StageItem({"factory"}, 10)}) {
+      EXPECT_EQ(seg.support, 5u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // Segments are sorted by decreasing support.
+  const auto segs = result.SegmentsForCell({}, 0);
+  for (size_t i = 1; i < segs.size(); ++i) {
+    EXPECT_GE(segs[i - 1].support, segs[i].support);
+  }
+}
+
+TEST_F(SharedMinerTest, FrequentCellsIncludeApex) {
+  SharedMinerOptions opts;
+  opts.min_support = 2;
+  SharedMiner miner(*tdb_, opts);
+  MiningResult result(tdb_.get(), miner.Run().frequent);
+  const auto cells = result.FrequentCells();
+  EXPECT_FALSE(cells.empty());
+  EXPECT_TRUE(cells[0].empty());  // apex first
+  for (const auto& cell : cells) {
+    for (ItemId id : cell) {
+      EXPECT_TRUE(tdb_->catalog().IsDimItem(id));
+    }
+  }
+}
+
+// --- Randomized consistency: shared == basic on the shared output space -------
+
+class SharedConsistency : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SharedConsistency, SharedEqualsFilteredBasicOnGeneratedData) {
+  GeneratorConfig cfg;
+  cfg.num_dimensions = 2;
+  cfg.dim_distinct_per_level = {2, 2, 2};
+  cfg.num_sequences = 8;
+  cfg.max_sequence_length = 5;
+  cfg.seed = GetParam();
+  PathGenerator gen(cfg);
+  PathDatabase db = gen.Generate(300);
+  MiningPlan plan = MiningPlan::Default(db.schema()).value();
+  TransformedDatabase tdb = std::move(TransformPathDatabase(db, plan).value());
+
+  SharedMinerOptions shared_opts;
+  shared_opts.min_support = 15;
+  SharedMiner shared(tdb, shared_opts);
+  std::map<Itemset, uint32_t> s;
+  for (const auto& fi : shared.Run().frequent) s[fi.items] = fi.support;
+
+  SharedMinerOptions basic_opts = shared_opts;
+  basic_opts.prune_precount = false;
+  basic_opts.prune_unlinkable = false;
+  basic_opts.prune_ancestors = false;
+  SharedMiner basic(tdb, basic_opts);
+  std::map<Itemset, uint32_t> b;
+  for (const auto& fi : basic.Run().frequent) b[fi.items] = fi.support;
+
+  // Shared's output must be exactly basic's output restricted to
+  // compatibility-respecting itemsets.
+  const ItemCompatibility compat(&tdb, true, true);
+  std::map<Itemset, uint32_t> b_filtered;
+  for (const auto& [items, support] : b) {
+    bool ok = true;
+    for (size_t i = 0; i < items.size() && ok; ++i) {
+      for (size_t j = i + 1; j < items.size() && ok; ++j) {
+        ok = compat.Compatible(items[i], items[j]);
+      }
+    }
+    if (ok) b_filtered[items] = support;
+  }
+  EXPECT_EQ(s, b_filtered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharedConsistency,
+                         ::testing::Values(11u, 22u, 33u));
+
+}  // namespace
+}  // namespace flowcube

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "flowgraph/builder.h"
+#include "flowgraph/stats.h"
+#include "gen/paper_example.h"
+
+namespace flowcube {
+namespace {
+
+class FlowStatsTest : public ::testing::Test {
+ protected:
+  FlowStatsTest() : db_(MakePaperDatabase()) {
+    for (const PathRecord& rec : db_.records()) paths_.push_back(rec.path);
+    graph_ = BuildFlowGraph(paths_);
+  }
+
+  NodeId Loc(const std::string& name) const {
+    return db_.schema().locations.Find(name).value();
+  }
+
+  PathDatabase db_;
+  std::vector<Path> paths_;
+  FlowGraph graph_;
+};
+
+TEST_F(FlowStatsTest, MeanDurationAtFactory) {
+  // Factory durations over the 8 paths: 5,5,5 and 10,10,10,10,10.
+  const FlowNodeId f = graph_.FindChild(FlowGraph::kRoot, Loc("factory"));
+  EXPECT_NEAR(MeanDuration(graph_, f), (3 * 5 + 5 * 10) / 8.0, 1e-12);
+}
+
+TEST_F(FlowStatsTest, ExpectedLeadTimeEqualsMeanTotalDuration) {
+  // For exact counts, the reach-weighted sum of mean stage durations
+  // equals the average of per-path total durations.
+  double total = 0.0;
+  for (const Path& p : paths_) {
+    for (const Stage& s : p.stages) total += static_cast<double>(s.duration);
+  }
+  EXPECT_NEAR(ExpectedLeadTime(graph_), total / paths_.size(), 1e-9);
+}
+
+TEST_F(FlowStatsTest, ExpectedPathLengthEqualsMean) {
+  double stages = 0.0;
+  for (const Path& p : paths_) stages += static_cast<double>(p.size());
+  EXPECT_NEAR(ExpectedPathLength(graph_), stages / paths_.size(), 1e-12);
+}
+
+TEST_F(FlowStatsTest, VisitProbabilities) {
+  EXPECT_DOUBLE_EQ(VisitProbability(graph_, Loc("factory")), 1.0);
+  // dist.center appears in paths 1,2,3,7,8 (path 8 twice, counted once).
+  EXPECT_DOUBLE_EQ(VisitProbability(graph_, Loc("dist.center")), 5.0 / 8);
+  EXPECT_DOUBLE_EQ(VisitProbability(graph_, Loc("warehouse")), 1.0 / 8);
+  // Checkout appears in paths 1-5 (6 ends at the warehouse, 7 at the
+  // shelf, 8 at the second dist.center stop).
+  EXPECT_DOUBLE_EQ(VisitProbability(graph_, Loc("checkout")), 5.0 / 8);
+  // Truck appears in every path.
+  EXPECT_DOUBLE_EQ(VisitProbability(graph_, Loc("truck")), 1.0);
+  EXPECT_DOUBLE_EQ(VisitProbability(graph_, 9999), 0.0);
+}
+
+TEST_F(FlowStatsTest, DwellByLocationAggregatesRevisits) {
+  const auto dwell = DwellByLocation(graph_);
+  ASSERT_FALSE(dwell.empty());
+  // Factory and truck both score 8 visits; both must lead the ranking.
+  EXPECT_EQ(dwell[0].visits, 8u);
+  EXPECT_EQ(dwell[1].visits, 8u);
+  bool saw_factory = false;
+  bool saw_dist_center = false;
+  for (const LocationDwell& d : dwell) {
+    if (d.location == Loc("factory")) {
+      saw_factory = true;
+      EXPECT_EQ(d.visits, 8u);
+      EXPECT_EQ(d.max_duration, 10);
+      EXPECT_NEAR(d.mean_duration, (3 * 5 + 5 * 10) / 8.0, 1e-12);
+    }
+    // dist.center: visited by 5 paths plus the revisit in path 8 -> 6
+    // visits; durations 2,2,1,2,2 then 5.
+    if (d.location == Loc("dist.center")) {
+      saw_dist_center = true;
+      EXPECT_EQ(d.visits, 6u);
+      EXPECT_NEAR(d.mean_duration, (2 + 2 + 1 + 2 + 2 + 5) / 6.0, 1e-12);
+      EXPECT_EQ(d.max_duration, 5);
+    }
+  }
+  EXPECT_TRUE(saw_factory);
+  EXPECT_TRUE(saw_dist_center);
+}
+
+TEST(FlowStatsEdge, EmptyGraph) {
+  FlowGraph g;
+  EXPECT_DOUBLE_EQ(ExpectedLeadTime(g), 0.0);
+  EXPECT_DOUBLE_EQ(ExpectedPathLength(g), 0.0);
+  EXPECT_DOUBLE_EQ(VisitProbability(g, 1), 0.0);
+  EXPECT_TRUE(DwellByLocation(g).empty());
+}
+
+TEST(FlowStatsEdge, StarDurationsContributeNothing) {
+  std::vector<Path> paths = {Path{{Stage{1, kAnyDuration}}},
+                             Path{{Stage{1, kAnyDuration}}}};
+  const FlowGraph g = BuildFlowGraph(paths);
+  EXPECT_DOUBLE_EQ(ExpectedLeadTime(g), 0.0);
+  const auto dwell = DwellByLocation(g);
+  ASSERT_EQ(dwell.size(), 1u);
+  EXPECT_DOUBLE_EQ(dwell[0].mean_duration, 0.0);
+}
+
+}  // namespace
+}  // namespace flowcube

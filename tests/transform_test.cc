@@ -1,0 +1,170 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_example.h"
+#include "mining/transform.h"
+
+namespace flowcube {
+namespace {
+
+class TransformTest : public ::testing::Test {
+ protected:
+  TransformTest() : db_(MakePaperDatabase()) {
+    Result<MiningPlan> plan = MiningPlan::Default(db_.schema());
+    EXPECT_TRUE(plan.ok());
+    plan_ = std::move(plan.value());
+  }
+
+  PathDatabase db_;
+  MiningPlan plan_;
+};
+
+TEST_F(TransformTest, DefaultPlanHasFourPathLevels) {
+  // {identity cut, one-up cut} x {raw duration, '*'} — the 4 levels the
+  // paper's experiments use.
+  EXPECT_EQ(plan_.cuts.size(), 2u);
+  EXPECT_TRUE(plan_.cuts[0].IsIdentity());
+  EXPECT_FALSE(plan_.cuts[1].IsIdentity());
+  ASSERT_EQ(plan_.path_levels.size(), 4u);
+  EXPECT_EQ(plan_.path_levels[0], (PathLevel{0, 1}));
+  EXPECT_EQ(plan_.path_levels[1], (PathLevel{0, 0}));
+  EXPECT_EQ(plan_.path_levels[2], (PathLevel{1, 1}));
+  EXPECT_EQ(plan_.path_levels[3], (PathLevel{1, 0}));
+  // Every dimension level >= 1 is mined.
+  ASSERT_EQ(plan_.dim_levels.size(), 2u);
+  EXPECT_EQ(plan_.dim_levels[0], (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(plan_.dim_levels[1], (std::vector<int>{1, 2}));
+}
+
+TEST_F(TransformTest, DurationStarLevelMapsRawToStar) {
+  EXPECT_EQ(plan_.DurationStarLevel(0), 1);
+  EXPECT_EQ(plan_.DurationStarLevel(1), 1);
+  EXPECT_EQ(plan_.DurationStarLevel(2), 3);
+  EXPECT_EQ(plan_.DurationStarLevel(3), 3);
+}
+
+TEST_F(TransformTest, TransactionCountMatchesDatabase) {
+  Result<TransformedDatabase> tdb = TransformPathDatabase(db_, plan_);
+  ASSERT_TRUE(tdb.ok());
+  EXPECT_EQ(tdb->size(), db_.size());
+}
+
+TEST_F(TransformTest, TransactionsAreSortedUniqueAndSplit) {
+  Result<TransformedDatabase> tdb = TransformPathDatabase(db_, plan_);
+  ASSERT_TRUE(tdb.ok());
+  const ItemCatalog& cat = tdb->catalog();
+  for (const Transaction& t : tdb->transactions()) {
+    EXPECT_TRUE(std::is_sorted(t.items.begin(), t.items.end()));
+    EXPECT_EQ(std::adjacent_find(t.items.begin(), t.items.end()),
+              t.items.end());
+    const auto dims = t.DimItems(cat);
+    const auto stages = t.StageItems(cat);
+    EXPECT_EQ(dims.size() + stages.size(), t.items.size());
+    for (ItemId id : dims) EXPECT_TRUE(cat.IsDimItem(id));
+    for (ItemId id : stages) EXPECT_TRUE(cat.IsStageItem(id));
+  }
+}
+
+TEST_F(TransformTest, Table3EncodingOfFirstPath) {
+  // Transaction 1 of Table 3:
+  //   {121, 211, (f,10), (fd,2), (fdt,1), (fdts,5), (fdtsc,0)}
+  // plus our other three path levels. Check the raw-level stage items and
+  // the multi-level dimension items are present.
+  Result<TransformedDatabase> tdb = TransformPathDatabase(db_, plan_);
+  ASSERT_TRUE(tdb.ok());
+  const ItemCatalog& cat = tdb->catalog();
+  const Transaction& t = tdb->transactions()[0];
+  const auto& schema = db_.schema();
+
+  // Dimension items at all levels: tennis/shoes/clothing, nike/premium.
+  for (const char* name : {"tennis", "shoes", "clothing"}) {
+    const ItemId id =
+        cat.DimItem(0, schema.dimensions[0].Find(name).value());
+    EXPECT_TRUE(std::binary_search(t.items.begin(), t.items.end(), id))
+        << name;
+  }
+  for (const char* name : {"nike", "premium"}) {
+    const ItemId id =
+        cat.DimItem(1, schema.dimensions[1].Find(name).value());
+    EXPECT_TRUE(std::binary_search(t.items.begin(), t.items.end(), id))
+        << name;
+  }
+
+  // Raw-level stage items: walk the trie along f, d, t, s, c.
+  const PrefixTrie& trie = cat.trie();
+  PrefixId prefix = kEmptyPrefix;
+  const std::vector<std::pair<std::string, Duration>> stages = {
+      {"factory", 10}, {"dist.center", 2}, {"truck", 1}, {"shelf", 5},
+      {"checkout", 0}};
+  for (const auto& [name, dur] : stages) {
+    prefix = trie.Find(prefix, schema.locations.Find(name).value());
+    ASSERT_NE(prefix, PrefixTrie::kInvalidPrefix) << name;
+    const ItemId raw = cat.FindStageItem(0, prefix, dur);
+    ASSERT_NE(raw, kInvalidItem) << name;
+    EXPECT_TRUE(std::binary_search(t.items.begin(), t.items.end(), raw));
+    // The duration-'*' twin at path level 1.
+    const ItemId star = cat.FindStageItem(1, prefix, kAnyDuration);
+    ASSERT_NE(star, kInvalidItem) << name;
+    EXPECT_TRUE(std::binary_search(t.items.begin(), t.items.end(), star));
+  }
+}
+
+TEST_F(TransformTest, AggregatedLevelsMergeStages) {
+  // At the one-up cut, path 1 becomes production>transportation>store; the
+  // transaction must contain the (production>transportation, 3) stage.
+  Result<TransformedDatabase> tdb = TransformPathDatabase(db_, plan_);
+  ASSERT_TRUE(tdb.ok());
+  const ItemCatalog& cat = tdb->catalog();
+  const auto& loc = db_.schema().locations;
+  const PrefixTrie& trie = cat.trie();
+  PrefixId p = trie.Find(kEmptyPrefix, loc.Find("production").value());
+  ASSERT_NE(p, PrefixTrie::kInvalidPrefix);
+  p = trie.Find(p, loc.Find("transportation").value());
+  ASSERT_NE(p, PrefixTrie::kInvalidPrefix);
+  const ItemId merged = cat.FindStageItem(2, p, 3);  // durations 2+1
+  ASSERT_NE(merged, kInvalidItem);
+  const Transaction& t = tdb->transactions()[0];
+  EXPECT_TRUE(std::binary_search(t.items.begin(), t.items.end(), merged));
+}
+
+TEST_F(TransformTest, NoTopLevelItemsEmitted) {
+  // Optimization: values aggregated to '*' are dropped from transactions —
+  // no level-0 dimension item may appear.
+  Result<TransformedDatabase> tdb = TransformPathDatabase(db_, plan_);
+  ASSERT_TRUE(tdb.ok());
+  const ItemCatalog& cat = tdb->catalog();
+  for (const Transaction& t : tdb->transactions()) {
+    for (ItemId id : t.DimItems(cat)) {
+      EXPECT_GE(cat.DimLevelOf(id), 1);
+    }
+  }
+}
+
+TEST_F(TransformTest, RejectsMismatchedPlan) {
+  MiningPlan bad = plan_;
+  bad.dim_levels.pop_back();
+  EXPECT_FALSE(TransformPathDatabase(db_, bad).ok());
+
+  MiningPlan empty = plan_;
+  empty.path_levels.clear();
+  EXPECT_FALSE(TransformPathDatabase(db_, empty).ok());
+}
+
+TEST_F(TransformTest, RestrictedDimLevelsAreHonored) {
+  MiningPlan restricted = plan_;
+  restricted.dim_levels[0] = {2};  // only the "shoes/outerwear" level
+  Result<TransformedDatabase> tdb = TransformPathDatabase(db_, restricted);
+  ASSERT_TRUE(tdb.ok());
+  const ItemCatalog& cat = tdb->catalog();
+  for (const Transaction& t : tdb->transactions()) {
+    for (ItemId id : t.DimItems(cat)) {
+      if (cat.DimOf(id) == 0) {
+        EXPECT_EQ(cat.DimLevelOf(id), 2);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flowcube
