@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_path_density.dir/bench_fig10_path_density.cc.o"
+  "CMakeFiles/bench_fig10_path_density.dir/bench_fig10_path_density.cc.o.d"
+  "bench_fig10_path_density"
+  "bench_fig10_path_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_path_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

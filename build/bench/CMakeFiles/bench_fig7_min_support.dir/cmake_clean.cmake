@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_min_support.dir/bench_fig7_min_support.cc.o"
+  "CMakeFiles/bench_fig7_min_support.dir/bench_fig7_min_support.cc.o.d"
+  "bench_fig7_min_support"
+  "bench_fig7_min_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_min_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

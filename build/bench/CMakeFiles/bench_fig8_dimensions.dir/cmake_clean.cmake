@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_dimensions.dir/bench_fig8_dimensions.cc.o"
+  "CMakeFiles/bench_fig8_dimensions.dir/bench_fig8_dimensions.cc.o.d"
+  "bench_fig8_dimensions"
+  "bench_fig8_dimensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dimensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exception_discovery.dir/exception_discovery.cpp.o"
+  "CMakeFiles/exception_discovery.dir/exception_discovery.cpp.o.d"
+  "exception_discovery"
+  "exception_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exception_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

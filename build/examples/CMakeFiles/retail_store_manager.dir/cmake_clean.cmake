@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_store_manager.dir/retail_store_manager.cpp.o"
+  "CMakeFiles/retail_store_manager.dir/retail_store_manager.cpp.o.d"
+  "retail_store_manager"
+  "retail_store_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_store_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transportation_manager.dir/transportation_manager.cpp.o"
+  "CMakeFiles/transportation_manager.dir/transportation_manager.cpp.o.d"
+  "transportation_manager"
+  "transportation_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transportation_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/flowcube.dir/common/random.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/flowcube.dir/common/status.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/flowcube.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "src/CMakeFiles/flowcube.dir/common/zipf.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/common/zipf.cc.o.d"
+  "/root/repo/src/cube/buc.cc" "src/CMakeFiles/flowcube.dir/cube/buc.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/cube/buc.cc.o.d"
+  "/root/repo/src/cube/cell.cc" "src/CMakeFiles/flowcube.dir/cube/cell.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/cube/cell.cc.o.d"
+  "/root/repo/src/cube/cubing_miner.cc" "src/CMakeFiles/flowcube.dir/cube/cubing_miner.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/cube/cubing_miner.cc.o.d"
+  "/root/repo/src/flowcube/builder.cc" "src/CMakeFiles/flowcube.dir/flowcube/builder.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/flowcube/builder.cc.o.d"
+  "/root/repo/src/flowcube/flowcube.cc" "src/CMakeFiles/flowcube.dir/flowcube/flowcube.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/flowcube/flowcube.cc.o.d"
+  "/root/repo/src/flowcube/plan.cc" "src/CMakeFiles/flowcube.dir/flowcube/plan.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/flowcube/plan.cc.o.d"
+  "/root/repo/src/flowcube/query.cc" "src/CMakeFiles/flowcube.dir/flowcube/query.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/flowcube/query.cc.o.d"
+  "/root/repo/src/flowgraph/builder.cc" "src/CMakeFiles/flowcube.dir/flowgraph/builder.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/flowgraph/builder.cc.o.d"
+  "/root/repo/src/flowgraph/exception_miner.cc" "src/CMakeFiles/flowcube.dir/flowgraph/exception_miner.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/flowgraph/exception_miner.cc.o.d"
+  "/root/repo/src/flowgraph/flowgraph.cc" "src/CMakeFiles/flowcube.dir/flowgraph/flowgraph.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/flowgraph/flowgraph.cc.o.d"
+  "/root/repo/src/flowgraph/merge.cc" "src/CMakeFiles/flowcube.dir/flowgraph/merge.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/flowgraph/merge.cc.o.d"
+  "/root/repo/src/flowgraph/render.cc" "src/CMakeFiles/flowcube.dir/flowgraph/render.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/flowgraph/render.cc.o.d"
+  "/root/repo/src/flowgraph/similarity.cc" "src/CMakeFiles/flowcube.dir/flowgraph/similarity.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/flowgraph/similarity.cc.o.d"
+  "/root/repo/src/flowgraph/stats.cc" "src/CMakeFiles/flowcube.dir/flowgraph/stats.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/flowgraph/stats.cc.o.d"
+  "/root/repo/src/gen/paper_example.cc" "src/CMakeFiles/flowcube.dir/gen/paper_example.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/gen/paper_example.cc.o.d"
+  "/root/repo/src/gen/path_generator.cc" "src/CMakeFiles/flowcube.dir/gen/path_generator.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/gen/path_generator.cc.o.d"
+  "/root/repo/src/gen/sequence_pool.cc" "src/CMakeFiles/flowcube.dir/gen/sequence_pool.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/gen/sequence_pool.cc.o.d"
+  "/root/repo/src/hierarchy/concept_hierarchy.cc" "src/CMakeFiles/flowcube.dir/hierarchy/concept_hierarchy.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/hierarchy/concept_hierarchy.cc.o.d"
+  "/root/repo/src/hierarchy/lattice.cc" "src/CMakeFiles/flowcube.dir/hierarchy/lattice.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/hierarchy/lattice.cc.o.d"
+  "/root/repo/src/io/text_io.cc" "src/CMakeFiles/flowcube.dir/io/text_io.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/io/text_io.cc.o.d"
+  "/root/repo/src/mining/apriori.cc" "src/CMakeFiles/flowcube.dir/mining/apriori.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/mining/apriori.cc.o.d"
+  "/root/repo/src/mining/compatibility.cc" "src/CMakeFiles/flowcube.dir/mining/compatibility.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/mining/compatibility.cc.o.d"
+  "/root/repo/src/mining/item_catalog.cc" "src/CMakeFiles/flowcube.dir/mining/item_catalog.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/mining/item_catalog.cc.o.d"
+  "/root/repo/src/mining/mining_result.cc" "src/CMakeFiles/flowcube.dir/mining/mining_result.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/mining/mining_result.cc.o.d"
+  "/root/repo/src/mining/shared_miner.cc" "src/CMakeFiles/flowcube.dir/mining/shared_miner.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/mining/shared_miner.cc.o.d"
+  "/root/repo/src/mining/stage_catalog.cc" "src/CMakeFiles/flowcube.dir/mining/stage_catalog.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/mining/stage_catalog.cc.o.d"
+  "/root/repo/src/mining/transaction.cc" "src/CMakeFiles/flowcube.dir/mining/transaction.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/mining/transaction.cc.o.d"
+  "/root/repo/src/mining/transform.cc" "src/CMakeFiles/flowcube.dir/mining/transform.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/mining/transform.cc.o.d"
+  "/root/repo/src/path/path.cc" "src/CMakeFiles/flowcube.dir/path/path.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/path/path.cc.o.d"
+  "/root/repo/src/path/path_aggregator.cc" "src/CMakeFiles/flowcube.dir/path/path_aggregator.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/path/path_aggregator.cc.o.d"
+  "/root/repo/src/path/path_database.cc" "src/CMakeFiles/flowcube.dir/path/path_database.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/path/path_database.cc.o.d"
+  "/root/repo/src/rfid/cleaner.cc" "src/CMakeFiles/flowcube.dir/rfid/cleaner.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/rfid/cleaner.cc.o.d"
+  "/root/repo/src/rfid/discretizer.cc" "src/CMakeFiles/flowcube.dir/rfid/discretizer.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/rfid/discretizer.cc.o.d"
+  "/root/repo/src/rfid/reader_simulator.cc" "src/CMakeFiles/flowcube.dir/rfid/reader_simulator.cc.o" "gcc" "src/CMakeFiles/flowcube.dir/rfid/reader_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

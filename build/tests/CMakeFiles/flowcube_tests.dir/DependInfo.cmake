@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apriori_test.cc" "tests/CMakeFiles/flowcube_tests.dir/apriori_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/apriori_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/flowcube_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/compatibility_test.cc" "tests/CMakeFiles/flowcube_tests.dir/compatibility_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/compatibility_test.cc.o.d"
+  "/root/repo/tests/cube_test.cc" "tests/CMakeFiles/flowcube_tests.dir/cube_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/cube_test.cc.o.d"
+  "/root/repo/tests/exception_test.cc" "tests/CMakeFiles/flowcube_tests.dir/exception_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/exception_test.cc.o.d"
+  "/root/repo/tests/flowcube_test.cc" "tests/CMakeFiles/flowcube_tests.dir/flowcube_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/flowcube_test.cc.o.d"
+  "/root/repo/tests/flowgraph_test.cc" "tests/CMakeFiles/flowcube_tests.dir/flowgraph_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/flowgraph_test.cc.o.d"
+  "/root/repo/tests/gen_test.cc" "tests/CMakeFiles/flowcube_tests.dir/gen_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/gen_test.cc.o.d"
+  "/root/repo/tests/hierarchy_test.cc" "tests/CMakeFiles/flowcube_tests.dir/hierarchy_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/hierarchy_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/flowcube_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/flowcube_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/merge_test.cc" "tests/CMakeFiles/flowcube_tests.dir/merge_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/merge_test.cc.o.d"
+  "/root/repo/tests/mining_catalog_test.cc" "tests/CMakeFiles/flowcube_tests.dir/mining_catalog_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/mining_catalog_test.cc.o.d"
+  "/root/repo/tests/path_test.cc" "tests/CMakeFiles/flowcube_tests.dir/path_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/path_test.cc.o.d"
+  "/root/repo/tests/rfid_test.cc" "tests/CMakeFiles/flowcube_tests.dir/rfid_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/rfid_test.cc.o.d"
+  "/root/repo/tests/shared_miner_test.cc" "tests/CMakeFiles/flowcube_tests.dir/shared_miner_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/shared_miner_test.cc.o.d"
+  "/root/repo/tests/similarity_test.cc" "tests/CMakeFiles/flowcube_tests.dir/similarity_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/similarity_test.cc.o.d"
+  "/root/repo/tests/smoke_test.cc" "tests/CMakeFiles/flowcube_tests.dir/smoke_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/smoke_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/flowcube_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/transform_test.cc" "tests/CMakeFiles/flowcube_tests.dir/transform_test.cc.o" "gcc" "tests/CMakeFiles/flowcube_tests.dir/transform_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flowcube.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
