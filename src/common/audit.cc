@@ -1,0 +1,617 @@
+#include "common/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace flowcube {
+
+void AuditReport::Absorb(const AuditReport& other) {
+  for (const std::string& v : other.violations()) {
+    violations_.push_back(other.subject() + ": " + v);
+  }
+}
+
+std::string AuditReport::ToString() const {
+  std::ostringstream out;
+  out << subject_ << " audit: " << violations_.size() << " violation(s)";
+  for (const std::string& v : violations_) out << "\n  " << v;
+  return out.str();
+}
+
+AuditReport AuditConceptHierarchy(const ConceptHierarchy& hierarchy) {
+  AuditReport report("ConceptHierarchy(" + hierarchy.dimension_name() + ")");
+  const size_t n = hierarchy.NodeCount();
+  if (n == 0) {
+    report.Fail("hierarchy has no root");
+    return report;
+  }
+  if (hierarchy.Level(hierarchy.root()) != 0) {
+    report.Fail("root is not at level 0");
+  }
+  if (hierarchy.Parent(hierarchy.root()) != kInvalidNode) {
+    report.Fail("root has a parent");
+  }
+  int max_level_seen = 0;
+  for (NodeId node = 0; node < n; ++node) {
+    max_level_seen = std::max(max_level_seen, hierarchy.Level(node));
+    // Name <-> id bijection.
+    Result<NodeId> found = hierarchy.Find(hierarchy.Name(node));
+    if (!found.ok() || found.value() != node) {
+      report.Fail(StrFormat("Find(Name(%u)) does not resolve back to node %u",
+                            node, node));
+    }
+    if (node == hierarchy.root()) continue;
+    const NodeId parent = hierarchy.Parent(node);
+    if (parent >= node) {
+      // Children are always appended after their parent, so ids increase
+      // along every root path; this also rules out cycles.
+      report.Fail(StrFormat("node %u has parent %u >= itself", node, parent));
+      continue;
+    }
+    if (hierarchy.Level(node) != hierarchy.Level(parent) + 1) {
+      report.Fail(StrFormat("node %u level %d != parent %u level %d + 1", node,
+                            hierarchy.Level(node), parent,
+                            hierarchy.Level(parent)));
+    }
+    const std::vector<NodeId>& siblings = hierarchy.Children(parent);
+    if (std::count(siblings.begin(), siblings.end(), node) != 1) {
+      report.Fail(StrFormat("node %u missing from parent %u's children", node,
+                            parent));
+    }
+  }
+  for (NodeId node = 0; node < n; ++node) {
+    for (NodeId child : hierarchy.Children(node)) {
+      if (child >= n) {
+        report.Fail(StrFormat("node %u has out-of-range child %u", node,
+                              child));
+      } else if (hierarchy.Parent(child) != node) {
+        report.Fail(StrFormat("child %u of node %u points back at parent %u",
+                              child, node, hierarchy.Parent(child)));
+      }
+    }
+  }
+  if (hierarchy.MaxLevel() != max_level_seen) {
+    report.Fail(StrFormat("MaxLevel() is %d but deepest node is at %d",
+                          hierarchy.MaxLevel(), max_level_seen));
+  }
+  return report;
+}
+
+AuditReport AuditPrefixTrie(const PrefixTrie& trie) {
+  AuditReport report("PrefixTrie");
+  const size_t n = trie.size();
+  if (n == 0) {
+    report.Fail("trie is missing the empty prefix");
+    return report;
+  }
+  if (trie.depth(kEmptyPrefix) != 0) {
+    report.Fail("empty prefix is not at depth 0");
+  }
+  if (trie.parent(kEmptyPrefix) != PrefixTrie::kInvalidPrefix) {
+    report.Fail("empty prefix has a parent");
+  }
+  if (trie.location(kEmptyPrefix) != kInvalidNode) {
+    report.Fail("empty prefix has a location");
+  }
+  for (PrefixId p = 1; p < n; ++p) {
+    const PrefixId parent = trie.parent(p);
+    if (parent >= p) {
+      report.Fail(StrFormat("prefix %u has parent %u >= itself", p, parent));
+      continue;
+    }
+    if (trie.depth(p) != trie.depth(parent) + 1) {
+      report.Fail(StrFormat("prefix %u depth %d != parent %u depth %d + 1", p,
+                            trie.depth(p), parent, trie.depth(parent)));
+    }
+    if (trie.location(p) == kInvalidNode) {
+      report.Fail(StrFormat("non-empty prefix %u has no location", p));
+    }
+    // (parent, location) -> child lookup bijection.
+    if (trie.Find(parent, trie.location(p)) != p) {
+      report.Fail(StrFormat(
+          "Find(parent(%u), location(%u)) does not resolve back to %u", p, p,
+          p));
+    }
+  }
+  return report;
+}
+
+AuditReport AuditItemCatalog(const ItemCatalog& catalog) {
+  AuditReport report("ItemCatalog");
+  report.Absorb(AuditPrefixTrie(catalog.trie()));
+  const PathSchema& schema = catalog.schema();
+
+  // Dimension items pre-intern every node at level >= 1 of every dimension;
+  // together with the per-id bijection below this pins the id range exactly.
+  size_t expected_dim_items = 0;
+  for (const ConceptHierarchy& h : schema.dimensions) {
+    expected_dim_items += h.NodeCount() - 1;  // everything but the root
+  }
+  if (catalog.num_dim_items() != expected_dim_items) {
+    report.Fail(StrFormat("%zu dimension items interned, schema defines %zu",
+                          catalog.num_dim_items(), expected_dim_items));
+  }
+
+  for (ItemId id = 0; id < catalog.num_dim_items(); ++id) {
+    if (!catalog.IsDimItem(id) || catalog.IsStageItem(id)) {
+      report.Fail(StrFormat("dim item %u misclassified by the id partition",
+                            id));
+    }
+    const size_t dim = catalog.DimOf(id);
+    if (dim >= schema.num_dimensions()) {
+      report.Fail(StrFormat("dim item %u references dimension %zu of %zu", id,
+                            dim, schema.num_dimensions()));
+      continue;
+    }
+    const ConceptHierarchy& h = schema.dimensions[dim];
+    const NodeId node = catalog.NodeOf(id);
+    if (node >= h.NodeCount()) {
+      report.Fail(StrFormat("dim item %u references node %u of %zu", id, node,
+                            h.NodeCount()));
+      continue;
+    }
+    if (h.Level(node) < 1) {
+      report.Fail(StrFormat("dim item %u encodes the root of dimension %zu",
+                            id, dim));
+      continue;
+    }
+    if (catalog.DimLevelOf(id) != h.Level(node)) {
+      report.Fail(StrFormat("dim item %u caches level %d, hierarchy says %d",
+                            id, catalog.DimLevelOf(id), h.Level(node)));
+    }
+    // Encode/decode bijection.
+    if (catalog.DimItem(dim, node) != id) {
+      report.Fail(StrFormat(
+          "DimItem(DimOf(%u), NodeOf(%u)) does not resolve back to %u", id,
+          id, id));
+    }
+  }
+
+  for (ItemId id = static_cast<ItemId>(catalog.num_dim_items());
+       id < catalog.num_items(); ++id) {
+    if (!catalog.IsStageItem(id) || catalog.IsDimItem(id)) {
+      report.Fail(StrFormat("stage item %u misclassified by the id partition",
+                            id));
+    }
+    const ItemCatalog::StageInfo& info = catalog.StageOf(id);
+    if (info.prefix >= catalog.trie().size()) {
+      report.Fail(StrFormat("stage item %u references prefix %u of %zu", id,
+                            info.prefix, catalog.trie().size()));
+      continue;
+    }
+    if (info.prefix == kEmptyPrefix) {
+      report.Fail(StrFormat("stage item %u encodes the empty prefix", id));
+    }
+    if (info.duration < 0 && info.duration != kAnyDuration) {
+      report.Fail(StrFormat("stage item %u has negative duration %lld", id,
+                            static_cast<long long>(info.duration)));
+    }
+    // Encode/decode bijection.
+    if (catalog.FindStageItem(info.path_level, info.prefix, info.duration) !=
+        id) {
+      report.Fail(StrFormat(
+          "FindStageItem(StageOf(%u)) does not resolve back to %u", id, id));
+    }
+  }
+  return report;
+}
+
+AuditReport AuditPathDatabase(const PathDatabase& db) {
+  AuditReport report("PathDatabase");
+  const PathSchema& schema = db.schema();
+  for (uint32_t tid = 0; tid < db.size(); ++tid) {
+    const PathRecord& rec = db.record(tid);
+    if (rec.dims.size() != schema.num_dimensions()) {
+      report.Fail(StrFormat("record %u has %zu dimension values of %zu", tid,
+                            rec.dims.size(), schema.num_dimensions()));
+      continue;
+    }
+    for (size_t d = 0; d < rec.dims.size(); ++d) {
+      if (rec.dims[d] >= schema.dimensions[d].NodeCount()) {
+        report.Fail(StrFormat("record %u dimension %zu value %u out of range",
+                              tid, d, rec.dims[d]));
+      }
+    }
+    if (rec.path.empty()) {
+      report.Fail(StrFormat("record %u has an empty path", tid));
+      continue;
+    }
+    for (size_t s = 0; s < rec.path.stages.size(); ++s) {
+      const Stage& stage = rec.path.stages[s];
+      if (stage.location >= schema.locations.NodeCount()) {
+        report.Fail(StrFormat("record %u stage %zu location %u out of range",
+                              tid, s, stage.location));
+      }
+      if (stage.duration < 0) {
+        report.Fail(StrFormat("record %u stage %zu has negative duration %lld",
+                              tid, s,
+                              static_cast<long long>(stage.duration)));
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+bool NodeIsAncestorOrSelf(const FlowGraph& g, FlowNodeId ancestor,
+                          FlowNodeId node) {
+  FlowNodeId cur = node;
+  for (;;) {
+    if (cur == ancestor) return true;
+    if (cur == FlowGraph::kRoot) return false;
+    cur = g.parent(cur);
+  }
+}
+
+void AuditFlowException(const FlowGraph& g, size_t index,
+                        const FlowException& e,
+                        const FlowGraphAuditOptions& options,
+                        AuditReport* report) {
+  const auto fail = [&](const std::string& msg) {
+    report->Fail(StrFormat("exception %zu: ", index) + msg);
+  };
+  if (e.node >= g.num_nodes() || e.node == FlowGraph::kRoot) {
+    fail(StrFormat("deviating node %u is not a proper node", e.node));
+    return;
+  }
+  if (e.condition.empty()) {
+    fail("has no condition");
+    return;
+  }
+  bool informative = false;
+  int prev_depth = 0;
+  bool conditions_ok = true;
+  for (const StageCondition& c : e.condition) {
+    if (c.node >= g.num_nodes() || c.node == FlowGraph::kRoot) {
+      fail(StrFormat("condition node %u is not a proper node", c.node));
+      conditions_ok = false;
+      break;
+    }
+    if (g.depth(c.node) <= prev_depth) {
+      fail("condition nodes are not sorted by strictly increasing depth");
+      conditions_ok = false;
+      break;
+    }
+    prev_depth = g.depth(c.node);
+    if (!NodeIsAncestorOrSelf(g, c.node, e.node)) {
+      fail(StrFormat("condition node %u is not an ancestor of node %u",
+                     c.node, e.node));
+      conditions_ok = false;
+      break;
+    }
+    if (c.duration != kAnyDuration) {
+      informative = true;
+      if (c.duration < 0) {
+        fail(StrFormat("condition duration %lld is negative",
+                       static_cast<long long>(c.duration)));
+      }
+    }
+  }
+  if (!conditions_ok) return;
+  if (!informative) {
+    fail("condition constrains no duration (matches every path)");
+  }
+  const FlowNodeId deepest = e.condition.back().node;
+  if (e.kind == FlowException::Kind::kTransition) {
+    if (deepest != e.node) {
+      fail(StrFormat("transition exception at node %u, deepest condition is "
+                     "node %u",
+                     e.node, deepest));
+    }
+    if (e.transition_target != FlowGraph::kTerminate &&
+        (e.transition_target >= g.num_nodes() ||
+         g.parent(e.transition_target) != e.node ||
+         e.transition_target == FlowGraph::kRoot)) {
+      fail(StrFormat("transition target %u is not a child of node %u",
+                     e.transition_target, e.node));
+    }
+  } else {
+    if (g.parent(e.node) != deepest) {
+      fail(StrFormat("duration exception at node %u, deepest condition %u is "
+                     "not its parent",
+                     e.node, deepest));
+    }
+  }
+  // Exceptions may only hang off frequent prefixes.
+  const uint32_t min_support = std::max(options.min_condition_support, 1u);
+  if (e.condition_support < min_support) {
+    fail(StrFormat("condition support %u below the miner's delta %u",
+                   e.condition_support, min_support));
+  }
+  if (e.condition_support > g.path_count(e.node)) {
+    fail(StrFormat("condition support %u exceeds node %u's path count %u",
+                   e.condition_support, e.node, g.path_count(e.node)));
+  }
+  if (e.global_probability < 0.0 || e.global_probability > 1.0 ||
+      e.conditional_probability < 0.0 || e.conditional_probability > 1.0) {
+    fail("probabilities are outside [0, 1]");
+  }
+}
+
+}  // namespace
+
+AuditReport AuditFlowGraph(const FlowGraph& graph,
+                           const FlowGraphAuditOptions& options) {
+  AuditReport report("FlowGraph");
+  const size_t n = graph.num_nodes();
+  if (n == 0) {
+    report.Fail("graph has no root");
+    return report;
+  }
+  if (graph.depth(FlowGraph::kRoot) != 0) {
+    report.Fail("root is not at depth 0");
+  }
+  if (!graph.duration_counts(FlowGraph::kRoot).empty()) {
+    report.Fail("root (the empty prefix) has duration counts");
+  }
+  if (graph.terminate_count(FlowGraph::kRoot) != 0) {
+    report.Fail("root has a terminate count (paths are non-empty)");
+  }
+
+  for (FlowNodeId node = 0; node < n; ++node) {
+    // Prefix-tree parent/child consistency.
+    if (node != FlowGraph::kRoot) {
+      const FlowNodeId parent = graph.parent(node);
+      if (parent >= node) {
+        // Nodes are appended after their parent, so ids increase along every
+        // root path; this also rules out cycles.
+        report.Fail(StrFormat("node %u has parent %u >= itself", node,
+                              parent));
+        continue;
+      }
+      if (graph.depth(node) != graph.depth(parent) + 1) {
+        report.Fail(StrFormat("node %u depth %d != parent %u depth %d + 1",
+                              node, graph.depth(node), parent,
+                              graph.depth(parent)));
+      }
+      if (graph.location(node) == kInvalidNode) {
+        report.Fail(StrFormat("node %u has no location", node));
+      } else if (graph.FindChild(parent, graph.location(node)) != node) {
+        // Also catches two siblings sharing a location.
+        report.Fail(StrFormat(
+            "FindChild(parent(%u), location(%u)) does not resolve back to %u",
+            node, node, node));
+      }
+    }
+
+    // Count conservation: every path through a node either terminates there
+    // or continues into exactly one child.
+    uint64_t child_sum = graph.terminate_count(node);
+    bool children_consistent = true;
+    for (FlowNodeId child : graph.children(node)) {
+      if (child >= n || child == FlowGraph::kRoot) {
+        report.Fail(StrFormat("node %u has invalid child %u", node, child));
+        children_consistent = false;
+        continue;
+      }
+      if (graph.parent(child) != node) {
+        report.Fail(StrFormat("child %u of node %u points back at parent %u",
+                              child, node, graph.parent(child)));
+        children_consistent = false;
+      }
+      child_sum += graph.path_count(child);
+    }
+    if (child_sum != graph.path_count(node)) {
+      report.Fail(StrFormat(
+          "node %u path count %u != terminate count + children's counts %llu",
+          node, graph.path_count(node),
+          static_cast<unsigned long long>(child_sum)));
+    }
+
+    // Duration counts sum to the node's path count (each path through the
+    // node stayed exactly once).
+    if (node != FlowGraph::kRoot) {
+      uint64_t duration_sum = 0;
+      for (const auto& [d, c] : graph.duration_counts(node)) {
+        if (d < 0 && d != kAnyDuration) {
+          report.Fail(StrFormat("node %u counts negative duration %lld", node,
+                                static_cast<long long>(d)));
+        }
+        duration_sum += c;
+      }
+      if (duration_sum != graph.path_count(node)) {
+        report.Fail(StrFormat(
+            "node %u duration counts sum to %llu, path count is %u", node,
+            static_cast<unsigned long long>(duration_sum),
+            graph.path_count(node)));
+      }
+    }
+
+    // Distributions sum to ~1 (they are exact count ratios, Lemma 4.2).
+    // TransitionProbability itself FC_CHECKs parent/child consistency, so
+    // only evaluate it when the structure around this node is sound.
+    if (children_consistent && graph.path_count(node) > 0) {
+      double transition_sum =
+          graph.TransitionProbability(node, FlowGraph::kTerminate);
+      for (FlowNodeId child : graph.children(node)) {
+        transition_sum += graph.TransitionProbability(node, child);
+      }
+      if (std::fabs(transition_sum - 1.0) > options.probability_tolerance) {
+        report.Fail(StrFormat(
+            "node %u transition distribution sums to %.12f", node,
+            transition_sum));
+      }
+      if (node != FlowGraph::kRoot) {
+        double duration_sum = 0.0;
+        for (const auto& [d, unused] : graph.duration_counts(node)) {
+          duration_sum += graph.DurationProbability(node, d);
+        }
+        if (std::fabs(duration_sum - 1.0) > options.probability_tolerance) {
+          report.Fail(StrFormat("node %u duration distribution sums to %.12f",
+                                node, duration_sum));
+        }
+      }
+    }
+  }
+
+  for (size_t i = 0; i < graph.exceptions().size(); ++i) {
+    AuditFlowException(graph, i, graph.exceptions()[i], options, &report);
+  }
+  return report;
+}
+
+namespace {
+
+// Rolls a cell's coordinates up to `target` (which must generalize the
+// cell's own item level). Items whose dimension generalizes to '*' drop out.
+Itemset RollUpCell(const Itemset& dims, const ItemLevel& target,
+                   const ItemCatalog& catalog) {
+  Itemset out;
+  out.reserve(dims.size());
+  const PathSchema& schema = catalog.schema();
+  for (ItemId id : dims) {
+    const size_t dim = catalog.DimOf(id);
+    const int level = target.levels[dim];
+    if (level == 0) continue;
+    const ConceptHierarchy& h = schema.dimensions[dim];
+    const NodeId up = h.AncestorAtLevel(catalog.NodeOf(id), level);
+    if (h.Level(up) == 0) continue;
+    out.push_back(catalog.DimItem(dim, up));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+AuditReport AuditFlowCube(const FlowCube& cube, uint32_t min_support,
+                          const FlowGraphAuditOptions& graph_options) {
+  AuditReport report("FlowCube");
+  const FlowCubePlan& plan = cube.plan();
+  const ItemCatalog& catalog = cube.catalog();
+  report.Absorb(AuditItemCatalog(catalog));
+
+  for (size_t i = 0; i < plan.item_levels.size(); ++i) {
+    const ItemLevel& il = plan.item_levels[i];
+    for (size_t p = 0; p < plan.path_levels.size(); ++p) {
+      const Cuboid& cuboid = cube.cuboid(i, p);
+      const std::string cuboid_name =
+          StrFormat("cuboid <%s,%d>", il.ToString().c_str(),
+                    plan.path_levels[p]);
+      if (!(cuboid.item_level() == il) ||
+          cuboid.path_level() != plan.path_levels[p]) {
+        report.Fail(cuboid_name + " disagrees with the plan's levels");
+      }
+      cuboid.ForEach([&](const FlowCell& cell) {
+        const std::string cell_name =
+            cuboid_name + " cell " + cube.CellName(cell.dims);
+        if (!std::is_sorted(cell.dims.begin(), cell.dims.end()) ||
+            std::adjacent_find(cell.dims.begin(), cell.dims.end()) !=
+                cell.dims.end()) {
+          report.Fail(cell_name + ": coordinates are not sorted and unique");
+        }
+        std::vector<bool> seen_dim(il.levels.size(), false);
+        for (ItemId id : cell.dims) {
+          if (!catalog.IsDimItem(id)) {
+            report.Fail(cell_name +
+                        StrFormat(": coordinate %u is not a dimension item",
+                                  id));
+            continue;
+          }
+          const size_t dim = catalog.DimOf(id);
+          if (seen_dim[dim]) {
+            report.Fail(cell_name +
+                        StrFormat(": two coordinates for dimension %zu", dim));
+          }
+          seen_dim[dim] = true;
+          if (il.levels[dim] < 1 || catalog.DimLevelOf(id) > il.levels[dim]) {
+            report.Fail(
+                cell_name +
+                StrFormat(": coordinate %u at level %d, cuboid allows %d", id,
+                          catalog.DimLevelOf(id), il.levels[dim]));
+          }
+        }
+        // Iceberg condition (Definition 4.5).
+        if (cell.support < min_support) {
+          report.Fail(cell_name +
+                      StrFormat(": support %u below iceberg threshold %u",
+                                cell.support, min_support));
+        }
+        // The measure aggregates exactly the cell's paths.
+        if (cell.graph.total_paths() != cell.support) {
+          report.Fail(cell_name +
+                      StrFormat(": flowgraph aggregates %u paths, support is "
+                                "%u",
+                                cell.graph.total_paths(), cell.support));
+        }
+        AuditReport graph_report = AuditFlowGraph(cell.graph, graph_options);
+        if (!graph_report.ok()) {
+          AuditReport named(cell_name);
+          named.Absorb(graph_report);
+          report.Absorb(named);
+        }
+      });
+    }
+  }
+
+  // Roll-up consistency across cuboid pairs <Il, Pl> at the same path level:
+  // support is anti-monotone along the item lattice, so every cell's roll-up
+  // to a materialized more-general level must exist and must count at least
+  // as many paths; distinct cells roll up to disjoint path sets, so the
+  // rolled-up counts also sum to at most the ancestor's.
+  for (size_t gi = 0; gi < plan.item_levels.size(); ++gi) {
+    for (size_t si = 0; si < plan.item_levels.size(); ++si) {
+      if (gi == si) continue;
+      const ItemLevel& general = plan.item_levels[gi];
+      const ItemLevel& specific = plan.item_levels[si];
+      if (!ItemLattice::GeneralizesOrEquals(general, specific)) continue;
+      for (size_t p = 0; p < plan.path_levels.size(); ++p) {
+        const Cuboid& general_cuboid = cube.cuboid(gi, p);
+        const Cuboid& specific_cuboid = cube.cuboid(si, p);
+        std::unordered_map<Itemset, uint64_t, ItemsetHash> rolled_support;
+        specific_cuboid.ForEach([&](const FlowCell& cell) {
+          const Itemset up = RollUpCell(cell.dims, general, catalog);
+          rolled_support[up] += cell.support;
+          const FlowCell* ancestor = general_cuboid.Find(up);
+          if (ancestor == nullptr) {
+            report.Fail(StrFormat(
+                "cell %s of cuboid <%s,%d> has no ancestor cell %s in "
+                "cuboid <%s,%d>",
+                cube.CellName(cell.dims).c_str(),
+                specific.ToString().c_str(), plan.path_levels[p],
+                cube.CellName(up).c_str(), general.ToString().c_str(),
+                plan.path_levels[p]));
+          } else if (ancestor->support < cell.support) {
+            report.Fail(StrFormat(
+                "cell %s support %u exceeds ancestor %s support %u "
+                "(anti-monotonicity violated between item levels %s and %s)",
+                cube.CellName(cell.dims).c_str(), cell.support,
+                cube.CellName(up).c_str(), ancestor->support,
+                specific.ToString().c_str(), general.ToString().c_str()));
+          }
+        });
+        for (const auto& [up, sum] : rolled_support) {
+          const FlowCell* ancestor = general_cuboid.Find(up);
+          if (ancestor != nullptr && sum > ancestor->support) {
+            report.Fail(StrFormat(
+                "cells rolling up to %s sum to %llu paths, ancestor counts "
+                "%u (cells at item level %s are not disjoint)",
+                cube.CellName(up).c_str(),
+                static_cast<unsigned long long>(sum), ancestor->support,
+                specific.ToString().c_str()));
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+namespace internal {
+
+void AuditFailIfNotOk(const AuditReport& report, const char* file, int line) {
+  if (report.ok()) return;
+  std::fprintf(stderr, "FC_AUDIT failed at %s:%d:\n%s\n", file, line,
+               report.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace flowcube

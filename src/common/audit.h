@@ -1,0 +1,123 @@
+#ifndef FLOWCUBE_COMMON_AUDIT_H_
+#define FLOWCUBE_COMMON_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flowcube/flowcube.h"
+#include "flowgraph/flowgraph.h"
+#include "hierarchy/concept_hierarchy.h"
+#include "mining/item_catalog.h"
+#include "mining/stage_catalog.h"
+#include "path/path_database.h"
+
+// The heaviest tier of invariant checking (above FC_CHECK / FC_DCHECK in
+// common/logging.h): whole-structure sweeps that re-derive every invariant a
+// data structure is supposed to maintain — count conservation and
+// distribution normalization in flowgraphs, encode/decode bijections in the
+// catalogs, roll-up consistency across flowcube cuboids. Audits are O(size
+// of the structure) or worse, so they are compiled out of the FC_AUDIT macro
+// unless the build defines FLOWCUBE_AUDIT (CMake -DFLOWCUBE_AUDIT=ON; the
+// asan-ubsan preset turns it on).
+//
+// The Audit* functions themselves are always compiled and return an
+// AuditReport rather than aborting, so tests can corrupt a structure and
+// assert the audit notices; FC_AUDIT(expr) is the enforcement wrapper that
+// prints every violation and aborts.
+
+namespace flowcube {
+
+// The outcome of one audit pass: the audited subject ("FlowGraph",
+// "ItemCatalog", ...) plus every violated invariant, in discovery order.
+class AuditReport {
+ public:
+  explicit AuditReport(std::string subject) : subject_(std::move(subject)) {}
+
+  // Records one violation.
+  void Fail(std::string message) { violations_.push_back(std::move(message)); }
+
+  // Absorbs another report's violations, prefixing them with its subject.
+  void Absorb(const AuditReport& other);
+
+  bool ok() const { return violations_.empty(); }
+  const std::string& subject() const { return subject_; }
+  const std::vector<std::string>& violations() const { return violations_; }
+
+  // Renders "FlowGraph audit: 2 violation(s)" followed by one line each.
+  std::string ToString() const;
+
+ private:
+  std::string subject_;
+  std::vector<std::string> violations_;
+};
+
+// Concept hierarchy: dense parent/child/level consistency and the
+// name <-> id bijection (Find(Name(n)) == n).
+AuditReport AuditConceptHierarchy(const ConceptHierarchy& hierarchy);
+
+// Prefix trie: parent/depth consistency and the (parent, location) -> child
+// lookup bijection.
+AuditReport AuditPrefixTrie(const PrefixTrie& trie);
+
+// Item catalog: dimension-item and stage-item encode/decode bijections,
+// id-range partitioning, and the underlying prefix trie.
+AuditReport AuditItemCatalog(const ItemCatalog& catalog);
+
+// Path database: every record matches the schema (one value per dimension,
+// ids in range, non-empty path, non-negative durations).
+AuditReport AuditPathDatabase(const PathDatabase& db);
+
+struct FlowGraphAuditOptions {
+  // When > 0, every exception's condition support must be at least this (the
+  // exception miner's delta): exceptions may only hang off frequent
+  // prefixes.
+  uint32_t min_condition_support = 0;
+  // Tolerance for "distributions sum to 1" checks. Distributions are exact
+  // count ratios, so only accumulated floating-point error is allowed.
+  double probability_tolerance = 1e-9;
+};
+
+// Flowgraph: prefix-tree parent/child consistency, count conservation
+// (path_count == terminate_count + sum of children's path_counts),
+// duration/transition distributions summing to ~1, and every recorded
+// exception being well-formed (condition nodes are ancestors sorted by
+// depth, support and probabilities in range).
+AuditReport AuditFlowGraph(const FlowGraph& graph,
+                           const FlowGraphAuditOptions& options = {});
+
+// Flowcube: per-cell iceberg condition (support >= min_support, Definition
+// 4.5), cell coordinates consistent with the cuboid's item level, each
+// cell's flowgraph aggregating exactly `support` paths (plus a full
+// AuditFlowGraph), and roll-up consistency across cuboid pairs <Il, Pl>:
+// whenever one materialized item level generalizes another at the same path
+// level, every specific cell's ancestor cell exists and counts at least as
+// many paths (anti-monotonicity of support).
+AuditReport AuditFlowCube(const FlowCube& cube, uint32_t min_support,
+                          const FlowGraphAuditOptions& graph_options = {});
+
+namespace internal {
+
+// Prints the report and aborts when it has violations. Out of line so the
+// macro stays small.
+void AuditFailIfNotOk(const AuditReport& report, const char* file, int line);
+
+}  // namespace internal
+}  // namespace flowcube
+
+// FC_AUDIT(expr): evaluate an audit expression yielding an AuditReport and
+// abort with the full violation list when it is not ok(). The expression is
+// NOT evaluated unless FLOWCUBE_AUDIT is defined — audits may be arbitrarily
+// expensive.
+#ifdef FLOWCUBE_AUDIT
+#define FC_AUDIT_ENABLED 1
+#define FC_AUDIT(expr) \
+  ::flowcube::internal::AuditFailIfNotOk((expr), __FILE__, __LINE__)
+#else
+#define FC_AUDIT_ENABLED 0
+#define FC_AUDIT(expr) \
+  do {                 \
+  } while (false)
+#endif
+
+#endif  // FLOWCUBE_COMMON_AUDIT_H_

@@ -1,0 +1,20 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace flowcube::internal {
+
+void CheckFail(const char* file, int line, const char* condition,
+               const std::string& message) {
+  if (message.empty()) {
+    std::fprintf(stderr, "FC_CHECK failed at %s:%d: %s\n", file, line,
+                 condition);
+  } else {
+    std::fprintf(stderr, "FC_CHECK failed at %s:%d: %s (%s)\n", file, line,
+                 condition, message.c_str());
+  }
+  std::abort();
+}
+
+}  // namespace flowcube::internal

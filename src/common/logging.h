@@ -1,32 +1,49 @@
 #ifndef FLOWCUBE_COMMON_LOGGING_H_
 #define FLOWCUBE_COMMON_LOGGING_H_
 
-#include <cstdio>
-#include <cstdlib>
+#include <sstream>
+#include <string>
 
 // Invariant checking. FC_CHECK aborts with a source location when its
 // condition is false; it is always on (benchmark-measured code paths avoid
 // heavy checks inside tight loops). FC_DCHECK compiles away in NDEBUG builds.
+// FC_AUDIT (common/audit.h) is the heavier third tier: whole-structure
+// invariant sweeps, off unless FLOWCUBE_AUDIT is defined.
 //
 // These are for programmer errors (broken invariants). User-visible failures
 // (bad input, missing cells, ...) are reported through Status instead.
+//
+// FC_CHECK_MSG takes a stream-style message so call sites can report the
+// offending values:
+//
+//   FC_CHECK_MSG(m >= 0, "hierarchy depth must be >= 0, got " << m);
 
-#define FC_CHECK(cond)                                                     \
-  do {                                                                     \
-    if (!(cond)) {                                                         \
-      std::fprintf(stderr, "FC_CHECK failed at %s:%d: %s\n", __FILE__,     \
-                   __LINE__, #cond);                                       \
-      std::abort();                                                        \
-    }                                                                      \
+namespace flowcube::internal {
+
+// Prints "FC_CHECK failed at file:line: condition (message)" to stderr and
+// aborts. Out of line so the macros stay cheap at the call site.
+[[noreturn]] void CheckFail(const char* file, int line, const char* condition,
+                            const std::string& message);
+
+}  // namespace flowcube::internal
+
+#define FC_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::flowcube::internal::CheckFail(__FILE__, __LINE__, #cond, ""); \
+    }                                                                 \
   } while (false)
 
-#define FC_CHECK_MSG(cond, msg)                                            \
-  do {                                                                     \
-    if (!(cond)) {                                                         \
-      std::fprintf(stderr, "FC_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
-                   __LINE__, #cond, msg);                                  \
-      std::abort();                                                        \
-    }                                                                      \
+// `...` so that stream expressions containing commas (template arguments,
+// function calls) still parse as one message.
+#define FC_CHECK_MSG(cond, ...)                                  \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      std::ostringstream fc_check_msg_stream_;                   \
+      fc_check_msg_stream_ << __VA_ARGS__;                       \
+      ::flowcube::internal::CheckFail(__FILE__, __LINE__, #cond, \
+                                      fc_check_msg_stream_.str());  \
+    }                                                            \
   } while (false)
 
 #ifdef NDEBUG

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/audit.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "flowgraph/builder.h"
@@ -70,6 +71,7 @@ Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
                                         FlowCubeBuildStats* stats) const {
   FlowCubeBuildStats local_stats;
   if (stats == nullptr) stats = &local_stats;
+  FC_AUDIT(AuditPathDatabase(db));
   Stopwatch watch;
 
   // --- Phase 1: one Shared mining run over the transformed database.
@@ -209,6 +211,15 @@ Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
     }
   }
   stats->seconds_redundancy = watch.ElapsedSeconds();
+#if FC_AUDIT_ENABLED
+  {
+    FlowGraphAuditOptions graph_options;
+    if (options_.compute_exceptions) {
+      graph_options.min_condition_support = options_.exceptions.min_support;
+    }
+    FC_AUDIT(AuditFlowCube(cube, options_.min_support, graph_options));
+  }
+#endif
   return cube;
 }
 

@@ -1,5 +1,7 @@
 #include "flowgraph/builder.h"
 
+#include "common/audit.h"
+
 namespace flowcube {
 
 FlowGraph BuildFlowGraph(std::span<const Path> paths) {
@@ -7,6 +9,7 @@ FlowGraph BuildFlowGraph(std::span<const Path> paths) {
   for (const Path& p : paths) {
     g.AddPath(p);
   }
+  FC_AUDIT(AuditFlowGraph(g));
   return g;
 }
 

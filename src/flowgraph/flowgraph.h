@@ -132,6 +132,9 @@ class FlowGraph {
   const std::vector<FlowException>& exceptions() const { return exceptions_; }
 
  private:
+  // Corruption backdoor for tests/audit_test.cc.
+  friend struct FlowGraphTestPeer;
+
   struct Node {
     NodeId location = kInvalidNode;
     FlowNodeId parent = kRoot;

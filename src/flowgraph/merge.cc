@@ -1,9 +1,12 @@
 #include "flowgraph/merge.h"
 
+#include "common/audit.h"
+
 namespace flowcube {
 
 void MergeInto(const FlowGraph& src, FlowGraph* dst) {
   dst->MergeFrom(src);
+  FC_AUDIT(AuditFlowGraph(*dst));
 }
 
 FlowGraph MergeFlowGraphs(std::span<const FlowGraph* const> graphs) {
@@ -11,6 +14,7 @@ FlowGraph MergeFlowGraphs(std::span<const FlowGraph* const> graphs) {
   for (const FlowGraph* g : graphs) {
     out.MergeFrom(*g);
   }
+  FC_AUDIT(AuditFlowGraph(out));
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "gen/paper_example.h"
 
+#include "common/audit.h"
 #include "common/logging.h"
 
 namespace flowcube {
@@ -78,6 +79,7 @@ PathDatabase MakePaperDatabase() {
   add({jacket, nike}, {{f, 10}, {t, 1}, {w, 5}});
   add({tennis, adidas}, {{f, 5}, {d, 2}, {t, 2}, {s, 20}});
   add({tennis, adidas}, {{f, 5}, {d, 2}, {t, 3}, {s, 10}, {d, 5}});
+  FC_AUDIT(AuditPathDatabase(db));
   return db;
 }
 

@@ -65,28 +65,38 @@ Result<NodeId> ConceptHierarchy::Find(std::string_view name) const {
 }
 
 NodeId ConceptHierarchy::Parent(NodeId node) const {
-  FC_CHECK(Valid(node));
+  FC_CHECK_MSG(Valid(node), "node id " << node << " out of range in dimension '"
+                                << dimension_name_ << "' (" << NodeCount()
+                                << " nodes)");
   return parent_[node];
 }
 
 int ConceptHierarchy::Level(NodeId node) const {
-  FC_CHECK(Valid(node));
+  FC_CHECK_MSG(Valid(node), "node id " << node << " out of range in dimension '"
+                                << dimension_name_ << "' (" << NodeCount()
+                                << " nodes)");
   return level_[node];
 }
 
 const std::string& ConceptHierarchy::Name(NodeId node) const {
-  FC_CHECK(Valid(node));
+  FC_CHECK_MSG(Valid(node), "node id " << node << " out of range in dimension '"
+                                << dimension_name_ << "' (" << NodeCount()
+                                << " nodes)");
   return name_[node];
 }
 
 const std::vector<NodeId>& ConceptHierarchy::Children(NodeId node) const {
-  FC_CHECK(Valid(node));
+  FC_CHECK_MSG(Valid(node), "node id " << node << " out of range in dimension '"
+                                << dimension_name_ << "' (" << NodeCount()
+                                << " nodes)");
   return children_[node];
 }
 
 NodeId ConceptHierarchy::AncestorAtLevel(NodeId node, int level) const {
-  FC_CHECK(Valid(node));
-  FC_CHECK(level >= 0);
+  FC_CHECK_MSG(Valid(node), "node id " << node << " out of range in dimension '"
+                                << dimension_name_ << "' (" << NodeCount()
+                                << " nodes)");
+  FC_CHECK_MSG(level >= 0, "hierarchy level must be >= 0, got " << level);
   NodeId cur = node;
   while (level_[cur] > level) {
     cur = parent_[cur];
@@ -95,8 +105,13 @@ NodeId ConceptHierarchy::AncestorAtLevel(NodeId node, int level) const {
 }
 
 bool ConceptHierarchy::IsAncestorOrSelf(NodeId ancestor, NodeId node) const {
-  FC_CHECK(Valid(ancestor));
-  FC_CHECK(Valid(node));
+  FC_CHECK_MSG(Valid(ancestor), "ancestor id " << ancestor
+                                    << " out of range in dimension '"
+                                    << dimension_name_ << "' (" << NodeCount()
+                                    << " nodes)");
+  FC_CHECK_MSG(Valid(node), "node id " << node << " out of range in dimension '"
+                                << dimension_name_ << "' (" << NodeCount()
+                                << " nodes)");
   if (level_[ancestor] > level_[node]) return false;
   return AncestorAtLevel(node, level_[ancestor]) == ancestor;
 }

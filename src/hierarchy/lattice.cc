@@ -17,7 +17,7 @@ std::string ItemLevel::ToString() const {
 ItemLattice::ItemLattice(std::vector<int> max_levels)
     : max_levels_(std::move(max_levels)) {
   for (int m : max_levels_) {
-    FC_CHECK_MSG(m >= 0, "dimension hierarchy depth must be >= 0");
+    FC_CHECK_MSG(m >= 0, "dimension hierarchy depth must be >= 0, got " << m);
   }
 }
 
@@ -57,7 +57,8 @@ std::vector<ItemLevel> ItemLattice::AllLevels() const {
 }
 
 std::vector<ItemLevel> ItemLattice::Parents(const ItemLevel& level) const {
-  FC_CHECK(Contains(level));
+  FC_CHECK_MSG(Contains(level),
+               "item level " << level.ToString() << " is outside the lattice");
   std::vector<ItemLevel> out;
   for (size_t i = 0; i < level.levels.size(); ++i) {
     if (level.levels[i] > 0) {
@@ -70,7 +71,8 @@ std::vector<ItemLevel> ItemLattice::Parents(const ItemLevel& level) const {
 }
 
 std::vector<ItemLevel> ItemLattice::Children(const ItemLevel& level) const {
-  FC_CHECK(Contains(level));
+  FC_CHECK_MSG(Contains(level),
+               "item level " << level.ToString() << " is outside the lattice");
   std::vector<ItemLevel> out;
   for (size_t i = 0; i < level.levels.size(); ++i) {
     if (level.levels[i] < max_levels_[i]) {
@@ -170,7 +172,9 @@ Result<LocationCut> LocationCut::FromNodes(const ConceptHierarchy& locations,
 }
 
 NodeId LocationCut::Map(NodeId location) const {
-  FC_CHECK(location < rep_.size());
+  FC_CHECK_MSG(location < rep_.size(),
+               "location id " << location << " out of range, hierarchy has "
+                              << rep_.size() << " nodes");
   return rep_[location];
 }
 

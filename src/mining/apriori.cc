@@ -130,7 +130,7 @@ void CandidateCounter::CountTransaction(std::span<const ItemId> raw_txn) {
 std::vector<Itemset> AprioriJoin(const std::vector<Itemset>& frequent) {
   std::vector<Itemset> out;
   if (frequent.empty()) return out;
-  const size_t k1 = frequent.front().size();
+  [[maybe_unused]] const size_t k1 = frequent.front().size();
   // Group by shared (k-2)-prefix; frequent is sorted lexicographically so
   // groups are contiguous.
   size_t group_start = 0;

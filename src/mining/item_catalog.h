@@ -37,6 +37,9 @@ class ItemCatalog {
 
   explicit ItemCatalog(SchemaPtr schema);
 
+  // The schema all dimension items are interpreted against.
+  const PathSchema& schema() const { return *schema_; }
+
   // Total interned items (dimension + stage).
   size_t num_items() const { return dim_of_.size() + stage_info_.size(); }
 
@@ -78,6 +81,9 @@ class ItemCatalog {
   std::string ToString(ItemId id) const;
 
  private:
+  // Corruption backdoor for tests/audit_test.cc.
+  friend struct ItemCatalogTestPeer;
+
   SchemaPtr schema_;
   PrefixTrie trie_;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/audit.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -108,6 +109,7 @@ Result<TransformedDatabase> TransformPathDatabase(const PathDatabase& db,
   for (const PathRecord& rec : db.records()) {
     out.Append(rec);
   }
+  FC_AUDIT(AuditItemCatalog(out.catalog()));
   return out;
 }
 

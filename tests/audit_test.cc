@@ -1,0 +1,273 @@
+#include "common/audit.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flowcube/builder.h"
+#include "flowgraph/builder.h"
+#include "gen/paper_example.h"
+#include "mining/transform.h"
+
+namespace flowcube {
+
+// Friends of the audited classes (declared in their headers): the only way
+// to break invariants the public API maintains by construction.
+struct FlowGraphTestPeer {
+  static uint32_t& PathCount(FlowGraph& g, FlowNodeId n) {
+    return g.nodes_[n].path_count;
+  }
+  static FlowNodeId& Parent(FlowGraph& g, FlowNodeId n) {
+    return g.nodes_[n].parent;
+  }
+  static std::map<Duration, uint32_t>& DurationCounts(FlowGraph& g,
+                                                      FlowNodeId n) {
+    return g.nodes_[n].duration_counts;
+  }
+};
+
+struct ItemCatalogTestPeer {
+  static std::vector<NodeId>& NodeOf(ItemCatalog& c) { return c.node_of_; }
+  static std::vector<ItemCatalog::StageInfo>& StageInfos(ItemCatalog& c) {
+    return c.stage_info_;
+  }
+};
+
+namespace {
+
+bool HasViolationContaining(const AuditReport& report,
+                            std::string_view needle) {
+  for (const std::string& v : report.violations()) {
+    if (v.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::vector<Path> PaperPaths(const PathDatabase& db) {
+  std::vector<Path> paths;
+  paths.reserve(db.size());
+  for (const PathRecord& rec : db.records()) paths.push_back(rec.path);
+  return paths;
+}
+
+// --- Green runs over the paper's running example ---------------------------
+
+TEST(AuditPaperExampleTest, PathDatabaseIsClean) {
+  const PathDatabase db = MakePaperDatabase();
+  const AuditReport report = AuditPathDatabase(db);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(AuditPaperExampleTest, SchemaHierarchiesAreClean) {
+  const PathDatabase db = MakePaperDatabase();
+  for (const ConceptHierarchy& h : db.schema().dimensions) {
+    const AuditReport report = AuditConceptHierarchy(h);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+  }
+  const AuditReport locations = AuditConceptHierarchy(db.schema().locations);
+  EXPECT_TRUE(locations.ok()) << locations.ToString();
+}
+
+TEST(AuditPaperExampleTest, FlowGraphIsClean) {
+  const PathDatabase db = MakePaperDatabase();
+  const std::vector<Path> paths = PaperPaths(db);
+  const FlowGraph g = BuildFlowGraph(paths);
+  const AuditReport report = AuditFlowGraph(g);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(AuditPaperExampleTest, MergedFlowGraphIsClean) {
+  const PathDatabase db = MakePaperDatabase();
+  const std::vector<Path> paths = PaperPaths(db);
+  FlowGraph merged = BuildFlowGraph({paths.data(), 4});
+  const FlowGraph rest = BuildFlowGraph({paths.data() + 4, paths.size() - 4});
+  merged.MergeFrom(rest);
+  const AuditReport report = AuditFlowGraph(merged);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(merged.total_paths(), db.size());
+}
+
+TEST(AuditPaperExampleTest, ItemCatalogIsClean) {
+  const PathDatabase db = MakePaperDatabase();
+  const MiningPlan plan = MiningPlan::Default(db.schema()).value();
+  const TransformedDatabase tdb = TransformPathDatabase(db, plan).value();
+  const AuditReport report = AuditItemCatalog(tdb.catalog());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(AuditPaperExampleTest, BuiltFlowCubeIsClean) {
+  const PathDatabase db = MakePaperDatabase();
+  const FlowCubePlan plan = FlowCubePlan::Default(db.schema()).value();
+  FlowCubeBuilderOptions opts;
+  opts.min_support = 2;
+  opts.exceptions.min_support = 2;
+  const FlowCube cube = FlowCubeBuilder(opts).Build(db, plan).value();
+  FlowGraphAuditOptions graph_options;
+  graph_options.min_condition_support = opts.exceptions.min_support;
+  const AuditReport report = AuditFlowCube(cube, opts.min_support,
+                                           graph_options);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// --- Deliberate corruption: the audits must notice -------------------------
+
+TEST(AuditFlowGraphTest, DetectsCorruptedPathCount) {
+  FlowGraph g = BuildFlowGraph(PaperPaths(MakePaperDatabase()));
+  ASSERT_GT(g.num_nodes(), 1u);
+  FlowGraphTestPeer::PathCount(g, 1) += 1;
+  const AuditReport report = AuditFlowGraph(g);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolationContaining(report, "path count"))
+      << report.ToString();
+}
+
+TEST(AuditFlowGraphTest, DetectsCorruptedParentPointer) {
+  FlowGraph g = BuildFlowGraph(PaperPaths(MakePaperDatabase()));
+  // Find a node at depth >= 2 and re-parent it onto itself.
+  FlowNodeId victim = FlowGraph::kTerminate;
+  for (FlowNodeId n = 0; n < g.num_nodes(); ++n) {
+    if (g.depth(n) >= 2) {
+      victim = n;
+      break;
+    }
+  }
+  ASSERT_NE(victim, FlowGraph::kTerminate);
+  FlowGraphTestPeer::Parent(g, victim) = victim;
+  const AuditReport report = AuditFlowGraph(g);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolationContaining(report, "parent")) << report.ToString();
+}
+
+TEST(AuditFlowGraphTest, DetectsCorruptedDurationDistribution) {
+  FlowGraph g = BuildFlowGraph(PaperPaths(MakePaperDatabase()));
+  ASSERT_GT(g.num_nodes(), 1u);
+  ASSERT_FALSE(FlowGraphTestPeer::DurationCounts(g, 1).empty());
+  FlowGraphTestPeer::DurationCounts(g, 1).begin()->second += 3;
+  const AuditReport report = AuditFlowGraph(g);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolationContaining(report, "duration"))
+      << report.ToString();
+}
+
+TEST(AuditFlowGraphTest, DetectsMalformedException) {
+  FlowGraph g = BuildFlowGraph(PaperPaths(MakePaperDatabase()));
+  FlowException bogus;
+  bogus.node = static_cast<FlowNodeId>(g.num_nodes() + 7);
+  g.AddException(bogus);
+  const AuditReport report = AuditFlowGraph(g);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolationContaining(report, "exception 0"))
+      << report.ToString();
+}
+
+TEST(AuditFlowGraphTest, DetectsInfrequentExceptionCondition) {
+  FlowGraph g = BuildFlowGraph(PaperPaths(MakePaperDatabase()));
+  ASSERT_GT(g.num_nodes(), 1u);
+  FlowException e;
+  e.kind = FlowException::Kind::kTransition;
+  e.node = 1;
+  e.condition = {StageCondition{1, 5}};
+  e.transition_target = FlowGraph::kTerminate;
+  e.condition_support = 1;  // below the miner's delta of 2
+  g.AddException(e);
+  FlowGraphAuditOptions options;
+  options.min_condition_support = 2;
+  const AuditReport report = AuditFlowGraph(g, options);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolationContaining(report, "delta")) << report.ToString();
+}
+
+TEST(AuditItemCatalogTest, DetectsBrokenDimensionBijection) {
+  const PathDatabase db = MakePaperDatabase();
+  const MiningPlan plan = MiningPlan::Default(db.schema()).value();
+  TransformedDatabase tdb = TransformPathDatabase(db, plan).value();
+  ItemCatalog& catalog = const_cast<ItemCatalog&>(tdb.catalog());
+  ASSERT_GE(catalog.num_dim_items(), 2u);
+  std::vector<NodeId>& node_of = ItemCatalogTestPeer::NodeOf(catalog);
+  std::swap(node_of[0], node_of[1]);
+  const AuditReport report = AuditItemCatalog(catalog);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolationContaining(report, "resolve back"))
+      << report.ToString();
+}
+
+TEST(AuditItemCatalogTest, DetectsBrokenStageBijection) {
+  const PathDatabase db = MakePaperDatabase();
+  const MiningPlan plan = MiningPlan::Default(db.schema()).value();
+  TransformedDatabase tdb = TransformPathDatabase(db, plan).value();
+  ItemCatalog& catalog = const_cast<ItemCatalog&>(tdb.catalog());
+  std::vector<ItemCatalog::StageInfo>& infos =
+      ItemCatalogTestPeer::StageInfos(catalog);
+  ASSERT_FALSE(infos.empty());
+  infos[0].duration += 1000;
+  const AuditReport report = AuditItemCatalog(catalog);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolationContaining(report, "FindStageItem"))
+      << report.ToString();
+}
+
+TEST(AuditFlowCubeTest, DetectsIcebergAndRollUpViolations) {
+  const PathDatabase db = MakePaperDatabase();
+  const FlowCubePlan plan = FlowCubePlan::Default(db.schema()).value();
+  FlowCubeBuilderOptions opts;
+  opts.min_support = 2;
+  opts.exceptions.min_support = 2;
+  FlowCube cube = FlowCubeBuilder(opts).Build(db, plan).value();
+  // Shrink one specific cell's support below the iceberg threshold; the
+  // flowgraph no longer matches either.
+  bool corrupted = false;
+  cube.ForEachCuboidMutable([&](Cuboid* cuboid) {
+    if (corrupted) return;
+    cuboid->ForEachMutable([&](FlowCell* cell) {
+      if (!corrupted && !cell->dims.empty()) {
+        cell->support = 1;
+        corrupted = true;
+      }
+    });
+  });
+  ASSERT_TRUE(corrupted);
+  const AuditReport report = AuditFlowCube(cube, opts.min_support);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolationContaining(report, "iceberg")) << report.ToString();
+}
+
+// --- The FC_AUDIT enforcement path -----------------------------------------
+
+TEST(AuditReportTest, AbsorbPrefixesWithSubject) {
+  AuditReport inner("FlowGraph");
+  inner.Fail("node 1 path count 3 != terminate count + children's counts 2");
+  AuditReport outer("FlowCube");
+  outer.Absorb(inner);
+  ASSERT_EQ(outer.violations().size(), 1u);
+  EXPECT_TRUE(HasViolationContaining(outer, "FlowGraph: node 1"));
+  EXPECT_NE(outer.ToString().find("1 violation(s)"), std::string::npos);
+}
+
+TEST(AuditDeathTest, EnforcementAbortsWithTheViolationList) {
+  AuditReport report("CorruptStructure");
+  report.Fail("boom: the invariant is broken");
+  EXPECT_DEATH(internal::AuditFailIfNotOk(report, "audit_test.cc", 1),
+               "boom: the invariant is broken");
+}
+
+#if FC_AUDIT_ENABLED
+TEST(AuditDeathTest, FcAuditMacroFiresOnCorruptedFlowGraph) {
+  FlowGraph g = BuildFlowGraph(PaperPaths(MakePaperDatabase()));
+  ASSERT_GT(g.num_nodes(), 1u);
+  FlowGraphTestPeer::PathCount(g, 1) += 1;
+  EXPECT_DEATH(FC_AUDIT(AuditFlowGraph(g)), "FC_AUDIT failed");
+}
+#else
+TEST(AuditDeathTest, FcAuditMacroCompilesOutWhenDisabled) {
+  // The macro must not evaluate its argument in non-audit builds.
+  FC_AUDIT(AuditReport("never constructed"));
+  SUCCEED();
+}
+#endif
+
+}  // namespace
+}  // namespace flowcube

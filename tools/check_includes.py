@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Custom include/header lint for the FlowCube tree.
+
+Enforced conventions (see DESIGN.md, "Lint workflow"):
+
+  1. Every header carries an include guard named after its path:
+     src/common/audit.h -> FLOWCUBE_COMMON_AUDIT_H_ (the src/ prefix is
+     dropped; other roots keep theirs: bench/bench_common.h ->
+     FLOWCUBE_BENCH_BENCH_COMMON_H_).
+  2. A .cc/.cpp file's first include is its own header, when one exists.
+  3. Quoted includes name project files, path-qualified from src/ (or
+     sitting next to the including file); system and third-party headers
+     (<gtest/...>, <benchmark/...>, the standard library) use angle
+     brackets.
+  4. `using namespace` at file scope is banned in headers and in src/ and
+     tests/ translation units (bench/example binaries may import the
+     project's own namespace).
+
+Exit status 0 when the tree is clean; 1 with one "file:line: message" per
+violation otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+SCAN_ROOTS = ["src", "tests", "bench", "examples"]
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+GUARD_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\S+)")
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+")
+
+
+def expected_guard(path: Path) -> str:
+    rel = path.relative_to(REPO)
+    parts = rel.parts[1:] if rel.parts[0] == "src" else rel.parts
+    slug = "_".join(parts)
+    return "FLOWCUBE_" + re.sub(r"[^A-Za-z0-9]", "_", slug).upper() + "_"
+
+
+def check_header_guard(path, lines, errors):
+    ifndef_line = define_line = None
+    guard = None
+    for i, line in enumerate(lines):
+        m = GUARD_IFNDEF_RE.match(line)
+        if m:
+            guard = m.group(1)
+            ifndef_line = i
+            break
+    want = expected_guard(path)
+    if guard is None:
+        errors.append(f"{path}:1: header has no include guard (want {want})")
+        return
+    if guard != want:
+        errors.append(
+            f"{path}:{ifndef_line + 1}: include guard {guard} should be {want}"
+        )
+        return
+    define = f"#define {guard}"
+    if ifndef_line + 1 >= len(lines) or lines[ifndef_line + 1].strip() != define:
+        errors.append(
+            f"{path}:{ifndef_line + 2}: include guard #ifndef is not followed "
+            f"by '{define}'"
+        )
+
+
+def check_includes(path, lines, errors):
+    first_project_include = None
+    for i, line in enumerate(lines):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        style, target = m.groups()
+        if style == "<":
+            continue
+        if first_project_include is None:
+            first_project_include = target
+        if target.startswith(("gtest/", "gmock/", "benchmark/")):
+            errors.append(
+                f"{path}:{i + 1}: third-party header \"{target}\" must use "
+                f"angle brackets"
+            )
+            continue
+        if not (SRC / target).is_file() and not (path.parent / target).is_file():
+            errors.append(
+                f"{path}:{i + 1}: quoted include \"{target}\" resolves "
+                f"neither against src/ nor the including directory"
+            )
+
+    if path.suffix in (".cc", ".cpp"):
+        own_header = path.with_suffix(".h")
+        if own_header.is_file():
+            want = (
+                str(own_header.relative_to(SRC))
+                if own_header.is_relative_to(SRC)
+                else own_header.name
+            )
+            if first_project_include != want:
+                errors.append(
+                    f"{path}:1: first include should be the file's own "
+                    f"header \"{want}\""
+                )
+
+
+def check_using_namespace(path, lines, errors):
+    for i, line in enumerate(lines):
+        if USING_NAMESPACE_RE.match(line):
+            errors.append(f"{path}:{i + 1}: file-scope 'using namespace'")
+
+
+def main() -> int:
+    errors = []
+    scanned = 0
+    for root in SCAN_ROOTS:
+        base = REPO / root
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cc", ".cpp"):
+                continue
+            scanned += 1
+            lines = path.read_text(encoding="utf-8").splitlines()
+            if path.suffix == ".h":
+                check_header_guard(path, lines, errors)
+            check_includes(path, lines, errors)
+            if path.suffix == ".h" or root in ("src", "tests"):
+                check_using_namespace(path, lines, errors)
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(
+        f"check_includes: {scanned} files scanned, {len(errors)} violation(s)",
+        file=sys.stderr,
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Lint runner: the custom include lint plus clang-tidy over every first-party
+# translation unit. Exits non-zero on any finding.
+#
+# Usage: tools/lint.sh [build-dir]
+#   build-dir  a configured build directory holding compile_commands.json
+#              (default: build-tidy if present, else build). When clang-tidy
+#              is installed but no compilation database exists yet, one is
+#              configured into build-tidy automatically.
+#
+# clang-tidy findings are also written to clang-tidy-report.txt in the build
+# directory so CI can publish them as an artifact.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== check_includes =="
+python3 tools/check_includes.py
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy: not installed, skipping (install clang-tidy to run) =="
+  exit 0
+fi
+
+BUILD_DIR="${1:-}"
+if [[ -z "${BUILD_DIR}" ]]; then
+  if [[ -f build-tidy/compile_commands.json ]]; then
+    BUILD_DIR=build-tidy
+  elif [[ -f build/compile_commands.json ]]; then
+    BUILD_DIR=build
+  else
+    BUILD_DIR=build-tidy
+    echo "== configuring ${BUILD_DIR} for a compilation database =="
+    cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+fi
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "error: ${BUILD_DIR}/compile_commands.json not found" >&2
+  exit 1
+fi
+
+echo "== clang-tidy (database: ${BUILD_DIR}) =="
+mapfile -t SOURCES < <(find src tests bench examples \
+  -name '*.cc' -o -name '*.cpp' | sort)
+
+REPORT="${BUILD_DIR}/clang-tidy-report.txt"
+: > "${REPORT}"
+STATUS=0
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -quiet -p "${BUILD_DIR}" "${SOURCES[@]}" \
+    | tee "${REPORT}" || STATUS=$?
+else
+  for f in "${SOURCES[@]}"; do
+    clang-tidy --quiet -p "${BUILD_DIR}" "$f" 2>>"${REPORT}.err" \
+      | tee -a "${REPORT}" || STATUS=$?
+  done
+fi
+# clang-tidy emits findings as "warning:" lines; fail on any.
+if grep -q "warning:" "${REPORT}"; then
+  echo "clang-tidy found issues (full report: ${REPORT})" >&2
+  exit 1
+fi
+exit "${STATUS}"
