@@ -113,5 +113,16 @@ int main(int argc, char** argv) {
     std::printf("%-24s %10.3f %10zu %12zu %12zu\n", r.config.c_str(),
                 r.seconds, r.cells, r.redundant, r.exceptions);
   }
+
+  BenchJson json("ablation_compression", "iceberg threshold / tau");
+  for (const auto& r : Rows()) {
+    json.AddRow({JsonField::Str("x", r.config),
+                 JsonField::Str("algo", "flowcube"),
+                 JsonField::Num("seconds", r.seconds),
+                 JsonField::Int("cells", r.cells),
+                 JsonField::Int("redundant", r.redundant),
+                 JsonField::Int("exceptions", r.exceptions)});
+  }
+  json.Write();
   return 0;
 }

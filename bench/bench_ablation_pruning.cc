@@ -37,6 +37,7 @@ constexpr Variant kVariants[] = {
 
 Summary& GetSummary() {
   static Summary summary(
+      "ablation_pruning", "pruning rules enabled",
       "Ablation - Shared's pruning optimizations (N=100k@scale1, delta=1%, "
       "d=5)",
       "unlinkable + ancestor rules carry most of the reduction; precount "

@@ -17,9 +17,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "cube/cubing_miner.h"
 #include "gen/path_generator.h"
 #include "mining/shared_miner.h"
@@ -37,6 +39,123 @@ inline bool ForceBasic() {
   const char* s = std::getenv("FLOWCUBE_BENCH_BASIC");
   return s != nullptr && s[0] == '1';
 }
+
+// ---------------------------------------------------------------------------
+// Machine-readable output. Next to its stdout table every figure binary
+// writes BENCH_<name>.json: run metadata (swept knob, FLOWCUBE_BENCH_SCALE,
+// resolved thread count) plus one object per series row, so CI can archive
+// and diff runs without scraping the tables. FLOWCUBE_BENCH_JSON_DIR
+// redirects the files (default: current directory).
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// One key/value pair of a JSON row, value pre-encoded.
+struct JsonField {
+  std::string key;
+  std::string encoded;
+
+  static JsonField Str(const char* key, const std::string& value) {
+    return JsonField{key, "\"" + JsonEscape(value) + "\""};
+  }
+  static JsonField Num(const char* key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return JsonField{key, buf};
+  }
+  static JsonField Int(const char* key, uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    return JsonField{key, buf};
+  }
+  static JsonField Bool(const char* key, bool value) {
+    return JsonField{key, value ? "true" : "false"};
+  }
+};
+
+class BenchJson {
+ public:
+  // `name` is the file stem (BENCH_<name>.json); `knob` describes what the
+  // rows' x axis sweeps.
+  BenchJson(std::string name, std::string knob)
+      : name_(std::move(name)), knob_(std::move(knob)) {}
+
+  void AddRow(std::vector<JsonField> fields) {
+    rows_.push_back(std::move(fields));
+  }
+
+  // Serializes the document and writes BENCH_<name>.json. Returns the path
+  // written (empty on I/O failure, reported on stderr).
+  std::string Write() const {
+    std::string out = "{\n";
+    out += "  \"name\": \"" + JsonEscape(name_) + "\",\n";
+    out += "  \"knob\": \"" + JsonEscape(knob_) + "\",\n";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  \"scale\": %.17g,\n", ScaleFromEnv());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "  \"threads\": %zu,\n",
+                  ResolveNumThreads());
+    out += buf;
+    out += "  \"rows\": [";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      out += r == 0 ? "\n    {" : ",\n    {";
+      for (size_t f = 0; f < rows_[r].size(); ++f) {
+        if (f > 0) out += ", ";
+        out += "\"" + JsonEscape(rows_[r][f].key) +
+               "\": " + rows_[r][f].encoded;
+      }
+      out += "}";
+    }
+    out += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+
+    std::string path = "BENCH_" + name_ + ".json";
+    if (const char* dir = std::getenv("FLOWCUBE_BENCH_JSON_DIR")) {
+      if (dir[0] != '\0') path = std::string(dir) + "/" + path;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return "";
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::string knob_;
+  std::vector<std::vector<JsonField>> rows_;
+};
 
 // The paper's baseline point is 100k paths; ScaledN(100) is that point
 // under the current scale.
@@ -127,8 +246,14 @@ struct Row {
 
 class Summary {
  public:
-  Summary(std::string title, std::string expectation)
-      : title_(std::move(title)), expectation_(std::move(expectation)) {}
+  // `name` is the JSON file stem, `knob` the swept x axis (both feed
+  // BENCH_<name>.json); `title` / `expectation` head the stdout table.
+  Summary(std::string name, std::string knob, std::string title,
+          std::string expectation)
+      : name_(std::move(name)),
+        knob_(std::move(knob)),
+        title_(std::move(title)),
+        expectation_(std::move(expectation)) {}
 
   void Add(Row row) { rows_.push_back(std::move(row)); }
 
@@ -150,9 +275,26 @@ class Summary {
                     "n/a", r.note.c_str());
       }
     }
+    WriteJson();
+  }
+
+  void WriteJson() const {
+    BenchJson json(name_, knob_);
+    for (const Row& r : rows_) {
+      json.AddRow({JsonField::Str("x", r.x), JsonField::Str("algo", r.algo),
+                   JsonField::Bool("ran", r.ran),
+                   JsonField::Num("seconds", r.run.seconds),
+                   JsonField::Int("candidates", r.run.candidates),
+                   JsonField::Int("frequent", r.run.frequent),
+                   JsonField::Int("passes", static_cast<uint64_t>(r.run.passes)),
+                   JsonField::Str("note", r.note)});
+    }
+    json.Write();
   }
 
  private:
+  std::string name_;
+  std::string knob_;
   std::string title_;
   std::string expectation_;
   std::vector<Row> rows_;

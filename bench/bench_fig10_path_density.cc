@@ -19,6 +19,7 @@ using namespace flowcube::bench;
 
 Summary& GetSummary() {
   static Summary summary(
+      "fig10_path_density", "path density (distinct sequences)",
       "Figure 10 - runtime vs path density (N=100k@scale1, delta=1%, d=5)",
       "mining cost falls as paths get sparser; cubing pays a flat "
       "per-cell overhead; basic unrunnable (candidate explosion)");

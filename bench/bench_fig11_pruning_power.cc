@@ -78,5 +78,28 @@ int main(int argc, char** argv) {
   std::printf("%-8s %14llu %14llu\n", "total",
               static_cast<unsigned long long>(g_shared.candidates),
               static_cast<unsigned long long>(g_basic.candidates));
+
+  BenchJson json("fig11_pruning_power", "candidate pattern length");
+  const struct {
+    const char* algo;
+    const MinerRun* run;
+  } series[] = {{"shared", &g_shared}, {"basic", &g_basic}};
+  for (const auto& s : series) {
+    for (size_t k = 1; k < s.run->candidates_per_length.size(); ++k) {
+      if (s.run->candidates_per_length[k] == 0) continue;
+      json.AddRow({JsonField::Str("x", std::to_string(k)),
+                   JsonField::Str("algo", s.algo),
+                   JsonField::Int("candidates",
+                                  s.run->candidates_per_length[k])});
+    }
+    json.AddRow({JsonField::Str("x", "total"),
+                 JsonField::Str("algo", s.algo),
+                 JsonField::Int("candidates", s.run->candidates),
+                 JsonField::Num("seconds", s.run->seconds),
+                 JsonField::Int("frequent", s.run->frequent),
+                 JsonField::Int("passes",
+                                static_cast<uint64_t>(s.run->passes))});
+  }
+  json.Write();
   return 0;
 }

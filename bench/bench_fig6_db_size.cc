@@ -15,6 +15,7 @@ using namespace flowcube::bench;
 
 Summary& GetSummary() {
   static Summary summary(
+      "fig6_db_size", "database size (paths)",
       "Figure 6 - runtime vs database size (delta=1%, d=5)",
       "shared <= cubing with a smaller slope; basic explodes beyond the "
       "two smallest sizes");

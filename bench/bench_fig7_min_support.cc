@@ -16,6 +16,7 @@ using namespace flowcube::bench;
 
 Summary& GetSummary() {
   static Summary summary(
+      "fig7_min_support", "minimum support (fraction of N)",
       "Figure 7 - runtime vs minimum support (N=100k@scale1, d=5)",
       "all improve with support; basic improves fastest; shared < cubing "
       "throughout");

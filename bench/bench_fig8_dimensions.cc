@@ -15,6 +15,7 @@ using namespace flowcube::bench;
 
 Summary& GetSummary() {
   static Summary summary(
+      "fig8_dimensions", "number of dimensions",
       "Figure 8 - runtime vs number of dimensions (N=100k@scale1, "
       "delta=1%, sparse data)",
       "sparse data keeps all three algorithms comparable; moderate growth "

@@ -17,6 +17,7 @@ using namespace flowcube::bench;
 
 Summary& GetSummary() {
   static Summary summary(
+      "fig9_item_density", "item density (dataset a/b/c)",
       "Figure 9 - runtime vs item density (N=100k@scale1, delta=1%, d=5)",
       "runtime falls from dataset a to c for every algorithm; basic "
       "unrunnable on dataset a");

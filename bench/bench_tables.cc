@@ -19,6 +19,7 @@
 
 #include "flowgraph/builder.h"
 #include "flowgraph/render.h"
+#include "bench_common.h"
 #include "gen/paper_example.h"
 #include "mining/mining_result.h"
 #include "mining/shared_miner.h"
@@ -36,15 +37,16 @@ void BM_PaperExample(benchmark::State& state) {
 }
 BENCHMARK(BM_PaperExample);
 
-void PrintTable1(const PathDatabase& db) {
+size_t PrintTable1(const PathDatabase& db) {
   std::printf("\n--- Table 1: path database ---\n");
   for (size_t i = 0; i < db.size(); ++i) {
     std::printf("%2zu  %s\n", i + 1, RecordToString(db.schema(),
                                                     db.record(i)).c_str());
   }
+  return db.size();
 }
 
-void PrintTable2(const PathDatabase& db) {
+size_t PrintTable2(const PathDatabase& db) {
   std::printf("\n--- Table 2: aggregated to product level 2 ---\n");
   const PathAggregator aggregator(db.schema_ptr());
   std::map<std::pair<std::string, std::string>, std::vector<size_t>> cells;
@@ -65,9 +67,10 @@ void PrintTable2(const PathDatabase& db) {
     std::printf("%-12s %-8s %s\n", key.first.c_str(), key.second.c_str(),
                 id_list.c_str());
   }
+  return cells.size();
 }
 
-void PrintTable3(const TransformedDatabase& tdb) {
+size_t PrintTable3(const TransformedDatabase& tdb) {
   std::printf("\n--- Table 3: transformed transaction database ---\n");
   std::printf("(raw path level items shown; the full transactions also "
               "carry the 3 aggregated levels)\n");
@@ -83,39 +86,47 @@ void PrintTable3(const TransformedDatabase& tdb) {
     }
     std::printf("%2zu  {%s}\n", i + 1, line.c_str());
   }
+  return tdb.size();
 }
 
-void PrintTable4(const PathDatabase& db, const TransformedDatabase& tdb) {
+size_t PrintTable4(const PathDatabase& db, const TransformedDatabase& tdb) {
   std::printf("\n--- Table 4: frequent itemsets (delta = 3) ---\n");
   SharedMinerOptions opts;
   opts.min_support = 3;
   SharedMiner miner(tdb, opts);
   const auto out = miner.Run();
   (void)db;
+  size_t printed = 0;
   for (size_t len : {1u, 2u}) {
     std::printf("length %zu:\n", len);
     for (const FrequentItemset& fi : out.frequent) {
       if (fi.items.size() != len) continue;
       std::printf("  %s\n",
                   FrequentItemsetToString(tdb.catalog(), fi).c_str());
+      printed++;
     }
   }
   std::printf(
       "note: the paper's Table 4 lists {tennis}:5 and {nike,(f,10)}:4; "
       "recomputation\nfrom Table 1 gives 4 and 5 respectively (see "
       "EXPERIMENTS.md).\n");
+  return printed;
 }
 
-void PrintFigures(const PathDatabase& db) {
+// Returns {figure 3 node count, figure 4 node count}.
+std::pair<size_t, size_t> PrintFigures(const PathDatabase& db) {
   std::vector<Path> all;
   for (const PathRecord& r : db.records()) all.push_back(r.path);
+  const FlowGraph full = BuildFlowGraph(all);
   std::printf("\n--- Figure 3: flowgraph of the full database ---\n%s",
-              RenderFlowGraph(BuildFlowGraph(all), db.schema()).c_str());
+              RenderFlowGraph(full, db.schema()).c_str());
 
   std::vector<Path> cell = {db.record(3).path, db.record(4).path,
                             db.record(5).path};
+  const FlowGraph cell_graph = BuildFlowGraph(cell);
   std::printf("\n--- Figure 4: flowgraph of cell (outerwear, nike) ---\n%s",
-              RenderFlowGraph(BuildFlowGraph(cell), db.schema()).c_str());
+              RenderFlowGraph(cell_graph, db.schema()).c_str());
+  return {full.num_nodes(), cell_graph.num_nodes()};
 }
 
 }  // namespace
@@ -129,10 +140,26 @@ int main(int argc, char** argv) {
   TransformedDatabase tdb =
       std::move(TransformPathDatabase(db, plan).value());
 
-  PrintTable1(db);
-  PrintTable2(db);
-  PrintTable3(tdb);
-  PrintTable4(db, tdb);
-  PrintFigures(db);
+  const size_t t1 = PrintTable1(db);
+  const size_t t2 = PrintTable2(db);
+  const size_t t3 = PrintTable3(tdb);
+  const size_t t4 = PrintTable4(db, tdb);
+  const auto [fig3_nodes, fig4_nodes] = PrintFigures(db);
+
+  // Row counts of the regenerated artifacts; a cheap drift detector for
+  // the paper example.
+  flowcube::bench::BenchJson json("tables", "paper artifact");
+  using flowcube::bench::JsonField;
+  json.AddRow({JsonField::Str("x", "table1_paths"), JsonField::Int("rows", t1)});
+  json.AddRow({JsonField::Str("x", "table2_cells"), JsonField::Int("rows", t2)});
+  json.AddRow({JsonField::Str("x", "table3_transactions"),
+               JsonField::Int("rows", t3)});
+  json.AddRow({JsonField::Str("x", "table4_frequent_len12"),
+               JsonField::Int("rows", t4)});
+  json.AddRow({JsonField::Str("x", "fig3_nodes"),
+               JsonField::Int("rows", fig3_nodes)});
+  json.AddRow({JsonField::Str("x", "fig4_nodes"),
+               JsonField::Int("rows", fig4_nodes)});
+  json.Write();
   return 0;
 }

@@ -1,0 +1,115 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace flowcube {
+namespace {
+
+// True while the current thread is executing a pool chunk; nested loops
+// detect this and run inline instead of waiting on their own pool.
+thread_local bool t_in_pool_task = false;
+
+}  // namespace
+
+size_t ResolveNumThreads(int requested) {
+  if (requested >= 1) return static_cast<size_t>(requested);
+  if (const char* env = std::getenv("FLOWCUBE_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  FC_CHECK_MSG(num_threads >= 1, "thread pool needs at least one thread");
+  workers_.reserve(num_threads - 1);
+  for (size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerMain(size_t worker_index) {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    Job* job = job_;
+    lock.unlock();
+    RunShard(job, worker_index + 1);  // shard 0 is the caller
+    lock.lock();
+    if (--workers_busy_ == 0) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::RunShard(Job* job, size_t shard) {
+  t_in_pool_task = true;
+  for (;;) {
+    const size_t begin = job->next.fetch_add(job->chunk);
+    if (begin >= job->n) break;
+    const size_t end = std::min(begin + job->chunk, job->n);
+    try {
+      (*job->fn)(shard, begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!job->error) job->error = std::current_exception();
+      break;  // abandon remaining chunks; others drain their current one
+    }
+  }
+  t_in_pool_task = false;
+}
+
+void ThreadPool::ParallelForChunks(
+    size_t n, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  // Inline when there is nothing to fan out to, the range is a single
+  // chunk anyway, or we are already inside a pool task (nested loop).
+  if (workers_.empty() || n <= grain || t_in_pool_task) {
+    fn(0, 0, n);
+    return;
+  }
+  Job job;
+  job.n = n;
+  // A few chunks per worker so uneven iterations balance out; never below
+  // the caller's grain.
+  job.chunk = std::max(grain, n / (num_threads() * 8));
+  job.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    workers_busy_ = workers_.size();
+    generation_++;
+  }
+  wake_cv_.notify_all();
+  RunShard(&job, 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return workers_busy_ == 0; });
+  job_ = nullptr;
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t grain,
+                             const std::function<void(size_t)>& fn) {
+  ParallelForChunks(n, grain,
+                    [&fn](size_t /*shard*/, size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) fn(i);
+                    });
+}
+
+}  // namespace flowcube

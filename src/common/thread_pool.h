@@ -1,0 +1,87 @@
+#ifndef FLOWCUBE_COMMON_THREAD_POOL_H_
+#define FLOWCUBE_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flowcube {
+
+// Resolves a thread-count knob: `requested` >= 1 is used as-is; 0 (the
+// default everywhere) reads the FLOWCUBE_THREADS environment variable,
+// falling back to std::thread::hardware_concurrency(). Always >= 1.
+size_t ResolveNumThreads(int requested = 0);
+
+// A fixed pool of worker threads driving chunked parallel loops. There is
+// deliberately no work stealing and no task graph: every construction phase
+// is a flat loop over independent indices, so a shared atomic chunk cursor
+// is all the scheduling needed, and per-shard partial state merged at the
+// loop boundary keeps results bit-identical to a serial run.
+//
+// `num_threads` counts the calling thread: a pool of size T spawns T - 1
+// background workers and the caller participates in every loop. A pool of
+// size 1 runs everything inline, so the serial code path and the parallel
+// one are literally the same code.
+//
+// Loops started from inside a pool task run inline on the calling shard
+// (nested parallelism never deadlocks, it just serializes). The first
+// exception thrown by any iteration is rethrown on the calling thread after
+// the loop drains; remaining chunks are abandoned.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Workers participating in a loop, calling thread included.
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  // Partitions [0, n) into chunks of roughly `grain` (at least `grain`)
+  // indices and runs fn(shard, begin, end) for each chunk. `shard` is a
+  // stable worker index in [0, num_threads()); one shard may process many
+  // chunks, so per-shard state must be merged additively. Blocks until the
+  // whole range is processed.
+  void ParallelForChunks(
+      size_t n, size_t grain,
+      const std::function<void(size_t shard, size_t begin, size_t end)>& fn);
+
+  // Runs fn(i) for every i in [0, n), chunked as above with `grain`
+  // indices per scheduling unit.
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  struct Job {
+    size_t n = 0;
+    size_t chunk = 1;
+    const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
+    std::atomic<size_t> next{0};
+    std::exception_ptr error;  // first failure; guarded by pool mutex
+  };
+
+  void WorkerMain(size_t worker_index);
+  // Grabs chunks of the current job until the range (or an error) exhausts
+  // them. `shard` is this participant's stable index.
+  void RunShard(Job* job, size_t shard);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;   // workers wait for a new generation
+  std::condition_variable done_cv_;   // caller waits for workers_busy_ == 0
+  uint64_t generation_ = 0;
+  size_t workers_busy_ = 0;
+  Job* job_ = nullptr;
+  bool stop_ = false;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_COMMON_THREAD_POOL_H_

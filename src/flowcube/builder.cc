@@ -7,9 +7,11 @@
 #include "common/audit.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "flowgraph/builder.h"
 #include "mining/mining_result.h"
 #include "path/path_aggregator.h"
+#include "path/path_view.h"
 
 namespace flowcube {
 namespace {
@@ -74,6 +76,14 @@ Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
   FC_AUDIT(AuditPathDatabase(db));
   Stopwatch watch;
 
+  // One pool drives every phase. Each parallel loop either writes to a
+  // pre-assigned slot of a shared array or accumulates into per-shard
+  // partials merged at the phase boundary, so the cube and the stats are
+  // bit-identical to a serial build for any thread count.
+  ThreadPool pool(ResolveNumThreads(options_.num_threads));
+  const size_t num_shards = pool.num_threads();
+  stats->threads = num_shards;
+
   // --- Phase 1: one Shared mining run over the transformed database.
   Result<TransformedDatabase> transformed =
       TransformPathDatabase(db, plan.mining);
@@ -82,6 +92,7 @@ Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
 
   SharedMinerOptions mopts = options_.mining;
   mopts.min_support = options_.min_support;
+  mopts.num_threads = static_cast<int>(num_shards);
   SharedMiner miner(tdb, mopts);
   SharedMiningOutput mined = miner.Run();
   stats->mining = mined.stats;
@@ -95,22 +106,26 @@ Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
   const PathAggregator aggregator(db.schema_ptr());
   const ExceptionMiner exception_miner(options_.exceptions);
 
-  // Aggregated view of every path at every materialized path level.
+  // Aggregated view of every path at every materialized path level. Each
+  // record aggregates independently into its own slot.
   std::vector<std::vector<Path>> agg(plan.path_levels.size());
   for (size_t p = 0; p < plan.path_levels.size(); ++p) {
     const PathLevel& level =
         plan.mining.path_levels[static_cast<size_t>(plan.path_levels[p])];
-    agg[p].reserve(db.size());
-    for (const PathRecord& rec : db.records()) {
-      agg[p].push_back(aggregator.AggregatePath(
-          rec.path, plan.mining.cuts[static_cast<size_t>(level.cut_index)],
-          level.duration_level));
-    }
+    agg[p].resize(db.size());
+    pool.ParallelFor(db.size(), /*grain=*/64, [&](size_t tid) {
+      agg[p][tid] = aggregator.AggregatePath(
+          db.record(tid).path,
+          plan.mining.cuts[static_cast<size_t>(level.cut_index)],
+          level.duration_level);
+    });
   }
 
   for (size_t i = 0; i < plan.item_levels.size(); ++i) {
     const ItemLevel& il = plan.item_levels[i];
-    // The frequent cells of this item level and their path ids.
+    // The frequent cells of this item level and their path ids. Kept
+    // serial: it is one cheap hash per record, and it fixes the cell order
+    // every later loop follows.
     std::unordered_map<Itemset, std::vector<uint32_t>, ItemsetHash> members;
     {
       std::unordered_set<Itemset, ItemsetHash> frequent_cells;
@@ -135,34 +150,56 @@ Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
       }
     }
 
-    for (size_t p = 0; p < plan.path_levels.size(); ++p) {
-      Cuboid& cuboid = cube.mutable_cuboid(i, p);
-      for (const auto& [key, tids] : members) {
-        std::vector<Path> paths;
-        paths.reserve(tids.size());
-        for (uint32_t tid : tids) paths.push_back(agg[p][tid]);
+    // Snapshot the cell order once; every (cell, path_level) pair is an
+    // independent task whose result lands in a pre-assigned slot.
+    std::vector<const std::pair<const Itemset, std::vector<uint32_t>>*>
+        cells;
+    cells.reserve(members.size());
+    for (const auto& kv : members) cells.push_back(&kv);
 
-        FlowCell cell;
-        cell.dims = key;
-        cell.support = static_cast<uint32_t>(tids.size());
-        cell.graph = BuildFlowGraph(paths);
+    const size_t num_levels = plan.path_levels.size();
+    std::vector<FlowCell> built(cells.size() * num_levels);
+    std::vector<size_t> shard_exceptions(num_shards, 0);
+    pool.ParallelForChunks(
+        built.size(), /*grain=*/1,
+        [&](size_t shard, size_t begin, size_t end) {
+          for (size_t task = begin; task < end; ++task) {
+            const size_t p = task / cells.size();
+            const auto& [key, tids] = *cells[task % cells.size()];
+            // View of the cell's member paths over the shared aggregation
+            // table — no per-cell copies.
+            const PathView paths(agg[p], tids);
 
-        if (options_.compute_exceptions) {
-          std::vector<std::vector<StageCondition>> patterns;
-          std::vector<StageCondition> pattern;
-          for (const SegmentPattern& seg :
-               result.SegmentsForCell(key, plan.path_levels[p])) {
-            if (SegmentToPattern(seg, cat, cell.graph, &pattern)) {
-              patterns.push_back(pattern);
+            FlowCell& cell = built[task];
+            cell.dims = key;
+            cell.support = static_cast<uint32_t>(tids.size());
+            cell.graph = BuildFlowGraph(paths);
+
+            if (options_.compute_exceptions) {
+              std::vector<std::vector<StageCondition>> patterns;
+              std::vector<StageCondition> pattern;
+              for (const SegmentPattern& seg :
+                   result.SegmentsForCell(key, plan.path_levels[p])) {
+                if (SegmentToPattern(seg, cat, cell.graph, &pattern)) {
+                  patterns.push_back(pattern);
+                }
+              }
+              for (FlowException& e :
+                   exception_miner.Mine(cell.graph, paths, patterns)) {
+                cell.graph.AddException(std::move(e));
+                shard_exceptions[shard]++;
+              }
             }
           }
-          for (FlowException& e :
-               exception_miner.Mine(cell.graph, paths, patterns)) {
-            cell.graph.AddException(std::move(e));
-            stats->exceptions_found++;
-          }
-        }
-        cuboid.Insert(std::move(cell));
+        });
+    for (size_t n : shard_exceptions) stats->exceptions_found += n;
+
+    // Serial insertion in the snapshot order keeps cuboid iteration order
+    // identical to the serial build's.
+    for (size_t p = 0; p < num_levels; ++p) {
+      Cuboid& cuboid = cube.mutable_cuboid(i, p);
+      for (size_t c = 0; c < cells.size(); ++c) {
+        cuboid.Insert(std::move(built[p * cells.size() + c]));
         stats->cells_materialized++;
       }
     }
@@ -172,41 +209,56 @@ Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
 
   // --- Phase 3: redundancy marking, walking cells from low abstraction to
   // high (Definition 4.4: redundant iff similar to every materialized
-  // parent at the same path level).
+  // parent at the same path level). Within one cuboid every cell is
+  // independent: it writes only its own flag and reads parent graphs from
+  // other cuboids, which no longer change after phase 2.
   if (options_.mark_redundant) {
     for (size_t i = 0; i < plan.item_levels.size(); ++i) {
       const ItemLevel& il = plan.item_levels[i];
       for (size_t p = 0; p < plan.path_levels.size(); ++p) {
         Cuboid& cuboid = cube.mutable_cuboid(i, p);
-        cuboid.ForEachMutable([&](FlowCell* cell) {
-          int parents_found = 0;
-          bool all_similar = true;
-          for (size_t d = 0; d < il.levels.size(); ++d) {
-            if (il.levels[d] == 0) continue;
-            ItemLevel parent_level = il;
-            parent_level.levels[d]--;
-            const int pil = plan.FindItemLevel(parent_level);
-            if (pil < 0) continue;
-            Itemset parent_key;
-            if (!ParentCell(cell->dims, d, cat, db.schema(), &parent_key)) {
-              continue;
-            }
-            const FlowCell* parent =
-                cube.cuboid(static_cast<size_t>(pil), p).Find(parent_key);
-            if (parent == nullptr) continue;
-            parents_found++;
-            if (FlowGraphDistance(cell->graph, parent->graph,
-                                  options_.similarity) >
-                options_.redundancy_tau) {
-              all_similar = false;
-              break;
-            }
-          }
-          if (parents_found > 0 && all_similar) {
-            cell->redundant = true;
-            stats->cells_marked_redundant++;
-          }
-        });
+        std::vector<FlowCell*> cuboid_cells;
+        cuboid_cells.reserve(cuboid.size());
+        cuboid.ForEachMutable(
+            [&cuboid_cells](FlowCell* cell) { cuboid_cells.push_back(cell); });
+        std::vector<size_t> shard_marked(num_shards, 0);
+        pool.ParallelForChunks(
+            cuboid_cells.size(), /*grain=*/1,
+            [&](size_t shard, size_t begin, size_t end) {
+              for (size_t ci = begin; ci < end; ++ci) {
+                FlowCell* cell = cuboid_cells[ci];
+                int parents_found = 0;
+                bool all_similar = true;
+                for (size_t d = 0; d < il.levels.size(); ++d) {
+                  if (il.levels[d] == 0) continue;
+                  ItemLevel parent_level = il;
+                  parent_level.levels[d]--;
+                  const int pil = plan.FindItemLevel(parent_level);
+                  if (pil < 0) continue;
+                  Itemset parent_key;
+                  if (!ParentCell(cell->dims, d, cat, db.schema(),
+                                  &parent_key)) {
+                    continue;
+                  }
+                  const FlowCell* parent =
+                      cube.cuboid(static_cast<size_t>(pil), p)
+                          .Find(parent_key);
+                  if (parent == nullptr) continue;
+                  parents_found++;
+                  if (FlowGraphDistance(cell->graph, parent->graph,
+                                        options_.similarity) >
+                      options_.redundancy_tau) {
+                    all_similar = false;
+                    break;
+                  }
+                }
+                if (parents_found > 0 && all_similar) {
+                  cell->redundant = true;
+                  shard_marked[shard]++;
+                }
+              }
+            });
+        for (size_t n : shard_marked) stats->cells_marked_redundant += n;
       }
     }
   }

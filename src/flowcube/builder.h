@@ -32,9 +32,18 @@ struct FlowCubeBuilderOptions {
   bool mark_redundant = true;
   double redundancy_tau = 0.05;
   SimilarityOptions similarity;
+
+  // Threads used by every construction phase (mining scans, per-cell
+  // measure assembly, redundancy marking). 0 = FLOWCUBE_THREADS env,
+  // falling back to hardware concurrency; 1 = serial. The built cube is
+  // bit-identical for every value: parallel loops write to pre-assigned
+  // slots or per-thread partials merged at phase boundaries, and cuboid
+  // insertion stays serial in a fixed order.
+  int num_threads = 0;
 };
 
-// Counters filled by FlowCubeBuilder::Build.
+// Counters filled by FlowCubeBuilder::Build. Except for the timings and
+// `threads`, every field is independent of the thread count.
 struct FlowCubeBuildStats {
   MiningStats mining;
   size_t cells_materialized = 0;
@@ -43,6 +52,8 @@ struct FlowCubeBuildStats {
   double seconds_mining = 0.0;
   double seconds_measures = 0.0;
   double seconds_redundancy = 0.0;
+  // Resolved thread count the build ran with.
+  size_t threads = 1;
 };
 
 // Builds a non-redundant iceberg flowcube from a path database (the overall

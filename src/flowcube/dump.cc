@@ -1,0 +1,119 @@
+#include "flowcube/dump.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace flowcube {
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out->append(buf, static_cast<size_t>(std::min<int>(
+                       n, static_cast<int>(sizeof(buf)) - 1)));
+}
+
+void AppendItemset(std::string* out, const Itemset& items) {
+  out->push_back('[');
+  for (size_t i = 0; i < items.size(); ++i) {
+    AppendF(out, i == 0 ? "%" PRIu32 : ",%" PRIu32, items[i]);
+  }
+  out->push_back(']');
+}
+
+void AppendCondition(std::string* out,
+                     const std::vector<StageCondition>& condition) {
+  out->push_back('{');
+  for (size_t i = 0; i < condition.size(); ++i) {
+    AppendF(out,
+            i == 0 ? "(%" PRIu32 ",%" PRId64 ")" : " (%" PRIu32 ",%" PRId64 ")",
+            condition[i].node, condition[i].duration);
+  }
+  out->push_back('}');
+}
+
+void AppendGraph(std::string* out, const FlowGraph& g) {
+  AppendF(out, "  graph nodes=%zu total_paths=%" PRIu32 "\n", g.num_nodes(),
+          g.total_paths());
+  for (FlowNodeId n = 0; n < g.num_nodes(); ++n) {
+    AppendF(out,
+            "  node %" PRIu32 " loc=%" PRIu32 " parent=%" PRIu32
+            " depth=%d paths=%" PRIu32 " term=%" PRIu32 " durs=",
+            n, g.location(n), g.parent(n), g.depth(n), g.path_count(n),
+            g.terminate_count(n));
+    for (const auto& [d, c] : g.duration_counts(n)) {
+      AppendF(out, "(%" PRId64 ":%" PRIu32 ")", d, c);
+    }
+    out->append(" children=");
+    for (FlowNodeId c : g.children(n)) AppendF(out, "%" PRIu32 " ", c);
+    out->push_back('\n');
+  }
+  for (const FlowException& e : g.exceptions()) {
+    AppendF(out, "  exc kind=%d node=%" PRIu32, static_cast<int>(e.kind),
+            e.node);
+    if (e.kind == FlowException::Kind::kTransition) {
+      AppendF(out, " target=%" PRIu32, e.transition_target);
+    } else {
+      AppendF(out, " dur=%" PRId64, e.duration_value);
+    }
+    // %.17g round-trips doubles exactly, so equal dumps mean bitwise-equal
+    // probabilities.
+    AppendF(out, " p_glob=%.17g p_cond=%.17g support=%" PRIu32 " cond=",
+            e.global_probability, e.conditional_probability,
+            e.condition_support);
+    AppendCondition(out, e.condition);
+    out->push_back('\n');
+  }
+}
+
+}  // namespace
+
+std::string DumpFlowCell(const FlowCell& cell) {
+  std::string out = "cell dims=";
+  AppendItemset(&out, cell.dims);
+  AppendF(&out, " support=%" PRIu32 " redundant=%d\n", cell.support,
+          cell.redundant ? 1 : 0);
+  AppendGraph(&out, cell.graph);
+  return out;
+}
+
+std::string DumpFlowCube(const FlowCube& cube) {
+  std::string out;
+  AppendF(&out, "flowcube cuboids=%zu cells=%zu\n", cube.num_cuboids(),
+          cube.TotalCells());
+  const FlowCubePlan& plan = cube.plan();
+  for (size_t i = 0; i < plan.item_levels.size(); ++i) {
+    for (size_t p = 0; p < plan.path_levels.size(); ++p) {
+      const Cuboid& cuboid = cube.cuboid(i, p);
+      out.append("cuboid il=[");
+      const ItemLevel& il = cuboid.item_level();
+      for (size_t d = 0; d < il.levels.size(); ++d) {
+        AppendF(&out, d == 0 ? "%d" : ",%d", il.levels[d]);
+      }
+      AppendF(&out, "] pl=%d cells=%zu\n", cuboid.path_level(),
+              cuboid.size());
+      // Cells sorted by coordinates: the dump is canonical regardless of
+      // hash-map iteration order.
+      std::vector<const FlowCell*> cells;
+      cells.reserve(cuboid.size());
+      cuboid.ForEach([&cells](const FlowCell& c) { cells.push_back(&c); });
+      std::sort(cells.begin(), cells.end(),
+                [](const FlowCell* a, const FlowCell* b) {
+                  return a->dims < b->dims;
+                });
+      for (const FlowCell* cell : cells) out.append(DumpFlowCell(*cell));
+    }
+  }
+  return out;
+}
+
+}  // namespace flowcube

@@ -1,0 +1,26 @@
+#ifndef FLOWCUBE_FLOWCUBE_DUMP_H_
+#define FLOWCUBE_FLOWCUBE_DUMP_H_
+
+#include <string>
+
+#include "flowcube/flowcube.h"
+
+namespace flowcube {
+
+// Canonical text serialization of a full flowcube: every cuboid with its
+// cells (sorted by coordinates), each cell's support, redundancy flag,
+// complete flowgraph (nodes, counts, duration histograms) and exception
+// list. Two cubes over the same database serialize byte-identically iff
+// they hold the same cells, measures, exceptions, and flags — this is the
+// contract the parallel builder is tested against (serial and N-thread
+// builds must produce the same dump), and a convenient golden-file /
+// debugging format.
+std::string DumpFlowCube(const FlowCube& cube);
+
+// One cell's canonical serialization (dims, support, flags, graph,
+// exceptions); exposed for targeted diffing.
+std::string DumpFlowCell(const FlowCell& cell);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_FLOWCUBE_DUMP_H_

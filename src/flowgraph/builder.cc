@@ -4,7 +4,7 @@
 
 namespace flowcube {
 
-FlowGraph BuildFlowGraph(std::span<const Path> paths) {
+FlowGraph BuildFlowGraph(PathView paths) {
   FlowGraph g;
   for (const Path& p : paths) {
     g.AddPath(p);

@@ -1,17 +1,17 @@
 #ifndef FLOWCUBE_FLOWGRAPH_BUILDER_H_
 #define FLOWCUBE_FLOWGRAPH_BUILDER_H_
 
-#include <span>
-
 #include "flowgraph/flowgraph.h"
+#include "path/path_view.h"
 
 namespace flowcube {
 
 // Builds the duration/transition component of a flowgraph from a collection
 // of (already aggregated) paths in a single scan — steps (1) and (2) of the
 // construction recipe in paper Section 3. Exceptions (step 3) are mined
-// separately by ExceptionMiner.
-FlowGraph BuildFlowGraph(std::span<const Path> paths);
+// separately by ExceptionMiner. The view may gather cell members out of a
+// shared aggregation table; nothing is copied.
+FlowGraph BuildFlowGraph(PathView paths);
 
 }  // namespace flowcube
 

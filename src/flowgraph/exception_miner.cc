@@ -13,7 +13,7 @@ namespace {
 
 // Per-path node chains: chain[i] is the flowgraph node of stage i.
 std::vector<std::vector<FlowNodeId>> BuildChains(const FlowGraph& g,
-                                                 std::span<const Path> paths) {
+                                                 PathView paths) {
   std::vector<std::vector<FlowNodeId>> chains;
   chains.reserve(paths.size());
   for (const Path& p : paths) {
@@ -63,7 +63,7 @@ ExceptionMiner::ExceptionMiner(ExceptionMinerOptions options)
 }
 
 std::vector<FlowException> ExceptionMiner::Mine(
-    const FlowGraph& g, std::span<const Path> paths,
+    const FlowGraph& g, PathView paths,
     const std::vector<std::vector<StageCondition>>& patterns) const {
   std::vector<FlowException> out;
   const auto chains = BuildChains(g, paths);
@@ -153,7 +153,7 @@ std::vector<FlowException> ExceptionMiner::Mine(
 }
 
 std::vector<FlowException> ExceptionMiner::MineWithLocalPatterns(
-    const FlowGraph& g, std::span<const Path> paths) const {
+    const FlowGraph& g, PathView paths) const {
   // Encode each path as a transaction of (node, duration) items and mine
   // frequent chains with Apriori. Items are interned locally.
   const auto chains = BuildChains(g, paths);

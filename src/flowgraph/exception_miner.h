@@ -1,10 +1,10 @@
 #ifndef FLOWCUBE_FLOWGRAPH_EXCEPTION_MINER_H_
 #define FLOWCUBE_FLOWGRAPH_EXCEPTION_MINER_H_
 
-#include <span>
 #include <vector>
 
 #include "flowgraph/flowgraph.h"
+#include "path/path_view.h"
 
 namespace flowcube {
 
@@ -33,7 +33,7 @@ class ExceptionMiner {
   // pattern must be sorted by node depth, with all nodes on one branch of
   // `g`. `paths` must be the same collection `g` was built from.
   std::vector<FlowException> Mine(
-      const FlowGraph& g, std::span<const Path> paths,
+      const FlowGraph& g, PathView paths,
       const std::vector<std::vector<StageCondition>>& patterns) const;
 
   // Self-contained variant: first mines the frequent (node, duration)
@@ -41,7 +41,7 @@ class ExceptionMiner {
   // This is what standalone flowgraph construction (outside a flowcube)
   // uses.
   std::vector<FlowException> MineWithLocalPatterns(
-      const FlowGraph& g, std::span<const Path> paths) const;
+      const FlowGraph& g, PathView paths) const;
 
  private:
   ExceptionMinerOptions options_;

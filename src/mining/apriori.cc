@@ -86,13 +86,33 @@ void CandidateCounter::Finalize() {
 }
 
 void CandidateCounter::CountTransaction(std::span<const ItemId> raw_txn) {
+  CountInto(raw_txn, &counts_, &filtered_);
+}
+
+void CandidateCounter::CountTransaction(std::span<const ItemId> raw_txn,
+                                        Shard* shard) const {
+  if (shard->counts_.size() != counts_.size()) {
+    shard->counts_.assign(counts_.size(), 0);
+  }
+  CountInto(raw_txn, &shard->counts_, &shard->filtered_);
+}
+
+void CandidateCounter::Absorb(const Shard& shard) {
+  if (shard.counts_.empty()) return;  // shard never counted anything
+  FC_CHECK(shard.counts_.size() == counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += shard.counts_[i];
+}
+
+void CandidateCounter::CountInto(std::span<const ItemId> raw_txn,
+                                 std::vector<uint32_t>* counts,
+                                 std::vector<ItemId>* filtered) const {
   FC_DCHECK(finalized_);
   if (candidates_.empty() || raw_txn.size() < 2) return;
-  filtered_.clear();
+  filtered->clear();
   for (ItemId id : raw_txn) {
-    if (id < relevant_.size() && relevant_[id]) filtered_.push_back(id);
+    if (id < relevant_.size() && relevant_[id]) filtered->push_back(id);
   }
-  const std::vector<ItemId>& txn = filtered_;
+  const std::vector<ItemId>& txn = *filtered;
   if (txn.size() < 2) return;
   for (size_t i = 0; i + 1 < txn.size(); ++i) {
     if (!first_[txn[i]]) continue;
@@ -104,7 +124,7 @@ void CandidateCounter::CountTransaction(std::span<const ItemId> raw_txn) {
            idx = next_[idx]) {
         const Itemset& cand = candidates_[idx];
         if (cand.size() == 2) {
-          counts_[idx]++;
+          (*counts)[idx]++;
           continue;
         }
         // Verify the remaining items (cand[2..]) against txn[j+1..]; both
@@ -121,7 +141,7 @@ void CandidateCounter::CountTransaction(std::span<const ItemId> raw_txn) {
             break;
           }
         }
-        if (ci == cand.size()) counts_[idx]++;
+        if (ci == cand.size()) (*counts)[idx]++;
       }
     }
   }

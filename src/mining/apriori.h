@@ -21,9 +21,25 @@ namespace flowcube {
 // high-level patterns while counting length-k candidates.
 //
 // Usage: Add() every candidate, call Finalize() once, then CountTransaction
-// per transaction.
+// per transaction — either directly, or through per-thread Shards when the
+// transaction scan is split across a thread pool.
 class CandidateCounter {
  public:
+  // Private counts + scratch of one counting thread. The candidate index
+  // itself is read-only during counting, so any number of threads may count
+  // concurrently as long as each uses its own shard; Absorb() folds the
+  // partial counts back. Counts are additive, so the totals are identical
+  // to a serial scan regardless of how transactions were partitioned.
+  class Shard {
+   public:
+    Shard() = default;
+
+   private:
+    friend class CandidateCounter;
+    std::vector<uint32_t> counts_;
+    std::vector<ItemId> filtered_;
+  };
+
   // Removes all candidates and counts.
   void Clear();
 
@@ -39,11 +55,22 @@ class CandidateCounter {
   // Registers one transaction's (sorted) items against every candidate.
   void CountTransaction(std::span<const ItemId> txn);
 
+  // Thread-safe variant: counts into `shard`, which is lazily sized on
+  // first use and must belong to exactly one thread.
+  void CountTransaction(std::span<const ItemId> txn, Shard* shard) const;
+
+  // Adds a shard's partial counts into the main counters (serial).
+  void Absorb(const Shard& shard);
+
   const Itemset& candidate(size_t idx) const { return candidates_[idx]; }
   uint32_t count(size_t idx) const { return counts_[idx]; }
 
  private:
   uint32_t FindSlot(uint64_t key) const;
+  // The counting kernel: scans `txn` against the finalized index,
+  // incrementing `counts` and using `filtered` as scratch.
+  void CountInto(std::span<const ItemId> txn, std::vector<uint32_t>* counts,
+                 std::vector<ItemId>* filtered) const;
 
   bool finalized_ = false;
   std::vector<Itemset> candidates_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace flowcube {
 namespace {
@@ -17,12 +18,12 @@ void EnsureLength(std::vector<uint64_t>* v, size_t len) {
 
 // Open-addressing counter for pair keys, used by the pass-1 pre-count. Much
 // cheaper than unordered_map in the hot loop; grows by rehashing when load
-// exceeds 1/2.
+// exceeds 1/2. The table is allocated lazily on the first Add so that idle
+// per-thread instances cost nothing.
 class FlatPairCounts {
  public:
-  FlatPairCounts() { Rehash(1 << 16); }
-
-  void Increment(uint64_t key) {
+  void Add(uint64_t key, uint32_t delta = 1) {
+    if (keys_.empty()) Rehash(1 << 16);
     size_t slot = Probe(key);
     if (keys_[slot] == kEmpty) {
       if (++used_ * 2 > keys_.size()) {
@@ -32,7 +33,7 @@ class FlatPairCounts {
       }
       keys_[slot] = key;
     }
-    counts_[slot]++;
+    counts_[slot] += delta;
   }
 
   template <typename Fn>
@@ -148,11 +149,19 @@ SharedMiningOutput SharedMiner::Run() {
   const uint32_t minsup = options_.min_support;
   const bool use_filters = options_.prune_unlinkable || options_.prune_ancestors;
 
+  // The transaction scans (pass 1 and every candidate-counting pass) are
+  // split across this pool; each shard counts into private state merged at
+  // the pass boundary, so supports are exact and thread-count independent.
+  ThreadPool pool(ResolveNumThreads(options_.num_threads));
+  const size_t num_shards = pool.num_threads();
+  // Scheduling grain of the scans: transactions are cheap individually, so
+  // hand them out a few hundred at a time.
+  constexpr size_t kScanGrain = 256;
+
   // --- Pass 1: count every length-1 item; pre-count co-occurring
   // high-level pairs (the P1 of Algorithm 1, step 1).
   std::vector<uint32_t> item_counts(cat.num_items(), 0);
   FlatPairCounts hl_pairs;
-  std::vector<ItemId> hl_buf;
   // Bitmap of high-level items, hoisted out of the scan loop.
   std::vector<uint8_t> is_hl(cat.num_items(), 0);
   if (options_.prune_precount) {
@@ -160,21 +169,43 @@ SharedMiningOutput SharedMiner::Run() {
       is_hl[id] = IsHighLevel(id) ? 1 : 0;
     }
   }
-  for (const Transaction& t : txns) {
-    for (ItemId id : t.items) item_counts[id]++;
-    if (options_.prune_precount) {
-      hl_buf.clear();
-      for (ItemId id : t.items) {
-        if (is_hl[id]) hl_buf.push_back(id);
+  {
+    std::vector<std::vector<uint32_t>> shard_items(num_shards);
+    std::vector<FlatPairCounts> shard_pairs(num_shards);
+    pool.ParallelForChunks(
+        txns.size(), kScanGrain,
+        [&](size_t shard, size_t begin, size_t end) {
+          std::vector<uint32_t>& counts = shard_items[shard];
+          if (counts.empty()) counts.assign(cat.num_items(), 0);
+          FlatPairCounts& pairs = shard_pairs[shard];
+          std::vector<ItemId> hl_buf;
+          for (size_t ti = begin; ti < end; ++ti) {
+            const Transaction& t = txns[ti];
+            for (ItemId id : t.items) counts[id]++;
+            if (!options_.prune_precount) continue;
+            hl_buf.clear();
+            for (ItemId id : t.items) {
+              if (is_hl[id]) hl_buf.push_back(id);
+            }
+            // Compatibility is not checked per occurrence — counting a
+            // superset of the needed pairs is cheaper than filtering in the
+            // hot loop, and incompatible pairs are simply never looked up
+            // later.
+            for (size_t i = 0; i + 1 < hl_buf.size(); ++i) {
+              for (size_t j = i + 1; j < hl_buf.size(); ++j) {
+                pairs.Add(PairKey(hl_buf[i], hl_buf[j]));
+              }
+            }
+          }
+        });
+    for (const std::vector<uint32_t>& counts : shard_items) {
+      if (counts.empty()) continue;
+      for (size_t i = 0; i < item_counts.size(); ++i) {
+        item_counts[i] += counts[i];
       }
-      // Compatibility is not checked per occurrence — counting a superset
-      // of the needed pairs is cheaper than filtering in the hot loop, and
-      // incompatible pairs are simply never looked up later.
-      for (size_t i = 0; i + 1 < hl_buf.size(); ++i) {
-        for (size_t j = i + 1; j < hl_buf.size(); ++j) {
-          hl_pairs.Increment(PairKey(hl_buf[i], hl_buf[j]));
-        }
-      }
+    }
+    for (const FlatPairCounts& pairs : shard_pairs) {
+      pairs.ForEach([&](uint64_t key, uint32_t c) { hl_pairs.Add(key, c); });
     }
   }
   out.stats.passes = 1;
@@ -276,7 +307,15 @@ SharedMiningOutput SharedMiner::Run() {
 
     if (counter.size() > 0) {
       counter.Finalize();
-      for (const Transaction& t : txns) counter.CountTransaction(t.items);
+      std::vector<CandidateCounter::Shard> shards(num_shards);
+      pool.ParallelForChunks(txns.size(), kScanGrain,
+                             [&](size_t shard, size_t begin, size_t end) {
+                               CandidateCounter::Shard& sh = shards[shard];
+                               for (size_t ti = begin; ti < end; ++ti) {
+                                 counter.CountTransaction(txns[ti].items, &sh);
+                               }
+                             });
+      for (const CandidateCounter::Shard& sh : shards) counter.Absorb(sh);
       out.stats.passes++;
     }
 

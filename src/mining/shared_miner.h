@@ -39,6 +39,14 @@ struct SharedMinerOptions {
   // pre-counting (the paper pre-counts at abstraction level 2 of its 3-level
   // hierarchies). Stage items are high level when their duration is '*'.
   int high_level_dim_level = 2;
+
+  // Threads for the transaction scans (pass 1 and each candidate-counting
+  // pass). 0 = FLOWCUBE_THREADS env, falling back to hardware concurrency;
+  // 1 = serial. Any value produces bit-identical output: per-thread
+  // partial counters are merged at each pass boundary, so supports — and
+  // therefore the frequent set and its order — never depend on the thread
+  // count.
+  int num_threads = 0;
 };
 
 // The result of a full mining run: every frequent itemset (cells, path

@@ -1,0 +1,68 @@
+#ifndef FLOWCUBE_PATH_PATH_VIEW_H_
+#define FLOWCUBE_PATH_PATH_VIEW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "path/path.h"
+
+namespace flowcube {
+
+// A non-owning, read-only view over a collection of paths: either a
+// contiguous array, or a gather of selected indices over a base array
+// (how a flowcube cell views the rows of the per-path-level aggregation
+// table without copying them). The viewed storage must outlive the view.
+class PathView {
+ public:
+  PathView() = default;
+
+  // Contiguous views.
+  PathView(const Path* data, size_t size) : data_(data), size_(size) {}
+  PathView(std::span<const Path> paths)  // NOLINT(google-explicit-constructor)
+      : data_(paths.data()), size_(paths.size()) {}
+  PathView(const std::vector<Path>& paths)  // NOLINT(google-explicit-constructor)
+      : data_(paths.data()), size_(paths.size()) {}
+
+  // Gathered view: element i is base[indices[i]].
+  PathView(std::span<const Path> base, std::span<const uint32_t> indices)
+      : data_(base.data()), idx_(indices.data()), size_(indices.size()) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const Path& operator[](size_t i) const {
+    return idx_ == nullptr ? data_[i] : data_[idx_[i]];
+  }
+
+  // Minimal forward iteration for range-for loops.
+  class Iterator {
+   public:
+    Iterator(const PathView* view, size_t pos) : view_(view), pos_(pos) {}
+    const Path& operator*() const { return (*view_)[pos_]; }
+    Iterator& operator++() {
+      ++pos_;
+      return *this;
+    }
+    friend bool operator!=(const Iterator& a, const Iterator& b) {
+      return a.pos_ != b.pos_;
+    }
+
+   private:
+    const PathView* view_;
+    size_t pos_;
+  };
+
+  Iterator begin() const { return Iterator(this, 0); }
+  Iterator end() const { return Iterator(this, size_); }
+
+ private:
+  const Path* data_ = nullptr;
+  const uint32_t* idx_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_PATH_PATH_VIEW_H_

@@ -1,0 +1,156 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace flowcube {
+namespace {
+
+TEST(ResolveNumThreadsTest, ExplicitRequestWins) {
+  EXPECT_EQ(ResolveNumThreads(1), 1u);
+  EXPECT_EQ(ResolveNumThreads(7), 7u);
+}
+
+TEST(ResolveNumThreadsTest, EnvDrivesDefault) {
+  const char* saved = std::getenv("FLOWCUBE_THREADS");
+  const std::string saved_value = saved ? saved : "";
+  setenv("FLOWCUBE_THREADS", "3", 1);
+  EXPECT_EQ(ResolveNumThreads(), 3u);
+  EXPECT_EQ(ResolveNumThreads(0), 3u);
+  // Explicit request still beats the environment.
+  EXPECT_EQ(ResolveNumThreads(2), 2u);
+  // Garbage and non-positive values fall through to hardware concurrency.
+  setenv("FLOWCUBE_THREADS", "0", 1);
+  EXPECT_GE(ResolveNumThreads(), 1u);
+  setenv("FLOWCUBE_THREADS", "banana", 1);
+  EXPECT_GE(ResolveNumThreads(), 1u);
+  if (saved) {
+    setenv("FLOWCUBE_THREADS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("FLOWCUBE_THREADS");
+  }
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  constexpr size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, /*grain=*/1,
+                   [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ChunksPartitionTheRange) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 1'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelForChunks(kN, /*grain=*/7,
+                         [&](size_t shard, size_t begin, size_t end) {
+                           EXPECT_LT(shard, 3u);
+                           EXPECT_LT(begin, end);
+                           EXPECT_LE(end, kN);
+                           for (size_t i = begin; i < end; ++i) {
+                             hits[i].fetch_add(1);
+                           }
+                         });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokes) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, /*grain=*/1, [&](size_t) { calls.fetch_add(1); });
+  pool.ParallelForChunks(0, /*grain=*/1,
+                         [&](size_t, size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInlineAsShardZero) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  size_t calls = 0;
+  pool.ParallelForChunks(100, /*grain=*/10,
+                         [&](size_t shard, size_t begin, size_t end) {
+                           EXPECT_EQ(shard, 0u);
+                           EXPECT_EQ(std::this_thread::get_id(), caller);
+                           calls += end - begin;
+                         });
+  EXPECT_EQ(calls, 100u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(1'000, /*grain=*/1,
+                       [&](size_t i) {
+                         ran.fetch_add(1);
+                         if (i == 137) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool is intact after a throwing loop.
+  std::atomic<int> after{0};
+  pool.ParallelFor(100, /*grain=*/1, [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 100);
+  EXPECT_GE(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionFromChunkBodyPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelForChunks(
+                   10, /*grain=*/1,
+                   [&](size_t, size_t, size_t) {
+                     throw std::logic_error("chunk failure");
+                   }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, NestedLoopsRunInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  constexpr size_t kOuter = 16;
+  constexpr size_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(kOuter, /*grain=*/1, [&](size_t o) {
+    const std::thread::id outer_thread = std::this_thread::get_id();
+    // The nested loop must execute inline on the shard that started it.
+    pool.ParallelFor(kInner, /*grain=*/1, [&](size_t i) {
+      EXPECT_EQ(std::this_thread::get_id(), outer_thread);
+      hits[o * kInner + i].fetch_add(1);
+    });
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPoolTest, PerShardPartialsSumLikeSerial) {
+  // The reduction pattern every build phase uses: shard-indexed partials
+  // merged after the loop equal the serial total.
+  constexpr size_t kN = 5'000;
+  ThreadPool pool(4);
+  std::vector<uint64_t> partial(pool.num_threads(), 0);
+  pool.ParallelForChunks(kN, /*grain=*/16,
+                         [&](size_t shard, size_t begin, size_t end) {
+                           for (size_t i = begin; i < end; ++i) {
+                             partial[shard] += i;
+                           }
+                         });
+  const uint64_t total =
+      std::accumulate(partial.begin(), partial.end(), uint64_t{0});
+  EXPECT_EQ(total, uint64_t{kN} * (kN - 1) / 2);
+}
+
+}  // namespace
+}  // namespace flowcube
