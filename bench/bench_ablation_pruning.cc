@@ -52,7 +52,7 @@ DbCache& Cache() {
 
 MinerRun RunVariant(const PathDatabase& db, uint32_t minsup,
                     const Variant& v) {
-  Stopwatch watch;
+  TraceSpan setup_span("bench.setup");
   MiningPlan plan = MiningPlan::Default(db.schema()).value();
   TransformedDatabase tdb =
       std::move(TransformPathDatabase(db, plan).value());
@@ -62,8 +62,11 @@ MinerRun RunVariant(const PathDatabase& db, uint32_t minsup,
   opts.prune_unlinkable = v.unlinkable;
   opts.prune_ancestors = v.ancestors;
   SharedMiner miner(tdb, opts);
+  const double setup = setup_span.Stop();
+  TraceSpan mine_span("bench.mine.variant");
   SharedMiningOutput out = miner.Run();
-  return MinerRun{watch.ElapsedSeconds(), out.stats.TotalCandidates(),
+  const double mine = mine_span.Stop();
+  return MinerRun{setup + mine, setup, mine, out.stats.TotalCandidates(),
                   static_cast<uint64_t>(out.frequent.size()),
                   out.stats.passes, out.stats.candidates_per_length};
 }
@@ -96,8 +99,11 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   RegisterAll();
+  // Strip --metrics[=fmt] before the benchmark library parses flags.
+  flowcube::ConsumeMetricsFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   GetSummary().Print();
+  flowcube::DumpMetricsIfEnabled(stdout);
   return 0;
 }

@@ -83,8 +83,11 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   RegisterAll();
+  // Strip --metrics[=fmt] before the benchmark library parses flags.
+  flowcube::ConsumeMetricsFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   GetSummary().Print();
+  flowcube::DumpMetricsIfEnabled(stdout);
   return 0;
 }

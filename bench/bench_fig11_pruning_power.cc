@@ -49,6 +49,8 @@ BENCHMARK(BM_Basic)->UseManualTime()->Iterations(1)->Unit(benchmark::kSecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --metrics[=fmt] before the benchmark library parses flags.
+  flowcube::ConsumeMetricsFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
@@ -101,5 +103,6 @@ int main(int argc, char** argv) {
                                 static_cast<uint64_t>(s.run->passes))});
   }
   json.Write();
+  flowcube::DumpMetricsIfEnabled(stdout);
   return 0;
 }

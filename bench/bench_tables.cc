@@ -132,6 +132,8 @@ std::pair<size_t, size_t> PrintFigures(const PathDatabase& db) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --metrics[=fmt] before the benchmark library parses flags.
+  flowcube::ConsumeMetricsFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
@@ -161,5 +163,6 @@ int main(int argc, char** argv) {
   json.AddRow({JsonField::Str("x", "fig4_nodes"),
                JsonField::Int("rows", fig4_nodes)});
   json.Write();
+  flowcube::DumpMetricsIfEnabled(stdout);
   return 0;
 }

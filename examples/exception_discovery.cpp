@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "flowcube/builder.h"
 #include "flowcube/query.h"
@@ -41,7 +42,7 @@ SchemaPtr MakeQcSchema() {
 
 }  // namespace
 
-int main() {
+int RunExample() {
   SchemaPtr schema = MakeQcSchema();
   PathDatabase db(schema);
   Random rng(17);
@@ -134,4 +135,11 @@ int main() {
       "\nNon-redundant flowcube: %zu of %zu cells kept (%.1f%% saved)\n",
       before - removed, before, 100.0 * removed / before);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  flowcube::ConsumeMetricsFlag(&argc, argv);
+  const int rc = RunExample();
+  flowcube::DumpMetricsIfEnabled(stdout);
+  return rc;
 }

@@ -9,6 +9,8 @@
 
 #include <cstdio>
 
+#include "common/metrics.h"
+
 #include "flowcube/builder.h"
 #include "flowcube/query.h"
 #include "flowgraph/builder.h"
@@ -17,7 +19,7 @@
 
 using namespace flowcube;
 
-int main() {
+int RunExample() {
   // --- 1. The path database (paper Table 1).
   PathDatabase db = MakePaperDatabase();
   std::printf("Path database: %zu records, %zu dimensions\n\n", db.size(),
@@ -76,4 +78,11 @@ int main() {
                 PathToString(db.schema(), tp.path).c_str());
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  flowcube::ConsumeMetricsFlag(&argc, argv);
+  const int rc = RunExample();
+  flowcube::DumpMetricsIfEnabled(stdout);
+  return rc;
 }

@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/metrics.h"
+
 #include "flowcube/builder.h"
 #include "flowcube/query.h"
 #include "flowgraph/render.h"
@@ -17,7 +19,7 @@
 
 using namespace flowcube;
 
-int main() {
+int RunExample() {
   // A retail operation: 3 item dimensions (think product / brand /
   // supplier), 25 valid routes through 6 location groups.
   GeneratorConfig cfg;
@@ -94,4 +96,11 @@ int main() {
                 PathToString(db.schema(), tp.path).c_str());
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  flowcube::ConsumeMetricsFlag(&argc, argv);
+  const int rc = RunExample();
+  flowcube::DumpMetricsIfEnabled(stdout);
+  return rc;
 }

@@ -10,6 +10,8 @@
 
 #include <cstdio>
 
+#include "common/metrics.h"
+
 #include "flowcube/builder.h"
 #include "flowcube/query.h"
 #include "flowgraph/render.h"
@@ -19,7 +21,7 @@
 
 using namespace flowcube;
 
-int main() {
+int RunExample() {
   // Ground truth movements: group T0 is "transportation" (kept detailed),
   // the other groups are production/warehousing/retail sites.
   GeneratorConfig cfg;
@@ -113,4 +115,11 @@ int main() {
                 PathToString(db.schema(), tp.path).c_str());
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  flowcube::ConsumeMetricsFlag(&argc, argv);
+  const int rc = RunExample();
+  flowcube::DumpMetricsIfEnabled(stdout);
+  return rc;
 }

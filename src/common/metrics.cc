@@ -1,0 +1,327 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "common/string_util.h"
+#include "common/trace.h"
+
+namespace flowcube {
+namespace {
+
+// JSON string escaping for instrument names (which are plain identifiers,
+// but render defensively anyway).
+std::string JsonQuote(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*, so flatten dots.
+std::string PromName(std::string_view name) {
+  std::string out = "flowcube_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+// %.17g keeps doubles round-trippable, matching the bench JSON convention.
+std::string Num(double v) { return StrFormat("%.17g", v); }
+
+MetricsFormat g_format = MetricsFormat::kNone;
+bool g_format_resolved = false;
+
+}  // namespace
+
+void Gauge::SetMax(int64_t v) {
+  int64_t cur = v_.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::BucketOf(double value) {
+  if (!(value > 0.0)) return 0;
+  int exp = 0;
+  std::frexp(value, &exp);  // value in [2^(exp-1), 2^exp)
+  const int bucket = exp + 31;
+  return bucket < 0 ? 0 : (bucket >= kNumBuckets ? kNumBuckets - 1 : bucket);
+}
+
+double Histogram::BucketMid(int bucket) {
+  // Geometric midpoint of [2^(b-32), 2^(b-31)).
+  return std::ldexp(1.0, bucket - 32) * std::sqrt(2.0);
+}
+
+void Histogram::Record(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  count_++;
+  sum_ += value;
+  buckets_[BucketOf(value)]++;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  if (count_ == 0) return s;
+  s.mean = sum_ / static_cast<double>(count_);
+  if (count_ == 1) {
+    s.p50 = s.p90 = s.p99 = min_;
+    return s;
+  }
+  const auto percentile = [this](double q) {
+    const uint64_t rank = static_cast<uint64_t>(
+        q * static_cast<double>(count_ - 1));
+    uint64_t seen = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen > rank) {
+        double v = BucketMid(b);
+        if (v < min_) v = min_;
+        if (v > max_) v = max_;
+        return v;
+      }
+    }
+    return max_;
+  };
+  s.p50 = percentile(0.50);
+  s.p90 = percentile(0.90);
+  s.p99 = percentile(0.99);
+  return s;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+  std::memset(buckets_, 0, sizeof(buckets_));
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += StrFormat("%-48s %20llu\n", name.c_str(),
+                     static_cast<unsigned long long>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += StrFormat("%-48s %20lld\n", name.c_str(),
+                     static_cast<long long>(g->value()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    out += StrFormat(
+        "%-48s count=%llu sum=%.6g min=%.6g p50=%.6g p90=%.6g p99=%.6g "
+        "max=%.6g\n",
+        name.c_str(), static_cast<unsigned long long>(s.count), s.sum, s.min,
+        s.p50, s.p90, s.p99, s.max);
+  }
+  return out;
+}
+
+std::string MetricRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonQuote(name) + ":" +
+           StrFormat("%llu", static_cast<unsigned long long>(c->value()));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonQuote(name) + ":" +
+           StrFormat("%lld", static_cast<long long>(g->value()));
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    if (!first) out += ",";
+    first = false;
+    out += JsonQuote(name) + ":{\"count\":" +
+           StrFormat("%llu", static_cast<unsigned long long>(s.count)) +
+           ",\"sum\":" + Num(s.sum) + ",\"min\":" + Num(s.min) +
+           ",\"mean\":" + Num(s.mean) + ",\"p50\":" + Num(s.p50) +
+           ",\"p90\":" + Num(s.p90) + ",\"p99\":" + Num(s.p99) +
+           ",\"max\":" + Num(s.max) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string p = PromName(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " +
+           StrFormat("%llu", static_cast<unsigned long long>(c->value())) +
+           "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string p = PromName(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + StrFormat("%lld", static_cast<long long>(g->value())) +
+           "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    const std::string p = PromName(name);
+    out += "# TYPE " + p + " summary\n";
+    out += p + "_count " +
+           StrFormat("%llu", static_cast<unsigned long long>(s.count)) + "\n";
+    out += p + "_sum " + Num(s.sum) + "\n";
+    out += p + "{quantile=\"0.5\"} " + Num(s.p50) + "\n";
+    out += p + "{quantile=\"0.9\"} " + Num(s.p90) + "\n";
+    out += p + "{quantile=\"0.99\"} " + Num(s.p99) + "\n";
+  }
+  return out;
+}
+
+MetricsFormat ParseMetricsFormat(std::string_view value) {
+  if (value == "1" || value == "text" || value == "true" || value == "on") {
+    return MetricsFormat::kText;
+  }
+  if (value == "json") return MetricsFormat::kJson;
+  if (value == "prom" || value == "prometheus") {
+    return MetricsFormat::kPrometheus;
+  }
+  return MetricsFormat::kNone;
+}
+
+MetricsFormat MetricsFormatFromEnv() {
+  const char* env = std::getenv("FLOWCUBE_METRICS");
+  return env == nullptr ? MetricsFormat::kNone : ParseMetricsFormat(env);
+}
+
+MetricsFormat metrics_format() {
+  if (!g_format_resolved) {
+    g_format_resolved = true;
+    g_format = MetricsFormatFromEnv();
+  }
+  return g_format;
+}
+
+void set_metrics_format(MetricsFormat format) {
+  g_format_resolved = true;
+  g_format = format;
+}
+
+MetricsFormat ConsumeMetricsFlag(int* argc, char** argv) {
+  MetricsFormat format = MetricsFormatFromEnv();
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--metrics") == 0) {
+      format = MetricsFormat::kText;
+    } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+      format = ParseMetricsFormat(arg + 10);
+      if (format == MetricsFormat::kNone) format = MetricsFormat::kText;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argv[kept] = nullptr;
+  *argc = kept;
+  set_metrics_format(format);
+  if (format != MetricsFormat::kNone) TraceSink::Global().SetEnabled(true);
+  return format;
+}
+
+void DumpMetricsIfEnabled(std::FILE* out) {
+  const MetricsFormat format = metrics_format();
+  if (format == MetricsFormat::kNone) return;
+  const MetricRegistry& reg = MetricRegistry::Global();
+  switch (format) {
+    case MetricsFormat::kText: {
+      std::fputs("\n=== metrics ===\n", out);
+      std::fputs(reg.RenderText().c_str(), out);
+      const std::string trace = TraceSink::Global().RenderText();
+      if (!trace.empty()) {
+        std::fputs("=== trace ===\n", out);
+        std::fputs(trace.c_str(), out);
+      }
+      break;
+    }
+    case MetricsFormat::kJson: {
+      std::string line = reg.RenderJson();
+      if (TraceSink::Global().enabled()) {
+        // Splice the timeline into the same one-line object.
+        line.pop_back();  // trailing '}'
+        line += ",\"trace\":" + TraceSink::Global().RenderJson() + "}";
+      }
+      std::fputs(line.c_str(), out);
+      std::fputc('\n', out);
+      break;
+    }
+    case MetricsFormat::kPrometheus:
+      std::fputs(reg.RenderPrometheus().c_str(), out);
+      break;
+    case MetricsFormat::kNone:
+      break;
+  }
+}
+
+}  // namespace flowcube

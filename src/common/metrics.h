@@ -1,0 +1,167 @@
+#ifndef FLOWCUBE_COMMON_METRICS_H_
+#define FLOWCUBE_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace flowcube {
+
+// Lightweight process-wide observability (DESIGN.md §8): named counters,
+// gauges, and histograms held in a global registry, fed by the hot layers
+// (miners, cube builders, thread pool, query surface) and rendered on
+// demand as human text, one-line JSON, or a Prometheus-style text dump.
+//
+// Collection is always on and deliberately cheap — a relaxed atomic add per
+// event, with every hot loop accumulating into locals and flushing once per
+// pass/phase — so enabling the *output* (FLOWCUBE_METRICS / --metrics)
+// never changes what was measured. Call sites cache instrument references:
+//
+//   static Counter& passes = MetricRegistry::Global().counter("mining.shared.passes");
+//   passes.Increment();
+//
+// Instrument names are dot-separated lowercase paths, "layer.subsystem.what"
+// (e.g. "cube.buc.cells_visited", "trace.flowcube.measures.seconds").
+
+// A monotonically increasing event count.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricRegistry;
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<uint64_t> v_{0};
+};
+
+// A point-in-time signed value (resolved thread count, deepest recursion).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  // Raises the gauge to `v` if larger (high-water marks).
+  void SetMax(int64_t v);
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricRegistry;
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<int64_t> v_{0};
+};
+
+// A distribution of non-negative samples (mostly phase durations in
+// seconds). Exact count/sum/min/max plus power-of-two buckets for
+// approximate percentiles. Thread-safe; Record costs one short mutex hold,
+// so it belongs at pass/phase granularity, never inside per-item loops.
+class Histogram {
+ public:
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    // Approximate (bucket-resolution) percentiles; exact when count <= 1.
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+
+  void Record(double value);
+  Snapshot snapshot() const;
+
+ private:
+  friend class MetricRegistry;
+  void Reset();
+
+  // Bucket i covers [2^(i-32), 2^(i-31)) — ~2.3e-10 up to ~4.3e9, enough
+  // for nanoseconds-to-years when samples are seconds.
+  static constexpr int kNumBuckets = 64;
+  static int BucketOf(double value);
+  static double BucketMid(int bucket);
+
+  mutable std::mutex mu_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  uint64_t buckets_[kNumBuckets] = {};
+};
+
+// The process-global instrument registry. Instrument references returned by
+// counter()/gauge()/histogram() stay valid for the process lifetime;
+// Reset() zeroes values but never invalidates references.
+class MetricRegistry {
+ public:
+  static MetricRegistry& Global();
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // Zeroes every registered instrument (tests / repeated bench runs).
+  void Reset();
+
+  // Renders every instrument, sorted by name. Text is one aligned line per
+  // instrument; JSON is a single-line object
+  //   {"counters":{...},"gauges":{...},"histograms":{name:{count,...}}}
+  // suitable for folding into BENCH_<name>.json; Prometheus is the text
+  // exposition format with names prefixed "flowcube_" and dots flattened
+  // to underscores.
+  std::string RenderText() const;
+  std::string RenderJson() const;
+  std::string RenderPrometheus() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Node-based maps: stable addresses + deterministic render order.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// ---------------------------------------------------------------------------
+// Output selection. Rendering is opt-in via the FLOWCUBE_METRICS environment
+// variable ("text"/"1", "json", "prom"/"prometheus") or a --metrics[=FORMAT]
+// command-line flag on the bench and example binaries.
+
+enum class MetricsFormat { kNone, kText, kJson, kPrometheus };
+
+// Parses a format name; unrecognized values mean kNone.
+MetricsFormat ParseMetricsFormat(std::string_view value);
+
+// The FLOWCUBE_METRICS environment knob.
+MetricsFormat MetricsFormatFromEnv();
+
+// Strips --metrics / --metrics=FORMAT from argv (so downstream flag parsers
+// like benchmark::Initialize never see it) and resolves the process-wide
+// format: the flag wins, falling back to FLOWCUBE_METRICS. A bare
+// --metrics selects text. Also enables trace-event capture (common/trace.h)
+// when a format is selected.
+MetricsFormat ConsumeMetricsFlag(int* argc, char** argv);
+
+// Process-wide output format chosen by ConsumeMetricsFlag (or, before any
+// call, the environment knob).
+MetricsFormat metrics_format();
+void set_metrics_format(MetricsFormat format);
+
+// Writes the global registry (and the trace timeline, when captured) to
+// `out` in the process-wide format; no-op when the format is kNone.
+void DumpMetricsIfEnabled(std::FILE* out);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_COMMON_METRICS_H_

@@ -4,6 +4,8 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
 
 namespace flowcube {
 namespace {
@@ -58,10 +60,12 @@ void ThreadPool::WorkerMain(size_t worker_index) {
 
 void ThreadPool::RunShard(Job* job, size_t shard) {
   t_in_pool_task = true;
+  uint64_t chunks_run = 0;
   for (;;) {
     const size_t begin = job->next.fetch_add(job->chunk);
     if (begin >= job->n) break;
     const size_t end = std::min(begin + job->chunk, job->n);
+    chunks_run++;
     try {
       (*job->fn)(shard, begin, end);
     } catch (...) {
@@ -71,6 +75,9 @@ void ThreadPool::RunShard(Job* job, size_t shard) {
     }
   }
   t_in_pool_task = false;
+  static Counter& m_chunks =
+      MetricRegistry::Global().counter("threadpool.chunks_run");
+  m_chunks.Add(chunks_run);
 }
 
 void ThreadPool::ParallelForChunks(
@@ -81,9 +88,21 @@ void ThreadPool::ParallelForChunks(
   // Inline when there is nothing to fan out to, the range is a single
   // chunk anyway, or we are already inside a pool task (nested loop).
   if (workers_.empty() || n <= grain || t_in_pool_task) {
+    static Counter& m_inline =
+        MetricRegistry::Global().counter("threadpool.inline_runs");
+    m_inline.Increment();
     fn(0, 0, n);
     return;
   }
+  static Counter& m_jobs = MetricRegistry::Global().counter("threadpool.jobs");
+  static Histogram& m_job_seconds =
+      MetricRegistry::Global().histogram("threadpool.job.seconds");
+  // Time the caller spends blocked after finishing its own shard — the
+  // drain cost of the slowest worker (queue-wait from the caller's side).
+  static Histogram& m_wait_seconds =
+      MetricRegistry::Global().histogram("threadpool.caller_wait.seconds");
+  m_jobs.Increment();
+  Stopwatch job_watch;
   Job job;
   job.n = n;
   // A few chunks per worker so uneven iterations balance out; never below
@@ -98,9 +117,13 @@ void ThreadPool::ParallelForChunks(
   }
   wake_cv_.notify_all();
   RunShard(&job, 0);
+  Stopwatch wait_watch;
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return workers_busy_ == 0; });
   job_ = nullptr;
+  lock.unlock();
+  m_wait_seconds.Record(wait_watch.ElapsedSeconds());
+  m_job_seconds.Record(job_watch.ElapsedSeconds());
   if (job.error) std::rethrow_exception(job.error);
 }
 

@@ -1,0 +1,131 @@
+#include "common/trace.h"
+
+#include <atomic>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace flowcube {
+namespace {
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Dense thread ids keep the timeline readable; assignment order is
+// first-span-closed order, not thread-creation order.
+uint32_t CurrentThreadIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace
+
+double TraceNowSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       TraceEpoch())
+      .count();
+}
+
+TraceSink& TraceSink::Global() {
+  static TraceSink* sink = new TraceSink();
+  return *sink;
+}
+
+void TraceSink::SetEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+bool TraceSink::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void TraceSink::Record(std::string_view name, double start_seconds,
+                       double duration_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  if (events_.size() >= kMaxEvents) {
+    dropped_++;
+    return;
+  }
+  TraceEvent& e = events_.emplace_back();
+  e.name = std::string(name);
+  e.start_seconds = start_seconds;
+  e.duration_seconds = duration_seconds;
+  e.thread = CurrentThreadIndex();
+}
+
+std::vector<TraceEvent> TraceSink::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+uint64_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string TraceSink::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    out += StrFormat("%12.6fs +%.6fs  t%u  %s\n", e.start_seconds,
+                     e.duration_seconds, e.thread, e.name.c_str());
+  }
+  if (dropped_ > 0) {
+    out += StrFormat("(%llu events dropped: buffer full)\n",
+                     static_cast<unsigned long long>(dropped_));
+  }
+  return out;
+}
+
+std::string TraceSink::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) out += ",";
+    first = false;
+    std::string name;
+    for (char c : e.name) {
+      if (c == '"' || c == '\\') name += '\\';
+      name += c;
+    }
+    out += StrFormat("{\"name\":\"%s\",\"start\":%.9f,\"dur\":%.9f,"
+                     "\"thread\":%u}",
+                     name.c_str(), e.start_seconds, e.duration_seconds,
+                     e.thread);
+  }
+  out += "]";
+  return out;
+}
+
+TraceSpan::TraceSpan(std::string_view name)
+    : name_(name), start_seconds_(TraceNowSeconds()) {}
+
+TraceSpan::~TraceSpan() { Stop(); }
+
+double TraceSpan::Stop() {
+  if (stopped_) return duration_seconds_;
+  stopped_ = true;
+  duration_seconds_ = TraceNowSeconds() - start_seconds_;
+  MetricRegistry::Global()
+      .histogram("trace." + name_ + ".seconds")
+      .Record(duration_seconds_);
+  TraceSink::Global().Record(name_, start_seconds_, duration_seconds_);
+  return duration_seconds_;
+}
+
+}  // namespace flowcube

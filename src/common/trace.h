@@ -1,0 +1,100 @@
+#ifndef FLOWCUBE_COMMON_TRACE_H_
+#define FLOWCUBE_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flowcube {
+
+// Phase tracing (DESIGN.md §8). A TraceSpan is an RAII timer around one
+// named phase (a build phase, a mining pass, a bench setup step). Closing a
+// span always records its duration into the global histogram
+// "trace.<name>.seconds" — so per-phase timing statistics exist whenever
+// metrics are rendered — and additionally appends a timeline event to the
+// process-global TraceSink when event capture is enabled (it is off by
+// default to bound memory; ConsumeMetricsFlag turns it on together with
+// metrics output).
+//
+//   {
+//     TraceSpan span("flowcube.measures");
+//     ...               // phase body
+//   }                   // closed here
+//
+// Spans may be closed early with Stop(), which also returns the elapsed
+// seconds — used where a phase duration feeds a stats struct as well.
+
+// One completed span. Times are seconds relative to the process trace
+// epoch (the first use of the trace clock), so events from all threads
+// share one timeline.
+struct TraceEvent {
+  std::string name;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  // Dense per-thread index (0 = first thread that ever closed a span).
+  uint32_t thread = 0;
+};
+
+// Process-global, thread-safe, bounded event buffer.
+class TraceSink {
+ public:
+  static TraceSink& Global();
+
+  TraceSink() = default;
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  void SetEnabled(bool enabled);
+  bool enabled() const;
+
+  // Appends one event; drops (counting the drop) once the buffer is full.
+  void Record(std::string_view name, double start_seconds,
+              double duration_seconds);
+
+  std::vector<TraceEvent> Events() const;
+  uint64_t dropped() const;
+  void Clear();
+
+  // "    0.000123s +0.045600s  t0  flowcube.mining" per event, in record
+  // order.
+  std::string RenderText() const;
+  // JSON array of {"name","start","dur","thread"} objects (one line).
+  std::string RenderJson() const;
+
+ private:
+  // Enough for every phase of a large build; per-item spans do not exist.
+  static constexpr size_t kMaxEvents = 65536;
+
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+// Seconds since the process trace epoch.
+double TraceNowSeconds();
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Closes the span (idempotent) and returns its duration in seconds.
+  double Stop();
+
+ private:
+  std::string name_;
+  double start_seconds_ = 0.0;
+  double duration_seconds_ = 0.0;
+  bool stopped_ = false;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_COMMON_TRACE_H_

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace flowcube {
 
@@ -14,6 +15,7 @@ BucIcebergCube::BucIcebergCube(Options options) : options_(options) {
 void BucIcebergCube::Visit(
     const PathDatabase& db,
     const std::function<void(const CubeCell&)>& callback) const {
+  VisitCounters counters;
   std::vector<uint32_t> all(db.size());
   std::iota(all.begin(), all.end(), 0);
   CubeCell cell;
@@ -22,49 +24,76 @@ void BucIcebergCube::Visit(
     cell.coords[d] = db.schema().dimensions[d].root();
   }
   if (all.size() >= options_.min_support) {
+    counters.apex_visited++;
     cell.tids = all;
     callback(cell);
     cell.tids.clear();
-    Expand(db, all, 0, &cell, callback);
+    Expand(db, all, 0, /*depth=*/0, &cell, callback, &counters);
   }
+
+  MetricRegistry& reg = MetricRegistry::Global();
+  static Counter& m_visits = reg.counter("cube.buc.visits");
+  static Counter& m_partitions =
+      reg.counter("cube.buc.partitions_enumerated");
+  static Counter& m_cells = reg.counter("cube.buc.cells_visited");
+  static Counter& m_pruned = reg.counter("cube.buc.pruned_iceberg");
+  static Counter& m_shallow = reg.counter("cube.buc.skipped_shallow");
+  static Counter& m_apex = reg.counter("cube.buc.apex_visited");
+  static Gauge& m_depth = reg.gauge("cube.buc.max_depth");
+  m_visits.Increment();
+  m_partitions.Add(counters.partitions_enumerated);
+  m_cells.Add(counters.cells_visited);
+  m_pruned.Add(counters.pruned_iceberg);
+  m_shallow.Add(counters.skipped_shallow);
+  m_apex.Add(counters.apex_visited);
+  m_depth.SetMax(counters.max_depth);
 }
 
 void BucIcebergCube::Expand(
     const PathDatabase& db, const std::vector<uint32_t>& tids, size_t next_dim,
-    CubeCell* cell,
-    const std::function<void(const CubeCell&)>& callback) const {
+    int depth, CubeCell* cell,
+    const std::function<void(const CubeCell&)>& callback,
+    VisitCounters* counters) const {
   for (size_t d = next_dim; d < db.schema().num_dimensions(); ++d) {
-    Partition(db, tids, d, /*level=*/1, cell, callback);
+    Partition(db, tids, d, /*level=*/1, depth, cell, callback, counters);
   }
 }
 
 void BucIcebergCube::Partition(
     const PathDatabase& db, const std::vector<uint32_t>& tids, size_t dim,
-    int level, CubeCell* cell,
-    const std::function<void(const CubeCell&)>& callback) const {
+    int level, int depth, CubeCell* cell,
+    const std::function<void(const CubeCell&)>& callback,
+    VisitCounters* counters) const {
   const ConceptHierarchy& h = db.schema().dimensions[dim];
   if (level > h.MaxLevel()) return;
+  if (depth + 1 > counters->max_depth) counters->max_depth = depth + 1;
   std::unordered_map<NodeId, std::vector<uint32_t>> groups;
   for (uint32_t tid : tids) {
     const NodeId value = h.AncestorAtLevel(db.record(tid).dims[dim], level);
     groups[value].push_back(tid);
   }
+  counters->partitions_enumerated += groups.size();
   const NodeId saved = cell->coords[dim];
   for (auto& [value, group] : groups) {
-    if (group.size() < options_.min_support) continue;  // iceberg prune
+    if (group.size() < options_.min_support) {  // iceberg prune
+      counters->pruned_iceberg++;
+      continue;
+    }
     if (h.Level(value) < level) {
       // The record value itself is shallower than the requested level; the
       // cell was already emitted when partitioning at that shallower level.
+      counters->skipped_shallow++;
       continue;
     }
+    counters->cells_visited++;
     cell->coords[dim] = value;
     cell->tids = group;
     callback(*cell);
     cell->tids.clear();
     // Drill one level deeper inside this dimension ...
-    Partition(db, group, dim, level + 1, cell, callback);
+    Partition(db, group, dim, level + 1, depth + 1, cell, callback, counters);
     // ... and instantiate further dimensions.
-    Expand(db, group, dim + 1, cell, callback);
+    Expand(db, group, dim + 1, depth + 1, cell, callback, counters);
   }
   cell->coords[dim] = saved;
 }

@@ -37,12 +37,30 @@ class BucIcebergCube {
   std::vector<CubeCell> Compute(const PathDatabase& db) const;
 
  private:
+  // Per-Visit observability tallies, accumulated recursion-locally and
+  // flushed to the global MetricRegistry once per Visit. The invariant
+  //   partitions_enumerated == cells_visited + pruned_iceberg
+  //                            + skipped_shallow
+  // holds for every traversal (the apex is counted separately in
+  // apex_visited since it is emitted before any partitioning).
+  struct VisitCounters {
+    uint64_t partitions_enumerated = 0;
+    uint64_t cells_visited = 0;
+    uint64_t pruned_iceberg = 0;
+    uint64_t skipped_shallow = 0;
+    uint64_t apex_visited = 0;
+    // Deepest recursion reached, in instantiated (dimension, level) steps.
+    int max_depth = 0;
+  };
+
   void Partition(const PathDatabase& db, const std::vector<uint32_t>& tids,
-                 size_t dim, int level, CubeCell* cell,
-                 const std::function<void(const CubeCell&)>& callback) const;
+                 size_t dim, int level, int depth, CubeCell* cell,
+                 const std::function<void(const CubeCell&)>& callback,
+                 VisitCounters* counters) const;
   void Expand(const PathDatabase& db, const std::vector<uint32_t>& tids,
-              size_t next_dim, CubeCell* cell,
-              const std::function<void(const CubeCell&)>& callback) const;
+              size_t next_dim, int depth, CubeCell* cell,
+              const std::function<void(const CubeCell&)>& callback,
+              VisitCounters* counters) const;
 
   Options options_;
 };

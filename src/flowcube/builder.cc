@@ -6,8 +6,9 @@
 
 #include "common/audit.h"
 #include "common/logging.h"
-#include "common/stopwatch.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "flowgraph/builder.h"
 #include "mining/mining_result.h"
 #include "path/path_aggregator.h"
@@ -74,7 +75,7 @@ Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
   FlowCubeBuildStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   FC_AUDIT(AuditPathDatabase(db));
-  Stopwatch watch;
+  TraceSpan build_span("flowcube.build");
 
   // One pool drives every phase. Each parallel loop either writes to a
   // pre-assigned slot of a shared array or accumulates into per-shard
@@ -84,12 +85,16 @@ Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
   const size_t num_shards = pool.num_threads();
   stats->threads = num_shards;
 
-  // --- Phase 1: one Shared mining run over the transformed database.
+  // --- Phase 0: transform paths into multi-level transactions.
+  TraceSpan transform_span("flowcube.transform");
   Result<TransformedDatabase> transformed =
       TransformPathDatabase(db, plan.mining);
+  stats->seconds_transform = transform_span.Stop();
   if (!transformed.ok()) return transformed.status();
   const TransformedDatabase& tdb = transformed.value();
 
+  // --- Phase 1: one Shared mining run over the transformed database.
+  TraceSpan mining_span("flowcube.mining");
   SharedMinerOptions mopts = options_.mining;
   mopts.min_support = options_.min_support;
   mopts.num_threads = static_cast<int>(num_shards);
@@ -97,10 +102,10 @@ Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
   SharedMiningOutput mined = miner.Run();
   stats->mining = mined.stats;
   const MiningResult result(&tdb, std::move(mined.frequent));
-  stats->seconds_mining = watch.ElapsedSeconds();
-  watch.Reset();
+  stats->seconds_mining = mining_span.Stop();
 
   // --- Phase 2: materialize cells and their flowgraph measures.
+  TraceSpan measures_span("flowcube.measures");
   FlowCube cube(plan, db.schema_ptr());
   const ItemCatalog& cat = tdb.catalog();
   const PathAggregator aggregator(db.schema_ptr());
@@ -204,14 +209,14 @@ Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
       }
     }
   }
-  stats->seconds_measures = watch.ElapsedSeconds();
-  watch.Reset();
+  stats->seconds_measures = measures_span.Stop();
 
   // --- Phase 3: redundancy marking, walking cells from low abstraction to
   // high (Definition 4.4: redundant iff similar to every materialized
   // parent at the same path level). Within one cuboid every cell is
   // independent: it writes only its own flag and reads parent graphs from
   // other cuboids, which no longer change after phase 2.
+  TraceSpan redundancy_span("flowcube.redundancy");
   if (options_.mark_redundant) {
     for (size_t i = 0; i < plan.item_levels.size(); ++i) {
       const ItemLevel& il = plan.item_levels[i];
@@ -262,7 +267,26 @@ Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
       }
     }
   }
-  stats->seconds_redundancy = watch.ElapsedSeconds();
+  stats->seconds_redundancy = redundancy_span.Stop();
+  stats->seconds_total = build_span.Stop();
+
+  {
+    MetricRegistry& reg = MetricRegistry::Global();
+    static Counter& m_builds = reg.counter("flowcube.build.runs");
+    static Counter& m_paths = reg.counter("flowcube.build.paths");
+    static Counter& m_cells = reg.counter("flowcube.build.cells_materialized");
+    static Counter& m_exceptions =
+        reg.counter("flowcube.build.exceptions_found");
+    static Counter& m_redundant =
+        reg.counter("flowcube.build.cells_marked_redundant");
+    static Gauge& m_threads = reg.gauge("flowcube.build.threads");
+    m_builds.Increment();
+    m_paths.Add(db.size());
+    m_cells.Add(stats->cells_materialized);
+    m_exceptions.Add(stats->exceptions_found);
+    m_redundant.Add(stats->cells_marked_redundant);
+    m_threads.Set(static_cast<int64_t>(num_shards));
+  }
 #if FC_AUDIT_ENABLED
   {
     FlowGraphAuditOptions graph_options;

@@ -49,9 +49,15 @@ struct FlowCubeBuildStats {
   size_t cells_materialized = 0;
   size_t exceptions_found = 0;
   size_t cells_marked_redundant = 0;
+  // Per-phase wall times; each phase is also recorded as a trace span
+  // ("flowcube.transform" / "flowcube.mining" / "flowcube.measures" /
+  // "flowcube.redundancy", see common/trace.h), so histograms and the
+  // timeline agree with these fields.
+  double seconds_transform = 0.0;
   double seconds_mining = 0.0;
   double seconds_measures = 0.0;
   double seconds_redundancy = 0.0;
+  double seconds_total = 0.0;
   // Resolved thread count the build ran with.
   size_t threads = 1;
 };

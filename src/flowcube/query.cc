@@ -1,8 +1,11 @@
 #include "flowcube/query.h"
 
 #include <algorithm>
+#include <deque>
+#include <set>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "flowgraph/merge.h"
 
@@ -41,13 +44,24 @@ FlowCubeQuery::FlowCubeQuery(const FlowCube* cube) : cube_(cube) {
 
 Result<CellRef> FlowCubeQuery::Cell(const std::vector<std::string>& values,
                                     size_t pl_index) const {
+  static Counter& m_lookups = MetricRegistry::Global().counter("query.lookups");
+  static Counter& m_hits = MetricRegistry::Global().counter("query.hits");
+  static Counter& m_misses = MetricRegistry::Global().counter("query.misses");
+  m_lookups.Increment();
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const auto miss = [&] {
+    m_misses.Increment();
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  };
   const PathSchema& schema = cube_->schema();
   if (values.size() != schema.num_dimensions()) {
+    miss();
     return Status::InvalidArgument(
         StrFormat("expected %zu dimension values, got %zu",
                   schema.num_dimensions(), values.size()));
   }
   if (pl_index >= cube_->plan().path_levels.size()) {
+    miss();
     return Status::InvalidArgument("path level index out of range");
   }
   ItemLevel level;
@@ -56,7 +70,10 @@ Result<CellRef> FlowCubeQuery::Cell(const std::vector<std::string>& values,
   for (size_t d = 0; d < values.size(); ++d) {
     if (values[d] == "*") continue;
     Result<NodeId> node = schema.dimensions[d].Find(values[d]);
-    if (!node.ok()) return node.status();
+    if (!node.ok()) {
+      miss();
+      return node.status();
+    }
     level.levels[d] = schema.dimensions[d].Level(node.value());
     key.push_back(cube_->catalog().DimItem(d, node.value()));
   }
@@ -64,20 +81,68 @@ Result<CellRef> FlowCubeQuery::Cell(const std::vector<std::string>& values,
 
   const int il = cube_->plan().FindItemLevel(level);
   if (il < 0) {
+    miss();
     return Status::NotFound("cuboid at item level " + level.ToString() +
                             " is not materialized");
   }
   const FlowCell* cell =
       cube_->cuboid(static_cast<size_t>(il), pl_index).Find(key);
   if (cell == nullptr) {
+    miss();
     return Status::NotFound("cell " + cube_->CellName(key) +
                             " is not materialized (below the iceberg "
                             "threshold or pruned)");
   }
+  m_hits.Increment();
+  hits_.fetch_add(1, std::memory_order_relaxed);
   return CellRef{cell, static_cast<size_t>(il), pl_index};
 }
 
+Result<CellRef> FlowCubeQuery::CellOrAncestor(
+    const std::vector<std::string>& values, size_t pl_index) const {
+  static Counter& m_walks =
+      MetricRegistry::Global().counter("query.fallback_walks");
+  const PathSchema& schema = cube_->schema();
+  // Breadth-first over one-dimension generalizations: the frontier at
+  // distance k holds every ancestor k roll-ups away, so the first hit is a
+  // nearest materialized ancestor, and visiting dimensions in index order
+  // makes the tie-break deterministic.
+  std::deque<std::vector<std::string>> frontier{values};
+  std::set<std::vector<std::string>> seen{values};
+  bool first = true;
+  while (!frontier.empty()) {
+    const std::vector<std::string> v = std::move(frontier.front());
+    frontier.pop_front();
+    if (!first) {
+      m_walks.Increment();
+      fallback_walks_.fetch_add(1, std::memory_order_relaxed);
+    }
+    Result<CellRef> ref = Cell(v, pl_index);
+    if (ref.ok()) return ref;
+    // Only "not materialized" is walkable; bad names or shape errors on
+    // the original query surface immediately.
+    if (ref.status().code() != Status::Code::kNotFound) return ref.status();
+    first = false;
+    for (size_t d = 0; d < v.size(); ++d) {
+      if (v[d] == "*") continue;
+      const Result<NodeId> node = schema.dimensions[d].Find(v[d]);
+      if (!node.ok()) return node.status();
+      const NodeId up = schema.dimensions[d].Parent(node.value());
+      std::vector<std::string> parent = v;
+      parent[d] = schema.dimensions[d].Level(up) == 0
+                      ? "*"
+                      : schema.dimensions[d].Name(up);
+      if (seen.insert(parent).second) frontier.push_back(std::move(parent));
+    }
+  }
+  return Status::NotFound(
+      "no materialized ancestor (not even the apex) for the requested cell");
+}
+
 Result<CellRef> FlowCubeQuery::RollUp(const CellRef& ref, size_t dim) const {
+  static Counter& m_rollups = MetricRegistry::Global().counter("query.rollups");
+  m_rollups.Increment();
+  rollups_.fetch_add(1, std::memory_order_relaxed);
   const ItemLevel& il = cube_->plan().item_levels[ref.il_index];
   if (dim >= il.levels.size()) {
     return Status::InvalidArgument("dimension index out of range");
@@ -115,6 +180,10 @@ Result<CellRef> FlowCubeQuery::RollUp(const CellRef& ref, size_t dim) const {
 
 std::vector<CellRef> FlowCubeQuery::DrillDown(const CellRef& ref,
                                               size_t dim) const {
+  static Counter& m_drilldowns =
+      MetricRegistry::Global().counter("query.drilldowns");
+  m_drilldowns.Increment();
+  drilldowns_.fetch_add(1, std::memory_order_relaxed);
   std::vector<CellRef> out;
   const ItemLevel& il = cube_->plan().item_levels[ref.il_index];
   if (dim >= il.levels.size()) return out;
@@ -155,6 +224,9 @@ std::vector<CellRef> FlowCubeQuery::DrillDown(const CellRef& ref,
 Result<std::vector<CellRef>> FlowCubeQuery::Slice(
     size_t il_index, size_t pl_index, size_t dim,
     const std::string& value) const {
+  static Counter& m_slices = MetricRegistry::Global().counter("query.slices");
+  m_slices.Increment();
+  slices_.fetch_add(1, std::memory_order_relaxed);
   if (il_index >= cube_->plan().item_levels.size() ||
       pl_index >= cube_->plan().path_levels.size()) {
     return Status::InvalidArgument("cuboid index out of range");
@@ -200,6 +272,9 @@ double FlowCubeQuery::Compare(const CellRef& a, const CellRef& b,
 
 Result<FlowGraph> FlowCubeQuery::MergeChildren(const CellRef& ref,
                                                size_t dim) const {
+  static Counter& m_merges = MetricRegistry::Global().counter("query.merges");
+  m_merges.Increment();
+  merges_.fetch_add(1, std::memory_order_relaxed);
   const std::vector<CellRef> children = DrillDown(ref, dim);
   uint32_t covered = 0;
   for (const CellRef& c : children) covered += c.cell->support;
@@ -213,6 +288,19 @@ Result<FlowGraph> FlowCubeQuery::MergeChildren(const CellRef& ref,
   graphs.reserve(children.size());
   for (const CellRef& c : children) graphs.push_back(&c.cell->graph);
   return MergeFlowGraphs(graphs);
+}
+
+QueryStats FlowCubeQuery::stats() const {
+  QueryStats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.fallback_walks = fallback_walks_.load(std::memory_order_relaxed);
+  s.rollups = rollups_.load(std::memory_order_relaxed);
+  s.drilldowns = drilldowns_.load(std::memory_order_relaxed);
+  s.slices = slices_.load(std::memory_order_relaxed);
+  s.merges = merges_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace flowcube

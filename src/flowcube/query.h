@@ -1,6 +1,7 @@
 #ifndef FLOWCUBE_FLOWCUBE_QUERY_H_
 #define FLOWCUBE_FLOWCUBE_QUERY_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,19 @@
 #include "flowgraph/similarity.h"
 
 namespace flowcube {
+
+// Per-query-object usage counters (mirrored into the global MetricRegistry
+// under "query.*"). Snapshot via FlowCubeQuery::stats().
+struct QueryStats {
+  uint64_t lookups = 0;    // Cell() resolutions attempted
+  uint64_t hits = 0;       // ... that found a materialized cell
+  uint64_t misses = 0;     // ... that did not
+  uint64_t fallback_walks = 0;  // ancestor steps taken by CellOrAncestor
+  uint64_t rollups = 0;
+  uint64_t drilldowns = 0;
+  uint64_t slices = 0;
+  uint64_t merges = 0;
+};
 
 // A resolved reference to a materialized cell: the cell plus its position
 // in the cube (indices into plan().item_levels / plan().path_levels).
@@ -40,6 +54,16 @@ class FlowCubeQuery {
   // values' hierarchy levels; `pl_index` indexes plan().path_levels.
   Result<CellRef> Cell(const std::vector<std::string>& values,
                        size_t pl_index = 0) const;
+
+  // Like Cell, but when the exact cell is not materialized (below the
+  // iceberg threshold, or its cuboid is not in the plan), walks up the item
+  // lattice to the nearest materialized ancestor: candidate coordinates are
+  // explored breadth-first over one-dimension generalizations, dimensions
+  // in index order, so the returned ancestor is deterministic and minimal
+  // in generalization distance. Each candidate probed beyond the first
+  // counts as one fallback walk step in QueryStats / "query.fallback_walks".
+  Result<CellRef> CellOrAncestor(const std::vector<std::string>& values,
+                                 size_t pl_index = 0) const;
 
   // The parent cell with dimension `dim` generalized one hierarchy level
   // (to '*' when it was at level 1). Fails when that cuboid or cell is not
@@ -75,8 +99,21 @@ class FlowCubeQuery {
   // be incomplete. The result carries no exceptions (Lemma 4.3).
   Result<FlowGraph> MergeChildren(const CellRef& ref, size_t dim) const;
 
+  // Usage counters accumulated by this query object (all methods are
+  // const and thread-safe; counters are relaxed atomics).
+  QueryStats stats() const;
+
  private:
   const FlowCube* cube_;
+
+  mutable std::atomic<uint64_t> lookups_{0};
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> fallback_walks_{0};
+  mutable std::atomic<uint64_t> rollups_{0};
+  mutable std::atomic<uint64_t> drilldowns_{0};
+  mutable std::atomic<uint64_t> slices_{0};
+  mutable std::atomic<uint64_t> merges_{0};
 };
 
 }  // namespace flowcube

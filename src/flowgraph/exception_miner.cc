@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "mining/apriori.h"
 
 namespace flowcube {
@@ -68,8 +69,15 @@ std::vector<FlowException> ExceptionMiner::Mine(
   std::vector<FlowException> out;
   const auto chains = BuildChains(g, paths);
 
+  // Mine runs once per cell from parallel loops; tallies stay in locals
+  // until one flush at the end.
+  uint64_t dropped_uninformative = 0;
+  uint64_t dropped_support = 0;
   for (const std::vector<StageCondition>& pattern : patterns) {
-    if (pattern.empty() || !Informative(pattern)) continue;
+    if (pattern.empty() || !Informative(pattern)) {
+      dropped_uninformative++;
+      continue;
+    }
     FC_DCHECK(std::is_sorted(pattern.begin(), pattern.end(),
                              [&g](const StageCondition& a,
                                   const StageCondition& b) {
@@ -82,7 +90,10 @@ std::vector<FlowException> ExceptionMiner::Mine(
     for (uint32_t i = 0; i < paths.size(); ++i) {
       if (Matches(pattern, paths[i], chains[i], g)) matching.push_back(i);
     }
-    if (matching.size() < options_.min_support) continue;
+    if (matching.size() < options_.min_support) {
+      dropped_support++;
+      continue;
+    }
     const double n_match = static_cast<double>(matching.size());
 
     // --- Conditional transition distribution at the deepest node.
@@ -148,6 +159,23 @@ std::vector<FlowException> ExceptionMiner::Mine(
         }
       }
     }
+  }
+
+  {
+    MetricRegistry& reg = MetricRegistry::Global();
+    static Counter& m_calls = reg.counter("flowgraph.exceptions.mine_calls");
+    static Counter& m_patterns =
+        reg.counter("flowgraph.exceptions.patterns_considered");
+    static Counter& m_uninformative =
+        reg.counter("flowgraph.exceptions.patterns_dropped_uninformative");
+    static Counter& m_support =
+        reg.counter("flowgraph.exceptions.patterns_dropped_support");
+    static Counter& m_kept = reg.counter("flowgraph.exceptions.kept");
+    m_calls.Increment();
+    m_patterns.Add(patterns.size());
+    m_uninformative.Add(dropped_uninformative);
+    m_support.Add(dropped_support);
+    m_kept.Add(out.size());
   }
   return out;
 }

@@ -166,14 +166,20 @@ Result<PathDatabase> ReadPathDatabase(std::istream& in) {
       return Status::InvalidArgument("record line missing '|': " + line);
     }
     PathRecord rec;
-    for (const std::string& value : StrSplit(line.substr(0, bar), ',')) {
-      const size_t d = rec.dims.size();
-      if (d >= schema->num_dimensions()) {
-        return Status::InvalidArgument("too many dimension values: " + line);
+    // An empty dims part means a 0-dimension schema, not one empty value
+    // (StrSplit("") yields {""}); skip the loop so such databases
+    // round-trip.
+    if (bar > 0) {
+      for (const std::string& value : StrSplit(line.substr(0, bar), ',')) {
+        const size_t d = rec.dims.size();
+        if (d >= schema->num_dimensions()) {
+          return Status::InvalidArgument("too many dimension values: " +
+                                         line);
+        }
+        Result<NodeId> node = schema->dimensions[d].Find(value);
+        if (!node.ok()) return node.status();
+        rec.dims.push_back(node.value());
       }
-      Result<NodeId> node = schema->dimensions[d].Find(value);
-      if (!node.ok()) return node.status();
-      rec.dims.push_back(node.value());
     }
     for (const std::string& stage_str :
          StrSplit(line.substr(bar + 1), ';')) {
@@ -187,7 +193,9 @@ Result<PathDatabase> ReadPathDatabase(std::istream& in) {
       char* end = nullptr;
       const long long dur =
           std::strtoll(stage_str.c_str() + colon + 1, &end, 10);
-      if (end == stage_str.c_str() + colon + 1) {
+      // Reject both a missing number and trailing garbage ("A:12x"), which
+      // strtoll would otherwise silently truncate.
+      if (end == stage_str.c_str() + colon + 1 || *end != '\0') {
         return Status::InvalidArgument("bad duration in: " + stage_str);
       }
       rec.path.stages.push_back(

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace flowcube {
 namespace {
@@ -224,6 +225,11 @@ Apriori::Apriori(AprioriOptions options) : options_(std::move(options)) {
 std::vector<FrequentItemset> Apriori::Mine(
     const std::vector<std::span<const ItemId>>& txns) {
   std::vector<FrequentItemset> result;
+  // stats_ accumulates across Mine calls (Cubing runs one Apriori over many
+  // cells), so metric deltas are tracked in locals and flushed at the end.
+  uint64_t passes_this_call = 0;
+  uint64_t candidates_this_call = 0;
+  uint64_t pruned_this_call = 0;
 
   // Pass 1: count single items.
   std::unordered_map<ItemId, uint32_t> item_counts;
@@ -231,9 +237,11 @@ std::vector<FrequentItemset> Apriori::Mine(
     for (ItemId id : txn) item_counts[id]++;
   }
   stats_.passes++;
+  passes_this_call++;
   EnsureLength(&stats_.candidates_per_length, 1);
   EnsureLength(&stats_.frequent_per_length, 1);
   stats_.candidates_per_length[1] += item_counts.size();
+  candidates_this_call += item_counts.size();
 
   std::vector<Itemset> frequent_k;
   for (const auto& [id, count] : item_counts) {
@@ -252,8 +260,12 @@ std::vector<FrequentItemset> Apriori::Mine(
         frequent_k.begin(), frequent_k.end());
     CandidateCounter counter;
     for (Itemset& cand : AprioriJoin(frequent_k)) {
-      if (k > 2 && !AllSubsetsFrequent(cand, frequent_set)) continue;
+      if (k > 2 && !AllSubsetsFrequent(cand, frequent_set)) {
+        pruned_this_call++;
+        continue;
+      }
       if (options_.candidate_filter && !options_.candidate_filter(cand)) {
+        pruned_this_call++;
         continue;
       }
       counter.Add(std::move(cand));
@@ -263,9 +275,11 @@ std::vector<FrequentItemset> Apriori::Mine(
 
     for (const auto& txn : txns) counter.CountTransaction(txn);
     stats_.passes++;
+    passes_this_call++;
     EnsureLength(&stats_.candidates_per_length, k);
     EnsureLength(&stats_.frequent_per_length, k);
     stats_.candidates_per_length[k] += counter.size();
+    candidates_this_call += counter.size();
 
     std::vector<Itemset> next;
     for (size_t i = 0; i < counter.size(); ++i) {
@@ -278,6 +292,24 @@ std::vector<FrequentItemset> Apriori::Mine(
     std::sort(next.begin(), next.end());
     stats_.frequent_per_length[k] += next.size();
     frequent_k = std::move(next);
+  }
+
+  {
+    MetricRegistry& reg = MetricRegistry::Global();
+    static Counter& m_runs = reg.counter("mining.apriori.runs");
+    static Counter& m_passes = reg.counter("mining.apriori.passes");
+    static Counter& m_scanned =
+        reg.counter("mining.apriori.transactions_scanned");
+    static Counter& m_candidates =
+        reg.counter("mining.apriori.candidates_counted");
+    static Counter& m_pruned = reg.counter("mining.apriori.pruned");
+    static Counter& m_frequent = reg.counter("mining.apriori.frequent");
+    m_runs.Increment();
+    m_passes.Add(passes_this_call);
+    m_scanned.Add(passes_this_call * txns.size());
+    m_candidates.Add(candidates_this_call);
+    m_pruned.Add(pruned_this_call);
+    m_frequent.Add(result.size());
   }
   return result;
 }

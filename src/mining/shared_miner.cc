@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 
 namespace flowcube {
@@ -238,6 +239,12 @@ SharedMiningOutput SharedMiner::Run() {
   }
 
   // --- Passes k = 2, 3, ...
+  // Metrics accumulate into locals and flush once at the end of Run, so
+  // the hot candidate loops never touch shared state.
+  uint64_t pruned_subset = 0;
+  uint64_t pruned_compat = 0;
+  uint64_t pruned_precount = 0;
+  uint64_t precount_resolved = 0;
   while (!frequent_k.empty()) {
     const size_t k = frequent_k.front().size() + 1;
     std::unordered_set<Itemset, ItemsetHash> frequent_set(frequent_k.begin(),
@@ -251,10 +258,16 @@ SharedMiningOutput SharedMiner::Run() {
     EnsureLength(&out.stats.frequent_per_length, k + 1);
 
     for (Itemset& cand : AprioriJoin(frequent_k)) {
-      if (k > 2 && !AllSubsetsFrequent(cand, frequent_set)) continue;
+      if (k > 2 && !AllSubsetsFrequent(cand, frequent_set)) {
+        pruned_subset++;
+        continue;
+      }
       // The join extends by one item, so the only item pair not already
       // vetted inside some frequent (k-1)-subset is the last one.
-      if (use_filters && !ItemsCompatible(cand[k - 2], cand[k - 1])) continue;
+      if (use_filters && !ItemsCompatible(cand[k - 2], cand[k - 1])) {
+        pruned_compat++;
+        continue;
+      }
 
       if (options_.prune_precount) {
         bool all_hl = true;
@@ -266,6 +279,7 @@ SharedMiningOutput SharedMiner::Run() {
         }
         if (all_hl) {
           // Already pre-counted one pass earlier: resolve, never recount.
+          precount_resolved++;
           const auto it = hl_counts_.find(cand);
           const uint32_t count = it == hl_counts_.end() ? 0 : it->second;
           if (count >= minsup) {
@@ -282,7 +296,10 @@ SharedMiningOutput SharedMiner::Run() {
         if (GeneralizeItemset(cand, &generalized) && generalized.size() >= 2) {
           const auto it = hl_counts_.find(generalized);
           const uint32_t gcount = it == hl_counts_.end() ? 0 : it->second;
-          if (gcount < minsup) continue;
+          if (gcount < minsup) {
+            pruned_precount++;
+            continue;
+          }
         }
       }
       counter.Add(std::move(cand));
@@ -333,6 +350,34 @@ SharedMiningOutput SharedMiner::Run() {
 
     std::sort(next_frequent.begin(), next_frequent.end());
     frequent_k = std::move(next_frequent);
+  }
+
+  {
+    MetricRegistry& reg = MetricRegistry::Global();
+    static Counter& m_runs = reg.counter("mining.shared.runs");
+    static Counter& m_passes = reg.counter("mining.shared.passes");
+    static Counter& m_scanned =
+        reg.counter("mining.shared.transactions_scanned");
+    static Counter& m_candidates =
+        reg.counter("mining.shared.candidates_counted");
+    static Counter& m_frequent = reg.counter("mining.shared.frequent");
+    static Counter& m_pruned_subset =
+        reg.counter("mining.shared.pruned_subset");
+    static Counter& m_pruned_compat =
+        reg.counter("mining.shared.pruned_compat");
+    static Counter& m_pruned_precount =
+        reg.counter("mining.shared.pruned_precount");
+    static Counter& m_precount_resolved =
+        reg.counter("mining.shared.precount_resolved");
+    m_runs.Increment();
+    m_passes.Add(out.stats.passes);
+    m_scanned.Add(out.stats.passes * txns.size());
+    m_candidates.Add(out.stats.TotalCandidates());
+    m_frequent.Add(out.frequent.size());
+    m_pruned_subset.Add(pruned_subset);
+    m_pruned_compat.Add(pruned_compat);
+    m_pruned_precount.Add(pruned_precount);
+    m_precount_resolved.Add(precount_resolved);
   }
   return out;
 }

@@ -1,0 +1,319 @@
+// Cross-cutting invariants of the mining / cube / flowgraph layers:
+//   * iceberg anti-monotonicity — every ancestor of a frequent cell is
+//     frequent with support >= the cell's (Apriori's correctness premise);
+//   * flowgraph count conservation — the algebraic merge (Lemma 4.2) of a
+//     partition's flowgraphs equals the graph built from the union, and
+//     per-node counts always balance (path_count == terminate_count + sum
+//     of children path_counts);
+//   * metrics-counter consistency — the observability layer's registry
+//     deltas agree with the stats structs the algorithms return, and BUC's
+//     enumeration counters balance (enumerated == visited + iceberg-pruned
+//     + shallow-skipped).
+// Registry counters are process-global, so every metrics assertion is
+// delta-based.
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "cube/cubing_miner.h"
+#include "flowcube/builder.h"
+#include "flowcube/query.h"
+#include "flowgraph/builder.h"
+#include "flowgraph/merge.h"
+#include "gen/paper_example.h"
+#include "gen/path_generator.h"
+#include "mining/mining_result.h"
+#include "mining/shared_miner.h"
+#include "mining/transform.h"
+#include "path/path_view.h"
+
+namespace flowcube {
+namespace {
+
+PathDatabase SmallWorkload(uint64_t seed, size_t n) {
+  GeneratorConfig cfg;
+  cfg.num_dimensions = 2;
+  cfg.dim_distinct_per_level = {2, 2, 3};
+  cfg.num_location_groups = 3;
+  cfg.locations_per_group = 3;
+  cfg.num_sequences = 8;
+  cfg.min_sequence_length = 2;
+  cfg.max_sequence_length = 5;
+  cfg.seed = seed;
+  PathGenerator gen(cfg);
+  return gen.Generate(n);
+}
+
+// --- Iceberg anti-monotonicity ---------------------------------------------
+
+// The one-level-up parent of `cell` in dimension `dim` (the item replaced
+// by its hierarchy parent, or removed when the parent is the root).
+Itemset ParentOf(const Itemset& cell, size_t item_index,
+                 const ItemCatalog& cat, const PathSchema& schema) {
+  Itemset parent = cell;
+  const ItemId id = parent[item_index];
+  const size_t dim = cat.DimOf(id);
+  const ConceptHierarchy& h = schema.dimensions[dim];
+  const NodeId up = h.Parent(cat.NodeOf(id));
+  if (h.Level(up) == 0) {
+    parent.erase(parent.begin() + static_cast<long>(item_index));
+  } else {
+    parent[item_index] = cat.DimItem(dim, up);
+  }
+  std::sort(parent.begin(), parent.end());
+  return parent;
+}
+
+TEST(IcebergInvariant, FrequentCellAncestorsAreFrequentWithLargerSupport) {
+  for (uint64_t seed : {7u, 21u, 1234u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const PathDatabase db = SmallWorkload(seed, 150);
+    const MiningPlan plan = MiningPlan::Default(db.schema()).value();
+    const TransformedDatabase tdb =
+        std::move(TransformPathDatabase(db, plan).value());
+    SharedMinerOptions opts;
+    opts.min_support = 3;
+    opts.num_threads = 1;
+    const MiningResult result(&tdb, SharedMiner(tdb, opts).Run().frequent);
+    const ItemCatalog& cat = tdb.catalog();
+
+    size_t cells_checked = 0;
+    for (const Itemset& cell : result.FrequentCells()) {
+      if (cell.empty()) continue;  // the apex has no parents
+      const std::optional<uint32_t> support = result.CellSupport(cell);
+      ASSERT_TRUE(support.has_value());
+      for (size_t i = 0; i < cell.size(); ++i) {
+        const Itemset parent = ParentOf(cell, i, cat, db.schema());
+        const std::optional<uint32_t> parent_support =
+            result.CellSupport(parent);
+        // Anti-monotonicity: the parent aggregates a superset of the
+        // cell's paths, so it must be frequent too — and must have been
+        // found by the miner.
+        ASSERT_TRUE(parent_support.has_value())
+            << "frequent cell has an unmined ancestor";
+        EXPECT_GE(*parent_support, *support);
+      }
+      cells_checked++;
+    }
+    EXPECT_GT(cells_checked, 0u);
+  }
+}
+
+// --- Flowgraph count conservation ------------------------------------------
+
+// Structural equality matching children by location (child order may differ
+// between a merged graph and one built directly from the union).
+void ExpectSameSubtree(const FlowGraph& a, FlowNodeId na, const FlowGraph& b,
+                       FlowNodeId nb) {
+  EXPECT_EQ(a.path_count(na), b.path_count(nb));
+  EXPECT_EQ(a.terminate_count(na), b.terminate_count(nb));
+  EXPECT_EQ(a.duration_counts(na), b.duration_counts(nb));
+  ASSERT_EQ(a.children(na).size(), b.children(nb).size());
+  for (FlowNodeId ca : a.children(na)) {
+    const FlowNodeId cb = b.FindChild(nb, a.location(ca));
+    ASSERT_NE(cb, FlowGraph::kTerminate)
+        << "merged graph has a branch the direct build lacks";
+    ExpectSameSubtree(a, ca, b, cb);
+  }
+}
+
+// Every path entering a node either terminates there or continues into
+// exactly one child.
+void ExpectCountsConserved(const FlowGraph& g, FlowNodeId n) {
+  uint32_t into_children = 0;
+  for (FlowNodeId c : g.children(n)) into_children += g.path_count(c);
+  EXPECT_EQ(g.path_count(n), g.terminate_count(n) + into_children);
+  for (FlowNodeId c : g.children(n)) ExpectCountsConserved(g, c);
+}
+
+TEST(FlowGraphInvariant, MergeConservesCountsAndEqualsDirectBuild) {
+  const PathDatabase db = SmallWorkload(99, 200);
+  std::vector<Path> paths;
+  paths.reserve(db.size());
+  for (const PathRecord& rec : db.records()) paths.push_back(rec.path);
+
+  // Partition into three arbitrary unequal parts.
+  std::vector<uint32_t> part_a, part_b, part_c;
+  for (uint32_t i = 0; i < paths.size(); ++i) {
+    (i % 5 == 0 ? part_a : (i % 2 == 0 ? part_b : part_c)).push_back(i);
+  }
+  const FlowGraph ga = BuildFlowGraph(PathView(paths, part_a));
+  const FlowGraph gb = BuildFlowGraph(PathView(paths, part_b));
+  const FlowGraph gc = BuildFlowGraph(PathView(paths, part_c));
+  const FlowGraph* parts[] = {&ga, &gb, &gc};
+  const FlowGraph merged = MergeFlowGraphs(parts);
+
+  EXPECT_EQ(merged.total_paths(),
+            ga.total_paths() + gb.total_paths() + gc.total_paths());
+  EXPECT_EQ(merged.total_paths(), static_cast<uint32_t>(paths.size()));
+  ExpectCountsConserved(merged, FlowGraph::kRoot);
+
+  // Lemma 4.2: algebraic aggregation equals recomputation from the union.
+  const FlowGraph direct = BuildFlowGraph(PathView(paths));
+  ASSERT_EQ(merged.num_nodes(), direct.num_nodes());
+  ExpectSameSubtree(merged, FlowGraph::kRoot, direct, FlowGraph::kRoot);
+
+  // The merge result carries no exceptions (they are holistic, Lemma 4.3).
+  EXPECT_TRUE(merged.exceptions().empty());
+}
+
+TEST(FlowGraphInvariant, MergeFromAccumulatesInPlace) {
+  const PathDatabase db = SmallWorkload(5, 60);
+  std::vector<Path> paths;
+  for (const PathRecord& rec : db.records()) paths.push_back(rec.path);
+  const size_t half = paths.size() / 2;
+
+  FlowGraph acc = BuildFlowGraph(
+      PathView(std::span<const Path>(paths.data(), half)));
+  const FlowGraph rest = BuildFlowGraph(PathView(
+      std::span<const Path>(paths.data() + half, paths.size() - half)));
+  acc.MergeFrom(rest);
+
+  const FlowGraph direct = BuildFlowGraph(PathView(paths));
+  ASSERT_EQ(acc.num_nodes(), direct.num_nodes());
+  ExpectSameSubtree(acc, FlowGraph::kRoot, direct, FlowGraph::kRoot);
+}
+
+// --- Metrics-counter consistency -------------------------------------------
+
+uint64_t CounterValue(const char* name) {
+  return MetricRegistry::Global().counter(name).value();
+}
+
+TEST(MetricsConsistency, BucEnumerationCountersBalance) {
+  const PathDatabase db = SmallWorkload(31, 150);
+  const MiningPlan plan = MiningPlan::Default(db.schema()).value();
+  const TransformedDatabase tdb =
+      std::move(TransformPathDatabase(db, plan).value());
+
+  const uint64_t visits0 = CounterValue("cube.buc.visits");
+  const uint64_t enumerated0 = CounterValue("cube.buc.partitions_enumerated");
+  const uint64_t visited0 = CounterValue("cube.buc.cells_visited");
+  const uint64_t pruned0 = CounterValue("cube.buc.pruned_iceberg");
+  const uint64_t shallow0 = CounterValue("cube.buc.skipped_shallow");
+
+  CubingMinerOptions opts;
+  opts.min_support = 3;
+  const SharedMiningOutput out = CubingMiner(db, tdb, opts).Run();
+  EXPECT_FALSE(out.frequent.empty());
+
+  EXPECT_GT(CounterValue("cube.buc.visits"), visits0);
+  // Every enumerated partition is accounted for exactly once: materialized
+  // as a visited cell, pruned by the iceberg condition, or skipped.
+  const uint64_t enumerated =
+      CounterValue("cube.buc.partitions_enumerated") - enumerated0;
+  const uint64_t visited = CounterValue("cube.buc.cells_visited") - visited0;
+  const uint64_t pruned = CounterValue("cube.buc.pruned_iceberg") - pruned0;
+  const uint64_t shallow =
+      CounterValue("cube.buc.skipped_shallow") - shallow0;
+  EXPECT_GT(enumerated, 0u);
+  EXPECT_EQ(enumerated, visited + pruned + shallow);
+}
+
+TEST(MetricsConsistency, SharedMinerCountersMatchItsStats) {
+  const PathDatabase db = SmallWorkload(47, 150);
+  const MiningPlan plan = MiningPlan::Default(db.schema()).value();
+  const TransformedDatabase tdb =
+      std::move(TransformPathDatabase(db, plan).value());
+
+  const uint64_t runs0 = CounterValue("mining.shared.runs");
+  const uint64_t passes0 = CounterValue("mining.shared.passes");
+  const uint64_t candidates0 = CounterValue("mining.shared.candidates_counted");
+  const uint64_t frequent0 = CounterValue("mining.shared.frequent");
+  const uint64_t scanned0 =
+      CounterValue("mining.shared.transactions_scanned");
+
+  SharedMinerOptions opts;
+  opts.min_support = 3;
+  opts.num_threads = 1;
+  const SharedMiningOutput out = SharedMiner(tdb, opts).Run();
+
+  EXPECT_EQ(CounterValue("mining.shared.runs") - runs0, 1u);
+  EXPECT_EQ(CounterValue("mining.shared.passes") - passes0, out.stats.passes);
+  EXPECT_EQ(CounterValue("mining.shared.candidates_counted") - candidates0,
+            out.stats.TotalCandidates());
+  EXPECT_EQ(CounterValue("mining.shared.frequent") - frequent0,
+            out.frequent.size());
+  EXPECT_EQ(CounterValue("mining.shared.transactions_scanned") - scanned0,
+            out.stats.passes * tdb.size());
+}
+
+TEST(MetricsConsistency, BuilderCountersMatchItsStats) {
+  const PathDatabase db = MakePaperDatabase();
+  const FlowCubePlan plan = FlowCubePlan::Default(db.schema()).value();
+
+  const uint64_t runs0 = CounterValue("flowcube.build.runs");
+  const uint64_t paths0 = CounterValue("flowcube.build.paths");
+  const uint64_t cells0 = CounterValue("flowcube.build.cells_materialized");
+  const uint64_t exceptions0 =
+      CounterValue("flowcube.build.exceptions_found");
+  const uint64_t redundant0 =
+      CounterValue("flowcube.build.cells_marked_redundant");
+
+  FlowCubeBuilderOptions opts;
+  opts.min_support = 2;
+  opts.exceptions.min_support = 2;
+  opts.num_threads = 1;
+  FlowCubeBuildStats stats;
+  const Result<FlowCube> cube =
+      FlowCubeBuilder(opts).Build(db, plan, &stats);
+  ASSERT_TRUE(cube.ok());
+
+  EXPECT_EQ(CounterValue("flowcube.build.runs") - runs0, 1u);
+  EXPECT_EQ(CounterValue("flowcube.build.paths") - paths0, db.size());
+  EXPECT_EQ(CounterValue("flowcube.build.cells_materialized") - cells0,
+            stats.cells_materialized);
+  EXPECT_EQ(CounterValue("flowcube.build.exceptions_found") - exceptions0,
+            stats.exceptions_found);
+  EXPECT_EQ(
+      CounterValue("flowcube.build.cells_marked_redundant") - redundant0,
+      stats.cells_marked_redundant);
+  EXPECT_EQ(stats.cells_materialized, cube->TotalCells());
+  // The phase spans cover the whole build: the timed phases can't exceed
+  // the enclosing total.
+  EXPECT_LE(stats.seconds_transform + stats.seconds_mining +
+                stats.seconds_measures + stats.seconds_redundancy,
+            stats.seconds_total + 1e-6);
+}
+
+TEST(MetricsConsistency, QueryStatsBalanceAndFallbackWalks) {
+  const PathDatabase db = MakePaperDatabase();
+  const FlowCubePlan plan = FlowCubePlan::Default(db.schema()).value();
+  FlowCubeBuilderOptions opts;
+  opts.min_support = 2;
+  opts.exceptions.min_support = 2;
+  const Result<FlowCube> cube = FlowCubeBuilder(opts).Build(db, plan);
+  ASSERT_TRUE(cube.ok());
+  const FlowCubeQuery query(&cube.value());
+
+  const size_t num_dims = db.schema().num_dimensions();
+  const std::vector<std::string> apex(num_dims, "*");
+  ASSERT_TRUE(query.Cell(apex).ok());
+
+  // A leaf-level coordinate that exists in the hierarchy: walk up from it.
+  std::vector<std::string> fine(num_dims, "*");
+  fine[0] = db.schema().dimensions[0].Name(
+      db.schema().dimensions[0].NodesAtLevel(
+          db.schema().dimensions[0].MaxLevel())[0]);
+  const Result<CellRef> fallback = query.CellOrAncestor(fine);
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+
+  // Unknown names surface immediately instead of walking.
+  std::vector<std::string> bad(num_dims, "*");
+  bad[0] = "no-such-value";
+  EXPECT_FALSE(query.CellOrAncestor(bad).ok());
+
+  const QueryStats stats = query.stats();
+  EXPECT_EQ(stats.lookups, stats.hits + stats.misses);
+  EXPECT_GE(stats.hits, 2u);  // the apex hit + the fallback's final hit
+}
+
+}  // namespace
+}  // namespace flowcube

@@ -1,0 +1,179 @@
+// Byte-level round-trip guarantees of the text IO format: serializing a
+// database that was itself read back from text must reproduce the exact
+// bytes (write -> read -> write is the identity on the serialized form),
+// including the degenerate 0-dimension schema. Plus malformed-input cases
+// that must fail with a clean error, never crash or silently truncate.
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_example.h"
+#include "gen/path_generator.h"
+#include "io/text_io.h"
+
+namespace flowcube {
+namespace {
+
+// Serializes, reads back, serializes again, and asserts the two texts are
+// byte-identical.
+void ExpectWriteReadWriteIdentity(const PathDatabase& db) {
+  std::stringstream first;
+  ASSERT_TRUE(WritePathDatabase(db, first).ok());
+  Result<PathDatabase> back = ReadPathDatabase(first);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  std::stringstream second;
+  ASSERT_TRUE(WritePathDatabase(back.value(), second).ok());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(TextIoRoundTrip, PaperDatabaseIsByteStable) {
+  ExpectWriteReadWriteIdentity(MakePaperDatabase());
+}
+
+TEST(TextIoRoundTrip, GeneratedDatabaseIsByteStable) {
+  GeneratorConfig cfg;
+  cfg.num_dimensions = 3;
+  cfg.seed = 2026;
+  PathGenerator gen(cfg);
+  ExpectWriteReadWriteIdentity(gen.Generate(150));
+}
+
+TEST(TextIoRoundTrip, ZeroDimensionSchemaRoundTrips) {
+  // A schema with no path-independent dimensions is legal: records are
+  // bare paths and serialize as "|loc:dur;...". The reader must not treat
+  // the empty dims part as one empty value.
+  auto schema = std::make_shared<PathSchema>();
+  const NodeId a = schema->locations
+                       .AddChild(schema->locations.root(), "A")
+                       .value();
+  const NodeId b = schema->locations
+                       .AddChild(schema->locations.root(), "B")
+                       .value();
+  PathDatabase db(schema);
+  PathRecord rec;
+  rec.path.stages.push_back(Stage{a, 3});
+  rec.path.stages.push_back(Stage{b, 7});
+  ASSERT_TRUE(db.Append(rec).ok());
+  rec.path.stages.pop_back();
+  ASSERT_TRUE(db.Append(rec).ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE(WritePathDatabase(db, stream).ok());
+  Result<PathDatabase> back = ReadPathDatabase(stream);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->size(), 2u);
+  EXPECT_EQ(back->schema().num_dimensions(), 0u);
+  ASSERT_EQ(back->record(0).path.size(), 2u);
+  EXPECT_EQ(back->record(0).path.stages[1].duration, 7);
+
+  ExpectWriteReadWriteIdentity(db);
+}
+
+// --- Malformed inputs -------------------------------------------------------
+
+std::string ValidPrefix() {
+  return "flowcube-paths v1\n"
+         "dimension d\n"
+         "concept a *\n"
+         "end\n"
+         "locations\n"
+         "concept x *\n"
+         "end\n"
+         "durations\n";
+}
+
+Status ReadFrom(const std::string& text) {
+  std::stringstream stream(text);
+  Result<PathDatabase> r = ReadPathDatabase(stream);
+  return r.ok() ? Status::OK() : r.status();
+}
+
+TEST(TextIoMalformed, AcceptsTheValidBaseline) {
+  // Guards the fixture: every malformed case below is a one-line deviation
+  // from this accepted input.
+  EXPECT_TRUE(ReadFrom(ValidPrefix() + "records 1\na|x:10\n").ok());
+}
+
+TEST(TextIoMalformed, RejectsGarbageAfterDuration) {
+  // strtoll would silently parse "12" and drop the "q"; the reader must
+  // reject the stage instead.
+  const Status s = ReadFrom(ValidPrefix() + "records 1\na|x:12q\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("bad duration"), std::string::npos);
+}
+
+TEST(TextIoMalformed, RejectsEmptyDuration) {
+  const Status s = ReadFrom(ValidPrefix() + "records 1\na|x:\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(TextIoMalformed, RejectsMalformedConceptLine) {
+  const Status s = ReadFrom(
+      "flowcube-paths v1\n"
+      "dimension d\n"
+      "concept onlyname\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("concept"), std::string::npos);
+}
+
+TEST(TextIoMalformed, RejectsUnterminatedHierarchy) {
+  const Status s = ReadFrom(
+      "flowcube-paths v1\n"
+      "dimension d\n"
+      "concept a *\n");  // no "end", and the stream just stops
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("unterminated"), std::string::npos);
+}
+
+TEST(TextIoMalformed, RejectsUnknownSection) {
+  const Status s = ReadFrom(
+      "flowcube-paths v1\n"
+      "frobnicate\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("unknown section"), std::string::npos);
+}
+
+TEST(TextIoMalformed, RejectsMissingRecordCount) {
+  const Status s = ReadFrom(ValidPrefix() + "records\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("count"), std::string::npos);
+}
+
+TEST(TextIoMalformed, RejectsBadDurationFactor) {
+  const Status s = ReadFrom(
+      "flowcube-paths v1\n"
+      "dimension d\n"
+      "concept a *\n"
+      "end\n"
+      "locations\n"
+      "concept x *\n"
+      "end\n"
+      "durations 1\n"  // factors must be >= 2
+      "records 0\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(TextIoMalformed, RejectsTooManyDimensionValues) {
+  const Status s = ReadFrom(ValidPrefix() + "records 1\na,a|x:10\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("too many dimension values"),
+            std::string::npos);
+}
+
+TEST(TextIoMalformed, RejectsUnknownParentConcept) {
+  const Status s = ReadFrom(
+      "flowcube-paths v1\n"
+      "dimension d\n"
+      "concept a nope\n"
+      "end\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace flowcube

@@ -1,0 +1,252 @@
+// The observability layer itself (common/metrics.h, common/trace.h):
+// instrument arithmetic, registry identity and render formats, the
+// --metrics flag plumbing, and trace spans. Registry state is process-wide
+// and shared with every other test in this binary, so assertions are
+// delta-based and instrument names are namespaced "test.metrics.*".
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace flowcube {
+namespace {
+
+TEST(Metrics, CounterAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, GaugeSetAddAndHighWaterMark) {
+  Gauge g;
+  g.Set(-5);
+  EXPECT_EQ(g.value(), -5);
+  g.Add(15);
+  EXPECT_EQ(g.value(), 10);
+  g.SetMax(7);  // lower: no-op
+  EXPECT_EQ(g.value(), 10);
+  g.SetMax(12);  // higher: raises
+  EXPECT_EQ(g.value(), 12);
+}
+
+TEST(Metrics, HistogramSnapshotIsExactForCountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.snapshot().count, 0u);
+  for (double v : {0.25, 1.0, 4.0}) h.Record(v);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 5.25);
+  EXPECT_DOUBLE_EQ(s.min, 0.25);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 1.75);
+  // Percentiles are bucket-resolution (power-of-two buckets): p50 lands in
+  // the bucket of 1.0, i.e. within [1, 2); all percentiles stay in range.
+  EXPECT_GE(s.p50, s.min);
+  EXPECT_LE(s.p50, s.max);
+  EXPECT_GE(s.p90, s.p50);
+  EXPECT_LE(s.p99, s.max);
+}
+
+TEST(Metrics, HistogramSingleSamplePercentilesAreExact) {
+  Histogram h;
+  h.Record(3.5);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.p50, 3.5);
+  EXPECT_DOUBLE_EQ(s.p99, 3.5);
+}
+
+TEST(Metrics, RegistryReturnsStableIdentities) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  Counter& a = reg.counter("test.metrics.identity");
+  // Force rebalancing pressure: the map must be node-based so `a` stays
+  // valid no matter how many instruments are added after it.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("test.metrics.identity." + std::to_string(i));
+  }
+  Counter& b = reg.counter("test.metrics.identity");
+  EXPECT_EQ(&a, &b);
+  const uint64_t before = a.value();
+  b.Increment();
+  EXPECT_EQ(a.value(), before + 1);
+}
+
+TEST(Metrics, CounterIsThreadSafe) {
+  Counter& c = MetricRegistry::Global().counter("test.metrics.threaded");
+  const uint64_t before = c.value();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), before + kThreads * kPerThread);
+}
+
+TEST(Metrics, RendersAllThreeFormats) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  reg.counter("test.metrics.render_counter").Add(3);
+  reg.gauge("test.metrics.render_gauge").Set(-2);
+  reg.histogram("test.metrics.render_histogram").Record(0.5);
+
+  const std::string text = reg.RenderText();
+  EXPECT_NE(text.find("test.metrics.render_counter"), std::string::npos);
+  EXPECT_NE(text.find("test.metrics.render_gauge"), std::string::npos);
+
+  const std::string json = reg.RenderJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.metrics.render_gauge\":-2"), std::string::npos);
+  // One-line JSON: foldable into BENCH_<name>.json without re-indenting.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+
+  const std::string prom = reg.RenderPrometheus();
+  // Dots flatten to underscores under a flowcube_ prefix.
+  EXPECT_NE(prom.find("flowcube_test_metrics_render_counter 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE flowcube_test_metrics_render_counter counter"),
+            std::string::npos);
+}
+
+TEST(Metrics, ResetZeroesButKeepsReferencesValid) {
+  // A private registry so Reset() does not clobber the global counters the
+  // other tests (and the instrumented library code) accumulate into.
+  MetricRegistry reg;
+  Counter& c = reg.counter("test.metrics.reset");
+  Histogram& h = reg.histogram("test.metrics.reset_hist");
+  c.Add(5);
+  h.Record(1.0);
+  reg.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  c.Increment();
+  EXPECT_EQ(reg.counter("test.metrics.reset").value(), 1u);
+}
+
+TEST(Metrics, ParseMetricsFormat) {
+  EXPECT_EQ(ParseMetricsFormat("text"), MetricsFormat::kText);
+  EXPECT_EQ(ParseMetricsFormat("1"), MetricsFormat::kText);
+  EXPECT_EQ(ParseMetricsFormat("json"), MetricsFormat::kJson);
+  EXPECT_EQ(ParseMetricsFormat("prom"), MetricsFormat::kPrometheus);
+  EXPECT_EQ(ParseMetricsFormat("prometheus"), MetricsFormat::kPrometheus);
+  EXPECT_EQ(ParseMetricsFormat(""), MetricsFormat::kNone);
+  EXPECT_EQ(ParseMetricsFormat("garbage"), MetricsFormat::kNone);
+}
+
+// Restores the process-wide format/trace state a ConsumeMetricsFlag test
+// mutates, so test order never matters.
+class MetricsFlagTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    set_metrics_format(MetricsFormat::kNone);
+    TraceSink::Global().SetEnabled(false);
+    TraceSink::Global().Clear();
+  }
+};
+
+TEST_F(MetricsFlagTest, ConsumeMetricsFlagStripsBareFlag) {
+  char prog[] = "bench";
+  char flag[] = "--metrics";
+  char other[] = "--benchmark_filter=all";
+  char* argv[] = {prog, flag, other, nullptr};
+  int argc = 3;
+  EXPECT_EQ(ConsumeMetricsFlag(&argc, argv), MetricsFormat::kText);
+  EXPECT_EQ(metrics_format(), MetricsFormat::kText);
+  // The flag is gone; downstream flag parsers never see it.
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(argv[0], "bench");
+  EXPECT_STREQ(argv[1], "--benchmark_filter=all");
+  // Event capture turns on together with output.
+  EXPECT_TRUE(TraceSink::Global().enabled());
+}
+
+TEST_F(MetricsFlagTest, ConsumeMetricsFlagParsesExplicitFormat) {
+  char prog[] = "bench";
+  char flag[] = "--metrics=json";
+  char* argv[] = {prog, flag, nullptr};
+  int argc = 2;
+  EXPECT_EQ(ConsumeMetricsFlag(&argc, argv), MetricsFormat::kJson);
+  EXPECT_EQ(argc, 1);
+}
+
+TEST_F(MetricsFlagTest, ConsumeMetricsFlagLeavesOtherArgsAlone) {
+  char prog[] = "bench";
+  char other[] = "--metricsandmore";  // not the flag; must survive
+  char* argv[] = {prog, other, nullptr};
+  int argc = 2;
+  ConsumeMetricsFlag(&argc, argv);
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(argv[1], "--metricsandmore");
+}
+
+TEST(Trace, SpanRecordsHistogramAlways) {
+  Histogram& h =
+      MetricRegistry::Global().histogram("trace.test.span_hist.seconds");
+  const uint64_t before = h.snapshot().count;
+  {
+    TraceSpan span("test.span_hist");
+  }
+  EXPECT_EQ(h.snapshot().count, before + 1);
+}
+
+TEST(Trace, StopIsIdempotentAndReturnsDuration) {
+  Histogram& h =
+      MetricRegistry::Global().histogram("trace.test.span_stop.seconds");
+  const uint64_t before = h.snapshot().count;
+  TraceSpan span("test.span_stop");
+  const double first = span.Stop();
+  EXPECT_GE(first, 0.0);
+  // A second Stop (and the destructor) must not double-record.
+  EXPECT_EQ(span.Stop(), first);
+  EXPECT_EQ(h.snapshot().count, before + 1);
+}
+
+TEST(Trace, SinkCapturesEventsOnlyWhenEnabled) {
+  TraceSink& sink = TraceSink::Global();
+  const bool was_enabled = sink.enabled();
+  sink.SetEnabled(false);
+  const size_t before = sink.Events().size();
+  { TraceSpan span("test.sink_disabled"); }
+  EXPECT_EQ(sink.Events().size(), before);
+
+  sink.SetEnabled(true);
+  { TraceSpan span("test.sink_enabled"); }
+  const std::vector<TraceEvent> events = sink.Events();
+  ASSERT_GT(events.size(), before);
+  EXPECT_EQ(events.back().name, "test.sink_enabled");
+  EXPECT_GE(events.back().duration_seconds, 0.0);
+
+  const std::string text = sink.RenderText();
+  EXPECT_NE(text.find("test.sink_enabled"), std::string::npos);
+  const std::string json = sink.RenderJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"test.sink_enabled\""), std::string::npos);
+
+  sink.SetEnabled(was_enabled);
+  sink.Clear();
+  EXPECT_TRUE(sink.Events().empty());
+}
+
+TEST(Trace, NowIsMonotonic) {
+  const double a = TraceNowSeconds();
+  const double b = TraceNowSeconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+}  // namespace
+}  // namespace flowcube
