@@ -1,0 +1,228 @@
+// Streaming benchmark (no paper figure — the streaming subsystem is ours):
+// sweeps the micro-batch size and reports (a) raw-reading ingest throughput
+// through the StreamIngestor pipeline and (b) the speedup of incremental
+// FlowCube maintenance over rebuilding from scratch after every batch.
+//
+// Expected shape: ingest throughput is roughly flat in batch size (the
+// cleaner dominates); the incremental-vs-rebuild speedup grows as batches
+// shrink, because a rebuild re-pays the whole transform/mine/measure
+// pipeline per batch while Apply() only touches dirty cells.
+
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "flowcube/builder.h"
+#include "rfid/reader_simulator.h"
+#include "stream/incremental_maintainer.h"
+#include "stream/stream_ingestor.h"
+
+namespace {
+
+using namespace flowcube;
+using namespace flowcube::bench;
+
+constexpr int64_t kBinSeconds = 3600;
+
+BenchJson& Json() {
+  static BenchJson json("stream_ingest", "records per micro-batch");
+  return json;
+}
+
+DbCache& Cache() {
+  static DbCache cache;
+  return cache;
+}
+
+// The streaming workload: the baseline generator at 2 dimensions (streams
+// track individual items, so the cell space is kept small enough that
+// per-batch rebuilds stay feasible at smoke scale).
+const PathDatabase& Db(size_t n) {
+  return Cache().Get(BaselineConfig(/*num_dimensions=*/2), n);
+}
+
+// Splits the time-sorted reading stream into `num_batches` contiguous
+// batches, mirroring a reader that uploads on a fixed cadence.
+std::vector<std::vector<RawReading>> SplitReadings(
+    const std::vector<RawReading>& stream, size_t num_batches) {
+  std::vector<std::vector<RawReading>> batches(std::max<size_t>(1, num_batches));
+  const size_t per = (stream.size() + batches.size() - 1) / batches.size();
+  for (size_t i = 0; i < stream.size(); ++i) {
+    batches[std::min(i / std::max<size_t>(1, per), batches.size() - 1)]
+        .push_back(stream[i]);
+  }
+  return batches;
+}
+
+// (a) End-to-end ingest: push every raw batch through the StreamIngestor
+// (worker thread cleans + discretizes + emits deltas) while a consumer
+// drains the delta queue. Returns seconds and the records emitted.
+struct IngestRun {
+  double seconds = 0.0;
+  size_t readings = 0;
+  size_t records_out = 0;
+};
+
+IngestRun RunIngest(const PathDatabase& db, size_t num_batches) {
+  const std::vector<Itinerary> truth =
+      PathGenerator::ToItineraries(db, kBinSeconds);
+  ReaderSimulator simulator(ReaderSimulatorOptions{}, /*seed=*/17);
+  const std::vector<RawReading> stream = simulator.Simulate(truth);
+
+  StreamIngestorOptions options;
+  options.bin_seconds = kBinSeconds;
+  options.close_after_seconds = 4 * kBinSeconds;
+  StreamIngestor ingestor(db.schema_ptr(), options);
+  for (size_t i = 0; i < db.size(); ++i) {
+    FC_CHECK(ingestor.RegisterItem(static_cast<EpcId>(i + 1),
+                                   db.record(i).dims)
+                 .ok());
+  }
+
+  IngestRun run;
+  run.readings = stream.size();
+  size_t records_out = 0;
+  TraceSpan span("bench.stream.ingest");
+  std::thread consumer([&ingestor, &records_out] {
+    while (std::optional<StreamDelta> delta = ingestor.Pop()) {
+      records_out += delta->records.size();
+    }
+  });
+  for (auto& batch : SplitReadings(stream, num_batches)) {
+    FC_CHECK(ingestor.Push(std::move(batch)).ok());
+  }
+  ingestor.Close();
+  consumer.join();
+  run.seconds = span.Stop();
+  run.records_out = records_out;
+  return run;
+}
+
+// (b) Incremental maintenance vs from-scratch rebuilds: apply the path
+// records in micro-batches of `batch` records through the
+// IncrementalMaintainer, then time rebuilding the cube from scratch after
+// every batch (what a system without incremental maintenance would do).
+struct MaintainRun {
+  double incremental_seconds = 0.0;
+  double rebuild_seconds = 0.0;
+  size_t num_batches = 0;
+  size_t cells_rebuilt = 0;
+};
+
+MaintainRun RunMaintain(const PathDatabase& db, size_t batch,
+                        uint32_t minsup) {
+  const FlowCubePlan plan = FlowCubePlan::Default(db.schema()).value();
+  IncrementalMaintainerOptions options;
+  options.build.min_support = minsup;
+
+  MaintainRun run;
+  {
+    IncrementalMaintainer maintainer =
+        std::move(IncrementalMaintainer::Create(db.schema_ptr(), plan, options)
+                      .value());
+    TraceSpan span("bench.stream.incremental");
+    for (size_t offset = 0; offset < db.size(); offset += batch) {
+      ApplyStats stats;
+      FC_CHECK(maintainer
+                   .ApplyRecords(
+                       std::span<const PathRecord>(db.records())
+                           .subspan(offset, std::min(batch, db.size() - offset)),
+                       &stats)
+                   .ok());
+      run.cells_rebuilt += stats.cells_rebuilt;
+      run.num_batches++;
+    }
+    run.incremental_seconds = span.Stop();
+  }
+  {
+    const FlowCubeBuilder builder(options.build);
+    PathDatabase prefix(db.schema_ptr());
+    TraceSpan span("bench.stream.rebuild");
+    for (size_t offset = 0; offset < db.size(); offset += batch) {
+      const size_t take = std::min(batch, db.size() - offset);
+      for (size_t i = 0; i < take; ++i) {
+        FC_CHECK(prefix.Append(db.record(offset + i)).ok());
+      }
+      benchmark::DoNotOptimize(builder.Build(prefix, plan).value());
+    }
+    run.rebuild_seconds = span.Stop();
+  }
+  return run;
+}
+
+void RegisterAll() {
+  const size_t n = std::max<size_t>(32, ScaledN(20));
+  const uint32_t minsup =
+      std::max<uint32_t>(2, static_cast<uint32_t>(n / 100));
+  // Batch sizes as fractions of the stream so the rebuild baseline stays
+  // bounded (at most 64 from-scratch builds per row).
+  const size_t fractions[] = {64, 16, 4, 1};
+  for (const size_t frac : fractions) {
+    const size_t batch = std::max<size_t>(1, n / frac);
+    const std::string bench_name =
+        "stream/batch=" + std::to_string(batch);
+    benchmark::RegisterBenchmark(
+        bench_name.c_str(),
+        [n, batch, minsup](benchmark::State& state) {
+          const PathDatabase& db = Db(n);
+          for (auto _ : state) {
+            const IngestRun ingest = RunIngest(db, (n + batch - 1) / batch);
+            const MaintainRun maintain = RunMaintain(db, batch, minsup);
+            state.SetIterationTime(ingest.seconds +
+                                   maintain.incremental_seconds);
+            state.counters["readings_per_sec"] =
+                ingest.seconds > 0
+                    ? static_cast<double>(ingest.readings) / ingest.seconds
+                    : 0.0;
+            state.counters["speedup"] =
+                maintain.incremental_seconds > 0
+                    ? maintain.rebuild_seconds / maintain.incremental_seconds
+                    : 0.0;
+            Json().AddRow(
+                {JsonField::Str("x", std::to_string(batch) + " records"),
+                 JsonField::Int("batch_records", batch),
+                 JsonField::Int("stream_records", n),
+                 JsonField::Int("readings", ingest.readings),
+                 JsonField::Int("records_out", ingest.records_out),
+                 JsonField::Num("ingest_seconds", ingest.seconds),
+                 JsonField::Num("readings_per_second",
+                                ingest.seconds > 0
+                                    ? static_cast<double>(ingest.readings) /
+                                          ingest.seconds
+                                    : 0.0),
+                 JsonField::Int("batches", maintain.num_batches),
+                 JsonField::Int("cells_rebuilt", maintain.cells_rebuilt),
+                 JsonField::Num("incremental_seconds",
+                                maintain.incremental_seconds),
+                 JsonField::Num("rebuild_seconds", maintain.rebuild_seconds),
+                 JsonField::Num("speedup",
+                                maintain.incremental_seconds > 0
+                                    ? maintain.rebuild_seconds /
+                                          maintain.incremental_seconds
+                                    : 0.0)});
+          }
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  flowcube::ConsumeMetricsFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  Json().Write();
+  flowcube::DumpMetricsIfEnabled(stdout);
+  return 0;
+}

@@ -528,11 +528,14 @@ AuditReport AuditFlowCube(const FlowCube& cube, uint32_t min_support,
                           catalog.DimLevelOf(id), il.levels[dim]));
           }
         }
-        // Iceberg condition (Definition 4.5).
-        if (cell.support < min_support) {
+        // Iceberg condition (Definition 4.5). The apex cell (empty
+        // coordinates) is exempt: the builder always materializes it with
+        // support >= 1 so roll-ups terminate.
+        const uint32_t cell_floor = cell.dims.empty() ? 1 : min_support;
+        if (cell.support < cell_floor) {
           report.Fail(cell_name +
                       StrFormat(": support %u below iceberg threshold %u",
-                                cell.support, min_support));
+                                cell.support, cell_floor));
         }
         // The measure aggregates exactly the cell's paths.
         if (cell.graph.total_paths() != cell.support) {

@@ -1,5 +1,6 @@
 #include "common/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -151,6 +152,69 @@ void MetricRegistry::Reset() {
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
+}
+
+ScopedEpoch::ScopedEpoch(MetricRegistry& registry) : registry_(registry) {
+  std::lock_guard<std::mutex> lock(registry_.mu_);
+  for (auto& [name, c] : registry_.counters_) {
+    counters_[name] = c->value();
+    c->Reset();
+  }
+  for (auto& [name, g] : registry_.gauges_) {
+    gauges_[name] = g->value();
+    g->Reset();
+  }
+  for (auto& [name, h] : registry_.histograms_) {
+    HistogramState s;
+    {
+      std::lock_guard<std::mutex> hlock(h->mu_);
+      s.count = h->count_;
+      s.sum = h->sum_;
+      s.min = h->min_;
+      s.max = h->max_;
+      s.buckets.assign(h->buckets_, h->buckets_ + Histogram::kNumBuckets);
+    }
+    histograms_[name] = std::move(s);
+    h->Reset();
+  }
+}
+
+ScopedEpoch::~ScopedEpoch() {
+  std::lock_guard<std::mutex> lock(registry_.mu_);
+  // Counters and histograms are cumulative: the scope's activity adds onto
+  // the snapshot. Instruments first registered inside the scope have no
+  // snapshot entry and already hold pure scope activity.
+  for (const auto& [name, saved] : counters_) {
+    const auto it = registry_.counters_.find(name);
+    if (it != registry_.counters_.end()) it->second->Add(saved);
+  }
+  // Gauges are point-in-time, so the most recent writer wins: a gauge the
+  // scope touched keeps its new value; an untouched one (still zero from
+  // the constructor's Reset) gets its pre-scope value back.
+  for (const auto& [name, saved] : gauges_) {
+    const auto it = registry_.gauges_.find(name);
+    if (it != registry_.gauges_.end() && it->second->value() == 0) {
+      it->second->Set(saved);
+    }
+  }
+  for (const auto& [name, saved] : histograms_) {
+    const auto it = registry_.histograms_.find(name);
+    if (it == registry_.histograms_.end() || saved.count == 0) continue;
+    Histogram& h = *it->second;
+    std::lock_guard<std::mutex> hlock(h.mu_);
+    if (h.count_ == 0) {
+      h.min_ = saved.min;
+      h.max_ = saved.max;
+    } else {
+      h.min_ = std::min(h.min_, saved.min);
+      h.max_ = std::max(h.max_, saved.max);
+    }
+    h.count_ += saved.count;
+    h.sum_ += saved.sum;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      h.buckets_[b] += saved.buckets[static_cast<size_t>(b)];
+    }
+  }
 }
 
 std::string MetricRegistry::RenderText() const {

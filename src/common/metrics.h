@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace flowcube {
 
@@ -37,6 +38,7 @@ class Counter {
 
  private:
   friend class MetricRegistry;
+  friend class ScopedEpoch;
   void Reset() { v_.store(0, std::memory_order_relaxed); }
 
   std::atomic<uint64_t> v_{0};
@@ -53,6 +55,7 @@ class Gauge {
 
  private:
   friend class MetricRegistry;
+  friend class ScopedEpoch;
   void Reset() { v_.store(0, std::memory_order_relaxed); }
 
   std::atomic<int64_t> v_{0};
@@ -81,6 +84,7 @@ class Histogram {
 
  private:
   friend class MetricRegistry;
+  friend class ScopedEpoch;
   void Reset();
 
   // Bucket i covers [2^(i-32), 2^(i-31)) — ~2.3e-10 up to ~4.3e9, enough
@@ -126,11 +130,45 @@ class MetricRegistry {
   std::string RenderPrometheus() const;
 
  private:
+  friend class ScopedEpoch;
+
   mutable std::mutex mu_;
   // Node-based maps: stable addresses + deterministic render order.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// An isolation scope over a registry (the process-global one by default):
+// the constructor snapshots every registered instrument and zeroes it, so
+// the enclosed code observes counts as if the process had just started; the
+// destructor folds the scope's activity back into the saved totals, leaving
+// the registry exactly as if no epoch had been opened. This is what lets
+// tests assert absolute instrument values without depending on whatever
+// earlier tests (or fixtures) recorded, while long-lived processes keep
+// cumulative totals intact. Scopes may nest. Not safe against instruments
+// recording concurrently with the constructor/destructor themselves.
+class ScopedEpoch {
+ public:
+  explicit ScopedEpoch(MetricRegistry& registry = MetricRegistry::Global());
+  ~ScopedEpoch();
+
+  ScopedEpoch(const ScopedEpoch&) = delete;
+  ScopedEpoch& operator=(const ScopedEpoch&) = delete;
+
+ private:
+  struct HistogramState {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<uint64_t> buckets;
+  };
+
+  MetricRegistry& registry_;
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, int64_t, std::less<>> gauges_;
+  std::map<std::string, HistogramState, std::less<>> histograms_;
 };
 
 // ---------------------------------------------------------------------------

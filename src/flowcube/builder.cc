@@ -9,60 +9,12 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
-#include "flowgraph/builder.h"
+#include "flowcube/cell_build.h"
 #include "mining/mining_result.h"
 #include "path/path_aggregator.h"
 #include "path/path_view.h"
 
 namespace flowcube {
-namespace {
-
-// Maps a mined path segment (stage items) into flowgraph node space.
-// Returns false when some prefix has no node in `g` (cannot happen for
-// segments mined from the cell's own paths, but guards external input).
-bool SegmentToPattern(const SegmentPattern& segment, const ItemCatalog& cat,
-                      const FlowGraph& g,
-                      std::vector<StageCondition>* pattern) {
-  pattern->clear();
-  for (ItemId id : segment.stages) {
-    const auto& info = cat.StageOf(id);
-    FlowNodeId node = FlowGraph::kRoot;
-    for (NodeId loc : cat.trie().Locations(info.prefix)) {
-      node = g.FindChild(node, loc);
-      if (node == FlowGraph::kTerminate) return false;
-    }
-    pattern->push_back(StageCondition{node, info.duration});
-  }
-  std::sort(pattern->begin(), pattern->end(),
-            [&g](const StageCondition& a, const StageCondition& b) {
-              return g.depth(a.node) < g.depth(b.node);
-            });
-  return true;
-}
-
-// The parent coordinates of `cell` when dimension `dim` is generalized one
-// level. Returns false when the cell has no item of that dimension (already
-// at '*').
-bool ParentCell(const Itemset& cell, size_t dim, const ItemCatalog& cat,
-                const PathSchema& schema, Itemset* parent) {
-  *parent = cell;
-  for (size_t i = 0; i < parent->size(); ++i) {
-    const ItemId id = (*parent)[i];
-    if (cat.DimOf(id) != dim) continue;
-    const ConceptHierarchy& h = schema.dimensions[dim];
-    const NodeId up = h.Parent(cat.NodeOf(id));
-    if (h.Level(up) == 0) {
-      parent->erase(parent->begin() + static_cast<long>(i));
-    } else {
-      (*parent)[i] = cat.DimItem(dim, up);
-    }
-    std::sort(parent->begin(), parent->end());
-    return true;
-  }
-  return false;
-}
-
-}  // namespace
 
 FlowCubeBuilder::FlowCubeBuilder(FlowCubeBuilderOptions options)
     : options_(options) {
@@ -139,16 +91,7 @@ Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
       }
       Itemset key;
       for (uint32_t tid = 0; tid < db.size(); ++tid) {
-        const PathRecord& rec = db.record(tid);
-        key.clear();
-        for (size_t d = 0; d < rec.dims.size(); ++d) {
-          if (il.levels[d] == 0) continue;
-          const ConceptHierarchy& h = db.schema().dimensions[d];
-          const NodeId n = h.AncestorAtLevel(rec.dims[d], il.levels[d]);
-          if (h.Level(n) == 0) continue;
-          key.push_back(cat.DimItem(d, n));
-        }
-        std::sort(key.begin(), key.end());
+        CellKeyAtLevel(db.record(tid), il, cat, db.schema(), &key);
         if (frequent_cells.contains(key)) {
           members[key].push_back(tid);
         }
@@ -177,24 +120,14 @@ Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
 
             FlowCell& cell = built[task];
             cell.dims = key;
-            cell.support = static_cast<uint32_t>(tids.size());
-            cell.graph = BuildFlowGraph(paths);
-
-            if (options_.compute_exceptions) {
-              std::vector<std::vector<StageCondition>> patterns;
-              std::vector<StageCondition> pattern;
-              for (const SegmentPattern& seg :
-                   result.SegmentsForCell(key, plan.path_levels[p])) {
-                if (SegmentToPattern(seg, cat, cell.graph, &pattern)) {
-                  patterns.push_back(pattern);
-                }
-              }
-              for (FlowException& e :
-                   exception_miner.Mine(cell.graph, paths, patterns)) {
-                cell.graph.AddException(std::move(e));
-                shard_exceptions[shard]++;
-              }
-            }
+            const std::vector<SegmentPattern> segments =
+                options_.compute_exceptions
+                    ? result.SegmentsForCell(key, plan.path_levels[p])
+                    : std::vector<SegmentPattern>();
+            shard_exceptions[shard] += FillCellMeasure(
+                paths, segments, cat,
+                options_.compute_exceptions ? &exception_miner : nullptr,
+                &cell);
           }
         });
     for (size_t n : shard_exceptions) stats->exceptions_found += n;
@@ -232,32 +165,9 @@ Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
             [&](size_t shard, size_t begin, size_t end) {
               for (size_t ci = begin; ci < end; ++ci) {
                 FlowCell* cell = cuboid_cells[ci];
-                int parents_found = 0;
-                bool all_similar = true;
-                for (size_t d = 0; d < il.levels.size(); ++d) {
-                  if (il.levels[d] == 0) continue;
-                  ItemLevel parent_level = il;
-                  parent_level.levels[d]--;
-                  const int pil = plan.FindItemLevel(parent_level);
-                  if (pil < 0) continue;
-                  Itemset parent_key;
-                  if (!ParentCell(cell->dims, d, cat, db.schema(),
-                                  &parent_key)) {
-                    continue;
-                  }
-                  const FlowCell* parent =
-                      cube.cuboid(static_cast<size_t>(pil), p)
-                          .Find(parent_key);
-                  if (parent == nullptr) continue;
-                  parents_found++;
-                  if (FlowGraphDistance(cell->graph, parent->graph,
-                                        options_.similarity) >
-                      options_.redundancy_tau) {
-                    all_similar = false;
-                    break;
-                  }
-                }
-                if (parents_found > 0 && all_similar) {
+                if (CellIsRedundant(cube, il, p, *cell,
+                                    options_.redundancy_tau,
+                                    options_.similarity)) {
                   cell->redundant = true;
                   shard_marked[shard]++;
                 }

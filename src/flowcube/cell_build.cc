@@ -1,0 +1,113 @@
+#include "flowcube/cell_build.h"
+
+#include <algorithm>
+
+#include "flowgraph/builder.h"
+
+namespace flowcube {
+
+bool SegmentToPattern(const SegmentPattern& segment, const ItemCatalog& cat,
+                      const FlowGraph& g,
+                      std::vector<StageCondition>* pattern) {
+  pattern->clear();
+  for (ItemId id : segment.stages) {
+    const auto& info = cat.StageOf(id);
+    FlowNodeId node = FlowGraph::kRoot;
+    for (NodeId loc : cat.trie().Locations(info.prefix)) {
+      node = g.FindChild(node, loc);
+      if (node == FlowGraph::kTerminate) return false;
+    }
+    pattern->push_back(StageCondition{node, info.duration});
+  }
+  std::sort(pattern->begin(), pattern->end(),
+            [&g](const StageCondition& a, const StageCondition& b) {
+              return g.depth(a.node) < g.depth(b.node);
+            });
+  return true;
+}
+
+bool ParentCellKey(const Itemset& cell, size_t dim, const ItemCatalog& cat,
+                   const PathSchema& schema, Itemset* parent) {
+  *parent = cell;
+  for (size_t i = 0; i < parent->size(); ++i) {
+    const ItemId id = (*parent)[i];
+    if (cat.DimOf(id) != dim) continue;
+    const ConceptHierarchy& h = schema.dimensions[dim];
+    const NodeId up = h.Parent(cat.NodeOf(id));
+    if (h.Level(up) == 0) {
+      parent->erase(parent->begin() + static_cast<long>(i));
+    } else {
+      (*parent)[i] = cat.DimItem(dim, up);
+    }
+    std::sort(parent->begin(), parent->end());
+    return true;
+  }
+  return false;
+}
+
+void CellKeyAtLevel(const PathRecord& rec, const ItemLevel& il,
+                    const ItemCatalog& cat, const PathSchema& schema,
+                    Itemset* key) {
+  key->clear();
+  for (size_t d = 0; d < rec.dims.size(); ++d) {
+    if (il.levels[d] == 0) continue;
+    const ConceptHierarchy& h = schema.dimensions[d];
+    const NodeId n = h.AncestorAtLevel(rec.dims[d], il.levels[d]);
+    if (h.Level(n) == 0) continue;
+    key->push_back(cat.DimItem(d, n));
+  }
+  std::sort(key->begin(), key->end());
+}
+
+size_t FillCellMeasure(const PathView& paths,
+                       const std::vector<SegmentPattern>& segments,
+                       const ItemCatalog& cat,
+                       const ExceptionMiner* exception_miner, FlowCell* cell) {
+  cell->support = static_cast<uint32_t>(paths.size());
+  cell->graph = BuildFlowGraph(paths);
+  size_t exceptions = 0;
+  if (exception_miner != nullptr) {
+    std::vector<std::vector<StageCondition>> patterns;
+    std::vector<StageCondition> pattern;
+    for (const SegmentPattern& seg : segments) {
+      if (SegmentToPattern(seg, cat, cell->graph, &pattern)) {
+        patterns.push_back(pattern);
+      }
+    }
+    for (FlowException& e :
+         exception_miner->Mine(cell->graph, paths, patterns)) {
+      cell->graph.AddException(std::move(e));
+      exceptions++;
+    }
+  }
+  return exceptions;
+}
+
+bool CellIsRedundant(const FlowCube& cube, const ItemLevel& il,
+                     size_t pl_index, const FlowCell& cell, double tau,
+                     const SimilarityOptions& similarity) {
+  const FlowCubePlan& plan = cube.plan();
+  const ItemCatalog& cat = cube.catalog();
+  int parents_found = 0;
+  for (size_t d = 0; d < il.levels.size(); ++d) {
+    if (il.levels[d] == 0) continue;
+    ItemLevel parent_level = il;
+    parent_level.levels[d]--;
+    const int pil = plan.FindItemLevel(parent_level);
+    if (pil < 0) continue;
+    Itemset parent_key;
+    if (!ParentCellKey(cell.dims, d, cat, cube.schema(), &parent_key)) {
+      continue;
+    }
+    const FlowCell* parent =
+        cube.cuboid(static_cast<size_t>(pil), pl_index).Find(parent_key);
+    if (parent == nullptr) continue;
+    parents_found++;
+    if (FlowGraphDistance(cell.graph, parent->graph, similarity) > tau) {
+      return false;
+    }
+  }
+  return parents_found > 0;
+}
+
+}  // namespace flowcube

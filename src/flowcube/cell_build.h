@@ -1,0 +1,62 @@
+#ifndef FLOWCUBE_FLOWCUBE_CELL_BUILD_H_
+#define FLOWCUBE_FLOWCUBE_CELL_BUILD_H_
+
+#include <vector>
+
+#include "flowcube/flowcube.h"
+#include "flowgraph/exception_miner.h"
+#include "flowgraph/similarity.h"
+#include "mining/mining_result.h"
+#include "path/path.h"
+#include "path/path_view.h"
+
+namespace flowcube {
+
+// Cell-construction primitives shared by the batch FlowCubeBuilder and the
+// streaming IncrementalMaintainer. Both assemble cells through these exact
+// functions, so an incrementally maintained cube is bit-identical to a
+// from-scratch rebuild by construction rather than by coincidence.
+
+// Maps a mined path segment (stage items) into flowgraph node space.
+// Returns false when some prefix has no node in `g` (cannot happen for
+// segments mined from the cell's own paths, but guards external input).
+// The output pattern is sorted by node depth.
+bool SegmentToPattern(const SegmentPattern& segment, const ItemCatalog& cat,
+                      const FlowGraph& g, std::vector<StageCondition>* pattern);
+
+// The parent coordinates of `cell` when dimension `dim` is generalized one
+// level. Returns false when the cell has no item of that dimension (already
+// at '*').
+bool ParentCellKey(const Itemset& cell, size_t dim, const ItemCatalog& cat,
+                   const PathSchema& schema, Itemset* parent);
+
+// The cell coordinates of one record at item level `il`: each dimension is
+// generalized to its level (levels at 0 and values above the level are
+// dropped), and the resulting dimension items are sorted. `key` is an
+// in/out buffer so callers can reuse its allocation across records.
+void CellKeyAtLevel(const PathRecord& rec, const ItemLevel& il,
+                    const ItemCatalog& cat, const PathSchema& schema,
+                    Itemset* key);
+
+// Fills one cell's measure from its member paths: support, flowgraph, and
+// (when `exception_miner` is non-null) exceptions evaluated against the
+// cell's frequent path segments, which must be sorted the way
+// MiningResult::SegmentsForCell emits them (support desc, stages asc).
+// `cell->dims` must already hold the coordinates. Returns the number of
+// exceptions recorded.
+size_t FillCellMeasure(const PathView& paths,
+                       const std::vector<SegmentPattern>& segments,
+                       const ItemCatalog& cat,
+                       const ExceptionMiner* exception_miner, FlowCell* cell);
+
+// Definition 4.4 redundancy of one cell of cuboid <il, path level pl_index>:
+// true iff at least one materialized parent exists and the cell's graph is
+// within `tau` of every parent's. Reads only other cuboids' finished
+// graphs, so it is safe to evaluate cells of one cuboid concurrently.
+bool CellIsRedundant(const FlowCube& cube, const ItemLevel& il,
+                     size_t pl_index, const FlowCell& cell, double tau,
+                     const SimilarityOptions& similarity);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_FLOWCUBE_CELL_BUILD_H_

@@ -134,6 +134,9 @@ class FlowGraph {
  private:
   // Corruption backdoor for tests/audit_test.cc.
   friend struct FlowGraphTestPeer;
+  // Checkpoint codec (src/stream/checkpoint.cc): serializes nodes_ verbatim
+  // (children order included) so a restored graph dumps byte-identically.
+  friend struct FlowGraphSerializer;
 
   struct Node {
     NodeId location = kInvalidNode;

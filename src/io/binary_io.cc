@@ -1,0 +1,123 @@
+#include "io/binary_io.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace flowcube {
+
+void ByteWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void ByteWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void ByteWriter::F64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void ByteWriter::Str(std::string_view s) {
+  U64(s.size());
+  buf_.append(s.data(), s.size());
+}
+
+void ByteWriter::PatchU32(size_t offset, uint32_t v) {
+  FC_CHECK_MSG(offset + 4 <= buf_.size(), "PatchU32 offset out of range");
+  for (int i = 0; i < 4; ++i) {
+    buf_[offset + static_cast<size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+Status ByteReader::Take(size_t n, const char** out) {
+  if (n > data_.size() - pos_) {
+    return Status::OutOfRange("binary input truncated");
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::U8(uint8_t* v) {
+  const char* p = nullptr;
+  FC_RETURN_IF_ERROR(Take(1, &p));
+  *v = static_cast<uint8_t>(*p);
+  return Status::OK();
+}
+
+Status ByteReader::U32(uint32_t* v) {
+  const char* p = nullptr;
+  FC_RETURN_IF_ERROR(Take(4, &p));
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return Status::OK();
+}
+
+Status ByteReader::U64(uint64_t* v) {
+  const char* p = nullptr;
+  FC_RETURN_IF_ERROR(Take(8, &p));
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return Status::OK();
+}
+
+Status ByteReader::I64(int64_t* v) {
+  uint64_t u = 0;
+  FC_RETURN_IF_ERROR(U64(&u));
+  *v = static_cast<int64_t>(u);
+  return Status::OK();
+}
+
+Status ByteReader::F64(double* v) {
+  uint64_t bits = 0;
+  FC_RETURN_IF_ERROR(U64(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status ByteReader::Str(std::string* s) {
+  uint64_t len = 0;
+  FC_RETURN_IF_ERROR(U64(&len));
+  if (len > remaining()) {
+    return Status::OutOfRange("binary input truncated (string length)");
+  }
+  const char* p = nullptr;
+  FC_RETURN_IF_ERROR(Take(static_cast<size_t>(len), &p));
+  s->assign(p, static_cast<size_t>(len));
+  return Status::OK();
+}
+
+uint32_t Crc32(std::string_view data) {
+  // Table-driven CRC-32 (IEEE), table built once.
+  static const uint32_t* kTable = [] {
+    static uint32_t table[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = 0xffffffffu;
+  for (char ch : data) {
+    crc = kTable[(crc ^ static_cast<uint8_t>(ch)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace flowcube

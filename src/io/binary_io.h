@@ -1,0 +1,68 @@
+#ifndef FLOWCUBE_IO_BINARY_IO_H_
+#define FLOWCUBE_IO_BINARY_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace flowcube {
+
+// Little-endian binary encoding primitives plus CRC-32, the substrate of
+// the stream checkpoint format (src/stream/checkpoint.cc). The writer is
+// append-only; the reader is strictly bounds-checked and reports truncation
+// as a Status instead of reading past the buffer, so arbitrarily corrupted
+// inputs are rejected without undefined behavior.
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  // IEEE-754 bit pattern, via the u64 encoding.
+  void F64(double v);
+  // u64 length prefix followed by the raw bytes.
+  void Str(std::string_view s);
+
+  size_t size() const { return buf_.size(); }
+  const std::string& data() const { return buf_; }
+
+  // Overwrites 4 bytes at `offset` (for patching length/checksum slots
+  // reserved earlier). `offset + 4` must not exceed size().
+  void PatchU32(size_t offset, uint32_t v);
+
+ private:
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Status U8(uint8_t* v);
+  Status U32(uint32_t* v);
+  Status U64(uint64_t* v);
+  Status I64(int64_t* v);
+  Status F64(double* v);
+  // Reads a u64 length prefix and that many bytes. Fails cleanly when the
+  // declared length exceeds the remaining bytes.
+  Status Str(std::string* s);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Take(size_t n, const char** out);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// CRC-32 (IEEE 802.3 polynomial, reflected) of `data`.
+uint32_t Crc32(std::string_view data);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_IO_BINARY_IO_H_

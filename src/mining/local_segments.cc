@@ -1,0 +1,46 @@
+#include "mining/local_segments.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "mining/apriori.h"
+
+namespace flowcube {
+
+std::vector<SegmentPattern> MineCellSegments(const TransformedDatabase& tdb,
+                                             std::span<const uint32_t> tids,
+                                             int path_level,
+                                             uint32_t min_support) {
+  const ItemCatalog& cat = tdb.catalog();
+
+  // Project each member transaction onto the stage items of `path_level`.
+  // Projections stay sorted because the source transactions are.
+  std::vector<std::vector<ItemId>> projected(tids.size());
+  std::vector<std::span<const ItemId>> txns;
+  txns.reserve(tids.size());
+  for (size_t i = 0; i < tids.size(); ++i) {
+    FC_CHECK(tids[i] < tdb.size());
+    for (ItemId id : tdb.transactions()[tids[i]].items) {
+      if (cat.IsStageItem(id) && cat.StageOf(id).path_level == path_level) {
+        projected[i].push_back(id);
+      }
+    }
+    txns.push_back(projected[i]);
+  }
+
+  AprioriOptions apriori_options;
+  apriori_options.min_support = min_support;
+  Apriori miner(apriori_options);
+  std::vector<SegmentPattern> out;
+  for (FrequentItemset& fi : miner.Mine(txns)) {
+    out.push_back(SegmentPattern{std::move(fi.items), fi.support});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SegmentPattern& a, const SegmentPattern& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.stages < b.stages;
+            });
+  return out;
+}
+
+}  // namespace flowcube

@@ -1,0 +1,31 @@
+#ifndef FLOWCUBE_MINING_LOCAL_SEGMENTS_H_
+#define FLOWCUBE_MINING_LOCAL_SEGMENTS_H_
+
+#include <span>
+#include <vector>
+
+#include "mining/mining_result.h"
+#include "mining/transform.h"
+
+namespace flowcube {
+
+// Mines the frequent path segments of one cell directly from its member
+// transactions: each member is projected onto the stage items of one path
+// abstraction level and run through plain exact Apriori at `min_support`.
+//
+// For a cell whose members are exactly the transactions containing its
+// dimension items (which holds for every cuboid cell: a record maps to the
+// cell's coordinates at item level Il iff its transaction contains them),
+// this returns the same patterns with the same supports as
+// MiningResult::SegmentsForCell over a global Shared run, in the same order
+// (support desc, stages asc). The incremental maintainer uses it to re-mine
+// only the cells a delta touched instead of re-running Shared on the whole
+// database.
+std::vector<SegmentPattern> MineCellSegments(const TransformedDatabase& tdb,
+                                             std::span<const uint32_t> tids,
+                                             int path_level,
+                                             uint32_t min_support);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_MINING_LOCAL_SEGMENTS_H_

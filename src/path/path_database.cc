@@ -9,14 +9,14 @@ PathDatabase::PathDatabase(SchemaPtr schema) : schema_(std::move(schema)) {
   FC_CHECK_MSG(schema_ != nullptr, "PathDatabase requires a schema");
 }
 
-Status PathDatabase::Append(PathRecord record) {
-  if (record.dims.size() != schema_->num_dimensions()) {
+Status ValidateRecord(const PathSchema& schema, const PathRecord& record) {
+  if (record.dims.size() != schema.num_dimensions()) {
     return Status::InvalidArgument(StrFormat(
         "record has %zu dimension values, schema has %zu dimensions",
-        record.dims.size(), schema_->num_dimensions()));
+        record.dims.size(), schema.num_dimensions()));
   }
   for (size_t i = 0; i < record.dims.size(); ++i) {
-    if (record.dims[i] >= schema_->dimensions[i].NodeCount()) {
+    if (record.dims[i] >= schema.dimensions[i].NodeCount()) {
       return Status::InvalidArgument(
           StrFormat("dimension %zu value id out of range", i));
     }
@@ -25,13 +25,18 @@ Status PathDatabase::Append(PathRecord record) {
     return Status::InvalidArgument("record has an empty path");
   }
   for (const Stage& s : record.path.stages) {
-    if (s.location >= schema_->locations.NodeCount()) {
+    if (s.location >= schema.locations.NodeCount()) {
       return Status::InvalidArgument("stage location id out of range");
     }
     if (s.duration < 0) {
       return Status::InvalidArgument("stage duration must be >= 0");
     }
   }
+  return Status::OK();
+}
+
+Status PathDatabase::Append(PathRecord record) {
+  FC_RETURN_IF_ERROR(ValidateRecord(*schema_, record));
   records_.push_back(std::move(record));
   return Status::OK();
 }

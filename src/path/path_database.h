@@ -9,6 +9,11 @@
 
 namespace flowcube {
 
+// Checks that `record` is well-formed against `schema`: one value per
+// dimension, ids in range, non-empty path, non-negative durations. Shared
+// by PathDatabase::Append and the streaming ingestion surface.
+Status ValidateRecord(const PathSchema& schema, const PathRecord& record);
+
 // A collection of PathRecords over a fixed schema (paper Section 2,
 // Table 1). Records are append-only and identified by dense PathId in
 // insertion order, which the miners use as transaction ids.

@@ -17,28 +17,33 @@ std::vector<Itinerary> ReadingCleaner::Clean(
   std::vector<Itinerary> out;
   out.reserve(by_epc.size());
   for (auto& [epc, group] : by_epc) {
-    std::stable_sort(group.begin(), group.end(),
-                     [](const RawReading& a, const RawReading& b) {
-                       return a.timestamp < b.timestamp;
-                     });
-    Itinerary it;
-    it.epc = epc;
-    for (const RawReading& r : group) {
-      if (!it.stays.empty()) {
-        Stay& last = it.stays.back();
-        const bool same_location = last.location == r.location;
-        const bool within_gap =
-            r.timestamp - last.time_out <= options_.max_gap_seconds;
-        if (same_location && within_gap) {
-          last.time_out = std::max(last.time_out, r.timestamp);
-          continue;
-        }
-      }
-      it.stays.push_back(Stay{r.location, r.timestamp, r.timestamp});
-    }
-    out.push_back(std::move(it));
+    out.push_back(CleanItem(epc, std::move(group)));
   }
   return out;
+}
+
+Itinerary ReadingCleaner::CleanItem(EpcId epc,
+                                    std::vector<RawReading> readings) const {
+  std::stable_sort(readings.begin(), readings.end(),
+                   [](const RawReading& a, const RawReading& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  Itinerary it;
+  it.epc = epc;
+  for (const RawReading& r : readings) {
+    if (!it.stays.empty()) {
+      Stay& last = it.stays.back();
+      const bool same_location = last.location == r.location;
+      const bool within_gap =
+          r.timestamp - last.time_out <= options_.max_gap_seconds;
+      if (same_location && within_gap) {
+        last.time_out = std::max(last.time_out, r.timestamp);
+        continue;
+      }
+    }
+    it.stays.push_back(Stay{r.location, r.timestamp, r.timestamp});
+  }
+  return it;
 }
 
 Path ReadingCleaner::ToPath(const Itinerary& itinerary,

@@ -29,6 +29,11 @@ class ReadingCleaner {
   // order.
   std::vector<Itinerary> Clean(const std::vector<RawReading>& readings) const;
 
+  // Cleans one item's readings (all must carry `epc`). The streaming
+  // ingestor uses this per-item form when an item's path closes; Clean() is
+  // this applied per EPC group.
+  Itinerary CleanItem(EpcId epc, std::vector<RawReading> readings) const;
+
   // Converts cleaned stays to a Path by discarding absolute time and
   // discretizing each stay length (time_out - time_in).
   static Path ToPath(const Itinerary& itinerary,

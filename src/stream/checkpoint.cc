@@ -1,0 +1,551 @@
+#include "stream/checkpoint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "flowgraph/flowgraph.h"
+#include "io/binary_io.h"
+#include "path/path_database.h"
+
+namespace flowcube {
+
+namespace {
+
+Status Corrupt(const char* what) {
+  return Status::InvalidArgument(std::string("corrupt checkpoint: ") + what);
+}
+
+// Reads a u64 element count and rejects counts that could not possibly fit
+// in the remaining bytes (every encoded element consumes at least one
+// byte), so a corrupted count can never drive a huge allocation or loop.
+Status ReadCount(ByteReader* r, uint64_t* count) {
+  FC_RETURN_IF_ERROR(r->U64(count));
+  if (*count > r->remaining()) {
+    return Corrupt("element count exceeds payload size");
+  }
+  return Status::OK();
+}
+
+void EncodeRecord(const PathRecord& rec, ByteWriter* w) {
+  w->U64(rec.dims.size());
+  for (NodeId d : rec.dims) w->U32(d);
+  w->U64(rec.path.stages.size());
+  for (const Stage& s : rec.path.stages) {
+    w->U32(s.location);
+    w->I64(s.duration);
+  }
+}
+
+Status DecodeRecord(ByteReader* r, PathRecord* rec) {
+  uint64_t num_dims = 0;
+  FC_RETURN_IF_ERROR(ReadCount(r, &num_dims));
+  rec->dims.clear();
+  for (uint64_t i = 0; i < num_dims; ++i) {
+    uint32_t d = 0;
+    FC_RETURN_IF_ERROR(r->U32(&d));
+    rec->dims.push_back(d);
+  }
+  uint64_t num_stages = 0;
+  FC_RETURN_IF_ERROR(ReadCount(r, &num_stages));
+  rec->path.stages.clear();
+  for (uint64_t i = 0; i < num_stages; ++i) {
+    Stage s;
+    FC_RETURN_IF_ERROR(r->U32(&s.location));
+    FC_RETURN_IF_ERROR(r->I64(&s.duration));
+    rec->path.stages.push_back(s);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// Serializes FlowGraph node tables verbatim — children order, duration count
+// maps, and the exception list included — so a restored graph renders
+// byte-identically under DumpFlowCube. Friend of FlowGraph.
+struct FlowGraphSerializer {
+  static void Encode(const FlowGraph& g, ByteWriter* w) {
+    w->U64(g.nodes_.size());
+    for (const FlowGraph::Node& n : g.nodes_) {
+      w->U32(n.location);
+      w->U32(n.parent);
+      w->U32(static_cast<uint32_t>(n.depth));
+      w->U64(n.children.size());
+      for (FlowNodeId c : n.children) w->U32(c);
+      w->U32(n.path_count);
+      w->U32(n.terminate_count);
+      w->U64(n.duration_counts.size());
+      for (const auto& [d, count] : n.duration_counts) {
+        w->I64(d);
+        w->U32(count);
+      }
+    }
+    w->U64(g.exceptions_.size());
+    for (const FlowException& e : g.exceptions_) {
+      w->U8(e.kind == FlowException::Kind::kTransition ? 0 : 1);
+      w->U64(e.condition.size());
+      for (const StageCondition& c : e.condition) {
+        w->U32(c.node);
+        w->I64(c.duration);
+      }
+      w->U32(e.node);
+      w->U32(e.transition_target);
+      w->I64(e.duration_value);
+      w->F64(e.global_probability);
+      w->F64(e.conditional_probability);
+      w->U32(e.condition_support);
+    }
+  }
+
+  static Status Decode(ByteReader* r, const PathSchema& schema, FlowGraph* g) {
+    uint64_t num_nodes = 0;
+    FC_RETURN_IF_ERROR(ReadCount(r, &num_nodes));
+    if (num_nodes < 1) return Corrupt("flowgraph has no root node");
+    g->nodes_.clear();
+    g->exceptions_.clear();
+    for (uint64_t i = 0; i < num_nodes; ++i) {
+      FlowGraph::Node n;
+      uint32_t depth = 0;
+      FC_RETURN_IF_ERROR(r->U32(&n.location));
+      FC_RETURN_IF_ERROR(r->U32(&n.parent));
+      FC_RETURN_IF_ERROR(r->U32(&depth));
+      n.depth = static_cast<int>(depth);
+      if (i == 0) {
+        if (n.location != kInvalidNode || n.parent != FlowGraph::kRoot ||
+            n.depth != 0) {
+          return Corrupt("malformed flowgraph root");
+        }
+      } else {
+        if (n.location >= schema.locations.NodeCount()) {
+          return Corrupt("flowgraph node location out of range");
+        }
+        // Nodes are created parents-first, so a well-formed table has
+        // parent < node < children — which also rules out cycles.
+        if (n.parent >= i) return Corrupt("flowgraph parent out of order");
+        if (n.depth != g->nodes_[n.parent].depth + 1) {
+          return Corrupt("flowgraph node depth mismatch");
+        }
+      }
+      uint64_t num_children = 0;
+      FC_RETURN_IF_ERROR(ReadCount(r, &num_children));
+      for (uint64_t c = 0; c < num_children; ++c) {
+        uint32_t child = 0;
+        FC_RETURN_IF_ERROR(r->U32(&child));
+        if (child <= i || child >= num_nodes) {
+          return Corrupt("flowgraph child id out of order");
+        }
+        n.children.push_back(child);
+      }
+      FC_RETURN_IF_ERROR(r->U32(&n.path_count));
+      FC_RETURN_IF_ERROR(r->U32(&n.terminate_count));
+      uint64_t num_durations = 0;
+      FC_RETURN_IF_ERROR(ReadCount(r, &num_durations));
+      Duration prev = std::numeric_limits<Duration>::min();
+      for (uint64_t d = 0; d < num_durations; ++d) {
+        Duration value = 0;
+        uint32_t count = 0;
+        FC_RETURN_IF_ERROR(r->I64(&value));
+        FC_RETURN_IF_ERROR(r->U32(&count));
+        if (d > 0 && value <= prev) {
+          return Corrupt("flowgraph duration counts out of order");
+        }
+        prev = value;
+        n.duration_counts.emplace(value, count);
+      }
+      g->nodes_.push_back(std::move(n));
+    }
+    uint64_t num_exceptions = 0;
+    FC_RETURN_IF_ERROR(ReadCount(r, &num_exceptions));
+    for (uint64_t i = 0; i < num_exceptions; ++i) {
+      FlowException e;
+      uint8_t kind = 0;
+      FC_RETURN_IF_ERROR(r->U8(&kind));
+      if (kind > 1) return Corrupt("unknown exception kind");
+      e.kind = kind == 0 ? FlowException::Kind::kTransition
+                         : FlowException::Kind::kDuration;
+      uint64_t num_conditions = 0;
+      FC_RETURN_IF_ERROR(ReadCount(r, &num_conditions));
+      for (uint64_t c = 0; c < num_conditions; ++c) {
+        StageCondition cond;
+        FC_RETURN_IF_ERROR(r->U32(&cond.node));
+        FC_RETURN_IF_ERROR(r->I64(&cond.duration));
+        if (cond.node >= num_nodes) {
+          return Corrupt("exception condition node out of range");
+        }
+        e.condition.push_back(cond);
+      }
+      FC_RETURN_IF_ERROR(r->U32(&e.node));
+      FC_RETURN_IF_ERROR(r->U32(&e.transition_target));
+      FC_RETURN_IF_ERROR(r->I64(&e.duration_value));
+      FC_RETURN_IF_ERROR(r->F64(&e.global_probability));
+      FC_RETURN_IF_ERROR(r->F64(&e.conditional_probability));
+      FC_RETURN_IF_ERROR(r->U32(&e.condition_support));
+      if (e.node >= num_nodes) return Corrupt("exception node out of range");
+      if (e.transition_target != FlowGraph::kTerminate &&
+          e.transition_target >= num_nodes) {
+        return Corrupt("exception transition target out of range");
+      }
+      if (!std::isfinite(e.global_probability) ||
+          !std::isfinite(e.conditional_probability)) {
+        return Corrupt("exception probability is not finite");
+      }
+      g->exceptions_.push_back(std::move(e));
+    }
+    return Status::OK();
+  }
+};
+
+// Friend of IncrementalMaintainer: reads its private indexes to encode, and
+// rebuilds them on decode by re-appending the live records (index rebuild is
+// linear — no mining replay; the cube's cells install verbatim).
+class CheckpointCodec {
+ public:
+  static uint32_t ConfigFingerprint(const PathSchema& schema,
+                                    const FlowCubePlan& plan,
+                                    const IncrementalMaintainerOptions& opts) {
+    ByteWriter w;
+    w.U64(schema.num_dimensions());
+    for (const ConceptHierarchy& h : schema.dimensions) {
+      w.U64(h.NodeCount());
+      w.U32(static_cast<uint32_t>(h.MaxLevel()));
+    }
+    w.U64(schema.locations.NodeCount());
+    w.U32(static_cast<uint32_t>(schema.locations.MaxLevel()));
+    w.U64(schema.durations.factors().size());
+    for (int64_t f : schema.durations.factors()) w.I64(f);
+
+    w.U64(plan.mining.dim_levels.size());
+    for (const std::vector<int>& levels : plan.mining.dim_levels) {
+      w.U64(levels.size());
+      for (int l : levels) w.U32(static_cast<uint32_t>(l));
+    }
+    w.U64(plan.mining.cuts.size());
+    for (const LocationCut& cut : plan.mining.cuts) {
+      w.U64(cut.nodes().size());
+      for (NodeId n : cut.nodes()) w.U32(n);
+    }
+    w.U64(plan.mining.path_levels.size());
+    for (const PathLevel& pl : plan.mining.path_levels) {
+      w.U32(static_cast<uint32_t>(pl.cut_index));
+      w.U32(static_cast<uint32_t>(pl.duration_level));
+    }
+    w.U64(plan.item_levels.size());
+    for (const ItemLevel& il : plan.item_levels) {
+      w.U64(il.levels.size());
+      for (int l : il.levels) w.U32(static_cast<uint32_t>(l));
+    }
+    w.U64(plan.path_levels.size());
+    for (int p : plan.path_levels) w.U32(static_cast<uint32_t>(p));
+
+    w.U32(opts.build.min_support);
+    w.U8(opts.build.compute_exceptions ? 1 : 0);
+    w.F64(opts.build.exceptions.epsilon);
+    w.U32(opts.build.exceptions.min_support);
+    w.U8(opts.build.mark_redundant ? 1 : 0);
+    w.F64(opts.build.redundancy_tau);
+    w.U8(static_cast<uint8_t>(opts.build.similarity.kind));
+    w.F64(opts.build.similarity.kl_smoothing);
+    w.U32(opts.window_records);
+    return Crc32(w.data());
+  }
+
+  static void EncodePayload(const IncrementalMaintainer& m,
+                            const IngestorState* ing, ByteWriter* w) {
+    w->U32(ConfigFingerprint(*m.schema_, m.plan_, m.options_));
+
+    const std::vector<PathRecord> live = m.LiveRecords();
+    w->U64(live.size());
+    for (const PathRecord& rec : live) EncodeRecord(rec, w);
+
+    // Cells sorted by coordinates within each cuboid, so re-encoding a
+    // restored pipeline reproduces the checkpoint byte-for-byte regardless
+    // of hash-map iteration order.
+    for (size_t i = 0; i < m.plan_.item_levels.size(); ++i) {
+      for (size_t p = 0; p < m.plan_.path_levels.size(); ++p) {
+        const Cuboid& cuboid = m.cube_.cuboid(i, p);
+        std::vector<const FlowCell*> cells;
+        cells.reserve(cuboid.size());
+        cuboid.ForEach([&cells](const FlowCell& c) { cells.push_back(&c); });
+        std::sort(cells.begin(), cells.end(),
+                  [](const FlowCell* a, const FlowCell* b) {
+                    return a->dims < b->dims;
+                  });
+        w->U32(static_cast<uint32_t>(i));
+        w->U32(static_cast<uint32_t>(p));
+        w->U64(cells.size());
+        for (const FlowCell* cell : cells) {
+          w->U64(cell->dims.size());
+          for (ItemId item : cell->dims) w->U32(item);
+          w->U32(cell->support);
+          w->U8(cell->redundant ? 1 : 0);
+          FlowGraphSerializer::Encode(cell->graph, w);
+        }
+      }
+    }
+
+    w->U8(ing != nullptr ? 1 : 0);
+    if (ing != nullptr) {
+      w->U64(ing->registrations.size());
+      for (const auto& [epc, dims] : ing->registrations) {
+        w->U64(epc);
+        w->U64(dims.size());
+        for (NodeId d : dims) w->U32(d);
+      }
+      w->U64(ing->open_readings.size());
+      for (const auto& [epc, readings] : ing->open_readings) {
+        w->U64(epc);
+        w->U64(readings.size());
+        for (const RawReading& r : readings) {
+          w->U32(r.location);
+          w->I64(r.timestamp);
+        }
+      }
+      w->I64(ing->watermark);
+      w->U64(ing->batches_processed);
+    }
+  }
+
+  static Result<RestoredPipeline> DecodePayload(
+      ByteReader* r, SchemaPtr schema, FlowCubePlan plan,
+      IncrementalMaintainerOptions options) {
+    uint32_t fingerprint = 0;
+    FC_RETURN_IF_ERROR(r->U32(&fingerprint));
+    Result<IncrementalMaintainer> created = IncrementalMaintainer::Create(
+        std::move(schema), std::move(plan), options);
+    if (!created.ok()) return created.status();
+    IncrementalMaintainer m = std::move(created.value());
+    if (fingerprint != ConfigFingerprint(*m.schema_, m.plan_, m.options_)) {
+      return Status::InvalidArgument(
+          "checkpoint was written with a different schema, plan, or options");
+    }
+
+    // Live records: validated, then re-appended through the same code path
+    // as Apply, which rebuilds the transaction, aggregation, and membership
+    // indexes exactly (linear in the data — no mining runs on restore).
+    uint64_t num_records = 0;
+    FC_RETURN_IF_ERROR(ReadCount(r, &num_records));
+    std::vector<IncrementalMaintainer::KeySet> scratch_dirty(
+        m.plan_.item_levels.size());
+    for (uint64_t i = 0; i < num_records; ++i) {
+      PathRecord rec;
+      FC_RETURN_IF_ERROR(DecodeRecord(r, &rec));
+      if (const Status s = ValidateRecord(*m.schema_, rec); !s.ok()) {
+        return Corrupt("live record fails schema validation");
+      }
+      m.AppendToIndexes(rec, &scratch_dirty);
+    }
+
+    // Cube cells, installed verbatim after cross-checking each against the
+    // freshly rebuilt membership index.
+    for (size_t i = 0; i < m.plan_.item_levels.size(); ++i) {
+      for (size_t p = 0; p < m.plan_.path_levels.size(); ++p) {
+        uint32_t il_index = 0;
+        uint32_t pl_index = 0;
+        FC_RETURN_IF_ERROR(r->U32(&il_index));
+        FC_RETURN_IF_ERROR(r->U32(&pl_index));
+        if (il_index != i || pl_index != p) {
+          return Corrupt("cuboid out of order");
+        }
+        uint64_t num_cells = 0;
+        FC_RETURN_IF_ERROR(ReadCount(r, &num_cells));
+        Cuboid& cuboid = m.cube_.mutable_cuboid(i, p);
+        for (uint64_t c = 0; c < num_cells; ++c) {
+          FlowCell cell;
+          uint64_t num_items = 0;
+          FC_RETURN_IF_ERROR(ReadCount(r, &num_items));
+          for (uint64_t it = 0; it < num_items; ++it) {
+            uint32_t item = 0;
+            FC_RETURN_IF_ERROR(r->U32(&item));
+            cell.dims.push_back(item);
+          }
+          FC_RETURN_IF_ERROR(r->U32(&cell.support));
+          uint8_t redundant = 0;
+          FC_RETURN_IF_ERROR(r->U8(&redundant));
+          if (redundant > 1) return Corrupt("redundancy flag out of range");
+          cell.redundant = redundant == 1;
+          FC_RETURN_IF_ERROR(
+              FlowGraphSerializer::Decode(r, *m.schema_, &cell.graph));
+
+          const auto member = m.cells_[i].find(cell.dims);
+          if (member == m.cells_[i].end() ||
+              member->second.tids.size() != cell.support) {
+            return Corrupt("cell support disagrees with the live records");
+          }
+          const bool qualifies =
+              cell.dims.empty()
+                  ? cell.support >= 1
+                  : cell.support >= m.options_.build.min_support;
+          if (!qualifies) {
+            return Corrupt("cell below the iceberg threshold");
+          }
+          if (cell.graph.total_paths() != cell.support) {
+            return Corrupt("flowgraph path count disagrees with support");
+          }
+          if (cuboid.Find(cell.dims) != nullptr) {
+            return Corrupt("duplicate cell in cuboid");
+          }
+          member->second.materialized = true;
+          cuboid.Insert(std::move(cell));
+        }
+        if (p == 0) {
+          // Converse check: every qualifying membership key must have been
+          // installed, or the restored cube would silently miss cells.
+          for (const auto& [key, state] : m.cells_[i]) {
+            const bool qualifies =
+                key.empty() ? !state.tids.empty()
+                            : state.tids.size() >=
+                                  m.options_.build.min_support;
+            if (qualifies && !state.materialized) {
+              return Corrupt("cube is missing a qualifying cell");
+            }
+          }
+        }
+      }
+    }
+
+    RestoredPipeline restored{std::move(m), std::nullopt};
+
+    uint8_t has_ingestor = 0;
+    FC_RETURN_IF_ERROR(r->U8(&has_ingestor));
+    if (has_ingestor > 1) return Corrupt("ingestor flag out of range");
+    if (has_ingestor == 1) {
+      IngestorState state;
+      const PathSchema& s = *restored.maintainer.schema_;
+      uint64_t num_regs = 0;
+      FC_RETURN_IF_ERROR(ReadCount(r, &num_regs));
+      for (uint64_t i = 0; i < num_regs; ++i) {
+        uint64_t epc = 0;
+        FC_RETURN_IF_ERROR(r->U64(&epc));
+        uint64_t num_dims = 0;
+        FC_RETURN_IF_ERROR(ReadCount(r, &num_dims));
+        if (num_dims != s.num_dimensions()) {
+          return Corrupt("registration dimension count mismatch");
+        }
+        std::vector<NodeId> dims;
+        for (uint64_t d = 0; d < num_dims; ++d) {
+          uint32_t v = 0;
+          FC_RETURN_IF_ERROR(r->U32(&v));
+          if (v >= s.dimensions[d].NodeCount()) {
+            return Corrupt("registration dimension value out of range");
+          }
+          dims.push_back(v);
+        }
+        state.registrations[epc] = std::move(dims);
+      }
+      uint64_t num_open = 0;
+      FC_RETURN_IF_ERROR(ReadCount(r, &num_open));
+      for (uint64_t i = 0; i < num_open; ++i) {
+        uint64_t epc = 0;
+        FC_RETURN_IF_ERROR(r->U64(&epc));
+        uint64_t num_readings = 0;
+        FC_RETURN_IF_ERROR(ReadCount(r, &num_readings));
+        std::vector<RawReading>& readings = state.open_readings[epc];
+        for (uint64_t j = 0; j < num_readings; ++j) {
+          RawReading reading;
+          reading.epc = epc;
+          FC_RETURN_IF_ERROR(r->U32(&reading.location));
+          FC_RETURN_IF_ERROR(r->I64(&reading.timestamp));
+          if (reading.location >= s.locations.NodeCount()) {
+            return Corrupt("buffered reading location out of range");
+          }
+          readings.push_back(reading);
+        }
+      }
+      FC_RETURN_IF_ERROR(r->I64(&state.watermark));
+      FC_RETURN_IF_ERROR(r->U64(&state.batches_processed));
+      restored.ingestor_state = std::move(state);
+    }
+
+    if (!r->AtEnd()) return Corrupt("trailing bytes after payload");
+    return restored;
+  }
+};
+
+std::string EncodeCheckpoint(const IncrementalMaintainer& maintainer,
+                             const IngestorState* ingestor_state) {
+  TraceSpan span("stream.checkpoint.save");
+  ByteWriter payload;
+  CheckpointCodec::EncodePayload(maintainer, ingestor_state, &payload);
+  ByteWriter out;
+  out.U32(kCheckpointMagic);
+  out.U32(kCheckpointVersion);
+  out.U32(Crc32(payload.data()));
+  out.Str(payload.data());  // u64 payload size + payload bytes
+  MetricRegistry& reg = MetricRegistry::Global();
+  static Counter& m_saves = reg.counter("stream.checkpoint.saves");
+  static Counter& m_bytes = reg.counter("stream.checkpoint.bytes_written");
+  m_saves.Increment();
+  m_bytes.Add(out.size());
+  return out.data();
+}
+
+Result<RestoredPipeline> DecodeCheckpoint(
+    std::string_view bytes, SchemaPtr schema, FlowCubePlan plan,
+    IncrementalMaintainerOptions options) {
+  TraceSpan span("stream.checkpoint.restore");
+  ByteReader r(bytes);
+  uint32_t magic = 0;
+  if (!r.U32(&magic).ok() || magic != kCheckpointMagic) {
+    return Status::InvalidArgument("not a flowcube checkpoint (bad magic)");
+  }
+  uint32_t version = 0;
+  FC_RETURN_IF_ERROR(r.U32(&version));
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  uint32_t crc = 0;
+  FC_RETURN_IF_ERROR(r.U32(&crc));
+  std::string payload;
+  if (!r.Str(&payload).ok()) {
+    return Corrupt("payload truncated");
+  }
+  if (!r.AtEnd()) return Corrupt("trailing bytes after payload");
+  if (Crc32(payload) != crc) {
+    return Corrupt("payload checksum mismatch");
+  }
+  ByteReader pr(payload);
+  Result<RestoredPipeline> restored = CheckpointCodec::DecodePayload(
+      &pr, std::move(schema), std::move(plan), options);
+  if (restored.ok()) {
+    MetricRegistry::Global().counter("stream.checkpoint.restores").Increment();
+  }
+  return restored;
+}
+
+Status SaveCheckpoint(const IncrementalMaintainer& maintainer,
+                      const IngestorState* ingestor_state,
+                      const std::string& filename) {
+  const std::string bytes = EncodeCheckpoint(maintainer, ingestor_state);
+  std::ofstream out(filename, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open " + filename + " for writing");
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  return out.good() ? Status::OK()
+                    : Status::Internal("checkpoint write failed");
+}
+
+Result<RestoredPipeline> LoadCheckpoint(const std::string& filename,
+                                        SchemaPtr schema, FlowCubePlan plan,
+                                        IncrementalMaintainerOptions options) {
+  std::ifstream in(filename, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open " + filename);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return Status::Internal("checkpoint read failed");
+  }
+  return DecodeCheckpoint(buffer.str(), std::move(schema), std::move(plan),
+                          options);
+}
+
+}  // namespace flowcube

@@ -1,0 +1,64 @@
+#ifndef FLOWCUBE_STREAM_CHECKPOINT_H_
+#define FLOWCUBE_STREAM_CHECKPOINT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "stream/incremental_maintainer.h"
+#include "stream/stream_ingestor.h"
+
+namespace flowcube {
+
+// Binary checkpoint of a streaming pipeline: the maintainer's live path
+// records and its cube's cells (flowgraphs and exceptions verbatim), plus
+// optionally the ingestor's resumable state (registrations, buffered
+// readings, watermark). A restored pipeline continues exactly where the
+// snapshot left off — DumpFlowCube of the restored cube is byte-identical
+// to the snapshotted one, and no mining is replayed on restore.
+//
+// Layout (all integers little-endian):
+//   u32 magic "FCSP" | u32 version | u32 crc32(payload) | u64 payload size
+//   payload:
+//     u32 config fingerprint (schema shape + plan + options)
+//     live records, cube cells per cuboid, optional IngestorState
+//
+// The reader is strictly bounds-checked: truncated, bit-flipped, or
+// otherwise malformed checkpoints are rejected with a Status (never UB),
+// and the payload CRC catches corruption before any structure is parsed.
+
+inline constexpr uint32_t kCheckpointMagic = 0x50534346;  // "FCSP"
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+// A restored pipeline: the maintainer is fully rebuilt; ingestor_state is
+// present when the checkpoint captured one and can seed
+// StreamIngestor's resume constructor.
+struct RestoredPipeline {
+  IncrementalMaintainer maintainer;
+  std::optional<IngestorState> ingestor_state;
+};
+
+// Serializes the pipeline. `ingestor_state` may be null (maintainer-only
+// checkpoint); callers snapshotting a live ingestor must Flush() it first.
+std::string EncodeCheckpoint(const IncrementalMaintainer& maintainer,
+                             const IngestorState* ingestor_state = nullptr);
+
+// Rebuilds a pipeline from checkpoint bytes. The caller supplies the same
+// schema, plan, and options the snapshotted pipeline ran with; a config
+// fingerprint stored in the checkpoint rejects mismatches.
+Result<RestoredPipeline> DecodeCheckpoint(std::string_view bytes,
+                                          SchemaPtr schema, FlowCubePlan plan,
+                                          IncrementalMaintainerOptions options);
+
+// File variants.
+Status SaveCheckpoint(const IncrementalMaintainer& maintainer,
+                      const IngestorState* ingestor_state,
+                      const std::string& filename);
+Result<RestoredPipeline> LoadCheckpoint(const std::string& filename,
+                                        SchemaPtr schema, FlowCubePlan plan,
+                                        IncrementalMaintainerOptions options);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_STREAM_CHECKPOINT_H_

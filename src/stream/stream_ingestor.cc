@@ -1,0 +1,198 @@
+#include "stream/stream_ingestor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/trace.h"
+#include "path/path_database.h"
+
+namespace flowcube {
+namespace {
+
+struct IngestMetrics {
+  Counter& batches;
+  Counter& readings;
+  Counter& paths_emitted;
+  Counter& readings_dropped;
+  Counter& records_invalid;
+  Gauge& queue_depth_peak;
+
+  static IngestMetrics& Get() {
+    MetricRegistry& reg = MetricRegistry::Global();
+    static IngestMetrics m{reg.counter("stream.ingest.batches"),
+                           reg.counter("stream.ingest.readings"),
+                           reg.counter("stream.ingest.paths_emitted"),
+                           reg.counter("stream.ingest.readings_dropped"),
+                           reg.counter("stream.ingest.records_invalid"),
+                           reg.gauge("stream.ingest.queue_depth_peak")};
+    return m;
+  }
+};
+
+}  // namespace
+
+StreamIngestor::StreamIngestor(SchemaPtr schema, StreamIngestorOptions options)
+    : StreamIngestor(std::move(schema), options, IngestorState()) {}
+
+StreamIngestor::StreamIngestor(SchemaPtr schema, StreamIngestorOptions options,
+                               IngestorState state)
+    : schema_(std::move(schema)),
+      options_(options),
+      discretizer_(options.bin_seconds),
+      cleaner_(options.cleaner),
+      raw_queue_(options.queue_capacity),
+      delta_queue_(options.delta_queue_capacity),
+      state_(std::move(state)) {
+  FC_CHECK_MSG(schema_ != nullptr, "StreamIngestor requires a schema");
+  FC_CHECK_MSG(options_.close_after_seconds > 0,
+               "close_after_seconds must be > 0");
+  batches_pushed_ = state_.batches_processed;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+StreamIngestor::~StreamIngestor() {
+  Close();
+  if (worker_.joinable()) worker_.join();
+}
+
+Status StreamIngestor::RegisterItem(EpcId epc, std::vector<NodeId> dims) {
+  if (dims.size() != schema_->num_dimensions()) {
+    return Status::InvalidArgument(
+        StrFormat("item registers %zu dimension values, schema has %zu",
+                  dims.size(), schema_->num_dimensions()));
+  }
+  for (size_t d = 0; d < dims.size(); ++d) {
+    if (dims[d] >= schema_->dimensions[d].NodeCount()) {
+      return Status::InvalidArgument(
+          StrFormat("dimension %zu value id out of range", d));
+    }
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  state_.registrations[epc] = std::move(dims);
+  return Status::OK();
+}
+
+Status StreamIngestor::Push(std::vector<RawReading> batch) {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (closed_) {
+      return Status::FailedPrecondition("ingestor is closed");
+    }
+    batches_pushed_++;
+  }
+  IngestMetrics::Get().queue_depth_peak.SetMax(
+      static_cast<int64_t>(raw_queue_.size() + 1));
+  if (!raw_queue_.Push(std::move(batch))) {
+    // Closed between the check above and the enqueue.
+    std::lock_guard<std::mutex> lock(state_mu_);
+    batches_pushed_--;
+    return Status::FailedPrecondition("ingestor is closed");
+  }
+  return Status::OK();
+}
+
+void StreamIngestor::Close() {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    closed_ = true;
+  }
+  raw_queue_.Close();
+}
+
+void StreamIngestor::Flush() {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  drained_cv_.wait(
+      lock, [this] { return state_.batches_processed == batches_pushed_; });
+}
+
+std::optional<StreamDelta> StreamIngestor::Pop() { return delta_queue_.Pop(); }
+
+std::optional<StreamDelta> StreamIngestor::TryPop() {
+  return delta_queue_.TryPop();
+}
+
+IngestorState StreamIngestor::SnapshotState() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
+}
+
+void StreamIngestor::WorkerLoop() {
+  while (auto batch = raw_queue_.Pop()) {
+    ProcessBatch(std::move(*batch), /*flush_all=*/false);
+  }
+  // Input closed and drained: flush every still-open item.
+  ProcessBatch({}, /*flush_all=*/true);
+  delta_queue_.Close();
+}
+
+void StreamIngestor::ProcessBatch(std::vector<RawReading> batch,
+                                  bool flush_all) {
+  TraceSpan span("stream.ingest.batch");
+  IngestMetrics& metrics = IngestMetrics::Get();
+  StreamDelta delta;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    delta.batch_sequence = state_.batches_processed;
+    for (const RawReading& r : batch) {
+      state_.watermark = std::max(state_.watermark, r.timestamp);
+      state_.open_readings[r.epc].push_back(r);
+    }
+    metrics.readings.Add(batch.size());
+
+    // Items silent past the watermark horizon have completed their paths.
+    // std::map iteration closes them in ascending-EPC order, which makes
+    // the delta stream deterministic for a given input stream.
+    std::vector<EpcId> closable;
+    for (const auto& [epc, readings] : state_.open_readings) {
+      if (flush_all) {
+        closable.push_back(epc);
+        continue;
+      }
+      int64_t last = std::numeric_limits<int64_t>::min();
+      for (const RawReading& r : readings) {
+        last = std::max(last, r.timestamp);
+      }
+      if (state_.watermark - last >= options_.close_after_seconds) {
+        closable.push_back(epc);
+      }
+    }
+    for (EpcId epc : closable) {
+      auto node = state_.open_readings.extract(epc);
+      std::vector<RawReading>& readings = node.mapped();
+      const auto reg = state_.registrations.find(epc);
+      if (reg == state_.registrations.end()) {
+        metrics.readings_dropped.Add(readings.size());
+        continue;
+      }
+      const Itinerary itinerary =
+          cleaner_.CleanItem(epc, std::move(readings));
+      PathRecord rec;
+      rec.dims = reg->second;
+      rec.path = ReadingCleaner::ToPath(itinerary, discretizer_);
+      if (const Status s = ValidateRecord(*schema_, rec); !s.ok()) {
+        metrics.records_invalid.Increment();
+        continue;
+      }
+      delta.records.push_back(std::move(rec));
+    }
+    metrics.paths_emitted.Add(delta.records.size());
+    if (!flush_all) metrics.batches.Increment();
+  }
+
+  // Enqueue outside state_mu_ so a full delta queue blocks only the worker,
+  // never RegisterItem/Flush — and strictly before the batch is counted as
+  // processed, so a Flush()ed pipeline has every delta visible to TryPop.
+  if (!delta.records.empty()) {
+    delta_queue_.Push(std::move(delta));
+  }
+  if (!flush_all) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    state_.batches_processed++;
+    drained_cv_.notify_all();
+  }
+}
+
+}  // namespace flowcube

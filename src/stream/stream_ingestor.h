@@ -1,0 +1,159 @@
+#ifndef FLOWCUBE_STREAM_STREAM_INGESTOR_H_
+#define FLOWCUBE_STREAM_STREAM_INGESTOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "path/path.h"
+#include "rfid/cleaner.h"
+#include "rfid/discretizer.h"
+#include "rfid/reading.h"
+#include "stream/bounded_queue.h"
+
+namespace flowcube {
+
+// Knobs of the streaming front end (DESIGN.md §9).
+struct StreamIngestorOptions {
+  // Cleaning parameters applied per item when its path closes.
+  CleanerOptions cleaner;
+
+  // Width of one discretized duration unit (DurationDiscretizer).
+  int64_t bin_seconds = 3600;
+
+  // Watermark horizon: an item's path is considered complete once the
+  // stream watermark (largest timestamp ingested so far) has advanced at
+  // least this far past the item's last reading. Must be larger than the
+  // reader scan interval plus clock jitter, or stays get split.
+  int64_t close_after_seconds = 7200;
+
+  // Capacity (in batches) of the inbound raw-reading queue. Push blocks
+  // when the pipeline falls this many batches behind — the backpressure
+  // bound.
+  size_t queue_capacity = 8;
+
+  // Capacity (in deltas) of the outbound queue; the worker blocks when the
+  // consumer falls this far behind.
+  size_t delta_queue_capacity = 64;
+};
+
+// One micro-batch of completed paths, ready for the IncrementalMaintainer.
+struct StreamDelta {
+  // Sequence number of the raw batch that completed these paths (counting
+  // from 0); the final flush on Close() carries the next number.
+  uint64_t batch_sequence = 0;
+  // Completed path records, in ascending-EPC order within the delta. The
+  // concatenation of all deltas' records is the stream's union path
+  // database, in a deterministic order.
+  std::vector<PathRecord> records;
+};
+
+// The resumable state of an ingestor: everything needed to continue the
+// stream after a restart. Captured by SnapshotState(), serialized by the
+// checkpoint layer, and fed back through StreamIngestor::FromState.
+struct IngestorState {
+  // EPC -> dimension values, from RegisterItem.
+  std::map<EpcId, std::vector<NodeId>> registrations;
+  // Readings of items whose paths have not closed yet.
+  std::map<EpcId, std::vector<RawReading>> open_readings;
+  // Largest timestamp ingested so far.
+  int64_t watermark = std::numeric_limits<int64_t>::min();
+  // Raw batches consumed so far (the next delta's sequence number).
+  uint64_t batches_processed = 0;
+};
+
+// The streaming front end: raw RFID reading batches go in through a
+// bounded, backpressure-aware queue; delta path records of items whose
+// paths completed come out. A single worker thread drains the inbound
+// queue, buffers readings per item, advances the watermark, and — once an
+// item has been silent for `close_after_seconds` of stream time — runs the
+// existing cleaner/discretizer over its readings and emits the finished
+// PathRecord. Items are closed in ascending EPC order per batch, so the
+// delta stream is deterministic for a given input stream.
+//
+// An item's dimension values must be registered (RegisterItem) before its
+// path closes; readings of unregistered items are dropped at close time and
+// counted in stream.ingest.readings_dropped.
+class StreamIngestor {
+ public:
+  StreamIngestor(SchemaPtr schema, StreamIngestorOptions options);
+
+  // Resumes from checkpointed state: buffered readings, registrations, and
+  // the watermark continue where the snapshot left off.
+  StreamIngestor(SchemaPtr schema, StreamIngestorOptions options,
+                 IngestorState state);
+
+  // Closes the stream and joins the worker.
+  ~StreamIngestor();
+
+  StreamIngestor(const StreamIngestor&) = delete;
+  StreamIngestor& operator=(const StreamIngestor&) = delete;
+
+  const PathSchema& schema() const { return *schema_; }
+  const StreamIngestorOptions& options() const { return options_; }
+
+  // Declares the dimension values of an item (one value per schema
+  // dimension, ids in range). May be called at any time before the item's
+  // path closes; re-registration overwrites.
+  Status RegisterItem(EpcId epc, std::vector<NodeId> dims);
+
+  // Enqueues one raw batch. Blocks while `queue_capacity` batches are
+  // already in flight (backpressure); fails with FailedPrecondition after
+  // Close().
+  Status Push(std::vector<RawReading> batch);
+
+  // Ends the input stream: after pending batches drain, every still-open
+  // item is flushed as a final delta and Pop() starts returning nullopt.
+  // Idempotent.
+  void Close();
+
+  // Blocks until the input queue has been fully drained by the worker, so
+  // SnapshotState() observes a quiescent pipeline. Must not race with
+  // concurrent Push() calls.
+  void Flush();
+
+  // Next completed delta; blocks until one is ready. nullopt once the
+  // ingestor is closed and every delta has been consumed. Deltas with no
+  // completed paths are not emitted.
+  std::optional<StreamDelta> Pop();
+
+  // Non-blocking Pop.
+  std::optional<StreamDelta> TryPop();
+
+  // Copies the resumable state. Callers must Flush() first (and must not
+  // Push concurrently); state captured mid-batch would drop the in-flight
+  // readings.
+  IngestorState SnapshotState();
+
+ private:
+  void WorkerLoop();
+  // Processes one raw batch under state_mu_, emitting a delta when paths
+  // closed. `flush_all` (used on Close) closes every open item regardless
+  // of the watermark.
+  void ProcessBatch(std::vector<RawReading> batch, bool flush_all);
+
+  SchemaPtr schema_;
+  StreamIngestorOptions options_;
+  DurationDiscretizer discretizer_;
+  ReadingCleaner cleaner_;
+
+  BoundedQueue<std::vector<RawReading>> raw_queue_;
+  BoundedQueue<StreamDelta> delta_queue_;
+
+  std::mutex state_mu_;
+  std::condition_variable drained_cv_;
+  IngestorState state_;
+  uint64_t batches_pushed_ = 0;
+  bool closed_ = false;
+
+  std::thread worker_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_STREAM_STREAM_INGESTOR_H_

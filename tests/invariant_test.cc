@@ -9,8 +9,11 @@
 //     deltas agree with the stats structs the algorithms return, and BUC's
 //     enumeration counters balance (enumerated == visited + iceberg-pruned
 //     + shallow-skipped).
-// Registry counters are process-global, so every metrics assertion is
-// delta-based.
+// Registry counters are process-global, so every metrics assertion runs
+// inside a metrics ScopedEpoch, which zeroes the registry for the scope and
+// folds the scope's activity back on exit — absolute assertions stay valid
+// regardless of what other tests ran first, and nothing is lost from the
+// process totals.
 
 #include <cstdint>
 #include <optional>
@@ -193,28 +196,20 @@ TEST(MetricsConsistency, BucEnumerationCountersBalance) {
   const TransformedDatabase tdb =
       std::move(TransformPathDatabase(db, plan).value());
 
-  const uint64_t visits0 = CounterValue("cube.buc.visits");
-  const uint64_t enumerated0 = CounterValue("cube.buc.partitions_enumerated");
-  const uint64_t visited0 = CounterValue("cube.buc.cells_visited");
-  const uint64_t pruned0 = CounterValue("cube.buc.pruned_iceberg");
-  const uint64_t shallow0 = CounterValue("cube.buc.skipped_shallow");
-
+  const ScopedEpoch epoch;
   CubingMinerOptions opts;
   opts.min_support = 3;
   const SharedMiningOutput out = CubingMiner(db, tdb, opts).Run();
   EXPECT_FALSE(out.frequent.empty());
 
-  EXPECT_GT(CounterValue("cube.buc.visits"), visits0);
+  EXPECT_GT(CounterValue("cube.buc.visits"), 0u);
   // Every enumerated partition is accounted for exactly once: materialized
   // as a visited cell, pruned by the iceberg condition, or skipped.
-  const uint64_t enumerated =
-      CounterValue("cube.buc.partitions_enumerated") - enumerated0;
-  const uint64_t visited = CounterValue("cube.buc.cells_visited") - visited0;
-  const uint64_t pruned = CounterValue("cube.buc.pruned_iceberg") - pruned0;
-  const uint64_t shallow =
-      CounterValue("cube.buc.skipped_shallow") - shallow0;
+  const uint64_t enumerated = CounterValue("cube.buc.partitions_enumerated");
   EXPECT_GT(enumerated, 0u);
-  EXPECT_EQ(enumerated, visited + pruned + shallow);
+  EXPECT_EQ(enumerated, CounterValue("cube.buc.cells_visited") +
+                            CounterValue("cube.buc.pruned_iceberg") +
+                            CounterValue("cube.buc.skipped_shallow"));
 }
 
 TEST(MetricsConsistency, SharedMinerCountersMatchItsStats) {
@@ -223,25 +218,19 @@ TEST(MetricsConsistency, SharedMinerCountersMatchItsStats) {
   const TransformedDatabase tdb =
       std::move(TransformPathDatabase(db, plan).value());
 
-  const uint64_t runs0 = CounterValue("mining.shared.runs");
-  const uint64_t passes0 = CounterValue("mining.shared.passes");
-  const uint64_t candidates0 = CounterValue("mining.shared.candidates_counted");
-  const uint64_t frequent0 = CounterValue("mining.shared.frequent");
-  const uint64_t scanned0 =
-      CounterValue("mining.shared.transactions_scanned");
-
+  const ScopedEpoch epoch;
   SharedMinerOptions opts;
   opts.min_support = 3;
   opts.num_threads = 1;
   const SharedMiningOutput out = SharedMiner(tdb, opts).Run();
 
-  EXPECT_EQ(CounterValue("mining.shared.runs") - runs0, 1u);
-  EXPECT_EQ(CounterValue("mining.shared.passes") - passes0, out.stats.passes);
-  EXPECT_EQ(CounterValue("mining.shared.candidates_counted") - candidates0,
+  EXPECT_EQ(CounterValue("mining.shared.runs"), 1u);
+  EXPECT_EQ(CounterValue("mining.shared.passes"),
+            static_cast<uint64_t>(out.stats.passes));
+  EXPECT_EQ(CounterValue("mining.shared.candidates_counted"),
             out.stats.TotalCandidates());
-  EXPECT_EQ(CounterValue("mining.shared.frequent") - frequent0,
-            out.frequent.size());
-  EXPECT_EQ(CounterValue("mining.shared.transactions_scanned") - scanned0,
+  EXPECT_EQ(CounterValue("mining.shared.frequent"), out.frequent.size());
+  EXPECT_EQ(CounterValue("mining.shared.transactions_scanned"),
             out.stats.passes * tdb.size());
 }
 
@@ -249,14 +238,7 @@ TEST(MetricsConsistency, BuilderCountersMatchItsStats) {
   const PathDatabase db = MakePaperDatabase();
   const FlowCubePlan plan = FlowCubePlan::Default(db.schema()).value();
 
-  const uint64_t runs0 = CounterValue("flowcube.build.runs");
-  const uint64_t paths0 = CounterValue("flowcube.build.paths");
-  const uint64_t cells0 = CounterValue("flowcube.build.cells_materialized");
-  const uint64_t exceptions0 =
-      CounterValue("flowcube.build.exceptions_found");
-  const uint64_t redundant0 =
-      CounterValue("flowcube.build.cells_marked_redundant");
-
+  const ScopedEpoch epoch;
   FlowCubeBuilderOptions opts;
   opts.min_support = 2;
   opts.exceptions.min_support = 2;
@@ -266,15 +248,14 @@ TEST(MetricsConsistency, BuilderCountersMatchItsStats) {
       FlowCubeBuilder(opts).Build(db, plan, &stats);
   ASSERT_TRUE(cube.ok());
 
-  EXPECT_EQ(CounterValue("flowcube.build.runs") - runs0, 1u);
-  EXPECT_EQ(CounterValue("flowcube.build.paths") - paths0, db.size());
-  EXPECT_EQ(CounterValue("flowcube.build.cells_materialized") - cells0,
+  EXPECT_EQ(CounterValue("flowcube.build.runs"), 1u);
+  EXPECT_EQ(CounterValue("flowcube.build.paths"), db.size());
+  EXPECT_EQ(CounterValue("flowcube.build.cells_materialized"),
             stats.cells_materialized);
-  EXPECT_EQ(CounterValue("flowcube.build.exceptions_found") - exceptions0,
+  EXPECT_EQ(CounterValue("flowcube.build.exceptions_found"),
             stats.exceptions_found);
-  EXPECT_EQ(
-      CounterValue("flowcube.build.cells_marked_redundant") - redundant0,
-      stats.cells_marked_redundant);
+  EXPECT_EQ(CounterValue("flowcube.build.cells_marked_redundant"),
+            stats.cells_marked_redundant);
   EXPECT_EQ(stats.cells_materialized, cube->TotalCells());
   // The phase spans cover the whole build: the timed phases can't exceed
   // the enclosing total.
