@@ -1,0 +1,292 @@
+// Query-path throughput over a materialized flowcube: point lookups by
+// value names, ancestor fallbacks on the redundancy-compressed cube,
+// drill-downs, and pairwise flowgraph similarity. Run on a Table-3-scale
+// configuration (3 dimensions, full lattice), it doubles as the memory
+// benchmark for the sealed columnar storage: every row carries the cube's
+// measured flowcube.memory_bytes next to an estimate of what the previous
+// map-based layout (unordered_map cells, per-node child vectors, std::map
+// duration distributions) would spend on the same content.
+//
+// Expected: lookups in the millions/sec, fallbacks within ~2x of direct
+// lookups, and sealed memory well below the map-layout estimate.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "bench_common.h"
+#include "flowcube/builder.h"
+#include "flowcube/query.h"
+
+namespace {
+
+using namespace flowcube;
+using namespace flowcube::bench;
+
+GeneratorConfig CubeConfig() {
+  // Same shape as the compression ablation: small dimensionality so the
+  // full cuboid lattice is materialized (the paper's Table 3 setting).
+  GeneratorConfig cfg = BaselineConfig(3);
+  cfg.dim_distinct_per_level = {3, 3, 4};
+  return cfg;
+}
+
+struct Workload {
+  PathDatabase db;
+  std::unique_ptr<FlowCube> cube;
+  // Value-name coordinates of every materialized cell (path level 0), and
+  // resolved refs into the still-uncompressed cube. Refs are invalidated by
+  // EraseRedundant(); the fallback benchmark only uses the names.
+  std::vector<std::vector<std::string>> coords;
+  std::vector<CellRef> refs;
+  bool compressed = false;
+};
+
+std::vector<std::string> CoordinateOf(const FlowCell& cell,
+                                      const ItemCatalog& cat,
+                                      const PathSchema& schema) {
+  std::vector<std::string> values(schema.num_dimensions(), "*");
+  for (const ItemId id : cell.dims) {
+    const size_t dim = cat.DimOf(id);
+    values[dim] = schema.dimensions[dim].Name(cat.NodeOf(id));
+  }
+  return values;
+}
+
+Workload& SharedWorkload() {
+  static Workload* w = [] {
+    auto* work = new Workload{
+        PathGenerator(CubeConfig()).Generate(ScaledN(20)), nullptr, {}, {}};
+    const FlowCubePlan plan =
+        FlowCubePlan::Default(work->db.schema()).value();
+    FlowCubeBuilderOptions opts;
+    opts.min_support =
+        std::max<uint32_t>(2, static_cast<uint32_t>(ScaledN(20) / 200));
+    opts.compute_exceptions = false;
+    opts.mark_redundant = true;
+    work->cube = std::make_unique<FlowCube>(
+        std::move(FlowCubeBuilder(opts).Build(work->db, plan).value()));
+    const ItemCatalog& cat = work->cube->catalog();
+    for (size_t il = 0; il < plan.item_levels.size(); ++il) {
+      work->cube->cuboid(il, 0).ForEach([&](const FlowCell& cell) {
+        work->coords.push_back(
+            CoordinateOf(cell, cat, work->db.schema()));
+        work->refs.push_back(CellRef{&cell, il, 0});
+      });
+    }
+    return work;
+  }();
+  return *w;
+}
+
+// What the pre-columnar layout spends on the same cube content, from the
+// libstdc++ x86-64 sizes of its building blocks:
+//   * one unordered_map hash node (next pointer + cached hash) and roughly
+//     one bucket pointer per cell;
+//   * per flowgraph node, a record owning a child vector (header inline)
+//     and a std::map<Duration, uint32_t> (header inline);
+//   * one red-black tree node per (duration, count) entry.
+size_t EstimateMapLayoutBytes(const FlowCube& cube) {
+  constexpr size_t kHashNodeOverhead = 24;
+  constexpr size_t kBucketPointer = 8;
+  constexpr size_t kRbTreeNode = 48;
+  constexpr size_t kMapHeader = 48;
+  constexpr size_t kVectorHeader = 24;
+  constexpr size_t kNodeCounts = 4 * 5;  // location/parent/depth/2 counts
+  size_t total = 0;
+  cube.ForEachCuboid([&](const Cuboid& cuboid) {
+    cuboid.ForEach([&](const FlowCell& cell) {
+      total += sizeof(FlowCell) + kHashNodeOverhead + kBucketPointer;
+      total += cell.dims.size() * sizeof(ItemId);
+      const FlowGraph& g = cell.graph;
+      for (FlowNodeId n = 0; n < g.num_nodes(); ++n) {
+        total += kNodeCounts + kVectorHeader + kMapHeader;
+        total += g.children(n).size() * sizeof(FlowNodeId);
+        total += g.duration_counts(n).size() * kRbTreeNode;
+      }
+    });
+  });
+  return total;
+}
+
+struct ThroughputRow {
+  std::string op;
+  uint64_t ops = 0;
+  double seconds = 0;
+  size_t memory_bytes = 0;
+  size_t cells = 0;
+};
+
+std::vector<ThroughputRow>& Rows() {
+  static std::vector<ThroughputRow> rows;
+  return rows;
+}
+
+// Times `body` (which must perform `ops` query operations) and appends a
+// throughput row, also charging the time to the benchmark state.
+template <typename Body>
+void MeasureOp(const char* op, uint64_t ops, benchmark::State& state,
+               Body&& body) {
+  Workload& w = SharedWorkload();
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    state.SetIterationTime(seconds);
+    Rows().push_back(ThroughputRow{op, ops, seconds, w.cube->MemoryUsage(),
+                                   w.cube->TotalCells()});
+  }
+}
+
+void BenchPointLookup(benchmark::State& state) {
+  Workload& w = SharedWorkload();
+  const FlowCubeQuery query(w.cube.get());
+  constexpr int kRounds = 20;
+  uint64_t hits = 0;
+  MeasureOp("point_lookup", kRounds * w.coords.size(), state, [&] {
+    for (int r = 0; r < kRounds; ++r) {
+      for (const auto& values : w.coords) {
+        if (query.Cell(values).ok()) ++hits;
+      }
+    }
+  });
+  benchmark::DoNotOptimize(hits);
+}
+
+void BenchDrillDown(benchmark::State& state) {
+  Workload& w = SharedWorkload();
+  const FlowCubeQuery query(w.cube.get());
+  const size_t dims = w.db.schema().num_dimensions();
+  uint64_t children = 0;
+  MeasureOp("drill_down", w.refs.size() * dims, state, [&] {
+    for (const CellRef& ref : w.refs) {
+      for (size_t d = 0; d < dims; ++d) {
+        children += query.DrillDown(ref, d).size();
+      }
+    }
+  });
+  benchmark::DoNotOptimize(children);
+}
+
+void BenchSimilarity(benchmark::State& state) {
+  Workload& w = SharedWorkload();
+  const FlowCubeQuery query(w.cube.get());
+  // Pairwise over a slice of cells, capped so the quadratic count stays
+  // bench-sized at every scale.
+  const size_t k = std::min<size_t>(w.refs.size(), 60);
+  double sink = 0;
+  MeasureOp("pairwise_similarity", k * k, state, [&] {
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        sink += query.Compare(w.refs[i], w.refs[j]);
+      }
+    }
+  });
+  benchmark::DoNotOptimize(sink);
+}
+
+void BenchAncestorFallback(benchmark::State& state) {
+  Workload& w = SharedWorkload();
+  if (!w.compressed) {
+    // Invalidates w.refs: only the recorded name coordinates remain valid.
+    w.cube->EraseRedundant();
+    w.refs.clear();
+    w.compressed = true;
+  }
+  const FlowCubeQuery query(w.cube.get());
+  constexpr int kRounds = 20;
+  uint64_t resolved = 0;
+  MeasureOp("ancestor_fallback", kRounds * w.coords.size(), state, [&] {
+    for (int r = 0; r < kRounds; ++r) {
+      for (const auto& values : w.coords) {
+        if (query.CellOrAncestor(values).ok()) ++resolved;
+      }
+    }
+  });
+  benchmark::DoNotOptimize(resolved);
+}
+
+void RegisterAll() {
+  // Registration order is execution order: every benchmark that needs the
+  // full cube runs before the fallback benchmark compresses it.
+  const struct {
+    const char* name;
+    void (*fn)(benchmark::State&);
+  } benches[] = {
+      {"query/point_lookup", BenchPointLookup},
+      {"query/drill_down", BenchDrillDown},
+      {"query/pairwise_similarity", BenchSimilarity},
+      {"query/ancestor_fallback", BenchAncestorFallback},
+  };
+  for (const auto& b : benches) {
+    benchmark::RegisterBenchmark(b.name, b.fn)
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  // Strip --metrics[=fmt] before the benchmark library parses flags.
+  flowcube::ConsumeMetricsFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  Workload& w = SharedWorkload();
+  const size_t sealed_bytes = w.cube->MemoryUsage();
+  const size_t map_bytes = EstimateMapLayoutBytes(*w.cube);
+  // Mirror the builder's gauge so the folded "metrics" key carries the
+  // final figure even when the build ran before --metrics parsing.
+  MetricRegistry::Global()
+      .gauge("flowcube.memory_bytes")
+      .Set(static_cast<int64_t>(sealed_bytes));
+
+  std::printf("\n=== Query throughput (N=20k@scale%.2f, d=3) ===\n",
+              ScaleFromEnv());
+  std::printf("%-22s %12s %10s %14s %16s\n", "op", "ops", "seconds",
+              "ops/sec", "memory_bytes");
+  for (const auto& r : Rows()) {
+    const double rate = r.seconds > 0 ? r.ops / r.seconds : 0;
+    std::printf("%-22s %12llu %10.4f %14.0f %16zu\n", r.op.c_str(),
+                static_cast<unsigned long long>(r.ops), r.seconds, rate,
+                r.memory_bytes);
+  }
+  std::printf("sealed columnar cube: %zu bytes; map-layout estimate: %zu "
+              "bytes (%.2fx)\n",
+              sealed_bytes, map_bytes,
+              sealed_bytes > 0
+                  ? static_cast<double>(map_bytes) / sealed_bytes
+                  : 0.0);
+
+  BenchJson json("query_throughput", "query operation");
+  for (const auto& r : Rows()) {
+    const double rate = r.seconds > 0 ? r.ops / r.seconds : 0;
+    json.AddRow({JsonField::Str("x", r.op),
+                 JsonField::Str("algo", "flowcube"),
+                 JsonField::Int("ops", r.ops),
+                 JsonField::Num("seconds", r.seconds),
+                 JsonField::Num("ops_per_sec", rate),
+                 JsonField::Int("cells", r.cells),
+                 JsonField::Int("flowcube.memory_bytes", r.memory_bytes)});
+  }
+  // The memory row is the headline of the storage refactor: the sealed
+  // cube vs what the map-based layout would have spent on the same cells.
+  json.AddRow(
+      {JsonField::Str("x", "memory"), JsonField::Str("algo", "flowcube"),
+       JsonField::Int("flowcube.memory_bytes", sealed_bytes),
+       JsonField::Int("map_layout_bytes_estimate", map_bytes),
+       JsonField::Num("reduction_factor",
+                      sealed_bytes > 0
+                          ? static_cast<double>(map_bytes) / sealed_bytes
+                          : 0.0)});
+  json.Write();
+  flowcube::DumpMetricsIfEnabled(stdout);
+  return 0;
+}

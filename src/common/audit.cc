@@ -499,7 +499,9 @@ AuditReport AuditFlowCube(const FlowCube& cube, uint32_t min_support,
           cuboid.path_level() != plan.path_levels[p]) {
         report.Fail(cuboid_name + " disagrees with the plan's levels");
       }
-      cuboid.ForEach([&](const FlowCell& cell) {
+      // Canonical cell order, so any violations report deterministically.
+      for (const FlowCell* cell_ptr : cuboid.SortedCells()) {
+        const FlowCell& cell = *cell_ptr;
         const std::string cell_name =
             cuboid_name + " cell " + cube.CellName(cell.dims);
         if (!std::is_sorted(cell.dims.begin(), cell.dims.end()) ||
@@ -550,7 +552,7 @@ AuditReport AuditFlowCube(const FlowCube& cube, uint32_t min_support,
           named.Absorb(graph_report);
           report.Absorb(named);
         }
-      });
+      }
     }
   }
 
@@ -569,7 +571,8 @@ AuditReport AuditFlowCube(const FlowCube& cube, uint32_t min_support,
         const Cuboid& general_cuboid = cube.cuboid(gi, p);
         const Cuboid& specific_cuboid = cube.cuboid(si, p);
         std::unordered_map<Itemset, uint64_t, ItemsetHash> rolled_support;
-        specific_cuboid.ForEach([&](const FlowCell& cell) {
+        for (const FlowCell* cell_ptr : specific_cuboid.SortedCells()) {
+          const FlowCell& cell = *cell_ptr;
           const Itemset up = RollUpCell(cell.dims, general, catalog);
           rolled_support[up] += cell.support;
           const FlowCell* ancestor = general_cuboid.Find(up);
@@ -589,7 +592,7 @@ AuditReport AuditFlowCube(const FlowCube& cube, uint32_t min_support,
                 cube.CellName(up).c_str(), ancestor->support,
                 specific.ToString().c_str(), general.ToString().c_str()));
           }
-        });
+        }
         for (const auto& [up, sum] : rolled_support) {
           const FlowCell* ancestor = general_cuboid.Find(up);
           if (ancestor != nullptr && sum > ancestor->support) {

@@ -89,6 +89,7 @@ Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
       for (Itemset& cell : result.CellsAtLevel(il)) {
         frequent_cells.insert(std::move(cell));
       }
+      members.reserve(frequent_cells.size());
       Itemset key;
       for (uint32_t tid = 0; tid < db.size(); ++tid) {
         CellKeyAtLevel(db.record(tid), il, cat, db.schema(), &key);
@@ -133,9 +134,11 @@ Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
     for (size_t n : shard_exceptions) stats->exceptions_found += n;
 
     // Serial insertion in the snapshot order keeps cuboid iteration order
-    // identical to the serial build's.
+    // identical to the serial build's. Cardinality is known here, so every
+    // cuboid is pre-sized once and never rehashes during insertion.
     for (size_t p = 0; p < num_levels; ++p) {
       Cuboid& cuboid = cube.mutable_cuboid(i, p);
+      cuboid.Reserve(cells.size());
       for (size_t c = 0; c < cells.size(); ++c) {
         cuboid.Insert(std::move(built[p * cells.size() + c]));
         stats->cells_materialized++;
@@ -190,12 +193,14 @@ Result<FlowCube> FlowCubeBuilder::Build(const PathDatabase& db,
     static Counter& m_redundant =
         reg.counter("flowcube.build.cells_marked_redundant");
     static Gauge& m_threads = reg.gauge("flowcube.build.threads");
+    static Gauge& m_memory = reg.gauge("flowcube.memory_bytes");
     m_builds.Increment();
     m_paths.Add(db.size());
     m_cells.Add(stats->cells_materialized);
     m_exceptions.Add(stats->exceptions_found);
     m_redundant.Add(stats->cells_marked_redundant);
     m_threads.Set(static_cast<int64_t>(num_shards));
+    m_memory.Set(static_cast<int64_t>(cube.MemoryUsage()));
   }
 #if FC_AUDIT_ENABLED
   {

@@ -80,6 +80,10 @@ size_t FillCellMeasure(const PathView& paths,
       exceptions++;
     }
   }
+  // The measure is final: freeze it into the columnar form. Every graph
+  // resident in a cube — batch-built, stream-rebuilt, or restored — is
+  // sealed; only accumulation-side graphs stay mutable.
+  cell->graph.Seal();
   return exceptions;
 }
 

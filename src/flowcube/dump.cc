@@ -101,16 +101,10 @@ std::string DumpFlowCube(const FlowCube& cube) {
       }
       AppendF(&out, "] pl=%d cells=%zu\n", cuboid.path_level(),
               cuboid.size());
-      // Cells sorted by coordinates: the dump is canonical regardless of
-      // hash-map iteration order.
-      std::vector<const FlowCell*> cells;
-      cells.reserve(cuboid.size());
-      cuboid.ForEach([&cells](const FlowCell& c) { cells.push_back(&c); });
-      std::sort(cells.begin(), cells.end(),
-                [](const FlowCell* a, const FlowCell* b) {
-                  return a->dims < b->dims;
-                });
-      for (const FlowCell* cell : cells) out.append(DumpFlowCell(*cell));
+      // Canonical cell order: the dump is independent of insertion order.
+      for (const FlowCell* cell : cuboid.SortedCells()) {
+        out.append(DumpFlowCell(*cell));
+      }
     }
   }
   return out;

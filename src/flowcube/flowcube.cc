@@ -1,26 +1,128 @@
 #include "flowcube/flowcube.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace flowcube {
 
+size_t Cuboid::SlotCapacityFor(size_t n) {
+  // Smallest power of two keeping the load factor at or below 0.7.
+  size_t capacity = 8;
+  while (n * 10 > capacity * 7) capacity <<= 1;
+  return capacity;
+}
+
+size_t Cuboid::ProbeFor(const Itemset& dims) const {
+  FC_DCHECK(!slots_.empty());
+  const size_t mask = slots_.size() - 1;
+  size_t slot = ItemsetHash{}(dims) & mask;
+  while (slots_[slot] != kEmptySlot && cells_[slots_[slot]].dims != dims) {
+    slot = (slot + 1) & mask;
+  }
+  return slot;
+}
+
+void Cuboid::Rehash(size_t capacity) {
+  slots_.assign(capacity, kEmptySlot);
+  const size_t mask = capacity - 1;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    size_t slot = ItemsetHash{}(cells_[i].dims) & mask;
+    while (slots_[slot] != kEmptySlot) slot = (slot + 1) & mask;
+    slots_[slot] = static_cast<uint32_t>(i);
+  }
+}
+
+void Cuboid::Reserve(size_t n) {
+  cells_.reserve(n);
+  const size_t capacity = SlotCapacityFor(n);
+  if (capacity > slots_.size()) Rehash(capacity);
+}
+
 const FlowCell* Cuboid::Find(const Itemset& dims) const {
-  const auto it = cells_.find(dims);
-  return it == cells_.end() ? nullptr : &it->second;
+  if (cells_.empty()) return nullptr;
+  const size_t slot = ProbeFor(dims);
+  return slots_[slot] == kEmptySlot ? nullptr : &cells_[slots_[slot]];
 }
 
 FlowCell* Cuboid::FindMutable(const Itemset& dims) {
-  const auto it = cells_.find(dims);
-  return it == cells_.end() ? nullptr : &it->second;
+  if (cells_.empty()) return nullptr;
+  const size_t slot = ProbeFor(dims);
+  return slots_[slot] == kEmptySlot ? nullptr : &cells_[slots_[slot]];
 }
 
 void Cuboid::Insert(FlowCell cell) {
-  Itemset key = cell.dims;
-  const auto [it, inserted] = cells_.emplace(std::move(key), std::move(cell));
-  FC_CHECK_MSG(inserted, "cell already exists in cuboid");
+  const size_t needed = SlotCapacityFor(cells_.size() + 1);
+  if (needed > slots_.size()) Rehash(needed);
+  const size_t slot = ProbeFor(cell.dims);
+  FC_CHECK_MSG(slots_[slot] == kEmptySlot, "cell already exists in cuboid");
+  slots_[slot] = static_cast<uint32_t>(cells_.size());
+  cells_.push_back(std::move(cell));
 }
 
-bool Cuboid::Erase(const Itemset& dims) { return cells_.erase(dims) > 0; }
+bool Cuboid::Erase(const Itemset& dims) {
+  if (cells_.empty()) return false;
+  const size_t mask = slots_.size() - 1;
+  size_t slot = ProbeFor(dims);
+  if (slots_[slot] == kEmptySlot) return false;
+  const uint32_t pos = slots_[slot];
+
+  // Backward-shift deletion: close the hole by sliding later entries of the
+  // probe chain down, so lookups never need tombstones.
+  size_t hole = slot;
+  size_t next = slot;
+  for (;;) {
+    next = (next + 1) & mask;
+    if (slots_[next] == kEmptySlot) break;
+    const size_t home = ItemsetHash{}(cells_[slots_[next]].dims) & mask;
+    // Entry at `next` may move into the hole only if its home slot does not
+    // lie cyclically within (hole, next].
+    const bool home_after_hole = hole <= next ? (home > hole && home <= next)
+                                              : (home > hole || home <= next);
+    if (!home_after_hole) {
+      slots_[hole] = slots_[next];
+      hole = next;
+    }
+  }
+  slots_[hole] = kEmptySlot;
+
+  // Dense-vector removal: move the last cell into the freed position and
+  // repoint its slot (found by position value — the moved-from last cell no
+  // longer has valid dims to compare against).
+  const uint32_t last = static_cast<uint32_t>(cells_.size() - 1);
+  if (pos != last) {
+    cells_[pos] = std::move(cells_[last]);
+    size_t s = ItemsetHash{}(cells_[pos].dims) & mask;
+    while (slots_[s] != last) s = (s + 1) & mask;
+    slots_[s] = pos;
+  }
+  cells_.pop_back();
+  return true;
+}
+
+std::vector<const FlowCell*> Cuboid::SortedCells() const {
+  std::vector<const FlowCell*> out;
+  out.reserve(cells_.size());
+  for (const FlowCell& cell : cells_) out.push_back(&cell);
+  std::sort(out.begin(), out.end(), [](const FlowCell* a, const FlowCell* b) {
+    return a->dims < b->dims;
+  });
+  return out;
+}
+
+size_t Cuboid::MemoryUsage() const {
+  size_t bytes = sizeof(*this);
+  bytes += item_level_.levels.capacity() * sizeof(int);
+  bytes += slots_.capacity() * sizeof(uint32_t);
+  bytes += cells_.capacity() * sizeof(FlowCell);
+  for (const FlowCell& cell : cells_) {
+    bytes += cell.dims.capacity() * sizeof(ItemId);
+    // The FlowCell footprint itself is already counted via the vector
+    // capacity; add only the graph's heap.
+    bytes += cell.graph.MemoryUsage() - sizeof(FlowGraph);
+  }
+  return bytes;
+}
 
 FlowCube::FlowCube(FlowCubePlan plan, SchemaPtr schema)
     : plan_(std::move(plan)),
@@ -102,6 +204,12 @@ size_t FlowCube::EraseRedundant() {
     }
   }
   return removed;
+}
+
+size_t FlowCube::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& c : cuboids_) bytes += c->MemoryUsage();
+  return bytes;
 }
 
 }  // namespace flowcube

@@ -1,11 +1,10 @@
 #ifndef FLOWCUBE_FLOWCUBE_FLOWCUBE_H_
 #define FLOWCUBE_FLOWCUBE_FLOWCUBE_H_
 
+#include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <vector>
-
 #include <string>
+#include <vector>
 
 #include "flowcube/plan.h"
 #include "flowgraph/flowgraph.h"
@@ -28,6 +27,13 @@ struct FlowCell {
 
 // One cuboid <Il, Pl>: all materialized cells at one item abstraction level
 // and one path abstraction level.
+//
+// Cells live in one dense std::vector (scan-friendly, no per-cell map node
+// allocations); point lookups go through a separate open-addressing index
+// of cell positions (power-of-two capacity, linear probing, backward-shift
+// deletion). Erase swaps the removed cell with the last one, so cell
+// pointers are only stable between mutations — callers must not hold a
+// FlowCell* across Insert/Erase.
 class Cuboid {
  public:
   Cuboid(ItemLevel item_level, int path_level)
@@ -37,6 +43,10 @@ class Cuboid {
   int path_level() const { return path_level_; }
 
   size_t size() const { return cells_.size(); }
+
+  // Pre-sizes the cell vector and the index for `n` cells, so a build of
+  // known cardinality never rehashes.
+  void Reserve(size_t n);
 
   // The cell with the given coordinates, or nullptr.
   const FlowCell* Find(const Itemset& dims) const;
@@ -51,17 +61,39 @@ class Cuboid {
   // Iteration over cells (unspecified order).
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (const auto& [dims, cell] : cells_) fn(cell);
+    for (const FlowCell& cell : cells_) fn(cell);
   }
   template <typename Fn>
   void ForEachMutable(Fn&& fn) {
-    for (auto& [dims, cell] : cells_) fn(&cell);
+    for (FlowCell& cell : cells_) fn(&cell);
   }
 
+  // Canonical cell order: pointers to every cell, sorted by coordinates.
+  // All order-sensitive consumers (cube dumps, checkpoint payloads, audit
+  // walks) share this one definition.
+  std::vector<const FlowCell*> SortedCells() const;
+
+  // Bytes owned by this cuboid: sizeof(*this) plus the cell vector, the
+  // lookup index, and each cell's coordinates and flowgraph heap.
+  size_t MemoryUsage() const;
+
  private:
+  // Index slot value meaning "empty".
+  static constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
+
+  // Slot holding `dims`, or the empty slot where it would go. Requires a
+  // non-empty slot table.
+  size_t ProbeFor(const Itemset& dims) const;
+  // Grows the slot table to `capacity` (power of two) and reindexes.
+  void Rehash(size_t capacity);
+  // Slot capacity needed for `n` cells at the max load factor.
+  static size_t SlotCapacityFor(size_t n);
+
   ItemLevel item_level_;
   int path_level_;
-  std::unordered_map<Itemset, FlowCell, ItemsetHash> cells_;
+  std::vector<FlowCell> cells_;
+  // Open-addressing index: slot -> position in cells_, kEmptySlot if free.
+  std::vector<uint32_t> slots_;
 };
 
 // The flowcube (paper Definition 4.1): a collection of cuboids, each
@@ -107,6 +139,11 @@ class FlowCube {
   // Drops every redundant cell, turning this into the paper's
   // *non-redundant flowcube*. Returns the number of cells removed.
   size_t EraseRedundant();
+
+  // Bytes of cell storage across all cuboids (cells, indexes, flowgraphs).
+  // The shared catalog and plan are excluded — the metric tracks the data
+  // the storage refactor owns. Surfaced as the flowcube.memory_bytes gauge.
+  size_t MemoryUsage() const;
 
   template <typename Fn>
   void ForEachCuboid(Fn&& fn) const {

@@ -21,13 +21,15 @@ void EnumeratePaths(const FlowGraph& g, FlowNodeId node, Path* prefix,
     out->push_back(TypicalPath{*prefix, prob * term});
   }
   for (FlowNodeId c : g.children(node)) {
-    // Most likely duration at the child.
+    // Most likely duration at the child: one linear scan over the node's
+    // flat (duration, count) span. Entries are sorted by duration, so ties
+    // resolve to the smallest duration.
     Duration best = kAnyDuration;
     uint32_t best_count = 0;
-    for (const auto& [d, cnt] : g.duration_counts(c)) {
-      if (cnt > best_count) {
-        best = d;
-        best_count = cnt;
+    for (const DurationCount& dc : g.duration_counts(c)) {
+      if (dc.count > best_count) {
+        best = dc.duration;
+        best_count = dc.count;
       }
     }
     prefix->stages.push_back(Stage{g.location(c), best});

@@ -106,7 +106,9 @@ std::vector<FlowException> ExceptionMiner::Mine(
     // Compare over every possible target (children + termination), so that
     // conditional probability 0 against a large global probability is also
     // recorded.
-    std::vector<FlowNodeId> targets = g.children(deepest);
+    const auto deepest_children = g.children(deepest);
+    std::vector<FlowNodeId> targets(deepest_children.begin(),
+                                    deepest_children.end());
     targets.push_back(FlowGraph::kTerminate);
     for (FlowNodeId target : targets) {
       const auto it = trans_counts.find(target);
@@ -139,7 +141,8 @@ std::vector<FlowException> ExceptionMiner::Mine(
       }
       if (n_child < options_.min_support) continue;
       // Union of conditional and global duration values.
-      std::map<Duration, uint32_t> all_values = g.duration_counts(child);
+      std::map<Duration, uint32_t> all_values;
+      for (const auto& [d, c] : g.duration_counts(child)) all_values[d] = c;
       for (const auto& [d, c] : dur_counts) all_values[d] += 0;
       for (const auto& [d, unused] : all_values) {
         const auto it = dur_counts.find(d);

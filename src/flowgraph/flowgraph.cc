@@ -1,5 +1,6 @@
 #include "flowgraph/flowgraph.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -8,7 +9,20 @@ namespace flowcube {
 
 FlowGraph::FlowGraph() { nodes_.emplace_back(); }
 
+void FlowGraph::BumpDuration(FlowNodeId n, Duration d, uint32_t by) {
+  std::vector<DurationCount>& counts = nodes_[n].duration_counts;
+  const auto it = std::lower_bound(
+      counts.begin(), counts.end(), d,
+      [](const DurationCount& e, Duration v) { return e.duration < v; });
+  if (it != counts.end() && it->duration == d) {
+    it->count += by;
+  } else {
+    counts.insert(it, DurationCount{d, by});
+  }
+}
+
 void FlowGraph::AddPath(const Path& path) {
+  FC_CHECK_MSG(!sealed_, "cannot add paths to a sealed flowgraph");
   FC_CHECK_MSG(!path.empty(), "cannot add an empty path to a flowgraph");
   nodes_[kRoot].path_count++;
   FlowNodeId cur = kRoot;
@@ -24,26 +38,27 @@ void FlowGraph::AddPath(const Path& path) {
       nodes_[cur].children.push_back(child);
     }
     nodes_[child].path_count++;
-    nodes_[child].duration_counts[s.duration]++;
+    BumpDuration(child, s.duration, 1);
     cur = child;
   }
   nodes_[cur].terminate_count++;
 }
 
 void FlowGraph::MergeFrom(const FlowGraph& other) {
-  // Iterative pairwise walk over (other node, this node).
+  FC_CHECK_MSG(!sealed_, "cannot merge into a sealed flowgraph");
+  // Iterative pairwise walk over (other node, this node). `other` is read
+  // through accessors only, so sealed graphs are valid merge sources.
   std::vector<std::pair<FlowNodeId, FlowNodeId>> work = {{kRoot, kRoot}};
   while (!work.empty()) {
     const auto [src, dst] = work.back();
     work.pop_back();
-    const Node& from = other.nodes_[src];
-    nodes_[dst].path_count += from.path_count;
-    nodes_[dst].terminate_count += from.terminate_count;
-    for (const auto& [d, c] : from.duration_counts) {
-      nodes_[dst].duration_counts[d] += c;
+    nodes_[dst].path_count += other.path_count(src);
+    nodes_[dst].terminate_count += other.terminate_count(src);
+    for (const DurationCount& dc : other.duration_counts(src)) {
+      BumpDuration(dst, dc.duration, dc.count);
     }
-    for (FlowNodeId src_child : from.children) {
-      const NodeId loc = other.nodes_[src_child].location;
+    for (FlowNodeId src_child : other.children(src)) {
+      const NodeId loc = other.location(src_child);
       FlowNodeId dst_child = FindChild(dst, loc);
       if (dst_child == kTerminate) {
         dst_child = static_cast<FlowNodeId>(nodes_.size());
@@ -59,10 +74,87 @@ void FlowGraph::MergeFrom(const FlowGraph& other) {
   }
 }
 
+void FlowGraph::Seal() {
+  if (sealed_) return;
+  const size_t n = nodes_.size();
+  size_t num_edges = 0;
+  size_t num_durations = 0;
+  for (const Node& node : nodes_) {
+    num_edges += node.children.size();
+    num_durations += node.duration_counts.size();
+  }
+
+  Columns cols;
+  cols.location.reserve(n);
+  cols.parent.reserve(n);
+  cols.depth.reserve(n);
+  cols.path_count.reserve(n);
+  cols.terminate_count.reserve(n);
+  cols.child_begin.reserve(n + 1);
+  cols.child_arena.reserve(num_edges);
+  cols.duration_begin.reserve(n + 1);
+  cols.duration_arena.reserve(num_durations);
+
+  for (const Node& node : nodes_) {
+    cols.location.push_back(node.location);
+    cols.parent.push_back(node.parent);
+    cols.depth.push_back(node.depth);
+    cols.path_count.push_back(node.path_count);
+    cols.terminate_count.push_back(node.terminate_count);
+    cols.child_begin.push_back(static_cast<uint32_t>(cols.child_arena.size()));
+    cols.child_arena.insert(cols.child_arena.end(), node.children.begin(),
+                            node.children.end());
+    cols.duration_begin.push_back(
+        static_cast<uint32_t>(cols.duration_arena.size()));
+    cols.duration_arena.insert(cols.duration_arena.end(),
+                               node.duration_counts.begin(),
+                               node.duration_counts.end());
+  }
+  cols.child_begin.push_back(static_cast<uint32_t>(cols.child_arena.size()));
+  cols.duration_begin.push_back(
+      static_cast<uint32_t>(cols.duration_arena.size()));
+
+  cols_ = std::move(cols);
+  nodes_.clear();
+  nodes_.shrink_to_fit();
+  sealed_ = true;
+}
+
+size_t FlowGraph::MemoryUsage() const {
+  size_t bytes = sizeof(*this);
+  if (sealed_) {
+    bytes += cols_.location.capacity() * sizeof(NodeId);
+    bytes += cols_.parent.capacity() * sizeof(FlowNodeId);
+    bytes += cols_.depth.capacity() * sizeof(int32_t);
+    bytes += cols_.path_count.capacity() * sizeof(uint32_t);
+    bytes += cols_.terminate_count.capacity() * sizeof(uint32_t);
+    bytes += cols_.child_begin.capacity() * sizeof(uint32_t);
+    bytes += cols_.child_arena.capacity() * sizeof(FlowNodeId);
+    bytes += cols_.duration_begin.capacity() * sizeof(uint32_t);
+    bytes += cols_.duration_arena.capacity() * sizeof(DurationCount);
+  } else {
+    bytes += nodes_.capacity() * sizeof(Node);
+    for (const Node& node : nodes_) {
+      bytes += node.children.capacity() * sizeof(FlowNodeId);
+      bytes += node.duration_counts.capacity() * sizeof(DurationCount);
+    }
+  }
+  bytes += exceptions_.capacity() * sizeof(FlowException);
+  for (const FlowException& e : exceptions_) {
+    bytes += e.condition.capacity() * sizeof(StageCondition);
+  }
+  return bytes;
+}
+
+void FlowGraph::AddException(FlowException e) {
+  FC_CHECK_MSG(!sealed_, "cannot add exceptions to a sealed flowgraph");
+  exceptions_.push_back(std::move(e));
+}
+
 FlowNodeId FlowGraph::FindChild(FlowNodeId n, NodeId loc) const {
-  FC_DCHECK(n < nodes_.size());
-  for (FlowNodeId c : nodes_[n].children) {
-    if (nodes_[c].location == loc) return c;
+  FC_DCHECK(n < num_nodes());
+  for (FlowNodeId c : children(n)) {
+    if (location(c) == loc) return c;
   }
   return kTerminate;
 }
@@ -78,25 +170,28 @@ FlowNodeId FlowGraph::Walk(const Path& path, size_t upto) const {
 }
 
 double FlowGraph::DurationProbability(FlowNodeId n, Duration d) const {
-  FC_CHECK(n < nodes_.size());
-  const Node& node = nodes_[n];
-  if (node.path_count == 0) return 0.0;
-  const auto it = node.duration_counts.find(d);
-  if (it == node.duration_counts.end()) return 0.0;
-  return static_cast<double>(it->second) / node.path_count;
+  FC_CHECK(n < num_nodes());
+  const uint32_t paths = path_count(n);
+  if (paths == 0) return 0.0;
+  const std::span<const DurationCount> counts = duration_counts(n);
+  const auto it = std::lower_bound(
+      counts.begin(), counts.end(), d,
+      [](const DurationCount& e, Duration v) { return e.duration < v; });
+  if (it == counts.end() || it->duration != d) return 0.0;
+  return static_cast<double>(it->count) / paths;
 }
 
 double FlowGraph::TransitionProbability(FlowNodeId n, FlowNodeId target) const {
-  FC_CHECK(n < nodes_.size());
-  const Node& node = nodes_[n];
-  if (node.path_count == 0) return 0.0;
+  FC_CHECK(n < num_nodes());
+  const uint32_t paths = path_count(n);
+  if (paths == 0) return 0.0;
   if (target == kTerminate) {
-    return static_cast<double>(node.terminate_count) / node.path_count;
+    return static_cast<double>(terminate_count(n)) / paths;
   }
-  FC_CHECK(target < nodes_.size());
-  FC_CHECK_MSG(nodes_[target].parent == n && target != kRoot,
+  FC_CHECK(target < num_nodes());
+  FC_CHECK_MSG(parent(target) == n && target != kRoot,
                "transition target must be a child of the node");
-  return static_cast<double>(nodes_[target].path_count) / node.path_count;
+  return static_cast<double>(path_count(target)) / paths;
 }
 
 double FlowGraph::PathProbability(const Path& path) const {

@@ -2,7 +2,7 @@
 #define FLOWCUBE_FLOWGRAPH_FLOWGRAPH_H_
 
 #include <cstdint>
-#include <map>
+#include <span>
 #include <vector>
 
 #include "path/path.h"
@@ -11,6 +11,19 @@ namespace flowcube {
 
 // Index of a node inside one FlowGraph.
 using FlowNodeId = uint32_t;
+
+// One entry of a node's stay-duration distribution: `count` paths stayed at
+// the node for exactly `duration`. A node's entries are kept sorted by
+// duration ascending, in both the mutable and the sealed representation, so
+// iteration order matches the std::map the accumulation code historically
+// used (dumps and checkpoints depend on it).
+struct DurationCount {
+  Duration duration = 0;
+  uint32_t count = 0;
+
+  friend bool operator==(const DurationCount& a,
+                         const DurationCount& b) = default;
+};
 
 // One duration (or passage) constraint of an exception condition: the path
 // visited flowgraph node `node` with the given duration (kAnyDuration = any
@@ -58,6 +71,21 @@ struct FlowException {
 // The tree is built by accumulating counts over a collection of paths
 // (AddPath); distributions are exact count ratios, which is what makes the
 // distribution component an algebraic measure (Lemma 4.2).
+//
+// The graph has two storage forms behind one accessor API:
+//
+//   * mutable (the default): node-at-a-time records, each owning its child
+//     vector and duration vector — cheap to grow while counts accumulate.
+//   * sealed (after Seal()): immutable structure-of-arrays column tables,
+//     CSR child-edge arrays, and a single flat arena of sorted
+//     (duration, count) pairs addressed by per-node spans — half the
+//     memory and scan-friendly for similarity/query/serialization.
+//
+// Seal() preserves node ids, child order, and duration order exactly, so
+// every derived artifact (dump text, checkpoint bytes, probabilities) is
+// bit-identical across the two forms. Mutation (AddPath / MergeFrom /
+// AddException) is only legal on the mutable form; a sealed graph can still
+// be a *source* of MergeFrom.
 class FlowGraph {
  public:
   // Sentinel transition target meaning "path terminates here".
@@ -68,28 +96,51 @@ class FlowGraph {
 
   FlowGraph();
 
-  // Accumulates one path into the counts.
+  // Accumulates one path into the counts. Requires !sealed().
   void AddPath(const Path& path);
 
   // Adds `other`'s counts into this graph, creating missing branches — the
   // algebraic aggregation of Lemma 4.2. Exceptions are holistic (Lemma
   // 4.3) and are NOT merged; this graph's exception list is left unchanged
-  // and should be re-mined when needed.
+  // and should be re-mined when needed. Requires !sealed(); `other` may be
+  // in either form.
   void MergeFrom(const FlowGraph& other);
 
-  size_t num_nodes() const { return nodes_.size(); }
+  // Freezes the graph into the columnar form. Idempotent. Accessors keep
+  // returning the same values; mutating entry points FC_CHECK afterwards.
+  void Seal();
+  bool sealed() const { return sealed_; }
+
+  // Bytes owned by this graph: sizeof(*this) plus all heap the current
+  // representation holds (node records, child edges, duration entries,
+  // exceptions).
+  size_t MemoryUsage() const;
+
+  size_t num_nodes() const {
+    return sealed_ ? cols_.location.size() : nodes_.size();
+  }
 
   // Total number of paths added.
-  uint32_t total_paths() const { return nodes_[kRoot].path_count; }
+  uint32_t total_paths() const { return path_count(kRoot); }
 
   // --- Node structure -------------------------------------------------------
 
-  NodeId location(FlowNodeId n) const { return nodes_[n].location; }
-  FlowNodeId parent(FlowNodeId n) const { return nodes_[n].parent; }
-  const std::vector<FlowNodeId>& children(FlowNodeId n) const {
-    return nodes_[n].children;
+  NodeId location(FlowNodeId n) const {
+    return sealed_ ? cols_.location[n] : nodes_[n].location;
   }
-  int depth(FlowNodeId n) const { return nodes_[n].depth; }
+  FlowNodeId parent(FlowNodeId n) const {
+    return sealed_ ? cols_.parent[n] : nodes_[n].parent;
+  }
+  std::span<const FlowNodeId> children(FlowNodeId n) const {
+    if (sealed_) {
+      return {cols_.child_arena.data() + cols_.child_begin[n],
+              cols_.child_begin[n + 1] - cols_.child_begin[n]};
+    }
+    return {nodes_[n].children.data(), nodes_[n].children.size()};
+  }
+  int depth(FlowNodeId n) const {
+    return sealed_ ? cols_.depth[n] : nodes_[n].depth;
+  }
 
   // Child of `n` whose location is `loc`, or kTerminate if none.
   FlowNodeId FindChild(FlowNodeId n, NodeId loc) const;
@@ -102,14 +153,22 @@ class FlowGraph {
   // --- Counts and distributions ----------------------------------------------
 
   // Paths passing through the node.
-  uint32_t path_count(FlowNodeId n) const { return nodes_[n].path_count; }
+  uint32_t path_count(FlowNodeId n) const {
+    return sealed_ ? cols_.path_count[n] : nodes_[n].path_count;
+  }
   // Paths terminating at the node.
   uint32_t terminate_count(FlowNodeId n) const {
-    return nodes_[n].terminate_count;
+    return sealed_ ? cols_.terminate_count[n] : nodes_[n].terminate_count;
   }
-  // Count of each observed stay duration at the node.
-  const std::map<Duration, uint32_t>& duration_counts(FlowNodeId n) const {
-    return nodes_[n].duration_counts;
+  // Count of each observed stay duration at the node, sorted by duration
+  // ascending.
+  std::span<const DurationCount> duration_counts(FlowNodeId n) const {
+    if (sealed_) {
+      return {cols_.duration_arena.data() + cols_.duration_begin[n],
+              cols_.duration_begin[n + 1] - cols_.duration_begin[n]};
+    }
+    return {nodes_[n].duration_counts.data(),
+            nodes_[n].duration_counts.size()};
   }
 
   // P(duration = d | at node), exact count ratio.
@@ -126,18 +185,18 @@ class FlowGraph {
 
   // --- Exceptions (paper Section 3) ------------------------------------------
 
-  void AddException(FlowException e) {
-    exceptions_.push_back(std::move(e));
-  }
+  void AddException(FlowException e);
   const std::vector<FlowException>& exceptions() const { return exceptions_; }
 
  private:
   // Corruption backdoor for tests/audit_test.cc.
   friend struct FlowGraphTestPeer;
-  // Checkpoint codec (src/stream/checkpoint.cc): serializes nodes_ verbatim
-  // (children order included) so a restored graph dumps byte-identically.
+  // Checkpoint codec (src/stream/checkpoint.cc): serializes the node
+  // tables verbatim (children order included) so a restored graph dumps
+  // byte-identically.
   friend struct FlowGraphSerializer;
 
+  // Mutable accumulation form: one record per node.
   struct Node {
     NodeId location = kInvalidNode;
     FlowNodeId parent = kRoot;
@@ -145,10 +204,31 @@ class FlowGraph {
     std::vector<FlowNodeId> children;
     uint32_t path_count = 0;
     uint32_t terminate_count = 0;
-    std::map<Duration, uint32_t> duration_counts;
+    // Sorted by duration ascending; AddPath/MergeFrom insert in place.
+    std::vector<DurationCount> duration_counts;
   };
 
-  std::vector<Node> nodes_;
+  // Sealed columnar form: parallel columns indexed by node id, plus CSR
+  // offset arrays (num_nodes + 1 entries) into the two shared arenas.
+  struct Columns {
+    std::vector<NodeId> location;
+    std::vector<FlowNodeId> parent;
+    std::vector<int32_t> depth;
+    std::vector<uint32_t> path_count;
+    std::vector<uint32_t> terminate_count;
+    std::vector<uint32_t> child_begin;
+    std::vector<FlowNodeId> child_arena;
+    std::vector<uint32_t> duration_begin;
+    std::vector<DurationCount> duration_arena;
+  };
+
+  // Increments the count of duration `d` at mutable node `n`, keeping the
+  // entries sorted.
+  void BumpDuration(FlowNodeId n, Duration d, uint32_t by);
+
+  std::vector<Node> nodes_;  // empty once sealed
+  Columns cols_;             // empty until sealed
+  bool sealed_ = false;
   std::vector<FlowException> exceptions_;
 };
 

@@ -1,8 +1,8 @@
 #include "flowgraph/similarity.h"
 
+#include <algorithm>
 #include <cmath>
-#include <map>
-#include <utility>
+#include <span>
 #include <vector>
 
 #include "common/logging.h"
@@ -12,47 +12,65 @@ namespace {
 
 constexpr double kLn2 = 0.6931471805599453;
 
-// A categorical distribution keyed by int64 outcomes (locations cast up,
-// kTerminate mapped to a sentinel, durations as-is).
-using Categorical = std::map<int64_t, double>;
+// One outcome of a categorical distribution keyed by int64 (locations cast
+// up, kTerminate mapped to a sentinel, durations as-is). Distributions are
+// flat vectors sorted by key ascending — the same iteration order the
+// std::map-based implementation had, so every floating-point sum is
+// performed in the identical order and distances stay bit-identical.
+struct Outcome {
+  int64_t key = 0;
+  double p = 0.0;
+};
 
-double KlDivergence(const Categorical& p, const Categorical& q,
-                    double smoothing) {
-  // Support union with additive smoothing.
-  Categorical keys = p;
-  for (const auto& [k, v] : q) keys.emplace(k, 0.0);
-  const double n = static_cast<double>(keys.size());
-  double d = 0.0;
-  for (const auto& [k, unused] : keys) {
-    const auto pi = p.find(k);
-    const auto qi = q.find(k);
-    const double pp =
-        ((pi != p.end() ? pi->second : 0.0) + smoothing) / (1.0 + smoothing * n);
-    const double qq =
-        ((qi != q.end() ? qi->second : 0.0) + smoothing) / (1.0 + smoothing * n);
-    d += pp * std::log(pp / qq);
+using Categorical = std::span<const Outcome>;
+
+// Calls fn(pp, qq) for every key in the union of p's and q's keys, in
+// ascending key order, with 0.0 for the side missing the key.
+template <typename Fn>
+void ForEachUnion(Categorical p, Categorical q, Fn&& fn) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < p.size() || j < q.size()) {
+    if (j == q.size() || (i < p.size() && p[i].key < q[j].key)) {
+      fn(p[i].p, 0.0);
+      ++i;
+    } else if (i == p.size() || q[j].key < p[i].key) {
+      fn(0.0, q[j].p);
+      ++j;
+    } else {
+      fn(p[i].p, q[j].p);
+      ++i;
+      ++j;
+    }
   }
+}
+
+double KlDivergence(Categorical p, Categorical q, double smoothing) {
+  // Support union with additive smoothing.
+  size_t union_size = 0;
+  ForEachUnion(p, q, [&](double, double) { ++union_size; });
+  const double n = static_cast<double>(union_size);
+  double d = 0.0;
+  ForEachUnion(p, q, [&](double pv, double qv) {
+    const double pp = (pv + smoothing) / (1.0 + smoothing * n);
+    const double qq = (qv + smoothing) / (1.0 + smoothing * n);
+    d += pp * std::log(pp / qq);
+  });
   return d;
 }
 
 // Jensen-Shannon divergence normalized to [0, 1].
-double JsDivergence(const Categorical& p, const Categorical& q) {
-  Categorical keys = p;
-  for (const auto& [k, v] : q) keys.emplace(k, 0.0);
+double JsDivergence(Categorical p, Categorical q) {
   double d = 0.0;
-  for (const auto& [k, unused] : keys) {
-    const auto pi = p.find(k);
-    const auto qi = q.find(k);
-    const double pp = pi != p.end() ? pi->second : 0.0;
-    const double qq = qi != q.end() ? qi->second : 0.0;
+  ForEachUnion(p, q, [&](double pp, double qq) {
     const double m = 0.5 * (pp + qq);
     if (pp > 0.0) d += 0.5 * pp * std::log(pp / m);
     if (qq > 0.0) d += 0.5 * qq * std::log(qq / m);
-  }
+  });
   return d / kLn2;
 }
 
-double Divergence(const Categorical& p, const Categorical& q,
+double Divergence(Categorical p, Categorical q,
                   const SimilarityOptions& options) {
   switch (options.kind) {
     case DivergenceKind::kJensenShannon:
@@ -69,36 +87,53 @@ double MaxDivergence(const SimilarityOptions& options) {
   switch (options.kind) {
     case DivergenceKind::kJensenShannon:
       return 1.0;
-    case DivergenceKind::kKullbackLeibler:
+    case DivergenceKind::kKullbackLeibler: {
       // Disjoint binary supports under the configured smoothing.
-      return KlDivergence({{0, 1.0}}, {{1, 1.0}}, options.kl_smoothing);
+      const Outcome zero[] = {{0, 1.0}};
+      const Outcome one[] = {{1, 1.0}};
+      return KlDivergence(zero, one, options.kl_smoothing);
+    }
   }
   return 1.0;
 }
 
 constexpr int64_t kTerminateKey = -1;
 
-Categorical TransitionCategorical(const FlowGraph& g, FlowNodeId n) {
-  Categorical out;
+void FillTransitionCategorical(const FlowGraph& g, FlowNodeId n,
+                               std::vector<Outcome>* out) {
+  out->clear();
+  out->push_back({kTerminateKey, g.TransitionProbability(n, FlowGraph::kTerminate)});
   for (FlowNodeId c : g.children(n)) {
-    out[static_cast<int64_t>(g.location(c))] = g.TransitionProbability(n, c);
+    out->push_back({static_cast<int64_t>(g.location(c)),
+                    g.TransitionProbability(n, c)});
   }
-  out[kTerminateKey] = g.TransitionProbability(n, FlowGraph::kTerminate);
-  return out;
+  // Children are in insertion order; the flat distribution must be sorted by
+  // key (the terminate sentinel -1 stays first). Locations are unique among
+  // siblings, so the sort is a permutation with no ties.
+  std::sort(out->begin(), out->end(),
+            [](const Outcome& a, const Outcome& b) { return a.key < b.key; });
 }
 
-Categorical DurationCategorical(const FlowGraph& g, FlowNodeId n) {
-  Categorical out;
+void FillDurationCategorical(const FlowGraph& g, FlowNodeId n,
+                             std::vector<Outcome>* out) {
+  out->clear();
   const double total = g.path_count(n);
-  for (const auto& [d, c] : g.duration_counts(n)) {
-    out[d] = c / total;
+  // duration_counts are sorted by duration already — a straight linear copy.
+  for (const DurationCount& dc : g.duration_counts(n)) {
+    out->push_back({dc.duration, dc.count / total});
   }
-  return out;
 }
 
 struct Accumulator {
   double weighted_divergence = 0.0;
   double total_weight = 0.0;
+};
+
+// Reusable scratch buffers so the recursion allocates only on the deepest
+// first descent.
+struct Scratch {
+  std::vector<Outcome> lhs;
+  std::vector<Outcome> rhs;
 };
 
 double ReachProbability(const FlowGraph& g, FlowNodeId n) {
@@ -111,7 +146,7 @@ double ReachProbability(const FlowGraph& g, FlowNodeId n) {
 // side has no counterpart).
 void Accumulate(const FlowGraph& a, const FlowGraph& b, FlowNodeId na,
                 FlowNodeId nb, const SimilarityOptions& options,
-                Accumulator* acc) {
+                Scratch* scratch, Accumulator* acc) {
   const bool in_a = na != FlowGraph::kTerminate;
   const bool in_b = nb != FlowGraph::kTerminate;
   FC_CHECK(in_a || in_b);
@@ -121,24 +156,27 @@ void Accumulate(const FlowGraph& a, const FlowGraph& b, FlowNodeId na,
   if (w <= 0.0) return;
 
   if (in_a && in_b) {
-    const double dt = Divergence(TransitionCategorical(a, na),
-                                 TransitionCategorical(b, nb), options);
+    FillTransitionCategorical(a, na, &scratch->lhs);
+    FillTransitionCategorical(b, nb, &scratch->rhs);
+    const double dt = Divergence(scratch->lhs, scratch->rhs, options);
     if (na == FlowGraph::kRoot) {
       // The root has no stay duration; only its transition mix counts.
       acc->weighted_divergence += w * dt;
     } else {
-      const double dd = Divergence(DurationCategorical(a, na),
-                                   DurationCategorical(b, nb), options);
+      FillDurationCategorical(a, na, &scratch->lhs);
+      FillDurationCategorical(b, nb, &scratch->rhs);
+      const double dd = Divergence(scratch->lhs, scratch->rhs, options);
       acc->weighted_divergence += w * 0.5 * (dt + dd);
     }
     acc->total_weight += w;
     // Recurse on the union of child locations.
     for (FlowNodeId ca : a.children(na)) {
-      Accumulate(a, b, ca, b.FindChild(nb, a.location(ca)), options, acc);
+      Accumulate(a, b, ca, b.FindChild(nb, a.location(ca)), options, scratch,
+                 acc);
     }
     for (FlowNodeId cb : b.children(nb)) {
       if (a.FindChild(na, b.location(cb)) == FlowGraph::kTerminate) {
-        Accumulate(a, b, FlowGraph::kTerminate, cb, options, acc);
+        Accumulate(a, b, FlowGraph::kTerminate, cb, options, scratch, acc);
       }
     }
     return;
@@ -160,7 +198,9 @@ double FlowGraphDistance(const FlowGraph& a, const FlowGraph& b,
     return MaxDivergence(options);
   }
   Accumulator acc;
-  Accumulate(a, b, FlowGraph::kRoot, FlowGraph::kRoot, options, &acc);
+  Scratch scratch;
+  Accumulate(a, b, FlowGraph::kRoot, FlowGraph::kRoot, options, &scratch,
+             &acc);
   if (acc.total_weight <= 0.0) return 0.0;
   return acc.weighted_divergence / acc.total_weight;
 }

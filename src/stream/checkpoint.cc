@@ -66,24 +66,28 @@ Status DecodeRecord(ByteReader* r, PathRecord* rec) {
 
 }  // namespace
 
-// Serializes FlowGraph node tables verbatim — children order, duration count
-// maps, and the exception list included — so a restored graph renders
-// byte-identically under DumpFlowCube. Friend of FlowGraph.
+// Serializes FlowGraph node tables verbatim — children order, sorted
+// duration counts, and the exception list included — so a restored graph
+// renders byte-identically under DumpFlowCube. Reads through the accessor
+// API (both storage forms encode identically); decoding accumulates into
+// the mutable form and seals the finished graph. Friend of FlowGraph.
 struct FlowGraphSerializer {
   static void Encode(const FlowGraph& g, ByteWriter* w) {
-    w->U64(g.nodes_.size());
-    for (const FlowGraph::Node& n : g.nodes_) {
-      w->U32(n.location);
-      w->U32(n.parent);
-      w->U32(static_cast<uint32_t>(n.depth));
-      w->U64(n.children.size());
-      for (FlowNodeId c : n.children) w->U32(c);
-      w->U32(n.path_count);
-      w->U32(n.terminate_count);
-      w->U64(n.duration_counts.size());
-      for (const auto& [d, count] : n.duration_counts) {
-        w->I64(d);
-        w->U32(count);
+    w->U64(g.num_nodes());
+    for (FlowNodeId n = 0; n < g.num_nodes(); ++n) {
+      w->U32(g.location(n));
+      w->U32(g.parent(n));
+      w->U32(static_cast<uint32_t>(g.depth(n)));
+      const auto children = g.children(n);
+      w->U64(children.size());
+      for (FlowNodeId c : children) w->U32(c);
+      w->U32(g.path_count(n));
+      w->U32(g.terminate_count(n));
+      const auto durations = g.duration_counts(n);
+      w->U64(durations.size());
+      for (const DurationCount& dc : durations) {
+        w->I64(dc.duration);
+        w->U32(dc.count);
       }
     }
     w->U64(g.exceptions_.size());
@@ -156,7 +160,7 @@ struct FlowGraphSerializer {
           return Corrupt("flowgraph duration counts out of order");
         }
         prev = value;
-        n.duration_counts.emplace(value, count);
+        n.duration_counts.push_back(DurationCount{value, count});
       }
       g->nodes_.push_back(std::move(n));
     }
@@ -197,6 +201,10 @@ struct FlowGraphSerializer {
       }
       g->exceptions_.push_back(std::move(e));
     }
+    // Cube-resident graphs are sealed everywhere (batch build, stream
+    // re-seal, restore); sealing here keeps the restored cube's layout —
+    // and MemoryUsage accounting — identical to a freshly built one.
+    g->Seal();
     return Status::OK();
   }
 };
@@ -269,13 +277,7 @@ class CheckpointCodec {
     for (size_t i = 0; i < m.plan_.item_levels.size(); ++i) {
       for (size_t p = 0; p < m.plan_.path_levels.size(); ++p) {
         const Cuboid& cuboid = m.cube_.cuboid(i, p);
-        std::vector<const FlowCell*> cells;
-        cells.reserve(cuboid.size());
-        cuboid.ForEach([&cells](const FlowCell& c) { cells.push_back(&c); });
-        std::sort(cells.begin(), cells.end(),
-                  [](const FlowCell* a, const FlowCell* b) {
-                    return a->dims < b->dims;
-                  });
+        const std::vector<const FlowCell*> cells = cuboid.SortedCells();
         w->U32(static_cast<uint32_t>(i));
         w->U32(static_cast<uint32_t>(p));
         w->U64(cells.size());

@@ -25,6 +25,9 @@ struct MaintainMetrics {
   Counter& cells_demoted;
   Counter& redundancy_updates;
   Gauge& live_records;
+  // Shared with the batch builder: whoever touched the cube last reports
+  // its current storage footprint.
+  Gauge& memory_bytes;
 
   static MaintainMetrics& Get() {
     MetricRegistry& reg = MetricRegistry::Global();
@@ -35,7 +38,8 @@ struct MaintainMetrics {
                              reg.counter("stream.maintain.cells_promoted"),
                              reg.counter("stream.maintain.cells_demoted"),
                              reg.counter("stream.maintain.redundancy_updates"),
-                             reg.gauge("stream.maintain.live_records")};
+                             reg.gauge("stream.maintain.live_records"),
+                             reg.gauge("flowcube.memory_bytes")};
     return m;
   }
 };
@@ -149,6 +153,12 @@ Status IncrementalMaintainer::ApplyRecords(std::span<const PathRecord> records,
                    std::numeric_limits<uint32_t>::max(),
                "transaction id space exhausted");
 
+  // The delta size is known up front: pre-size the live indexes once so the
+  // append loop never reallocates mid-batch.
+  const size_t total_records = records_.size() + records.size();
+  records_.reserve(total_records);
+  for (std::vector<Path>& paths : agg_) paths.reserve(total_records);
+
   std::vector<KeySet> dirty(plan_.item_levels.size());
   for (const PathRecord& rec : records) {
     AppendToIndexes(rec, &dirty);
@@ -176,6 +186,7 @@ Status IncrementalMaintainer::ApplyRecords(std::span<const PathRecord> records,
   metrics.cells_demoted.Add(stats->cells_demoted);
   metrics.redundancy_updates.Add(stats->redundancy_updates);
   metrics.live_records.Set(static_cast<int64_t>(live_record_count()));
+  metrics.memory_bytes.Set(static_cast<int64_t>(cube_.MemoryUsage()));
   return Status::OK();
 }
 

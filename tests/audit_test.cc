@@ -1,6 +1,5 @@
 #include "common/audit.h"
 
-#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -24,8 +23,8 @@ struct FlowGraphTestPeer {
   static FlowNodeId& Parent(FlowGraph& g, FlowNodeId n) {
     return g.nodes_[n].parent;
   }
-  static std::map<Duration, uint32_t>& DurationCounts(FlowGraph& g,
-                                                      FlowNodeId n) {
+  static std::vector<DurationCount>& DurationCounts(FlowGraph& g,
+                                                    FlowNodeId n) {
     return g.nodes_[n].duration_counts;
   }
 };
@@ -146,7 +145,7 @@ TEST(AuditFlowGraphTest, DetectsCorruptedDurationDistribution) {
   FlowGraph g = BuildFlowGraph(PaperPaths(MakePaperDatabase()));
   ASSERT_GT(g.num_nodes(), 1u);
   ASSERT_FALSE(FlowGraphTestPeer::DurationCounts(g, 1).empty());
-  FlowGraphTestPeer::DurationCounts(g, 1).begin()->second += 3;
+  FlowGraphTestPeer::DurationCounts(g, 1).begin()->count += 3;
   const AuditReport report = AuditFlowGraph(g);
   EXPECT_FALSE(report.ok());
   EXPECT_TRUE(HasViolationContaining(report, "duration"))

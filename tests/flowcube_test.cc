@@ -194,6 +194,47 @@ TEST_F(FlowCubeTest, RedundancyMarkingAndErasure) {
   EXPECT_EQ(cube_->RedundantCells(), 0u);
 }
 
+TEST_F(FlowCubeTest, CellOrAncestorFallsBackAfterEraseRedundant) {
+  // Compressing the cube must not lose answers: (clothing, *) is redundant
+  // w.r.t. the apex (identical path set), so after EraseRedundant() a direct
+  // lookup misses but the ancestor fallback still serves the same flowgraph
+  // from (*, *).
+  FlowCubeQuery query(cube_.get());
+  const Result<CellRef> direct = query.Cell({"clothing", "*"});
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(direct->cell->redundant);
+  const uint32_t support_before = direct->cell->support;
+
+  ASSERT_GT(cube_->EraseRedundant(), 0u);
+
+  EXPECT_EQ(query.Cell({"clothing", "*"}).status().code(),
+            Status::Code::kNotFound);
+  const Result<CellRef> fallback = query.CellOrAncestor({"clothing", "*"});
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_EQ(cube_->CellName(fallback->cell->dims), "(*, *)");
+  // Redundancy (Definition 4.4) means the ancestor describes the same path
+  // set, so the answer the fallback serves is as good as the erased cell's.
+  EXPECT_EQ(fallback->cell->support, support_before);
+
+  // Non-redundant cells still resolve directly after compression.
+  const Result<CellRef> shoes = query.CellOrAncestor({"shoes", "nike"});
+  ASSERT_TRUE(shoes.ok());
+  EXPECT_EQ(cube_->CellName(shoes->cell->dims), "(shoes, nike)");
+  EXPECT_EQ(shoes->cell->support, 3u);
+}
+
+TEST_F(FlowCubeTest, CellOrAncestorIsDeterministicOnCompressedCube) {
+  cube_->EraseRedundant();
+  FlowCubeQuery query(cube_.get());
+  const Result<CellRef> first = query.CellOrAncestor({"clothing", "*"});
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 3; ++i) {
+    const Result<CellRef> again = query.CellOrAncestor({"clothing", "*"});
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->cell, first->cell);
+  }
+}
+
 TEST_F(FlowCubeTest, ApexIsNeverRedundant) {
   const int il = plan_.FindItemLevel(ItemLevel{{0, 0}});
   const FlowCell* apex =

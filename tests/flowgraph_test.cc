@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -158,6 +159,97 @@ TEST_F(FlowGraphTest, RenderContainsStructure) {
   EXPECT_NE(text.find("dist.center p=0.62"), std::string::npos);
   EXPECT_NE(text.find("dur{"), std::string::npos);
   EXPECT_NE(text.find("(terminate)"), std::string::npos);
+}
+
+// --- Sealed columnar form ---------------------------------------------------
+
+// Every accessor must return the same values before and after Seal(): node
+// ids, child order, duration order, counts, and the derived probabilities.
+void ExpectSameGraph(const FlowGraph& a, const FlowGraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.total_paths(), b.total_paths());
+  for (FlowNodeId n = 0; n < a.num_nodes(); ++n) {
+    EXPECT_EQ(a.location(n), b.location(n));
+    EXPECT_EQ(a.parent(n), b.parent(n));
+    EXPECT_EQ(a.depth(n), b.depth(n));
+    EXPECT_EQ(a.path_count(n), b.path_count(n));
+    EXPECT_EQ(a.terminate_count(n), b.terminate_count(n));
+    const auto ca = a.children(n);
+    const auto cb = b.children(n);
+    ASSERT_TRUE(std::equal(ca.begin(), ca.end(), cb.begin(), cb.end()));
+    const auto da = a.duration_counts(n);
+    const auto db = b.duration_counts(n);
+    ASSERT_TRUE(std::equal(da.begin(), da.end(), db.begin(), db.end()));
+  }
+}
+
+class FlowGraphSealTest : public FlowGraphTest {};
+
+TEST_F(FlowGraphSealTest, SealPreservesEveryAccessor) {
+  FlowGraph sealed = BuildFlowGraph(paths_);
+  sealed.Seal();
+  ASSERT_TRUE(sealed.sealed());
+  ASSERT_FALSE(graph_.sealed());
+  ExpectSameGraph(graph_, sealed);
+  // Derived quantities are bit-identical too (same counts, same arithmetic).
+  for (const Path& p : paths_) {
+    EXPECT_EQ(graph_.Walk(p), sealed.Walk(p));
+    EXPECT_DOUBLE_EQ(graph_.PathProbability(p), sealed.PathProbability(p));
+  }
+  const FlowNodeId f = Node({"factory"});
+  EXPECT_EQ(sealed.FindChild(FlowGraph::kRoot, Loc("factory")), f);
+  EXPECT_DOUBLE_EQ(sealed.DurationProbability(f, 5), 3.0 / 8);
+  EXPECT_DOUBLE_EQ(sealed.DurationProbability(f, 11), 0.0);
+}
+
+TEST_F(FlowGraphSealTest, SealIsIdempotent) {
+  FlowGraph sealed = BuildFlowGraph(paths_);
+  sealed.Seal();
+  sealed.Seal();
+  ExpectSameGraph(graph_, sealed);
+}
+
+TEST_F(FlowGraphSealTest, SealNeverGrowsMemory) {
+  FlowGraph g = BuildFlowGraph(paths_);
+  const size_t mutable_bytes = g.MemoryUsage();
+  g.Seal();
+  const size_t sealed_bytes = g.MemoryUsage();
+  EXPECT_GT(sealed_bytes, sizeof(FlowGraph));
+  // The columnar form drops per-node vector headers and heap slack; it may
+  // tie on degenerate graphs but must never cost more.
+  EXPECT_LE(sealed_bytes, mutable_bytes);
+}
+
+TEST_F(FlowGraphSealTest, SealedGraphIsAValidMergeSource) {
+  FlowGraph sealed = BuildFlowGraph(paths_);
+  sealed.Seal();
+  FlowGraph acc;
+  acc.MergeFrom(sealed);
+  EXPECT_FALSE(acc.sealed());
+  // MergeFrom assigns node ids in its own traversal order, so compare
+  // structurally: same per-path model, same size, same totals.
+  ASSERT_EQ(acc.num_nodes(), graph_.num_nodes());
+  EXPECT_EQ(acc.total_paths(), graph_.total_paths());
+  for (const Path& p : paths_) {
+    EXPECT_DOUBLE_EQ(acc.PathProbability(p), graph_.PathProbability(p));
+  }
+}
+
+TEST_F(FlowGraphSealTest, MutationAfterSealAborts) {
+  FlowGraph sealed = BuildFlowGraph(paths_);
+  sealed.Seal();
+  EXPECT_DEATH(sealed.AddPath(paths_[0]), "sealed");
+  EXPECT_DEATH(sealed.MergeFrom(graph_), "sealed");
+}
+
+TEST(FlowGraphSealEdge, EmptyGraphSeals) {
+  FlowGraph g;
+  g.Seal();
+  EXPECT_TRUE(g.sealed());
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.total_paths(), 0u);
+  EXPECT_TRUE(g.children(FlowGraph::kRoot).empty());
+  EXPECT_TRUE(g.duration_counts(FlowGraph::kRoot).empty());
 }
 
 TEST(FlowGraphEdge, EmptyGraphHasOnlyRoot) {

@@ -15,6 +15,7 @@
 // regardless of what other tests ran first, and nothing is lost from the
 // process totals.
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <set>
@@ -117,7 +118,9 @@ void ExpectSameSubtree(const FlowGraph& a, FlowNodeId na, const FlowGraph& b,
                        FlowNodeId nb) {
   EXPECT_EQ(a.path_count(na), b.path_count(nb));
   EXPECT_EQ(a.terminate_count(na), b.terminate_count(nb));
-  EXPECT_EQ(a.duration_counts(na), b.duration_counts(nb));
+  const auto da = a.duration_counts(na);
+  const auto db = b.duration_counts(nb);
+  EXPECT_TRUE(std::equal(da.begin(), da.end(), db.begin(), db.end()));
   ASSERT_EQ(a.children(na).size(), b.children(nb).size());
   for (FlowNodeId ca : a.children(na)) {
     const FlowNodeId cb = b.FindChild(nb, a.location(ca));
@@ -182,6 +185,79 @@ TEST(FlowGraphInvariant, MergeFromAccumulatesInPlace) {
   const FlowGraph direct = BuildFlowGraph(PathView(paths));
   ASSERT_EQ(acc.num_nodes(), direct.num_nodes());
   ExpectSameSubtree(acc, FlowGraph::kRoot, direct, FlowGraph::kRoot);
+}
+
+// --- Compression completeness ----------------------------------------------
+
+// The value-name coordinate of a cell: one name per dimension, "*" for
+// dimensions the itemset leaves at the top level.
+std::vector<std::string> CoordinateOf(const FlowCell& cell,
+                                      const ItemCatalog& cat,
+                                      const PathSchema& schema) {
+  std::vector<std::string> values(schema.num_dimensions(), "*");
+  for (const ItemId id : cell.dims) {
+    const size_t dim = cat.DimOf(id);
+    values[dim] = schema.dimensions[dim].Name(cat.NodeOf(id));
+  }
+  return values;
+}
+
+// Erasing redundant cells (Definition 4.4) is lossless by construction:
+// every coordinate the full cube answered must still be answerable through
+// CellOrAncestor, the ancestor's support can only grow, and the fallback
+// must be deterministic. Cells that survive compression must resolve to
+// themselves.
+TEST(CompressionInvariant, EveryCoordinateSurvivesEraseRedundant) {
+  struct Recorded {
+    std::vector<std::string> values;
+    uint32_t support;
+    bool redundant;
+  };
+  for (const bool use_paper_db : {true, false}) {
+    SCOPED_TRACE(use_paper_db ? "paper" : "generated");
+    const PathDatabase db =
+        use_paper_db ? MakePaperDatabase() : SmallWorkload(13, 200);
+    const FlowCubePlan plan = FlowCubePlan::Default(db.schema()).value();
+    FlowCubeBuilderOptions opts;
+    opts.min_support = use_paper_db ? 2 : 5;
+    opts.compute_exceptions = false;
+    Result<FlowCube> built = FlowCubeBuilder(opts).Build(db, plan);
+    ASSERT_TRUE(built.ok());
+    FlowCube& cube = built.value();
+    const ItemCatalog& cat = cube.catalog();
+
+    std::vector<Recorded> recorded;
+    for (size_t il = 0; il < plan.item_levels.size(); ++il) {
+      cube.cuboid(il, 0).ForEach([&](const FlowCell& cell) {
+        recorded.push_back({CoordinateOf(cell, cat, db.schema()),
+                            cell.support, cell.redundant});
+      });
+    }
+    ASSERT_FALSE(recorded.empty());
+
+    const size_t erased = cube.EraseRedundant();
+    if (use_paper_db) {
+      EXPECT_GT(erased, 0u);
+    }
+
+    const FlowCubeQuery query(&cube);
+    for (const Recorded& r : recorded) {
+      SCOPED_TRACE(testing::PrintToString(r.values));
+      const Result<CellRef> ref = query.CellOrAncestor(r.values);
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+      // The ancestor aggregates a superset of the coordinate's paths.
+      EXPECT_GE(ref->cell->support, r.support);
+      if (!r.redundant) {
+        // Survivors answer for themselves, with their exact support.
+        EXPECT_EQ(CoordinateOf(*ref->cell, cat, db.schema()), r.values);
+        EXPECT_EQ(ref->cell->support, r.support);
+      }
+      // Deterministic fallback: asking again lands on the same cell.
+      const Result<CellRef> again = query.CellOrAncestor(r.values);
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(again->cell, ref->cell);
+    }
+  }
 }
 
 // --- Metrics-counter consistency -------------------------------------------
