@@ -30,6 +30,9 @@
 namespace flowcube::bench {
 
 inline double ScaleFromEnv() {
+  // Benchmark knobs are read from the main thread before any worker
+  // starts, and nothing in the process calls setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* s = std::getenv("FLOWCUBE_BENCH_SCALE");
   if (s == nullptr) return 0.2;
   const double v = std::atof(s);
@@ -37,6 +40,7 @@ inline double ScaleFromEnv() {
 }
 
 inline bool ForceBasic() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): same single-threaded setup path
   const char* s = std::getenv("FLOWCUBE_BENCH_BASIC");
   return s != nullptr && s[0] == '1';
 }
@@ -144,6 +148,8 @@ class BenchJson {
     out += "\n}\n";
 
     std::string path = "BENCH_" + name_ + ".json";
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): report writing is post-run,
+    // single-threaded, and nothing in the process calls setenv
     if (const char* dir = std::getenv("FLOWCUBE_BENCH_JSON_DIR")) {
       if (dir[0] != '\0') path = std::string(dir) + "/" + path;
     }

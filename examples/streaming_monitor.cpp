@@ -40,7 +40,10 @@ namespace {
 
 constexpr int64_t kBinSeconds = 3600;
 
+// getenv in the two helpers below is safe: both run from main() before any
+// pipeline thread starts, and nothing in the process calls setenv.
 size_t EnvSize(const char* name, size_t fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* s = std::getenv(name);
   if (s == nullptr || s[0] == '\0') return fallback;
   const long v = std::atol(s);
@@ -48,6 +51,7 @@ size_t EnvSize(const char* name, size_t fallback) {
 }
 
 std::string EnvStr(const char* name, const char* fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* s = std::getenv(name);
   return (s != nullptr && s[0] != '\0') ? s : fallback;
 }

@@ -1,0 +1,82 @@
+#include "fuzz/harness.h"
+
+#include <string>
+#include <string_view>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "flowcube/dump.h"
+#include "gen/path_generator.h"
+#include "stream/checkpoint.h"
+#include "stream/incremental_maintainer.h"
+
+namespace flowcube {
+namespace {
+
+// DecodeCheckpoint validates the checkpoint against the pipeline config the
+// caller restored with, so the harness decodes against one fixed fixture —
+// the same small two-dimension schema the checkpoint tests and the seed
+// corpus use. Built once; the fuzzer then hammers the decoder with mutated
+// bytes against it.
+struct CheckpointFixture {
+  SchemaPtr schema;
+  FlowCubePlan plan;
+  IncrementalMaintainerOptions options;
+
+  CheckpointFixture() {
+    GeneratorConfig cfg;
+    cfg.num_dimensions = 2;
+    cfg.dim_distinct_per_level = {2, 2, 2};
+    cfg.num_location_groups = 3;
+    cfg.locations_per_group = 3;
+    cfg.num_sequences = 6;
+    cfg.min_sequence_length = 2;
+    cfg.max_sequence_length = 5;
+    cfg.seed = 909;
+    PathGenerator gen(cfg);
+    PathDatabase db = gen.Generate(1);
+    schema = db.schema_ptr();
+    Result<FlowCubePlan> made = FlowCubePlan::Default(db.schema());
+    FC_CHECK(made.ok());
+    plan = made.value();
+    options.build.min_support = 2;
+  }
+};
+
+const CheckpointFixture& Fixture() {
+  static const CheckpointFixture* fixture = new CheckpointFixture();
+  return *fixture;
+}
+
+}  // namespace
+
+int FuzzCheckpoint(const uint8_t* data, size_t size) {
+  const CheckpointFixture& fx = Fixture();
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  Result<RestoredPipeline> restored =
+      DecodeCheckpoint(bytes, fx.schema, fx.plan, fx.options);
+  if (!restored.ok()) return 0;  // rejected cleanly — the common path
+
+  // An accepted checkpoint must re-encode byte-identically: the format has
+  // exactly one serialization of any pipeline state.
+  const IngestorState* state = restored->ingestor_state.has_value()
+                                   ? &*restored->ingestor_state
+                                   : nullptr;
+  const std::string reencoded =
+      EncodeCheckpoint(restored->maintainer, state);
+  FC_CHECK_MSG(reencoded == bytes,
+               "accepted checkpoint did not re-encode byte-identically "
+               "(input " << size << " bytes, re-encoded " << reencoded.size()
+                         << " bytes)");
+
+  // And restoring the re-encoding must yield the same cube.
+  Result<RestoredPipeline> second =
+      DecodeCheckpoint(reencoded, fx.schema, fx.plan, fx.options);
+  FC_CHECK(second.ok());
+  FC_CHECK(DumpFlowCube(second->maintainer.cube()) ==
+           DumpFlowCube(restored->maintainer.cube()));
+  return 0;
+}
+
+}  // namespace flowcube

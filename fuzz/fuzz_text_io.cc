@@ -1,0 +1,12 @@
+// libFuzzer entry point for the text path-database parser. The harness
+// logic lives in text_io_harness.cc so the corpus regression test can link
+// both harnesses into one gtest binary without colliding entry points.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return flowcube::FuzzTextIo(data, size);
+}

@@ -1,0 +1,30 @@
+#ifndef FLOWCUBE_FUZZ_HARNESS_H_
+#define FLOWCUBE_FUZZ_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flowcube {
+
+// Fuzz harnesses for the two untrusted-bytes decode surfaces. Each takes an
+// arbitrary byte buffer, must never crash / trip a sanitizer, and asserts
+// the library's own round-trip invariants on inputs that decode cleanly
+// (FC_CHECK failures become fuzzer crashes, so the invariants are part of
+// the oracle). Both always return 0 — libFuzzer reserves nonzero.
+//
+// These functions are wrapped by fuzz_text_io.cc / fuzz_checkpoint.cc for
+// the standalone fuzz binaries and linked directly into
+// tests/fuzz_regression_test.cc to replay the checked-in corpora.
+
+// io/text_io.h: ReadPathDatabase on an arbitrary text stream. Accepted
+// inputs must re-serialize idempotently (write∘read is stable after one
+// normalization pass).
+int FuzzTextIo(const uint8_t* data, size_t size);
+
+// stream/checkpoint.h: DecodeCheckpoint against a fixed schema/plan/options
+// fixture. Accepted inputs must re-encode byte-identically.
+int FuzzCheckpoint(const uint8_t* data, size_t size);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_FUZZ_HARNESS_H_

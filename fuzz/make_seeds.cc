@@ -1,0 +1,125 @@
+// Regenerates the checked-in seed corpora under fuzz/corpus/. Every seed is
+// produced by the library's own writers from seeded generator configs, so
+// the corpus is reproducible: same binary, same bytes.
+//
+//   fuzz_make_seeds <corpus-dir>     # writes <dir>/text_io/ and <dir>/checkpoint/
+//
+// The checkpoint seeds use the same fixture config as checkpoint_harness.cc
+// and tests/stream_checkpoint_test.cc — DecodeCheckpoint validates a config
+// fingerprint, so seeds built against any other config would be rejected at
+// the first branch and teach the fuzzer nothing about the payload grammar.
+
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+
+#include "common/logging.h"
+#include "gen/path_generator.h"
+#include "io/text_io.h"
+#include "stream/checkpoint.h"
+#include "stream/incremental_maintainer.h"
+
+namespace flowcube {
+namespace {
+
+void WriteFile(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  FC_CHECK_MSG(out.good(), "cannot open " << path.string());
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  FC_CHECK(out.good());
+}
+
+GeneratorConfig FixtureConfig() {
+  GeneratorConfig cfg;
+  cfg.num_dimensions = 2;
+  cfg.dim_distinct_per_level = {2, 2, 2};
+  cfg.num_location_groups = 3;
+  cfg.locations_per_group = 3;
+  cfg.num_sequences = 6;
+  cfg.min_sequence_length = 2;
+  cfg.max_sequence_length = 5;
+  cfg.seed = 909;
+  return cfg;
+}
+
+void MakeTextIoSeeds(const std::filesystem::path& dir) {
+  // A spread of schema shapes and record counts; plus the two degenerate
+  // grammars a mutator discovers slowly on its own.
+  struct Spec {
+    int dims;
+    int records;
+    uint64_t seed;
+  };
+  const Spec specs[] = {{1, 1, 7}, {2, 10, 909}, {3, 25, 31}, {2, 0, 5}};
+  int n = 0;
+  for (const Spec& spec : specs) {
+    GeneratorConfig cfg = FixtureConfig();
+    cfg.num_dimensions = spec.dims;
+    cfg.seed = spec.seed;
+    PathGenerator gen(cfg);
+    PathDatabase db = gen.Generate(spec.records);
+    Status wrote = WritePathDatabaseFile(
+        db, (dir / ("seed_" + std::to_string(n++) + ".txt")).string());
+    FC_CHECK(wrote.ok());
+  }
+  WriteFile(dir / "seed_header_only.txt", "flowcube-paths v1\n");
+  WriteFile(dir / "seed_empty.txt", "");
+}
+
+void MakeCheckpointSeeds(const std::filesystem::path& dir) {
+  PathGenerator gen(FixtureConfig());
+  PathDatabase db = gen.Generate(60);
+  Result<FlowCubePlan> plan = FlowCubePlan::Default(db.schema());
+  FC_CHECK(plan.ok());
+  IncrementalMaintainerOptions options;
+  options.build.min_support = 2;
+
+  int n = 0;
+  for (size_t records : {size_t{0}, size_t{8}, size_t{40}}) {
+    Result<IncrementalMaintainer> m =
+        IncrementalMaintainer::Create(db.schema_ptr(), plan.value(), options);
+    FC_CHECK(m.ok());
+    FC_CHECK(m->ApplyRecords(std::span<const PathRecord>(db.records())
+                                 .subspan(0, records))
+                 .ok());
+    WriteFile(dir / ("seed_" + std::to_string(n++) + ".fcsp"),
+              EncodeCheckpoint(m.value(), nullptr));
+  }
+
+  // One seed with resumable ingestor state so the optional tail section is
+  // in the corpus too.
+  Result<IncrementalMaintainer> m =
+      IncrementalMaintainer::Create(db.schema_ptr(), plan.value(), options);
+  FC_CHECK(m.ok());
+  FC_CHECK(m->ApplyRecords(std::span<const PathRecord>(db.records())
+                               .subspan(0, 12))
+               .ok());
+  IngestorState state;
+  state.registrations[7] = db.record(0).dims;
+  state.registrations[9] = db.record(1).dims;
+  state.open_readings[7] = {
+      RawReading{7, db.record(0).path.stages[0].location, 100},
+      RawReading{7, db.record(0).path.stages[0].location, 700}};
+  state.watermark = 700;
+  state.batches_processed = 3;
+  WriteFile(dir / ("seed_" + std::to_string(n++) + ".fcsp"),
+            EncodeCheckpoint(m.value(), &state));
+}
+
+}  // namespace
+}  // namespace flowcube
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path root(argv[1]);
+  std::filesystem::create_directories(root / "text_io");
+  std::filesystem::create_directories(root / "checkpoint");
+  flowcube::MakeTextIoSeeds(root / "text_io");
+  flowcube::MakeCheckpointSeeds(root / "checkpoint");
+  std::fprintf(stderr, "seed corpora written under %s\n", argv[1]);
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "fuzz/harness.h"
+
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "io/text_io.h"
+#include "path/path_database.h"
+
+namespace flowcube {
+
+int FuzzTextIo(const uint8_t* data, size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(input);
+  Result<PathDatabase> db = ReadPathDatabase(in);
+  if (!db.ok()) return 0;  // clean rejection is the common, correct path
+
+  // Anything the parser accepts must round-trip stably: one write
+  // normalizes, and read∘write is then the identity on the text form.
+  std::ostringstream first;
+  Status wrote = WritePathDatabase(db.value(), first);
+  FC_CHECK_MSG(wrote.ok(),
+               "accepted database failed to serialize: " << wrote.ToString());
+
+  std::istringstream again(first.str());
+  Result<PathDatabase> db2 = ReadPathDatabase(again);
+  FC_CHECK_MSG(db2.ok(), "serialized form failed to re-parse: "
+                             << db2.status().ToString());
+
+  std::ostringstream second;
+  FC_CHECK(WritePathDatabase(db2.value(), second).ok());
+  FC_CHECK_MSG(first.str() == second.str(),
+               "text round trip is not idempotent");
+  return 0;
+}
+
+}  // namespace flowcube

@@ -5,7 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
-#include <unordered_map>
+#include <map>
 
 #include "common/string_util.h"
 
@@ -570,7 +570,9 @@ AuditReport AuditFlowCube(const FlowCube& cube, uint32_t min_support,
       for (size_t p = 0; p < plan.path_levels.size(); ++p) {
         const Cuboid& general_cuboid = cube.cuboid(gi, p);
         const Cuboid& specific_cuboid = cube.cuboid(si, p);
-        std::unordered_map<Itemset, uint64_t, ItemsetHash> rolled_support;
+        // Ordered map: the failure report must name violations in a
+        // deterministic (lexicographic-key) order, and audits are cold.
+        std::map<Itemset, uint64_t> rolled_support;
         for (const FlowCell* cell_ptr : specific_cuboid.SortedCells()) {
           const FlowCell& cell = *cell_ptr;
           const Itemset up = RollUpCell(cell.dims, general, catalog);

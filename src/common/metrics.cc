@@ -64,7 +64,7 @@ double Histogram::BucketMid(int bucket) {
 }
 
 void Histogram::Record(double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (count_ == 0 || value < min_) min_ = value;
   if (count_ == 0 || value > max_) max_ = value;
   count_++;
@@ -73,7 +73,7 @@ void Histogram::Record(double value) {
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Snapshot s;
   s.count = count_;
   s.sum = sum_;
@@ -107,7 +107,7 @@ Histogram::Snapshot Histogram::snapshot() const {
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   count_ = 0;
   sum_ = min_ = max_ = 0.0;
   std::memset(buckets_, 0, sizeof(buckets_));
@@ -119,7 +119,7 @@ MetricRegistry& MetricRegistry::Global() {
 }
 
 Counter& MetricRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -129,7 +129,7 @@ Counter& MetricRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -138,7 +138,7 @@ Gauge& MetricRegistry::gauge(std::string_view name) {
 }
 
 Histogram& MetricRegistry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -148,14 +148,14 @@ Histogram& MetricRegistry::histogram(std::string_view name) {
 }
 
 void MetricRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
 }
 
 ScopedEpoch::ScopedEpoch(MetricRegistry& registry) : registry_(registry) {
-  std::lock_guard<std::mutex> lock(registry_.mu_);
+  MutexLock lock(registry_.mu_);
   for (auto& [name, c] : registry_.counters_) {
     counters_[name] = c->value();
     c->Reset();
@@ -167,7 +167,7 @@ ScopedEpoch::ScopedEpoch(MetricRegistry& registry) : registry_(registry) {
   for (auto& [name, h] : registry_.histograms_) {
     HistogramState s;
     {
-      std::lock_guard<std::mutex> hlock(h->mu_);
+      MutexLock hlock(h->mu_);
       s.count = h->count_;
       s.sum = h->sum_;
       s.min = h->min_;
@@ -180,7 +180,7 @@ ScopedEpoch::ScopedEpoch(MetricRegistry& registry) : registry_(registry) {
 }
 
 ScopedEpoch::~ScopedEpoch() {
-  std::lock_guard<std::mutex> lock(registry_.mu_);
+  MutexLock lock(registry_.mu_);
   // Counters and histograms are cumulative: the scope's activity adds onto
   // the snapshot. Instruments first registered inside the scope have no
   // snapshot entry and already hold pure scope activity.
@@ -201,7 +201,7 @@ ScopedEpoch::~ScopedEpoch() {
     const auto it = registry_.histograms_.find(name);
     if (it == registry_.histograms_.end() || saved.count == 0) continue;
     Histogram& h = *it->second;
-    std::lock_guard<std::mutex> hlock(h.mu_);
+    MutexLock hlock(h.mu_);
     if (h.count_ == 0) {
       h.min_ = saved.min;
       h.max_ = saved.max;
@@ -218,7 +218,7 @@ ScopedEpoch::~ScopedEpoch() {
 }
 
 std::string MetricRegistry::RenderText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, c] : counters_) {
     out += StrFormat("%-48s %20llu\n", name.c_str(),
@@ -240,7 +240,7 @@ std::string MetricRegistry::RenderText() const {
 }
 
 std::string MetricRegistry::RenderJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -275,7 +275,7 @@ std::string MetricRegistry::RenderJson() const {
 }
 
 std::string MetricRegistry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, c] : counters_) {
     const std::string p = PromName(name);
@@ -316,6 +316,9 @@ MetricsFormat ParseMetricsFormat(std::string_view value) {
 }
 
 MetricsFormat MetricsFormatFromEnv() {
+  // getenv is safe here: read-only and resolved once, at first use, from
+  // the thread that renders metrics (nothing in the process calls setenv).
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("FLOWCUBE_METRICS");
   return env == nullptr ? MetricsFormat::kNone : ParseMetricsFormat(env);
 }

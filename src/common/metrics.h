@@ -6,10 +6,11 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace flowcube {
 
@@ -93,12 +94,12 @@ class Histogram {
   static int BucketOf(double value);
   static double BucketMid(int bucket);
 
-  mutable std::mutex mu_;
-  uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-  uint64_t buckets_[kNumBuckets] = {};
+  mutable Mutex mu_;
+  uint64_t count_ FC_GUARDED_BY(mu_) = 0;
+  double sum_ FC_GUARDED_BY(mu_) = 0.0;
+  double min_ FC_GUARDED_BY(mu_) = 0.0;
+  double max_ FC_GUARDED_BY(mu_) = 0.0;
+  uint64_t buckets_[kNumBuckets] FC_GUARDED_BY(mu_) = {};
 };
 
 // The process-global instrument registry. Instrument references returned by
@@ -132,11 +133,16 @@ class MetricRegistry {
  private:
   friend class ScopedEpoch;
 
-  mutable std::mutex mu_;
-  // Node-based maps: stable addresses + deterministic render order.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mu_;
+  // Node-based maps: stable addresses + deterministic render order. The
+  // maps are guarded; the pointed-to instruments are internally
+  // synchronized and outlive every reference handed out.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      FC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      FC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      FC_GUARDED_BY(mu_);
 };
 
 // An isolation scope over a registry (the process-global one by default):

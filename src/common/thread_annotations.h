@@ -1,0 +1,118 @@
+#ifndef FLOWCUBE_COMMON_THREAD_ANNOTATIONS_H_
+#define FLOWCUBE_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+// Clang Thread Safety Analysis (DESIGN.md §11). Every lock in the tree is
+// declared through the capability-annotated wrappers below, so the
+// `thread-safety` preset (-Wthread-safety -Werror under clang) proves at
+// compile time that each GUARDED_BY member is only touched with its mutex
+// held and that every REQUIRES contract is met at each call site. Under
+// compilers without the attribute (gcc builds this tree too) the macros
+// expand to nothing and the wrappers cost exactly a std::mutex.
+//
+// Conventions:
+//   - data members shared across threads carry GUARDED_BY(mu_);
+//   - private helpers called with the lock held carry
+//     FC_EXCLUSIVE_LOCKS_REQUIRED(mu_) instead of re-locking;
+//   - public methods never require callers to hold internal locks
+//     (FC_LOCKS_EXCLUDED documents the few that would self-deadlock);
+//   - condition waits go through CondVar::Wait(mu) inside a while loop over
+//     the guarded predicate, which the analysis can check — the predicate
+//     lambda of std::condition_variable::wait cannot be annotated.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define FC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef FC_THREAD_ANNOTATION
+#define FC_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define FC_CAPABILITY(x) FC_THREAD_ANNOTATION(capability(x))
+#define FC_SCOPED_CAPABILITY FC_THREAD_ANNOTATION(scoped_lockable)
+#define FC_GUARDED_BY(x) FC_THREAD_ANNOTATION(guarded_by(x))
+#define FC_PT_GUARDED_BY(x) FC_THREAD_ANNOTATION(pt_guarded_by(x))
+#define FC_ACQUIRE(...) \
+  FC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FC_RELEASE(...) \
+  FC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FC_TRY_ACQUIRE(...) \
+  FC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define FC_EXCLUSIVE_LOCKS_REQUIRED(...) \
+  FC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FC_LOCKS_EXCLUDED(...) \
+  FC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define FC_ACQUIRED_AFTER(...) \
+  FC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define FC_ACQUIRED_BEFORE(...) \
+  FC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define FC_RETURN_CAPABILITY(x) FC_THREAD_ANNOTATION(lock_returned(x))
+#define FC_NO_THREAD_SAFETY_ANALYSIS \
+  FC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace flowcube {
+
+// std::mutex with a declared capability, so members can be GUARDED_BY it
+// and functions can REQUIRE it. Satisfies BasicLockable (lowercase
+// lock/unlock) for CondVar below.
+class FC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() FC_ACQUIRE() { mu_.lock(); }
+  void Unlock() FC_RELEASE() { mu_.unlock(); }
+  bool TryLock() FC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable interface for std::condition_variable_any. Do not call
+  // directly; the analysis only tracks Lock/Unlock/MutexLock.
+  void lock() FC_ACQUIRE() { mu_.lock(); }
+  void unlock() FC_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock whose scope the analysis understands (scoped_lockable).
+class FC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FC_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() FC_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable bound to fc Mutex. Wait releases and reacquires `mu`,
+// which the caller must hold; the REQUIRES contract makes forgetting the
+// lock a compile error instead of UB. Always wait in a loop:
+//
+//   MutexLock lock(mu_);
+//   while (!predicate_over_guarded_state()) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, blocks, and reacquires before returning.
+  // Spurious wakeups happen; re-check the predicate.
+  void Wait(Mutex& mu) FC_EXCLUSIVE_LOCKS_REQUIRED(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_COMMON_THREAD_ANNOTATIONS_H_

@@ -18,6 +18,9 @@ thread_local bool t_in_pool_task = false;
 
 size_t ResolveNumThreads(int requested) {
   if (requested >= 1) return static_cast<size_t>(requested);
+  // getenv is safe here: read-only, and pools are created from one thread
+  // before any workers exist (nothing in the process calls setenv).
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("FLOWCUBE_THREADS")) {
     const int v = std::atoi(env);
     if (v >= 1) return static_cast<size_t>(v);
@@ -36,26 +39,35 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::WorkerMain(size_t worker_index) {
   uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
-    if (stop_) return;
-    seen = generation_;
-    Job* job = job_;
-    lock.unlock();
+    Job* job = nullptr;
+    {
+      MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen) wake_cv_.Wait(mu_);
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
     RunShard(job, worker_index + 1);  // shard 0 is the caller
-    lock.lock();
-    if (--workers_busy_ == 0) done_cv_.notify_one();
+    {
+      MutexLock lock(mu_);
+      if (--workers_busy_ == 0) done_cv_.NotifyOne();
+    }
   }
+}
+
+void ThreadPool::RecordError(Job* job, std::exception_ptr error) {
+  MutexLock lock(mu_);
+  if (!job->error) job->error = std::move(error);
 }
 
 void ThreadPool::RunShard(Job* job, size_t shard) {
@@ -69,8 +81,7 @@ void ThreadPool::RunShard(Job* job, size_t shard) {
     try {
       (*job->fn)(shard, begin, end);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!job->error) job->error = std::current_exception();
+      RecordError(job, std::current_exception());
       break;  // abandon remaining chunks; others drain their current one
     }
   }
@@ -110,18 +121,19 @@ void ThreadPool::ParallelForChunks(
   job.chunk = std::max(grain, n / (num_threads() * 8));
   job.fn = &fn;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = &job;
     workers_busy_ = workers_.size();
     generation_++;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   RunShard(&job, 0);
   Stopwatch wait_watch;
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return workers_busy_ == 0; });
-  job_ = nullptr;
-  lock.unlock();
+  {
+    MutexLock lock(mu_);
+    while (workers_busy_ != 0) done_cv_.Wait(mu_);
+    job_ = nullptr;
+  }
   m_wait_seconds.Record(wait_watch.ElapsedSeconds());
   m_job_seconds.Record(job_watch.ElapsedSeconds());
   if (job.error) std::rethrow_exception(job.error);

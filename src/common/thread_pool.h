@@ -2,13 +2,13 @@
 #define FLOWCUBE_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace flowcube {
 
@@ -63,23 +63,29 @@ class ThreadPool {
     size_t chunk = 1;
     const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
     std::atomic<size_t> next{0};
-    std::exception_ptr error;  // first failure; guarded by pool mutex
+    // First failure. Written under the pool mutex (RecordError); read by
+    // the caller only after every worker drained, which the mutex
+    // handshake orders — the analysis cannot express a capability living
+    // in another object, hence no GUARDED_BY here.
+    std::exception_ptr error;
   };
 
   void WorkerMain(size_t worker_index);
   // Grabs chunks of the current job until the range (or an error) exhausts
   // them. `shard` is this participant's stable index.
   void RunShard(Job* job, size_t shard);
+  // Stores the shard's exception as the job's first failure.
+  void RecordError(Job* job, std::exception_ptr error) FC_LOCKS_EXCLUDED(mu_);
 
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable wake_cv_;   // workers wait for a new generation
-  std::condition_variable done_cv_;   // caller waits for workers_busy_ == 0
-  uint64_t generation_ = 0;
-  size_t workers_busy_ = 0;
-  Job* job_ = nullptr;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar wake_cv_;   // workers wait for a new generation
+  CondVar done_cv_;   // caller waits for workers_busy_ == 0
+  uint64_t generation_ FC_GUARDED_BY(mu_) = 0;
+  size_t workers_busy_ FC_GUARDED_BY(mu_) = 0;
+  Job* job_ FC_GUARDED_BY(mu_) = nullptr;
+  bool stop_ FC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace flowcube

@@ -10,7 +10,8 @@ namespace {
 
 std::chrono::steady_clock::time_point TraceEpoch() {
   static const std::chrono::steady_clock::time_point epoch =
-      std::chrono::steady_clock::now();
+      // fc-lint: allow(raw-clock): the process trace epoch is the one
+      std::chrono::steady_clock::now();  // shared monotonic-clock anchor
   return epoch;
 }
 
@@ -26,8 +27,9 @@ uint32_t CurrentThreadIndex() {
 }  // namespace
 
 double TraceNowSeconds() {
+  // fc-lint: allow(raw-clock): trace timestamps are monotonic span timing,
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       TraceEpoch())
+                                       TraceEpoch())  // never data-derived
       .count();
 }
 
@@ -37,18 +39,18 @@ TraceSink& TraceSink::Global() {
 }
 
 void TraceSink::SetEnabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   enabled_ = enabled;
 }
 
 bool TraceSink::enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return enabled_;
 }
 
 void TraceSink::Record(std::string_view name, double start_seconds,
                        double duration_seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!enabled_) return;
   if (events_.size() >= kMaxEvents) {
     dropped_++;
@@ -62,23 +64,23 @@ void TraceSink::Record(std::string_view name, double start_seconds,
 }
 
 std::vector<TraceEvent> TraceSink::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 uint64_t TraceSink::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 void TraceSink::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
   dropped_ = 0;
 }
 
 std::string TraceSink::RenderText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const TraceEvent& e : events_) {
     out += StrFormat("%12.6fs +%.6fs  t%u  %s\n", e.start_seconds,
@@ -92,7 +94,7 @@ std::string TraceSink::RenderText() const {
 }
 
 std::string TraceSink::RenderJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "[";
   bool first = true;
   for (const TraceEvent& e : events_) {

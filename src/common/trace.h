@@ -3,10 +3,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace flowcube {
 
@@ -68,10 +69,10 @@ class TraceSink {
   // Enough for every phase of a large build; per-item spans do not exist.
   static constexpr size_t kMaxEvents = 65536;
 
-  mutable std::mutex mu_;
-  bool enabled_ = false;
-  uint64_t dropped_ = 0;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  bool enabled_ FC_GUARDED_BY(mu_) = false;
+  uint64_t dropped_ FC_GUARDED_BY(mu_) = 0;
+  std::vector<TraceEvent> events_ FC_GUARDED_BY(mu_);
 };
 
 // Seconds since the process trace epoch.

@@ -1,14 +1,13 @@
 #ifndef FLOWCUBE_STREAM_BOUNDED_QUEUE_H_
 #define FLOWCUBE_STREAM_BOUNDED_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 
 namespace flowcube {
 
@@ -18,6 +17,20 @@ namespace flowcube {
 // of buffering unboundedly; Pop blocks while it is empty. Close() wakes
 // every waiter: pending items still drain, then Pop returns nullopt and
 // Push returns false.
+//
+// Shutdown contract (exercised by tests/bounded_queue_stress_test.cc):
+//   - Push/TryPush return false iff the item was NOT enqueued; a true
+//     return means some Pop will (or already did) observe the item, even
+//     when Close() lands immediately after.
+//   - After Close(), no Push succeeds — not even into free capacity — so
+//     the set of delivered items is exactly the set of accepted pushes.
+//   - Pop drains the backlog after Close() and only then returns nullopt;
+//     a Push blocked on a full queue at Close() time wakes and fails
+//     without enqueueing (its item is dropped at the call site, never
+//     half-delivered).
+// Every state transition happens under mu_, so the close/pop interleaving
+// has no window where an accepted item could be lost or a closed queue
+// could accept one.
 template <typename T>
 class BoundedQueue {
  public:
@@ -31,61 +44,60 @@ class BoundedQueue {
   // Blocks until there is room (or the queue is closed). Returns false —
   // dropping `item` — iff the queue was closed.
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    MutexLock lock(mu_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mu_);
     if (closed_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   // Non-blocking Push. Returns false when full or closed.
   bool TryPush(T item) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   // Blocks until an item is available (or the queue is closed *and*
   // drained, which yields nullopt).
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   // Non-blocking Pop: nullopt when nothing is queued right now.
   std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   // Marks the queue closed and wakes every blocked Push/Pop. Idempotent.
   void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -93,11 +105,11 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ FC_GUARDED_BY(mu_);
+  bool closed_ FC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace flowcube

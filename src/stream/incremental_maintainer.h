@@ -65,6 +65,14 @@ struct ApplyStats {
 // union path database after every Apply — cells are assembled through the
 // same flowcube/cell_build.h primitives, and the per-cell local segment
 // miner is exact (mining/local_segments.h).
+//
+// Threading contract: the maintainer holds no locks and must be externally
+// synchronized — one logical owner calls Apply, and cube() readers must not
+// overlap an Apply. The planned serving layer keeps this class
+// single-writer and publishes immutable sealed-cube snapshots to readers
+// via epoch/RCU pointer swap instead of locking here (ROADMAP: concurrent
+// query serving); the thread-safety preset keeps that boundary honest by
+// annotating every lock that does exist in src/common and src/stream.
 class IncrementalMaintainer {
  public:
   // Validates plan/options against the schema. Rejects

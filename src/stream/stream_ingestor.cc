@@ -70,14 +70,14 @@ Status StreamIngestor::RegisterItem(EpcId epc, std::vector<NodeId> dims) {
           StrFormat("dimension %zu value id out of range", d));
     }
   }
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   state_.registrations[epc] = std::move(dims);
   return Status::OK();
 }
 
 Status StreamIngestor::Push(std::vector<RawReading> batch) {
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     if (closed_) {
       return Status::FailedPrecondition("ingestor is closed");
     }
@@ -87,7 +87,7 @@ Status StreamIngestor::Push(std::vector<RawReading> batch) {
       static_cast<int64_t>(raw_queue_.size() + 1));
   if (!raw_queue_.Push(std::move(batch))) {
     // Closed between the check above and the enqueue.
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     batches_pushed_--;
     return Status::FailedPrecondition("ingestor is closed");
   }
@@ -96,16 +96,17 @@ Status StreamIngestor::Push(std::vector<RawReading> batch) {
 
 void StreamIngestor::Close() {
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     closed_ = true;
   }
   raw_queue_.Close();
 }
 
 void StreamIngestor::Flush() {
-  std::unique_lock<std::mutex> lock(state_mu_);
-  drained_cv_.wait(
-      lock, [this] { return state_.batches_processed == batches_pushed_; });
+  MutexLock lock(state_mu_);
+  while (state_.batches_processed != batches_pushed_) {
+    drained_cv_.Wait(state_mu_);
+  }
 }
 
 std::optional<StreamDelta> StreamIngestor::Pop() { return delta_queue_.Pop(); }
@@ -115,7 +116,7 @@ std::optional<StreamDelta> StreamIngestor::TryPop() {
 }
 
 IngestorState StreamIngestor::SnapshotState() {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return state_;
 }
 
@@ -134,7 +135,7 @@ void StreamIngestor::ProcessBatch(std::vector<RawReading> batch,
   IngestMetrics& metrics = IngestMetrics::Get();
   StreamDelta delta;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     delta.batch_sequence = state_.batches_processed;
     for (const RawReading& r : batch) {
       state_.watermark = std::max(state_.watermark, r.timestamp);
@@ -189,9 +190,9 @@ void StreamIngestor::ProcessBatch(std::vector<RawReading> batch,
     delta_queue_.Push(std::move(delta));
   }
   if (!flush_all) {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     state_.batches_processed++;
-    drained_cv_.notify_all();
+    drained_cv_.NotifyAll();
   }
 }
 

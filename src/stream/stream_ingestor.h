@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "path/path.h"
 #include "rfid/cleaner.h"
 #include "rfid/discretizer.h"
@@ -145,11 +146,11 @@ class StreamIngestor {
   BoundedQueue<std::vector<RawReading>> raw_queue_;
   BoundedQueue<StreamDelta> delta_queue_;
 
-  std::mutex state_mu_;
-  std::condition_variable drained_cv_;
-  IngestorState state_;
-  uint64_t batches_pushed_ = 0;
-  bool closed_ = false;
+  Mutex state_mu_;
+  CondVar drained_cv_;
+  IngestorState state_ FC_GUARDED_BY(state_mu_);
+  uint64_t batches_pushed_ FC_GUARDED_BY(state_mu_) = 0;
+  bool closed_ FC_GUARDED_BY(state_mu_) = false;
 
   std::thread worker_;
 };

@@ -17,6 +17,9 @@ TEST(ResolveNumThreadsTest, ExplicitRequestWins) {
   EXPECT_EQ(ResolveNumThreads(7), 7u);
 }
 
+// getenv/setenv are mt-unsafe, but this test runs before any pool thread
+// exists and gtest runs tests single-threaded.
+// NOLINTBEGIN(concurrency-mt-unsafe)
 TEST(ResolveNumThreadsTest, EnvDrivesDefault) {
   const char* saved = std::getenv("FLOWCUBE_THREADS");
   const std::string saved_value = saved ? saved : "";
@@ -36,6 +39,7 @@ TEST(ResolveNumThreadsTest, EnvDrivesDefault) {
     unsetenv("FLOWCUBE_THREADS");
   }
 }
+// NOLINTEND(concurrency-mt-unsafe)
 
 TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
   ThreadPool pool(4);

@@ -15,12 +15,21 @@ Enforced conventions (see DESIGN.md, "Lint workflow"):
   4. `using namespace` at file scope is banned in headers and in src/ and
      tests/ translation units (bench/example binaries may import the
      project's own namespace).
+  5. With --self-contained, every header under src/ (and fuzz/harness.h)
+     must compile standalone: a one-line TU that includes only that header
+     is syntax-checked, so a header can never depend on its includer's
+     includes. Run via the `include-check` CMake target (which passes the
+     configured compiler) or tools/lint.sh.
 
 Exit status 0 when the tree is clean; 1 with one "file:line: message" per
 violation otherwise.
 """
 
+import argparse
+import concurrent.futures
+import os
 import re
+import subprocess
 import sys
 from pathlib import Path
 
@@ -83,6 +92,10 @@ def check_includes(path, lines, errors):
                 f"angle brackets"
             )
             continue
+        # fuzz/ headers are path-qualified from the repo root (they sit
+        # outside src/ so the fuzz targets stay out of the library).
+        if target.startswith("fuzz/") and (REPO / target).is_file():
+            continue
         if not (SRC / target).is_file() and not (path.parent / target).is_file():
             errors.append(
                 f"{path}:{i + 1}: quoted include \"{target}\" resolves "
@@ -110,7 +123,62 @@ def check_using_namespace(path, lines, errors):
             errors.append(f"{path}:{i + 1}: file-scope 'using namespace'")
 
 
+def self_contained_headers():
+    """Headers that must compile standalone: everything under src/, plus
+    the fuzz harness interface (tests include it across roots)."""
+    headers = sorted(SRC.rglob("*.h"))
+    harness = REPO / "fuzz" / "harness.h"
+    if harness.is_file():
+        headers.append(harness)
+    return headers
+
+
+def check_self_contained(compiler: str, jobs: int, errors):
+    """Syntax-checks a one-include TU per header. A header that only
+    compiles after its includer pulled in something else fails here."""
+
+    def compile_one(header: Path):
+        rel = (
+            header.relative_to(SRC)
+            if header.is_relative_to(SRC)
+            else header.relative_to(REPO)
+        )
+        tu = f'#include "{rel.as_posix()}"\n'
+        cmd = [
+            compiler, "-std=c++20", "-fsyntax-only",
+            "-I", str(SRC), "-I", str(REPO),
+            "-x", "c++", "-",
+        ]
+        proc = subprocess.run(cmd, input=tu, capture_output=True, text=True)
+        if proc.returncode != 0:
+            detail = proc.stderr.strip().splitlines()
+            return (
+                f"{header}:1: header is not self-contained "
+                f"({' | '.join(detail[:3])})"
+            )
+        return None
+
+    headers = self_contained_headers()
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for result in pool.map(compile_one, headers):
+            if result is not None:
+                errors.append(result)
+    return len(headers)
+
+
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--self-contained", action="store_true",
+        help="also compile every src/ header standalone (-fsyntax-only)")
+    parser.add_argument(
+        "--compiler", default=os.environ.get("CXX", "c++"),
+        help="compiler for --self-contained (default: $CXX or c++)")
+    parser.add_argument(
+        "--jobs", type=int, default=os.cpu_count() or 4,
+        help="parallel compiles for --self-contained")
+    args = parser.parse_args()
+
     errors = []
     scanned = 0
     for root in SCAN_ROOTS:
@@ -128,12 +196,17 @@ def main() -> int:
             if path.suffix == ".h" or root in ("src", "tests"):
                 check_using_namespace(path, lines, errors)
 
+    compiled = 0
+    if args.self_contained:
+        compiled = check_self_contained(args.compiler, args.jobs, errors)
+
     for e in errors:
         print(e, file=sys.stderr)
-    print(
-        f"check_includes: {scanned} files scanned, {len(errors)} violation(s)",
-        file=sys.stderr,
-    )
+    summary = f"check_includes: {scanned} files scanned"
+    if args.self_contained:
+        summary += f", {compiled} headers syntax-checked standalone"
+    summary += f", {len(errors)} violation(s)"
+    print(summary, file=sys.stderr)
     return 1 if errors else 0
 
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/fc_lint.py against the known-bad fixtures in
+tools/lint_fixtures/. Runs the regex engine (--no-libclang) so results
+are identical with and without libclang installed."""
+
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent
+FC_LINT = TOOLS / "fc_lint.py"
+FIXTURES = TOOLS / "lint_fixtures"
+
+
+def run_lint(*argv):
+    proc = subprocess.run(
+        [sys.executable, str(FC_LINT), "--no-libclang", *argv],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stderr
+
+
+class FcLintTest(unittest.TestCase):
+
+    def assert_findings(self, output, *fragments):
+        for fragment in fragments:
+            self.assertIn(fragment, output, msg=f"full output:\n{output}")
+
+    def test_unordered_iteration_in_canonical_path(self):
+        code, out = run_lint(str(FIXTURES / "bad_dump.cc"))
+        self.assertEqual(code, 1)
+        self.assert_findings(out, "[unordered-iteration]",
+                             "bad_dump.cc:11", "bad_dump.cc:14",
+                             "bad_dump.cc:17")
+        self.assertEqual(out.count("[unordered-iteration]"), 3)
+
+    def test_unordered_iteration_scoped_off_elsewhere(self):
+        # Same content, but only canonical-order paths (dump/checkpoint/
+        # audit/...) are held to the ordering rule.
+        fixture = FIXTURES / "bad_dump.cc"
+        copy = FIXTURES / "tmp_graph_build.cc"
+        copy.write_text(fixture.read_text())
+        try:
+            code, out = run_lint(str(copy))
+            self.assertEqual(code, 0, msg=out)
+        finally:
+            copy.unlink()
+
+    def test_raw_random(self):
+        code, out = run_lint(str(FIXTURES / "bad_random.cc"))
+        self.assertEqual(code, 1)
+        self.assertEqual(out.count("[raw-random]"), 6, msg=out)
+        self.assert_findings(out, "rand()/srand()", "std::random_device",
+                             "system_clock", "time()")
+
+    def test_raw_clock(self):
+        code, out = run_lint(str(FIXTURES / "bad_clock.cc"))
+        self.assertEqual(code, 1)
+        self.assertEqual(out.count("[raw-clock]"), 2, msg=out)
+        self.assert_findings(out, "bad_clock.cc:5", "bad_clock.cc:6")
+
+    def test_raw_assert_and_no_cout(self):
+        code, out = run_lint(str(FIXTURES / "bad_assert_cout.cc"))
+        self.assertEqual(code, 1)
+        self.assert_findings(out, "[raw-assert]", "FC_CHECK", "[no-cout]")
+
+    def test_justified_suppressions_silence_findings(self):
+        code, out = run_lint(str(FIXTURES / "suppressed_ok_dump.cc"))
+        self.assertEqual(code, 0, msg=out)
+        self.assertIn("0 finding(s)", out)
+
+    def test_suppression_without_justification_is_a_finding(self):
+        code, out = run_lint(str(FIXTURES / "suppressed_no_reason.cc"))
+        self.assertEqual(code, 1)
+        self.assert_findings(out, "suppression needs a justification",
+                             "suppressed_no_reason.cc:6")
+        # The suppression still suppresses the underlying finding; only
+        # the missing justification is reported.
+        self.assertEqual(out.count("[raw-random]"), 1, msg=out)
+
+    def test_clean_file_with_decoy_comments_and_strings(self):
+        code, out = run_lint(str(FIXTURES / "clean_dump.cc"))
+        self.assertEqual(code, 0, msg=out)
+
+    def test_rule_subset_selection(self):
+        code, out = run_lint("--rules", "no-cout",
+                             str(FIXTURES / "bad_random.cc"))
+        self.assertEqual(code, 0, msg=out)
+        code, _ = run_lint("--rules", "nonsense",
+                           str(FIXTURES / "bad_random.cc"))
+        self.assertEqual(code, 2)
+
+    def test_repo_src_tree_is_clean(self):
+        code, out = run_lint(str(TOOLS.parent / "src"))
+        self.assertEqual(code, 0, msg=out)
+
+    def test_allowlists(self):
+        # The seeded RNG and the stopwatch are the sanctioned homes of
+        # entropy and monotonic time; the rules must not fire there.
+        for name in ("src/common/random.h", "src/common/stopwatch.h"):
+            path = TOOLS.parent / name
+            if path.exists():
+                code, out = run_lint(str(path))
+                self.assertEqual(code, 0, msg=f"{name}:\n{out}")
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -14,8 +14,11 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== check_includes =="
-python3 tools/check_includes.py
+echo "== check_includes (conventions + self-contained headers) =="
+python3 tools/check_includes.py --self-contained
+
+echo "== fc_lint (determinism & style rules) =="
+python3 tools/fc_lint.py src/
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy: not installed, skipping (install clang-tidy to run) =="

@@ -1,0 +1,8 @@
+// fc_lint fixture: raw assert() and std::cout in library code.
+#include <cassert>
+#include <iostream>
+
+void Check(int x) {
+  assert(x > 0);                       // finding: compiles out under NDEBUG
+  std::cout << "x=" << x << "\n";      // finding: library stdout
+}

@@ -1,0 +1,8 @@
+// fc_lint fixture: monotonic clock read outside src/common/stopwatch.h.
+#include <chrono>
+
+double Elapsed() {
+  auto t0 = std::chrono::steady_clock::now();              // finding
+  auto t1 = std::chrono::high_resolution_clock::now();     // finding
+  return std::chrono::duration<double>(t1 - t0).count();
+}

@@ -1,0 +1,21 @@
+// fc_lint fixture: unordered iteration in a canonical-order path (the
+// file name contains "dump", which scopes the rule on).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+std::string DumpCells() {
+  std::unordered_map<int, int> support;
+  std::unordered_set<std::string> names{"a", "b"};
+  std::string out;
+  for (const auto& [cell, count] : support) {  // finding: range-for
+    out += std::to_string(cell) + "=" + std::to_string(count);
+  }
+  for (auto it = support.begin(); it != support.end(); ++it) {  // finding
+    out += std::to_string(it->first);
+  }
+  for (const std::string& name : names) {  // finding: range-for over set
+    out += name;
+  }
+  return out;
+}

@@ -1,0 +1,19 @@
+// fc_lint fixture: every flavor of nondeterminism source the raw-random
+// rule must catch outside src/common/random.*.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned NaughtyEntropy() {
+  unsigned x = rand();                                     // finding
+  srand(42);                                               // finding
+  std::random_device rd;                                   // finding
+  x += rd();
+  auto wall = std::chrono::system_clock::now();            // finding
+  (void)wall;
+  x += static_cast<unsigned>(time(nullptr));               // finding
+  struct timespec ts;
+  clock_gettime(0, &ts);                                   // finding
+  return x;
+}

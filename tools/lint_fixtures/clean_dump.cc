@@ -1,0 +1,18 @@
+// fc_lint fixture: canonical-order path that follows every rule — ordered
+// iteration, no raw entropy/clock reads, FC_CHECK-style assertions only.
+// Mentions of rand() or std::cout inside comments and string literals must
+// not be flagged: "rand()" / "assert(" / std::cout in a comment.
+#include <map>
+#include <string>
+
+static_assert(sizeof(int) >= 4, "static_assert is not a raw assert");
+
+std::string DumpSorted(const std::map<int, int>& support) {
+  std::string out = "calling rand() here would be bad; std::cout too";
+  for (const auto& [cell, count] : support) {
+    out += std::to_string(cell) + "=" + std::to_string(count) + "\n";
+  }
+  /* block comment: assert(false); rand(); steady_clock::now();
+     none of these are code */
+  return out;
+}

@@ -1,0 +1,7 @@
+// fc_lint fixture: a suppression without a justification is itself a
+// finding (exactly one, attributed to the suppression line).
+#include <cstdlib>
+
+unsigned Entropy() {
+  return rand();  // fc-lint: allow(raw-random)
+}

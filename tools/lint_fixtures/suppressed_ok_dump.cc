@@ -1,0 +1,21 @@
+// fc_lint fixture: every finding carries a justified suppression, so the
+// lint must report zero findings here.
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <unordered_map>
+
+std::size_t DumpStuff() {
+  // fc-lint: allow(raw-clock): fixture exercises previous-line suppression
+  auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  unsigned r = rand();  // fc-lint: allow(raw-random): same-line suppression
+  std::unordered_map<int, int> m{{1, 2}};
+  std::size_t n = 0;
+  // fc-lint: allow(unordered-iteration): order-insensitive count only
+  for (const auto& kv : m) n += kv.second;
+  // fc-lint: allow(raw-assert, no-cout): multi-rule suppression form
+  assert(n > 0); std::cout << r;
+  return n;
+}
