@@ -72,6 +72,16 @@ void Histogram::Record(double value) {
   buckets_[BucketOf(value)]++;
 }
 
+void Histogram::Record(double value, uint64_t count) {
+  if (count == 0) return;
+  MutexLock lock(mu_);
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  count_ += count;
+  sum_ += value * static_cast<double>(count);
+  buckets_[BucketOf(value)] += count;
+}
+
 Histogram::Snapshot Histogram::snapshot() const {
   MutexLock lock(mu_);
   Snapshot s;

@@ -81,6 +81,10 @@ class Histogram {
   };
 
   void Record(double value);
+  // Records `value` occurring `count` times under one mutex hold — how hot
+  // loops flush a locally accumulated distribution (e.g. probe lengths) in
+  // O(distinct values) instead of O(samples).
+  void Record(double value, uint64_t count);
   Snapshot snapshot() const;
 
  private:

@@ -24,66 +24,94 @@ struct Outcome {
 
 using Categorical = std::span<const Outcome>;
 
-// Calls fn(pp, qq) for every key in the union of p's and q's keys, in
-// ascending key order, with 0.0 for the side missing the key.
-template <typename Fn>
-void ForEachUnion(Categorical p, Categorical q, Fn&& fn) {
+// Merges p and q into aligned probability columns over their key union in
+// ascending key order, 0.0 on the side missing a key. One merge pass feeds
+// every divergence accumulation (the map-callback form walked the union
+// once per direction); the columns then run through tight batch loops.
+// Returns the union size.
+size_t MergeUnion(Categorical p, Categorical q, std::vector<double>* pv,
+                  std::vector<double>* qv) {
+  pv->clear();
+  qv->clear();
+  pv->reserve(p.size() + q.size());
+  qv->reserve(p.size() + q.size());
   size_t i = 0;
   size_t j = 0;
   while (i < p.size() || j < q.size()) {
     if (j == q.size() || (i < p.size() && p[i].key < q[j].key)) {
-      fn(p[i].p, 0.0);
+      pv->push_back(p[i].p);
+      qv->push_back(0.0);
       ++i;
     } else if (i == p.size() || q[j].key < p[i].key) {
-      fn(0.0, q[j].p);
+      pv->push_back(0.0);
+      qv->push_back(q[j].p);
       ++j;
     } else {
-      fn(p[i].p, q[j].p);
+      pv->push_back(p[i].p);
+      qv->push_back(q[j].p);
       ++i;
       ++j;
     }
   }
+  return pv->size();
 }
 
-double KlDivergence(Categorical p, Categorical q, double smoothing) {
-  // Support union with additive smoothing.
-  size_t union_size = 0;
-  ForEachUnion(p, q, [&](double, double) { ++union_size; });
-  const double n = static_cast<double>(union_size);
+// KL(p || q) over aligned union columns, with additive smoothing across the
+// union support. Accumulates left to right — the union's ascending key
+// order — so results match the merge-callback implementation bit for bit.
+double KlBatch(const double* pv, const double* qv, size_t n,
+               double smoothing) {
+  const double denom = 1.0 + smoothing * static_cast<double>(n);
   double d = 0.0;
-  ForEachUnion(p, q, [&](double pv, double qv) {
-    const double pp = (pv + smoothing) / (1.0 + smoothing * n);
-    const double qq = (qv + smoothing) / (1.0 + smoothing * n);
+  for (size_t i = 0; i < n; ++i) {
+    const double pp = (pv[i] + smoothing) / denom;
+    const double qq = (qv[i] + smoothing) / denom;
     d += pp * std::log(pp / qq);
-  });
+  }
   return d;
 }
 
-// Jensen-Shannon divergence normalized to [0, 1].
-double JsDivergence(Categorical p, Categorical q) {
+// Jensen-Shannon divergence normalized to [0, 1], over aligned columns.
+double JsBatch(const double* pv, const double* qv, size_t n) {
   double d = 0.0;
-  ForEachUnion(p, q, [&](double pp, double qq) {
+  for (size_t i = 0; i < n; ++i) {
+    const double pp = pv[i];
+    const double qq = qv[i];
     const double m = 0.5 * (pp + qq);
     if (pp > 0.0) d += 0.5 * pp * std::log(pp / m);
     if (qq > 0.0) d += 0.5 * qq * std::log(qq / m);
-  });
+  }
   return d / kLn2;
 }
 
+// Reusable scratch buffers so the recursion allocates only on the deepest
+// first descent: the two flat distributions plus their aligned union
+// columns.
+struct Scratch {
+  std::vector<Outcome> lhs;
+  std::vector<Outcome> rhs;
+  std::vector<double> pv;
+  std::vector<double> qv;
+};
+
 double Divergence(Categorical p, Categorical q,
-                  const SimilarityOptions& options) {
+                  const SimilarityOptions& options, Scratch* scratch) {
+  const size_t n = MergeUnion(p, q, &scratch->pv, &scratch->qv);
+  const double* pv = scratch->pv.data();
+  const double* qv = scratch->qv.data();
   switch (options.kind) {
     case DivergenceKind::kJensenShannon:
-      return JsDivergence(p, q);
+      return JsBatch(pv, qv, n);
     case DivergenceKind::kKullbackLeibler:
-      return 0.5 * (KlDivergence(p, q, options.kl_smoothing) +
-                    KlDivergence(q, p, options.kl_smoothing));
+      // Both directions run over the same merged columns.
+      return 0.5 * (KlBatch(pv, qv, n, options.kl_smoothing) +
+                    KlBatch(qv, pv, n, options.kl_smoothing));
   }
   return 0.0;
 }
 
 // The maximal value a divergence can take, used for unmatched branches.
-double MaxDivergence(const SimilarityOptions& options) {
+double MaxDivergence(const SimilarityOptions& options, Scratch* scratch) {
   switch (options.kind) {
     case DivergenceKind::kJensenShannon:
       return 1.0;
@@ -91,7 +119,9 @@ double MaxDivergence(const SimilarityOptions& options) {
       // Disjoint binary supports under the configured smoothing.
       const Outcome zero[] = {{0, 1.0}};
       const Outcome one[] = {{1, 1.0}};
-      return KlDivergence(zero, one, options.kl_smoothing);
+      const size_t n = MergeUnion(zero, one, &scratch->pv, &scratch->qv);
+      return KlBatch(scratch->pv.data(), scratch->qv.data(), n,
+                     options.kl_smoothing);
     }
   }
   return 1.0;
@@ -99,13 +129,28 @@ double MaxDivergence(const SimilarityOptions& options) {
 
 constexpr int64_t kTerminateKey = -1;
 
+// Gathers a node's transition distribution straight from the columnar
+// storage: the children span plus the path_count/terminate_count columns,
+// one division per outcome (the exact arithmetic of
+// FlowGraph::TransitionProbability, minus its per-call checks).
 void FillTransitionCategorical(const FlowGraph& g, FlowNodeId n,
                                std::vector<Outcome>* out) {
   out->clear();
-  out->push_back({kTerminateKey, g.TransitionProbability(n, FlowGraph::kTerminate)});
-  for (FlowNodeId c : g.children(n)) {
-    out->push_back({static_cast<int64_t>(g.location(c)),
-                    g.TransitionProbability(n, c)});
+  const std::span<const FlowNodeId> kids = g.children(n);
+  out->reserve(kids.size() + 1);
+  const uint32_t paths = g.path_count(n);
+  if (paths == 0) {
+    out->push_back({kTerminateKey, 0.0});
+    for (FlowNodeId c : kids) {
+      out->push_back({static_cast<int64_t>(g.location(c)), 0.0});
+    }
+  } else {
+    out->push_back(
+        {kTerminateKey, static_cast<double>(g.terminate_count(n)) / paths});
+    for (FlowNodeId c : kids) {
+      out->push_back({static_cast<int64_t>(g.location(c)),
+                      static_cast<double>(g.path_count(c)) / paths});
+    }
   }
   // Children are in insertion order; the flat distribution must be sorted by
   // key (the terminate sentinel -1 stays first). Locations are unique among
@@ -117,9 +162,11 @@ void FillTransitionCategorical(const FlowGraph& g, FlowNodeId n,
 void FillDurationCategorical(const FlowGraph& g, FlowNodeId n,
                              std::vector<Outcome>* out) {
   out->clear();
+  const std::span<const DurationCount> counts = g.duration_counts(n);
+  out->reserve(counts.size());
   const double total = g.path_count(n);
   // duration_counts are sorted by duration already — a straight linear copy.
-  for (const DurationCount& dc : g.duration_counts(n)) {
+  for (const DurationCount& dc : counts) {
     out->push_back({dc.duration, dc.count / total});
   }
 }
@@ -129,13 +176,6 @@ struct Accumulator {
   double total_weight = 0.0;
 };
 
-// Reusable scratch buffers so the recursion allocates only on the deepest
-// first descent.
-struct Scratch {
-  std::vector<Outcome> lhs;
-  std::vector<Outcome> rhs;
-};
-
 double ReachProbability(const FlowGraph& g, FlowNodeId n) {
   if (g.total_paths() == 0) return 0.0;
   return static_cast<double>(g.path_count(n)) / g.total_paths();
@@ -143,10 +183,11 @@ double ReachProbability(const FlowGraph& g, FlowNodeId n) {
 
 // Recursively matches nodes of `a` and `b` by location and accumulates
 // weighted divergences; `na`/`nb` are matched nodes (or kTerminate when one
-// side has no counterpart).
+// side has no counterpart). `max_divergence` is MaxDivergence(options),
+// computed once per distance call.
 void Accumulate(const FlowGraph& a, const FlowGraph& b, FlowNodeId na,
                 FlowNodeId nb, const SimilarityOptions& options,
-                Scratch* scratch, Accumulator* acc) {
+                double max_divergence, Scratch* scratch, Accumulator* acc) {
   const bool in_a = na != FlowGraph::kTerminate;
   const bool in_b = nb != FlowGraph::kTerminate;
   FC_CHECK(in_a || in_b);
@@ -158,25 +199,27 @@ void Accumulate(const FlowGraph& a, const FlowGraph& b, FlowNodeId na,
   if (in_a && in_b) {
     FillTransitionCategorical(a, na, &scratch->lhs);
     FillTransitionCategorical(b, nb, &scratch->rhs);
-    const double dt = Divergence(scratch->lhs, scratch->rhs, options);
+    const double dt = Divergence(scratch->lhs, scratch->rhs, options, scratch);
     if (na == FlowGraph::kRoot) {
       // The root has no stay duration; only its transition mix counts.
       acc->weighted_divergence += w * dt;
     } else {
       FillDurationCategorical(a, na, &scratch->lhs);
       FillDurationCategorical(b, nb, &scratch->rhs);
-      const double dd = Divergence(scratch->lhs, scratch->rhs, options);
+      const double dd =
+          Divergence(scratch->lhs, scratch->rhs, options, scratch);
       acc->weighted_divergence += w * 0.5 * (dt + dd);
     }
     acc->total_weight += w;
     // Recurse on the union of child locations.
     for (FlowNodeId ca : a.children(na)) {
-      Accumulate(a, b, ca, b.FindChild(nb, a.location(ca)), options, scratch,
-                 acc);
+      Accumulate(a, b, ca, b.FindChild(nb, a.location(ca)), options,
+                 max_divergence, scratch, acc);
     }
     for (FlowNodeId cb : b.children(nb)) {
       if (a.FindChild(na, b.location(cb)) == FlowGraph::kTerminate) {
-        Accumulate(a, b, FlowGraph::kTerminate, cb, options, scratch, acc);
+        Accumulate(a, b, FlowGraph::kTerminate, cb, options, max_divergence,
+                   scratch, acc);
       }
     }
     return;
@@ -185,7 +228,7 @@ void Accumulate(const FlowGraph& a, const FlowGraph& b, FlowNodeId na,
   // Branch present in only one graph: maximal disagreement, weighted by the
   // reach probability on the side that has it; no recursion needed (the
   // whole subtree is unmatched and its weight is bounded by this node's).
-  acc->weighted_divergence += w * MaxDivergence(options);
+  acc->weighted_divergence += w * max_divergence;
   acc->total_weight += w;
 }
 
@@ -193,14 +236,15 @@ void Accumulate(const FlowGraph& a, const FlowGraph& b, FlowNodeId na,
 
 double FlowGraphDistance(const FlowGraph& a, const FlowGraph& b,
                          const SimilarityOptions& options) {
+  Scratch scratch;
   if (a.total_paths() == 0 && b.total_paths() == 0) return 0.0;
   if (a.total_paths() == 0 || b.total_paths() == 0) {
-    return MaxDivergence(options);
+    return MaxDivergence(options, &scratch);
   }
   Accumulator acc;
-  Scratch scratch;
-  Accumulate(a, b, FlowGraph::kRoot, FlowGraph::kRoot, options, &scratch,
-             &acc);
+  const double max_divergence = MaxDivergence(options, &scratch);
+  Accumulate(a, b, FlowGraph::kRoot, FlowGraph::kRoot, options,
+             max_divergence, &scratch, &acc);
   if (acc.total_weight <= 0.0) return 0.0;
   return acc.weighted_divergence / acc.total_weight;
 }

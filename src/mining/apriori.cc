@@ -4,11 +4,19 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "mining/counting_backend.h"
 
 namespace flowcube {
 namespace {
 
 constexpr uint32_t kNoCandidate = static_cast<uint32_t>(-1);
+
+// Slot-table sizing, mirroring Cuboid's open addressing (flowcube.cc): the
+// counter index is built once and probed billions of times, so it trades
+// memory for short probe chains — load factor capped at 1/2 rather than
+// Cuboid's mutating-table 7/10.
+constexpr size_t kMinSlotCapacity = 16;
+constexpr size_t kMaxLoadPercent = 50;
 
 uint64_t PairKey(ItemId a, ItemId b) {
   return (static_cast<uint64_t>(a) << 32) | b;
@@ -24,12 +32,19 @@ void CandidateCounter::Clear() {
   finalized_ = false;
   candidates_.clear();
   counts_.clear();
-  slot_key_.clear();
-  slot_head_.clear();
+  slots_.clear();
   next_.clear();
   slot_mask_ = 0;
+  cand_begin_.clear();
+  cand_items_.clear();
   relevant_.clear();
   first_.clear();
+}
+
+void CandidateCounter::Reserve(size_t expected_candidates) {
+  FC_DCHECK(!finalized_);
+  candidates_.reserve(expected_candidates);
+  counts_.reserve(expected_candidates);
 }
 
 size_t CandidateCounter::Add(Itemset candidate) {
@@ -42,60 +57,77 @@ size_t CandidateCounter::Add(Itemset candidate) {
   return idx;
 }
 
-uint32_t CandidateCounter::FindSlot(uint64_t key) const {
-  // splitmix-style finalizer for the probe start.
-  uint64_t h = key * 0x9e3779b97f4a7c15ULL;
-  h ^= h >> 32;
-  size_t slot = static_cast<size_t>(h & slot_mask_);
-  for (;;) {
-    if (slot_key_[slot] == key || slot_head_[slot] == kNoCandidate) {
-      return static_cast<uint32_t>(slot);
-    }
-    slot = (slot + 1) & slot_mask_;
-  }
-}
-
 void CandidateCounter::Finalize() {
   FC_CHECK(!finalized_);
   finalized_ = true;
   if (candidates_.empty()) return;
 
   ItemId max_item = 0;
+  size_t total_items = 0;
   for (const Itemset& cand : candidates_) {
     max_item = std::max(max_item, cand.back());
+    total_items += cand.size();
   }
   relevant_.assign(static_cast<size_t>(max_item) + 1, 0);
   first_.assign(static_cast<size_t>(max_item) + 1, 0);
 
-  size_t capacity = 16;
-  while (capacity < candidates_.size() * 2) capacity <<= 1;
+  size_t capacity = kMinSlotCapacity;
+  while (capacity * kMaxLoadPercent < candidates_.size() * 100) capacity <<= 1;
   slot_mask_ = capacity - 1;
-  slot_key_.assign(capacity, 0);
-  slot_head_.assign(capacity, kNoCandidate);
+  slots_.assign(capacity, Slot{});
   next_.assign(candidates_.size(), kNoCandidate);
+  cand_begin_.clear();
+  cand_begin_.reserve(candidates_.size() + 1);
+  cand_begin_.push_back(0);
+  cand_items_.clear();
+  cand_items_.reserve(total_items);
 
+  // Probe lengths accumulate locally and flush as one bulk Record per
+  // distinct length (metrics.h: never Record inside per-item loops).
+  std::vector<uint64_t> probe_hist;
   for (size_t i = 0; i < candidates_.size(); ++i) {
     const Itemset& cand = candidates_[i];
-    for (ItemId id : cand) relevant_[id] = 1;
+    for (ItemId id : cand) {
+      relevant_[id] = 1;
+      cand_items_.push_back(id);
+    }
+    cand_begin_.push_back(static_cast<uint32_t>(cand_items_.size()));
     first_[cand[0]] = 1;
     const uint64_t key = PairKey(cand[0], cand[1]);
-    const uint32_t slot = FindSlot(key);
-    slot_key_[slot] = key;
-    next_[i] = slot_head_[slot];
-    slot_head_[slot] = static_cast<uint32_t>(i);
+    uint64_t h = key * simd::kHashMultiplier;
+    h ^= h >> 32;
+    size_t slot = static_cast<size_t>(h & slot_mask_);
+    size_t probes = 1;
+    while (slots_[slot].key != key && slots_[slot].head != kNoCandidate) {
+      slot = (slot + 1) & slot_mask_;
+      ++probes;
+    }
+    if (probe_hist.size() <= probes) probe_hist.resize(probes + 1, 0);
+    probe_hist[probes]++;
+    slots_[slot].key = key;
+    next_[i] = slots_[slot].head;
+    slots_[slot].head = static_cast<uint32_t>(i);
   }
-}
 
-void CandidateCounter::CountTransaction(std::span<const ItemId> raw_txn) {
-  CountInto(raw_txn, &counts_, &filtered_);
+  static Histogram& m_probe =
+      MetricRegistry::Global().histogram("mining.counter.probe_length");
+  for (size_t p = 1; p < probe_hist.size(); ++p) {
+    m_probe.Record(static_cast<double>(p), probe_hist[p]);
+  }
 }
 
 void CandidateCounter::CountTransaction(std::span<const ItemId> raw_txn,
-                                        Shard* shard) const {
+                                        simd::Level level) {
+  CountInto(raw_txn, level, &counts_, &scratch_);
+}
+
+void CandidateCounter::CountTransaction(std::span<const ItemId> raw_txn,
+                                        Shard* shard,
+                                        simd::Level level) const {
   if (shard->counts_.size() != counts_.size()) {
     shard->counts_.assign(counts_.size(), 0);
   }
-  CountInto(raw_txn, &shard->counts_, &shard->filtered_);
+  CountInto(raw_txn, level, &shard->counts_, &shard->scratch_);
 }
 
 void CandidateCounter::Absorb(const Shard& shard) {
@@ -105,44 +137,64 @@ void CandidateCounter::Absorb(const Shard& shard) {
 }
 
 void CandidateCounter::CountInto(std::span<const ItemId> raw_txn,
+                                 simd::Level level,
                                  std::vector<uint32_t>* counts,
-                                 std::vector<ItemId>* filtered) const {
+                                 Scratch* scratch) const {
   FC_DCHECK(finalized_);
   if (candidates_.empty() || raw_txn.size() < 2) return;
-  filtered->clear();
-  for (ItemId id : raw_txn) {
-    if (id < relevant_.size() && relevant_[id]) filtered->push_back(id);
+  // Drop items no candidate contains: transactions carry every abstraction
+  // level while a pass's candidates touch few of them.
+  if (scratch->filtered.size() < raw_txn.size()) {
+    scratch->filtered.resize(raw_txn.size());
   }
-  const std::vector<ItemId>& txn = *filtered;
-  if (txn.size() < 2) return;
-  for (size_t i = 0; i + 1 < txn.size(); ++i) {
+  const size_t m =
+      simd::FilterByU32Mask(raw_txn.data(), raw_txn.size(), relevant_.data(),
+                            relevant_.size(), scratch->filtered.data(), level);
+  if (m < 2) return;
+  const ItemId* txn = scratch->filtered.data();
+  if (scratch->slots.size() < m) scratch->slots.resize(m);
+  uint32_t* slots = scratch->slots.data();
+  for (size_t i = 0; i + 1 < m; ++i) {
     if (!first_[txn[i]]) continue;
-    for (size_t j = i + 1; j < txn.size(); ++j) {
-      const uint64_t key = PairKey(txn[i], txn[j]);
-      const uint32_t slot = FindSlot(key);
-      if (slot_key_[slot] != key) continue;
-      for (uint32_t idx = slot_head_[slot]; idx != kNoCandidate;
-           idx = next_[idx]) {
-        const Itemset& cand = candidates_[idx];
-        if (cand.size() == 2) {
-          (*counts)[idx]++;
-          continue;
+    // Probe starts for the whole (txn[i], txn[j>i]) suffix in one kernel
+    // call, then resolve in blocks behind a prefetch front so the slot
+    // lines are in cache by the time the key compare touches them.
+    const size_t nb = m - i - 1;
+    const ItemId* bs = txn + i + 1;
+    simd::PairProbeSlots(txn[i], bs, nb, slot_mask_, slots, level);
+    constexpr size_t kBlock = 16;
+    for (size_t j0 = 0; j0 < nb; j0 += kBlock) {
+      const size_t j1 = std::min(j0 + kBlock, nb);
+      for (size_t j = j0; j < j1; ++j) simd::PrefetchRead(&slots_[slots[j]]);
+      for (size_t j = j0; j < j1; ++j) {
+        const uint64_t key = PairKey(txn[i], bs[j]);
+        size_t slot = slots[j];
+        while (slots_[slot].key != key &&
+               slots_[slot].head != kNoCandidate) {
+          slot = (slot + 1) & slot_mask_;
         }
-        // Verify the remaining items (cand[2..]) against txn[j+1..]; both
-        // sides are sorted and cand's first two items are its smallest.
-        size_t ci = 2;
-        size_t ti = j + 1;
-        while (ci < cand.size() && ti < txn.size()) {
-          if (txn[ti] < cand[ci]) {
-            ++ti;
-          } else if (txn[ti] == cand[ci]) {
-            ++ti;
-            ++ci;
-          } else {
-            break;
+        // An absent key stops on an empty slot, whose chain is empty — no
+        // separate hit test needed.
+        for (uint32_t idx = slots_[slot].head; idx != kNoCandidate;
+             idx = next_[idx]) {
+          const size_t ce = cand_begin_[idx + 1];
+          // Verify the remaining items (cand[2..]) against txn beyond bs[j];
+          // both sides are sorted and cand's first two items are its
+          // smallest. Candidate items stream from the flat arena.
+          size_t ci = cand_begin_[idx] + 2;
+          size_t ti = i + 1 + j + 1;
+          while (ci < ce && ti < m) {
+            if (txn[ti] < cand_items_[ci]) {
+              ++ti;
+            } else if (txn[ti] == cand_items_[ci]) {
+              ++ti;
+              ++ci;
+            } else {
+              break;
+            }
           }
+          if (ci == ce) (*counts)[idx]++;
         }
-        if (ci == cand.size()) (*counts)[idx]++;
       }
     }
   }
@@ -259,7 +311,9 @@ std::vector<FrequentItemset> Apriori::Mine(
     std::unordered_set<Itemset, ItemsetHash> frequent_set(
         frequent_k.begin(), frequent_k.end());
     CandidateCounter counter;
-    for (Itemset& cand : AprioriJoin(frequent_k)) {
+    std::vector<Itemset> joined = AprioriJoin(frequent_k);
+    counter.Reserve(joined.size());
+    for (Itemset& cand : joined) {
       if (k > 2 && !AllSubsetsFrequent(cand, frequent_set)) {
         pruned_this_call++;
         continue;
@@ -273,7 +327,8 @@ std::vector<FrequentItemset> Apriori::Mine(
     if (counter.size() == 0) break;
     counter.Finalize();
 
-    for (const auto& txn : txns) counter.CountTransaction(txn);
+    CountAllTransactions(txns, options_.count_backend, /*pool=*/nullptr,
+                         /*grain=*/256, &counter);
     stats_.passes++;
     passes_this_call++;
     EnsureLength(&stats_.candidates_per_length, k);

@@ -1,0 +1,49 @@
+#ifndef FLOWCUBE_MINING_COUNTING_BACKEND_H_
+#define FLOWCUBE_MINING_COUNTING_BACKEND_H_
+
+#include <span>
+#include <vector>
+
+#include "mining/apriori.h"
+
+namespace flowcube {
+
+class ThreadPool;
+
+// Resolves the backend knob: an explicit request wins; kAuto reads
+// FLOWCUBE_COUNT_BACKEND (scalar | simd | tidlist; read once per process),
+// defaulting to kSimd. Never returns kAuto.
+CountBackend ResolveCountBackend(CountBackend requested = CountBackend::kAuto);
+
+constexpr const char* CountBackendName(CountBackend backend) {
+  switch (backend) {
+    case CountBackend::kAuto:
+      return "auto";
+    case CountBackend::kScalar:
+      return "scalar";
+    case CountBackend::kSimd:
+      return "simd";
+    case CountBackend::kTidlist:
+      return "tidlist";
+  }
+  return "auto";
+}
+
+// Evaluates every candidate's support over `txns` into `counter` (already
+// Finalize()d, counts at zero for this scan's candidates) using the chosen
+// backend. The horizontal backends (scalar/simd) scan transactions and
+// split the scan across `pool` when it has more than one thread; the
+// vertical tidlist backend builds sorted transaction-id lists per relevant
+// item and intersects them per candidate, parallelized over candidates.
+// All backends produce identical counts — supports are exact integers —
+// so mining results never depend on the knob (DESIGN.md §13).
+//
+// `pool` may be null (serial). `grain` is the scheduling grain for
+// transaction-indexed loops.
+void CountAllTransactions(const std::vector<std::span<const ItemId>>& txns,
+                          CountBackend backend, ThreadPool* pool, size_t grain,
+                          CandidateCounter* counter);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_MINING_COUNTING_BACKEND_H_

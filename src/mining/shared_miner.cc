@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "mining/counting_backend.h"
 
 namespace flowcube {
 namespace {
@@ -238,6 +239,11 @@ SharedMiningOutput SharedMiner::Run() {
     });
   }
 
+  // Span views of the transactions, built once for the counting backends.
+  std::vector<std::span<const ItemId>> txn_views;
+  txn_views.reserve(txns.size());
+  for (const Transaction& t : txns) txn_views.push_back(t.items);
+
   // --- Passes k = 2, 3, ...
   // Metrics accumulate into locals and flush once at the end of Run, so
   // the hot candidate loops never touch shared state.
@@ -257,7 +263,9 @@ SharedMiningOutput SharedMiner::Run() {
     EnsureLength(&out.stats.candidates_per_length, k + 1);
     EnsureLength(&out.stats.frequent_per_length, k + 1);
 
-    for (Itemset& cand : AprioriJoin(frequent_k)) {
+    std::vector<Itemset> joined = AprioriJoin(frequent_k);
+    counter.Reserve(joined.size());
+    for (Itemset& cand : joined) {
       if (k > 2 && !AllSubsetsFrequent(cand, frequent_set)) {
         pruned_subset++;
         continue;
@@ -324,15 +332,8 @@ SharedMiningOutput SharedMiner::Run() {
 
     if (counter.size() > 0) {
       counter.Finalize();
-      std::vector<CandidateCounter::Shard> shards(num_shards);
-      pool.ParallelForChunks(txns.size(), kScanGrain,
-                             [&](size_t shard, size_t begin, size_t end) {
-                               CandidateCounter::Shard& sh = shards[shard];
-                               for (size_t ti = begin; ti < end; ++ti) {
-                                 counter.CountTransaction(txns[ti].items, &sh);
-                               }
-                             });
-      for (const CandidateCounter::Shard& sh : shards) counter.Absorb(sh);
+      CountAllTransactions(txn_views, options_.count_backend, &pool,
+                           kScanGrain, &counter);
       out.stats.passes++;
     }
 

@@ -47,6 +47,11 @@ struct SharedMinerOptions {
   // therefore the frequent set and its order — never depend on the thread
   // count.
   int num_threads = 0;
+
+  // Counting engine for the candidate-counting passes; kAuto honours
+  // FLOWCUBE_COUNT_BACKEND. Supports are exact integers under every
+  // backend, so this never changes mining results.
+  CountBackend count_backend = CountBackend::kAuto;
 };
 
 // The result of a full mining run: every frequent itemset (cells, path

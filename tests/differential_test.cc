@@ -26,6 +26,7 @@
 #include "flowgraph/builder.h"
 #include "gen/path_generator.h"
 #include "hierarchy/lattice.h"
+#include "mining/counting_backend.h"
 #include "mining/mining_result.h"
 #include "mining/shared_miner.h"
 #include "mining/transform.h"
@@ -233,7 +234,30 @@ TEST_P(DifferentialTest, MinersAgreeWithNaiveOracle) {
   SharedMinerOptions sopts;
   sopts.min_support = w.min_support;
   sopts.num_threads = 1;
+  sopts.count_backend = CountBackend::kScalar;
   const MiningResult shared(&tdb, SharedMiner(tdb, sopts).Run().frequent);
+
+  // Every counting backend must reproduce the scalar run exactly: same
+  // frequent itemsets, same supports, same order (supports are exact
+  // integer counts, so the backend can never change mining results). The
+  // canonical cube dumps derived from each backend's run are compared
+  // byte-for-byte further down.
+  std::vector<std::pair<CountBackend, MiningResult>> backend_results;
+  for (const CountBackend backend :
+       {CountBackend::kSimd, CountBackend::kTidlist}) {
+    SharedMinerOptions mopts = sopts;
+    mopts.count_backend = backend;
+    MiningResult result(&tdb, SharedMiner(tdb, mopts).Run().frequent);
+    ASSERT_EQ(result.all().size(), shared.all().size())
+        << CountBackendName(backend);
+    for (size_t i = 0; i < result.all().size(); ++i) {
+      ASSERT_EQ(result.all()[i].items, shared.all()[i].items)
+          << CountBackendName(backend) << " itemset " << i;
+      ASSERT_EQ(result.all()[i].support, shared.all()[i].support)
+          << CountBackendName(backend) << " itemset " << i;
+    }
+    backend_results.emplace_back(backend, std::move(result));
+  }
 
   CubingMinerOptions copts;
   copts.min_support = w.min_support;
@@ -263,6 +287,10 @@ TEST_P(DifferentialTest, MinersAgreeWithNaiveOracle) {
   const std::string dump_cubing = CubeDumpFromMining(db, plan, tdb, cubing);
   EXPECT_FALSE(dump_shared.empty());
   EXPECT_EQ(dump_shared, dump_cubing);
+  for (const auto& [backend, result] : backend_results) {
+    EXPECT_EQ(CubeDumpFromMining(db, plan, tdb, result), dump_shared)
+        << CountBackendName(backend);
+  }
 
   FlowCubeBuilderOptions bopts;
   bopts.min_support = w.min_support;

@@ -1,0 +1,265 @@
+// Kernel-equivalence tests for the mining hot paths (DESIGN.md §13): every
+// simd.h kernel at every compiled-in level against its scalar reference,
+// and the three counting backends (scalar / simd / tidlist) against each
+// other over randomized transaction databases — including empty, 1-item,
+// and duplicate-heavy edge cases. Runs in the `unit` label, so the
+// asan-ubsan and tsan CI legs cover the intrinsics paths too.
+
+#include <algorithm>
+#include <set>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/simd.h"
+#include "common/thread_pool.h"
+#include "mining/apriori.h"
+#include "mining/counting_backend.h"
+
+namespace flowcube {
+namespace {
+
+// Every level worth testing on this build: scalar always; the hardware's
+// ActiveLevel(); SSE2 explicitly when the build carries x86 kernels.
+std::vector<simd::Level> TestLevels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::ActiveLevel() != simd::Level::kScalar) {
+    levels.push_back(simd::Level::kSse2);
+    levels.push_back(simd::ActiveLevel());
+  }
+  return levels;
+}
+
+std::vector<uint32_t> RandomSortedUnique(Random* rng, size_t max_len,
+                                         uint32_t universe) {
+  std::set<uint32_t> s;
+  const size_t len = rng->Uniform(max_len + 1);
+  for (size_t i = 0; i < len; ++i) {
+    s.insert(static_cast<uint32_t>(rng->Uniform(universe)));
+  }
+  return {s.begin(), s.end()};
+}
+
+// --- simd.h primitives ------------------------------------------------------
+
+TEST(SimdKernels, FilterByU32MaskMatchesScalar) {
+  Random rng(7);
+  for (int round = 0; round < 200; ++round) {
+    const uint32_t universe = 1 + static_cast<uint32_t>(rng.Uniform(300));
+    const size_t mask_size = rng.Uniform(universe + 50);
+    std::vector<uint32_t> mask(mask_size);
+    for (auto& m : mask) m = rng.Uniform(2) ? 1 : 0;
+    // Unsorted ids, may exceed mask_size (bounds path).
+    std::vector<uint32_t> ids(rng.Uniform(40));
+    for (auto& id : ids) id = static_cast<uint32_t>(rng.Uniform(universe));
+
+    std::vector<uint32_t> want(ids.size() + 1, 0xdeadbeef);
+    const size_t want_n = simd::FilterByU32MaskScalar(
+        ids.data(), ids.size(), mask.data(), mask.size(), want.data());
+    for (simd::Level level : TestLevels()) {
+      std::vector<uint32_t> got(ids.size() + 1, 0xdeadbeef);
+      const size_t got_n =
+          simd::FilterByU32Mask(ids.data(), ids.size(), mask.data(),
+                                mask.size(), got.data(), level);
+      ASSERT_EQ(got_n, want_n) << simd::LevelName(level);
+      for (size_t i = 0; i < want_n; ++i) {
+        ASSERT_EQ(got[i], want[i]) << simd::LevelName(level) << " at " << i;
+      }
+      // The slot one past the end is never written.
+      ASSERT_EQ(got[ids.size()], 0xdeadbeefu);
+    }
+  }
+}
+
+TEST(SimdKernels, PairProbeSlotsMatchesScalar) {
+  Random rng(11);
+  for (int round = 0; round < 200; ++round) {
+    const uint32_t a = static_cast<uint32_t>(rng.Uniform(1u << 20));
+    const uint64_t slot_mask = (1ull << (4 + rng.Uniform(16))) - 1;
+    std::vector<uint32_t> bs(rng.Uniform(30));
+    for (auto& b : bs) b = static_cast<uint32_t>(rng.Uniform(1u << 20));
+
+    std::vector<uint32_t> want(bs.size());
+    simd::PairProbeSlotsScalar(a, bs.data(), bs.size(), slot_mask,
+                               want.data());
+    for (simd::Level level : TestLevels()) {
+      std::vector<uint32_t> got(bs.size());
+      simd::PairProbeSlots(a, bs.data(), bs.size(), slot_mask, got.data(),
+                           level);
+      ASSERT_EQ(got, want) << simd::LevelName(level);
+    }
+  }
+}
+
+TEST(SimdKernels, IntersectCountMatchesScalarAndStd) {
+  Random rng(13);
+  for (int round = 0; round < 300; ++round) {
+    // Mix dense overlaps with heavily skewed sizes (gallop path).
+    const uint32_t universe = 1 + static_cast<uint32_t>(rng.Uniform(400));
+    const auto a = RandomSortedUnique(&rng, 80, universe);
+    const size_t b_max = rng.Uniform(3) == 0 ? 2000 : 40;
+    const auto b = RandomSortedUnique(&rng, b_max, universe + 2000);
+
+    std::vector<uint32_t> ref;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(ref));
+    ASSERT_EQ(simd::IntersectCountU32Scalar(a.data(), a.size(), b.data(),
+                                            b.size()),
+              ref.size());
+    for (simd::Level level : TestLevels()) {
+      ASSERT_EQ(simd::IntersectCountU32(a.data(), a.size(), b.data(),
+                                        b.size(), level),
+                ref.size())
+          << simd::LevelName(level) << " round " << round;
+    }
+    std::vector<uint32_t> out(std::min(a.size(), b.size()));
+    const size_t n =
+        simd::IntersectU32(a.data(), a.size(), b.data(), b.size(), out.data());
+    out.resize(n);
+    ASSERT_EQ(out, ref);
+  }
+}
+
+TEST(SimdKernels, AndPopcountAndAndIntoMatchScalar) {
+  Random rng(17);
+  for (int round = 0; round < 200; ++round) {
+    const size_t n_words = rng.Uniform(40);
+    std::vector<uint64_t> a(n_words);
+    std::vector<uint64_t> b(n_words);
+    for (size_t i = 0; i < n_words; ++i) {
+      a[i] = (static_cast<uint64_t>(rng.Uniform(1u << 30)) << 34) ^
+             rng.Uniform(1u << 30);
+      b[i] = (static_cast<uint64_t>(rng.Uniform(1u << 30)) << 34) ^
+             rng.Uniform(1u << 30);
+    }
+    std::vector<uint64_t> want(n_words);
+    simd::AndIntoU64Scalar(a.data(), b.data(), n_words, want.data());
+    const size_t want_count =
+        simd::AndPopcountU64Scalar(a.data(), b.data(), n_words);
+    size_t check = 0;
+    for (uint64_t w : want) check += __builtin_popcountll(w);
+    ASSERT_EQ(want_count, check);
+    for (simd::Level level : TestLevels()) {
+      ASSERT_EQ(simd::AndPopcountU64(a.data(), b.data(), n_words, level),
+                want_count)
+          << simd::LevelName(level);
+      std::vector<uint64_t> got(n_words);
+      simd::AndIntoU64(a.data(), b.data(), n_words, got.data(), level);
+      ASSERT_EQ(got, want) << simd::LevelName(level);
+      // In-place destination aliasing a, as the k-way chains use it.
+      std::vector<uint64_t> inplace = a;
+      simd::AndIntoU64(inplace.data(), b.data(), n_words, inplace.data(),
+                       level);
+      ASSERT_EQ(inplace, want) << simd::LevelName(level);
+    }
+  }
+}
+
+// --- Counting backends ------------------------------------------------------
+
+// A randomized workload: transactions (sorted unique items) plus candidates
+// drawn from 2-4 item subsets of the item universe.
+struct Workload {
+  std::vector<std::vector<ItemId>> txns;
+  std::vector<Itemset> candidates;
+};
+
+Workload MakeWorkload(uint64_t seed, bool duplicate_heavy) {
+  Random rng(seed);
+  Workload w;
+  const uint32_t universe = 2 + static_cast<uint32_t>(rng.Uniform(24));
+  const size_t n_txns = 30 + rng.Uniform(60);
+  for (size_t t = 0; t < n_txns; ++t) {
+    // Edge cases on purpose: empty and 1-item transactions stay in the mix.
+    w.txns.push_back(RandomSortedUnique(&rng, 10, universe));
+    if (duplicate_heavy && !w.txns.back().empty()) {
+      // Repeat the same transaction many times (supports accumulate).
+      for (size_t r = rng.Uniform(4); r > 0; --r) {
+        w.txns.push_back(w.txns.back());
+      }
+    }
+  }
+  std::set<Itemset> cands;
+  for (int c = 0; c < 40; ++c) {
+    const auto items = RandomSortedUnique(&rng, 4, universe);
+    if (items.size() >= 2) cands.insert(Itemset(items.begin(), items.end()));
+  }
+  w.candidates = {cands.begin(), cands.end()};
+  return w;
+}
+
+std::vector<uint32_t> CountWith(const Workload& w, CountBackend backend,
+                                ThreadPool* pool) {
+  CandidateCounter counter;
+  counter.Reserve(w.candidates.size());
+  for (const Itemset& c : w.candidates) counter.Add(c);
+  counter.Finalize();
+  std::vector<std::span<const ItemId>> views;
+  views.reserve(w.txns.size());
+  for (const auto& t : w.txns) views.emplace_back(t);
+  CountAllTransactions(views, backend, pool, /*grain=*/8, &counter);
+  std::vector<uint32_t> counts(counter.size());
+  for (size_t i = 0; i < counts.size(); ++i) counts[i] = counter.count(i);
+  return counts;
+}
+
+class BackendEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BackendEquivalence, AllBackendsAgree) {
+  for (const bool duplicate_heavy : {false, true}) {
+    const Workload w = MakeWorkload(GetParam(), duplicate_heavy);
+    const auto scalar = CountWith(w, CountBackend::kScalar, nullptr);
+    const auto simd_counts = CountWith(w, CountBackend::kSimd, nullptr);
+    const auto tidlist = CountWith(w, CountBackend::kTidlist, nullptr);
+    ASSERT_EQ(simd_counts, scalar) << "simd vs scalar, seed " << GetParam();
+    ASSERT_EQ(tidlist, scalar) << "tidlist vs scalar, seed " << GetParam();
+
+    // Parallel scans shard-and-merge (horizontal) or split candidates
+    // (tidlist); counts must not depend on the split.
+    ThreadPool pool(4);
+    for (CountBackend backend :
+         {CountBackend::kScalar, CountBackend::kSimd, CountBackend::kTidlist}) {
+      ASSERT_EQ(CountWith(w, backend, &pool), scalar)
+          << CountBackendName(backend) << " with threads, seed "
+          << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendEquivalence,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(BackendEquivalence, EmptyAndTinyInputs) {
+  // No candidates: counting is a no-op under every backend.
+  CandidateCounter counter;
+  counter.Finalize();
+  std::vector<ItemId> txn = {1, 2, 3};
+  std::vector<std::span<const ItemId>> views = {txn};
+  for (CountBackend b :
+       {CountBackend::kScalar, CountBackend::kSimd, CountBackend::kTidlist}) {
+    CountAllTransactions(views, b, nullptr, 8, &counter);
+  }
+  EXPECT_EQ(counter.size(), 0u);
+
+  // No transactions: every count stays zero.
+  Workload w;
+  w.candidates = {{1, 2}, {2, 3, 4}};
+  for (CountBackend b :
+       {CountBackend::kScalar, CountBackend::kSimd, CountBackend::kTidlist}) {
+    const auto counts = CountWith(w, b, nullptr);
+    EXPECT_EQ(counts, (std::vector<uint32_t>{0, 0}));
+  }
+}
+
+TEST(ResolveCountBackendTest, ExplicitRequestWins) {
+  EXPECT_EQ(ResolveCountBackend(CountBackend::kScalar), CountBackend::kScalar);
+  EXPECT_EQ(ResolveCountBackend(CountBackend::kSimd), CountBackend::kSimd);
+  EXPECT_EQ(ResolveCountBackend(CountBackend::kTidlist),
+            CountBackend::kTidlist);
+  EXPECT_NE(ResolveCountBackend(CountBackend::kAuto), CountBackend::kAuto);
+}
+
+}  // namespace
+}  // namespace flowcube

@@ -25,6 +25,10 @@ conventions that protect it (DESIGN.md §11):
   no-cout              No std::cout in src/; use the logging layer (or
                        return strings to the caller). Library code printing
                        to stdout corrupts tool output (dumps, metrics).
+  raw-intrinsics       No raw SIMD intrinsics (immintrin.h/arm_neon.h
+                       includes, _mm*/vld1*/vst1* calls) outside
+                       src/common/simd.h — the ISA surface stays in one
+                       audited file with a scalar fallback per kernel.
 
 Suppression: append to the offending line (or the line directly above)
 
@@ -52,6 +56,7 @@ REPO = Path(__file__).resolve().parent.parent
 ALLOWLIST = {
     "raw-random": [r"^src/common/random\.(h|cc)$"],
     "raw-clock": [r"^src/common/stopwatch\.h$", r"^src/common/random\.(h|cc)$"],
+    "raw-intrinsics": [r"^src/common/simd\.h$"],
 }
 
 # unordered-iteration only applies to canonical-order code paths.
@@ -75,7 +80,7 @@ RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;]*?:\s*([^)]+)\)")
 BEGIN_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*c?begin\s*\(")
 
 RULES = ("unordered-iteration", "raw-random", "raw-clock", "raw-assert",
-         "no-cout")
+         "no-cout", "raw-intrinsics")
 
 RAW_RANDOM_RES = [
     (re.compile(r"(?<![\w.])s?rand\s*\("), "rand()/srand()"),
@@ -90,6 +95,14 @@ RAW_CLOCK_RE = re.compile(
     r"\b(?:steady_clock|high_resolution_clock)\s*::\s*now\b")
 RAW_ASSERT_RE = re.compile(r"(?<![\w_])assert\s*\(")
 NO_COUT_RE = re.compile(r"\bstd\s*::\s*cout\b")
+RAW_INTRINSICS_RES = [
+    (re.compile(r"#\s*include\s*[<\"](?:immintrin|x86intrin|emmintrin|"
+                r"smmintrin|tmmintrin|nmmintrin|wmmintrin|avxintrin|"
+                r"avx2intrin|arm_neon)\.h[>\"]"),
+     "SIMD intrinsics header"),
+    (re.compile(r"\b_mm(?:256|512)?_\w+\s*\("), "x86 SIMD intrinsic"),
+    (re.compile(r"\b(?:vld|vst)[1-4]q?_\w+\s*\("), "NEON intrinsic"),
+]
 
 
 class Finding:
@@ -224,6 +237,12 @@ def check_file_regex(path: Path, active_rules, findings):
             emit("no-cout",
                  "std::cout in library code corrupts tool stdout; use "
                  "common/logging.h or return the string")
+        for pattern, what in RAW_INTRINSICS_RES:
+            if pattern.search(code):
+                emit("raw-intrinsics",
+                     f"{what} outside src/common/simd.h; add or extend a "
+                     "kernel there (with its scalar fallback) instead")
+                break
 
 
 def try_libclang(paths, compile_commands, active_rules, findings):

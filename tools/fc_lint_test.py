@@ -90,6 +90,22 @@ class FcLintTest(unittest.TestCase):
                            str(FIXTURES / "bad_random.cc"))
         self.assertEqual(code, 2)
 
+    def test_raw_intrinsics(self):
+        code, out = run_lint(str(FIXTURES / "bad_intrinsics.cc"))
+        self.assertEqual(code, 1)
+        self.assert_findings(out, "[raw-intrinsics]",
+                             "SIMD intrinsics header",
+                             "x86 SIMD intrinsic", "NEON intrinsic")
+        # Header include + 3 _mm* lines + 1 NEON line; the commented
+        # vld1q_u32 mention must not count.
+        self.assertEqual(out.count("[raw-intrinsics]"), 5, msg=out)
+
+    def test_raw_intrinsics_allowed_in_simd_header(self):
+        path = TOOLS.parent / "src/common/simd.h"
+        if path.exists():
+            code, out = run_lint("--rules", "raw-intrinsics", str(path))
+            self.assertEqual(code, 0, msg=out)
+
     def test_repo_src_tree_is_clean(self):
         code, out = run_lint(str(TOOLS.parent / "src"))
         self.assertEqual(code, 0, msg=out)

@@ -1,0 +1,15 @@
+// Fixture: raw SIMD intrinsics outside src/common/simd.h.
+#include <immintrin.h>
+
+int SumLanes(const int* p) {
+  __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  __m256i w = _mm256_setzero_si256();
+  (void)w;
+  // NEON spelled out for the regex even though it never compiles here.
+  // vld1q_u32(p) would be flagged too:
+  return _mm_cvtsi128_si32(v);
+}
+
+void NeonLoad(const unsigned* p) {
+  vld1q_u32(p);  // not a real call on x86; the lint flags the spelling
+}
