@@ -1,0 +1,243 @@
+// Serving benchmark (no paper figure — the FCQP server is ours): sweeps the
+// number of concurrent closed-loop clients hammering one QueryServer over
+// loopback TCP while an IncrementalMaintainer keeps publishing fresh epochs
+// underneath, and reports throughput (QPS) and tail latency (p50/p99).
+//
+// Expected shape: QPS grows with clients until the worker pool saturates,
+// then flattens; p99 stays in the sub-millisecond range on loopback and is
+// insensitive to the concurrent epoch churn, because readers pin immutable
+// snapshots instead of contending with the maintainer.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "serve/client.h"
+#include "serve/query_service.h"
+#include "serve/server.h"
+#include "serve/snapshot_registry.h"
+#include "stream/incremental_maintainer.h"
+
+namespace {
+
+using namespace flowcube;
+using namespace flowcube::bench;
+
+BenchJson& Json() {
+  static BenchJson json("serve", "concurrent clients");
+  return json;
+}
+
+// The serving stack under test, shared across sweep rows: one maintainer
+// publishing into one registry, one server. Half the records are applied up
+// front; the rest are streamed in while clients run, one slice per row.
+struct ServeStack {
+  PathDatabase db;
+  std::unique_ptr<IncrementalMaintainer> maintainer;
+  std::unique_ptr<SnapshotRegistry> registry;
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<QueryServer> server;
+  size_t applied = 0;
+};
+
+ServeStack& Stack() {
+  static ServeStack* s = [] {
+    auto* stack = new ServeStack{
+        PathGenerator(BaselineConfig(/*num_dimensions=*/2))
+            .Generate(std::max<size_t>(64, ScaledN(20))),
+        nullptr, nullptr, nullptr, nullptr, 0};
+    const FlowCubePlan plan =
+        FlowCubePlan::Default(stack->db.schema()).value();
+    IncrementalMaintainerOptions options;
+    options.build.min_support = std::max<uint32_t>(
+        2, static_cast<uint32_t>(stack->db.size() / 100));
+    stack->maintainer = std::make_unique<IncrementalMaintainer>(std::move(
+        IncrementalMaintainer::Create(stack->db.schema_ptr(), plan, options)
+            .value()));
+    stack->registry = std::make_unique<SnapshotRegistry>();
+    AttachToRegistry(stack->maintainer.get(), stack->registry.get());
+    stack->applied = stack->db.size() / 2;
+    FC_CHECK(stack->maintainer
+                 ->ApplyRecords(std::span<const PathRecord>(
+                     stack->db.records().data(), stack->applied))
+                 .ok());
+    stack->service = std::make_unique<QueryService>(stack->registry.get());
+    stack->server = std::move(
+        QueryServer::Start(stack->service.get()).value());
+    return stack;
+  }();
+  return *s;
+}
+
+// The per-client request mix: point lookup on the all-* cell, a drill-down
+// fanning out its children (the heavyweight response), and cube stats —
+// every request a full wire round trip.
+QueryRequest MixedRequest(uint64_t seq, size_t num_dims) {
+  QueryRequest req;
+  req.request_id = seq;
+  switch (seq % 3) {
+    case 0:
+      req.type = RequestType::kPointLookup;
+      req.values.assign(num_dims, "*");
+      break;
+    case 1:
+      req.type = RequestType::kDrillDown;
+      req.values.assign(num_dims, "*");
+      req.dim = static_cast<uint32_t>((seq / 3) % num_dims);
+      break;
+    default:
+      req.type = RequestType::kStats;
+      break;
+  }
+  return req;
+}
+
+struct SweepRow {
+  int clients = 0;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  double seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t epoch_start = 0;
+  uint64_t epoch_end = 0;
+};
+
+SweepRow RunSweep(int clients, size_t requests_per_client) {
+  ServeStack& stack = Stack();
+  SweepRow row;
+  row.clients = clients;
+  row.epoch_start = stack.registry->current_epoch();
+
+  // Streaming load: trickle this row's slice of the remaining records in
+  // micro-batches so clients see epoch churn for the whole measurement.
+  std::atomic<bool> done{false};
+  const size_t slice =
+      std::min(stack.db.size() - stack.applied,
+               std::max<size_t>(1, stack.db.size() / 16));
+  std::thread streamer([&stack, &done, slice] {
+    const size_t end = stack.applied + slice;
+    const size_t batch = std::max<size_t>(1, slice / 8);
+    while (stack.applied < end && !done.load(std::memory_order_relaxed)) {
+      const size_t take = std::min(batch, end - stack.applied);
+      FC_CHECK(stack.maintainer
+                   ->ApplyRecords(std::span<const PathRecord>(
+                       stack.db.records().data() + stack.applied, take))
+                   .ok());
+      stack.applied += take;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  const size_t num_dims = stack.db.schema().num_dimensions();
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(clients));
+  std::atomic<uint64_t> errors{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Result<ServeClient> client =
+          ServeClient::Connect(stack.server->port());
+      if (!client.ok()) {
+        errors.fetch_add(requests_per_client);
+        return;
+      }
+      std::vector<double>& lat = latencies[static_cast<size_t>(c)];
+      lat.reserve(requests_per_client);
+      for (size_t i = 0; i < requests_per_client; ++i) {
+        const uint64_t seq =
+            static_cast<uint64_t>(c) * requests_per_client + i;
+        const auto t0 = std::chrono::steady_clock::now();
+        Result<QueryResponse> resp =
+            client->Call(MixedRequest(seq, num_dims));
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!resp.ok() || resp->code != Status::Code::kOk) {
+          errors.fetch_add(1);
+          continue;
+        }
+        lat.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  row.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  done.store(true, std::memory_order_relaxed);
+  streamer.join();
+
+  std::vector<double> all;
+  for (const std::vector<double>& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    row.p50_ms = all[all.size() / 2];
+    row.p99_ms = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+  }
+  row.requests = all.size();
+  row.errors = errors.load();
+  row.epoch_end = stack.registry->current_epoch();
+  return row;
+}
+
+void RegisterAll() {
+  const size_t requests_per_client = std::max<size_t>(100, ScaledN(1));
+  const int client_counts[] = {1, 2, 4, 8};
+  for (const int clients : client_counts) {
+    const std::string bench_name =
+        "serve/clients=" + std::to_string(clients);
+    benchmark::RegisterBenchmark(
+        bench_name.c_str(),
+        [clients, requests_per_client](benchmark::State& state) {
+          for (auto _ : state) {
+            const SweepRow row = RunSweep(clients, requests_per_client);
+            state.SetIterationTime(row.seconds);
+            const double qps =
+                row.seconds > 0 ? row.requests / row.seconds : 0.0;
+            state.counters["qps"] = qps;
+            state.counters["p99_ms"] = row.p99_ms;
+            Json().AddRow(
+                {JsonField::Str("x",
+                                std::to_string(clients) + " clients"),
+                 JsonField::Int("clients",
+                                static_cast<uint64_t>(row.clients)),
+                 JsonField::Int("requests", row.requests),
+                 JsonField::Int("errors", row.errors),
+                 JsonField::Num("seconds", row.seconds),
+                 JsonField::Num("qps", qps),
+                 JsonField::Num("p50_ms", row.p50_ms),
+                 JsonField::Num("p99_ms", row.p99_ms),
+                 JsonField::Int("epoch_start", row.epoch_start),
+                 JsonField::Int("epoch_end", row.epoch_end)});
+          }
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  flowcube::ConsumeMetricsFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  Json().Write();
+  Stack().server->Shutdown();
+  flowcube::DumpMetricsIfEnabled(stdout);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// libFuzzer entry point for the FCQP wire decoders. The harness logic lives
+// in serve_frame_harness.cc so the corpus regression test can link every
+// harness into one gtest binary without colliding entry points.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return flowcube::FuzzServeFrame(data, size);
+}

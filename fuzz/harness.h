@@ -25,6 +25,12 @@ int FuzzTextIo(const uint8_t* data, size_t size);
 // fixture. Accepted inputs must re-encode byte-identically.
 int FuzzCheckpoint(const uint8_t* data, size_t size);
 
+// serve/protocol.h: the FCQP frame + request/response decoders. Accepted
+// frames must re-frame byte-identically, accepted requests/responses must
+// re-encode canonically, and FrameAssembler must agree with the exact
+// decoder regardless of how the bytes are chunked.
+int FuzzServeFrame(const uint8_t* data, size_t size);
+
 }  // namespace flowcube
 
 #endif  // FLOWCUBE_FUZZ_HARNESS_H_

@@ -2,7 +2,7 @@
 // produced by the library's own writers from seeded generator configs, so
 // the corpus is reproducible: same binary, same bytes.
 //
-//   fuzz_make_seeds <corpus-dir>     # writes <dir>/text_io/ and <dir>/checkpoint/
+//   fuzz_make_seeds <corpus-dir>   # writes <dir>/{text_io,checkpoint,serve}/
 //
 // The checkpoint seeds use the same fixture config as checkpoint_harness.cc
 // and tests/stream_checkpoint_test.cc — DecodeCheckpoint validates a config
@@ -17,6 +17,7 @@
 #include "common/logging.h"
 #include "gen/path_generator.h"
 #include "io/text_io.h"
+#include "serve/protocol.h"
 #include "stream/checkpoint.h"
 #include "stream/incremental_maintainer.h"
 
@@ -107,6 +108,50 @@ void MakeCheckpointSeeds(const std::filesystem::path& dir) {
             EncodeCheckpoint(m.value(), &state));
 }
 
+void MakeServeSeeds(const std::filesystem::path& dir) {
+  // One framed request per type, exercising every payload field, plus a
+  // framed response and an empty-payload frame (valid frame, invalid
+  // request — keeps the frame/payload error boundary in the corpus).
+  QueryRequest point;
+  point.type = RequestType::kPointLookup;
+  point.request_id = 1;
+  point.values = {"d0l1v0", "d1l1v1"};
+  QueryRequest ancestor;
+  ancestor.type = RequestType::kCellOrAncestor;
+  ancestor.request_id = 2;
+  ancestor.pl_index = 1;
+  ancestor.values = {"d0l2v0", "*"};
+  QueryRequest drill;
+  drill.type = RequestType::kDrillDown;
+  drill.request_id = 3;
+  drill.dim = 1;
+  drill.values = {"*", "*"};
+  QueryRequest similarity;
+  similarity.type = RequestType::kSimilarity;
+  similarity.request_id = 4;
+  similarity.values = {"d0l1v0", "*"};
+  similarity.values_b = {"d0l1v1", "*"};
+  QueryRequest stats;
+  stats.type = RequestType::kStats;
+  stats.request_id = 5;
+
+  int n = 0;
+  for (const QueryRequest* req :
+       {&point, &ancestor, &drill, &similarity, &stats}) {
+    WriteFile(dir / ("seed_" + std::to_string(n++) + ".fcqp"),
+              EncodeFrame(EncodeRequest(*req)));
+  }
+
+  QueryResponse response;
+  response.request_id = 1;
+  response.epoch = 3;
+  response.code = Status::Code::kNotFound;
+  response.message = "cell not materialized";
+  WriteFile(dir / ("seed_" + std::to_string(n++) + ".fcqp"),
+            EncodeFrame(EncodeResponse(response)));
+  WriteFile(dir / ("seed_" + std::to_string(n++) + ".fcqp"), EncodeFrame(""));
+}
+
 }  // namespace
 }  // namespace flowcube
 
@@ -118,8 +163,10 @@ int main(int argc, char** argv) {
   const std::filesystem::path root(argv[1]);
   std::filesystem::create_directories(root / "text_io");
   std::filesystem::create_directories(root / "checkpoint");
+  std::filesystem::create_directories(root / "serve");
   flowcube::MakeTextIoSeeds(root / "text_io");
   flowcube::MakeCheckpointSeeds(root / "checkpoint");
+  flowcube::MakeServeSeeds(root / "serve");
   std::fprintf(stderr, "seed corpora written under %s\n", argv[1]);
   return 0;
 }

@@ -1,0 +1,75 @@
+// Fuzz harness for the FCQP wire decoders (serve/protocol.h) — the bytes a
+// hostile client can put on the query server's socket. Three invariants are
+// FC_CHECKed on top of "never crash":
+//   1. an input accepted by DecodeFrameExact re-frames byte-identically;
+//   2. an accepted request/response payload re-encodes canonically
+//      (encode ∘ decode = id), and the re-encoding decodes back equal;
+//   3. FrameAssembler agrees with the exact decoder no matter how the
+//      input is chunked (half/half and byte-by-byte).
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/logging.h"
+#include "fuzz/harness.h"
+#include "serve/protocol.h"
+
+namespace flowcube {
+namespace {
+
+// First-frame outcome for one chunking of `bytes`.
+Result<std::optional<std::string>> AssembleFirst(std::string_view bytes,
+                                                 size_t chunk) {
+  FrameAssembler assembler;
+  for (size_t i = 0; i < bytes.size(); i += chunk) {
+    assembler.Append(bytes.substr(i, chunk));
+  }
+  if (bytes.empty()) assembler.Append(bytes);
+  return assembler.Next();
+}
+
+}  // namespace
+
+int FuzzServeFrame(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  const Result<std::string> payload = DecodeFrameExact(bytes);
+  if (payload.ok()) {
+    const std::string reframed = EncodeFrame(*payload);
+    FC_CHECK(std::string_view(reframed) == bytes);
+
+    const Result<QueryRequest> request = DecodeRequest(*payload);
+    if (request.ok()) {
+      const std::string reencoded = EncodeRequest(*request);
+      FC_CHECK(reencoded == *payload);
+      const Result<QueryRequest> again = DecodeRequest(reencoded);
+      FC_CHECK(again.ok());
+      FC_CHECK(*again == *request);
+    }
+
+    const Result<QueryResponse> response = DecodeResponse(*payload);
+    if (response.ok()) {
+      const std::string reencoded = EncodeResponse(*response);
+      FC_CHECK(reencoded == *payload);
+    }
+  }
+
+  // Chunking independence: a whole-input frame must come out of the
+  // assembler identically under any delivery pattern, with nothing left
+  // over; byte-by-byte only for small inputs to keep the harness fast.
+  const size_t chunks[] = {size == 0 ? size_t{1} : size,
+                           size / 2 == 0 ? size_t{1} : size / 2,
+                           size <= 512 ? size_t{1} : size};
+  for (const size_t chunk : chunks) {
+    Result<std::optional<std::string>> first = AssembleFirst(bytes, chunk);
+    if (payload.ok()) {
+      FC_CHECK(first.ok());
+      FC_CHECK(first->has_value());
+      FC_CHECK(**first == *payload);
+    }
+  }
+  return 0;
+}
+
+}  // namespace flowcube

@@ -212,4 +212,15 @@ size_t FlowCube::MemoryUsage() const {
   return bytes;
 }
 
+FlowCube FlowCube::Clone() const {
+  // The constructor recreates the same cuboid grid (plan order is
+  // deterministic); copy-assigning each cuboid then brings over the cells,
+  // the lookup index, and every flowgraph.
+  FlowCube clone(plan_, schema_);
+  for (size_t i = 0; i < cuboids_.size(); ++i) {
+    *clone.cuboids_[i] = *cuboids_[i];
+  }
+  return clone;
+}
+
 }  // namespace flowcube

@@ -145,6 +145,13 @@ class FlowCube {
   // the storage refactor owns. Surfaced as the flowcube.memory_bytes gauge.
   size_t MemoryUsage() const;
 
+  // Deep copy: an independent cube holding identical cells (coordinates,
+  // supports, flags, flowgraphs — sealed form included). The schema stays
+  // shared (it is immutable). This is what the serving layer publishes as
+  // an immutable snapshot after each maintenance batch (DESIGN.md §14);
+  // the clone dumps byte-identically to the source.
+  FlowCube Clone() const;
+
   template <typename Fn>
   void ForEachCuboid(Fn&& fn) const {
     for (const auto& c : cuboids_) fn(*c);

@@ -44,6 +44,11 @@ FlowCubeQuery::FlowCubeQuery(const FlowCube* cube) : cube_(cube) {
   FC_CHECK(cube_ != nullptr);
 }
 
+FlowCubeQuery::FlowCubeQuery(std::shared_ptr<const FlowCube> cube)
+    : owned_(std::move(cube)), cube_(owned_.get()) {
+  FC_CHECK(cube_ != nullptr);
+}
+
 Result<CellRef> FlowCubeQuery::Cell(const std::vector<std::string>& values,
                                     size_t pl_index) const {
   static Counter& m_lookups = MetricRegistry::Global().counter("query.lookups");

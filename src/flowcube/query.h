@@ -2,6 +2,7 @@
 #define FLOWCUBE_FLOWCUBE_QUERY_H_
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,11 @@ class FlowCubeQuery {
  public:
   // `cube` must outlive the query object.
   explicit FlowCubeQuery(const FlowCube* cube);
+
+  // Pinning form for snapshot queries: shares ownership of `cube`, so a
+  // query object built from a published snapshot keeps that epoch's cube
+  // alive for its own lifetime (serve/snapshot_registry.h).
+  explicit FlowCubeQuery(std::shared_ptr<const FlowCube> cube);
 
   // Resolves a cell by dimension value names, one per dimension ("*" for a
   // dimension at its top level). The item level is inferred from the named
@@ -104,6 +110,8 @@ class FlowCubeQuery {
   QueryStats stats() const;
 
  private:
+  // Set only by the pinning constructor; cube_ points into it then.
+  std::shared_ptr<const FlowCube> owned_;
   const FlowCube* cube_;
 
   mutable std::atomic<uint64_t> lookups_{0};

@@ -1,0 +1,108 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace flowcube {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<ServeClient> ServeClient::Connect(uint16_t port, int rcvbuf) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (rcvbuf > 0) {
+    // Before connect() so the shrunken window is what gets advertised.
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Errno("connect");
+    ::close(fd);
+    return s;
+  }
+  return ServeClient(fd);
+}
+
+ServeClient::~ServeClient() { Close(); }
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(other.fd_), assembler_(std::move(other.assembler_)) {
+  other.fd_ = -1;
+}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    assembler_ = std::move(other.assembler_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status ServeClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<QueryResponse> ServeClient::ReadResponse() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  for (;;) {
+    Result<std::optional<std::string>> frame = assembler_.Next();
+    if (!frame.ok()) return frame.status();
+    if (frame->has_value()) return DecodeResponse(**frame);
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return Status::Internal("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    assembler_.Append(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+Result<QueryResponse> ServeClient::Call(const QueryRequest& request) {
+  FC_RETURN_IF_ERROR(SendRaw(EncodeFrame(EncodeRequest(request))));
+  return ReadResponse();
+}
+
+}  // namespace flowcube

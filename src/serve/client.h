@@ -1,0 +1,55 @@
+#ifndef FLOWCUBE_SERVE_CLIENT_H_
+#define FLOWCUBE_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "serve/protocol.h"
+
+namespace flowcube {
+
+// Minimal blocking FCQP client over loopback TCP: one socket, synchronous
+// Call (send one request frame, read one response frame). This is the
+// in-process client every serve test, the bench driver, and the demo speak
+// through — exercising the full wire path (framing, epoll, worker pool)
+// rather than calling QueryService directly.
+class ServeClient {
+ public:
+  // Connects to 127.0.0.1:port. A positive `rcvbuf` sets SO_RCVBUF before
+  // connecting (the slow-reader stress test shrinks it so the kernel can't
+  // buffer responses on the client's behalf).
+  static Result<ServeClient> Connect(uint16_t port, int rcvbuf = 0);
+
+  ~ServeClient();
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  // Sends `request` and blocks for its response. Fails with kInternal when
+  // the server closes the connection first (e.g. after a framing error).
+  Result<QueryResponse> Call(const QueryRequest& request);
+
+  // Sends raw bytes as-is — the stress and protocol tests use this to put
+  // malformed frames and partial writes on the wire.
+  Status SendRaw(std::string_view bytes);
+
+  // Reads until one complete frame arrives and returns its decoded
+  // response.
+  Result<QueryResponse> ReadResponse();
+
+  // Closes the socket early (the destructor also does).
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  FrameAssembler assembler_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_SERVE_CLIENT_H_

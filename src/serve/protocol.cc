@@ -1,0 +1,233 @@
+#include "serve/protocol.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "io/binary_io.h"
+
+namespace flowcube {
+namespace {
+
+// Reads the little-endian u32 at `offset`; the caller guarantees bounds.
+uint32_t PeekU32(std::string_view bytes, size_t offset) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+// Validates a complete 16-byte header. Only the payload-size field needs
+// more bytes to judge, so every error here is independent of how much of
+// the payload has arrived.
+Status CheckHeader(std::string_view header, size_t max_payload) {
+  if (PeekU32(header, 0) != kFrameMagic) {
+    return Status::InvalidArgument("malformed frame: bad magic");
+  }
+  if (PeekU32(header, 4) != kProtocolVersion) {
+    return Status::InvalidArgument("malformed frame: unsupported version");
+  }
+  if (PeekU32(header, 12) > max_payload) {
+    return Status::InvalidArgument(
+        "malformed frame: payload length exceeds limit");
+  }
+  return Status::OK();
+}
+
+Status CheckPayloadCrc(std::string_view header, std::string_view payload) {
+  if (Crc32(payload) != PeekU32(header, 8)) {
+    return Status::InvalidArgument(
+        "malformed frame: payload checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("malformed request: truncated ") +
+                                 what);
+}
+
+// Reads a length-prefixed dimension-value list with the count cap applied
+// before any allocation.
+Status ReadValues(ByteReader* reader, const char* what,
+                  std::vector<std::string>* out) {
+  uint32_t count = 0;
+  if (!reader->U32(&count).ok()) return Truncated(what);
+  if (count > kMaxQueryValues) {
+    return Status::InvalidArgument(
+        "malformed request: too many dimension values");
+  }
+  out->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!reader->Str(&(*out)[i]).ok()) return Truncated(what);
+  }
+  return Status::OK();
+}
+
+void WriteValues(ByteWriter* writer, const std::vector<std::string>& values) {
+  writer->U32(static_cast<uint32_t>(values.size()));
+  for (const std::string& v : values) writer->Str(v);
+}
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  FC_CHECK_MSG(payload.size() <= kMaxFramePayload,
+               "frame payload exceeds kMaxFramePayload: " << payload.size());
+  ByteWriter writer;
+  writer.U32(kFrameMagic);
+  writer.U32(kProtocolVersion);
+  writer.U32(Crc32(payload));
+  writer.U32(static_cast<uint32_t>(payload.size()));
+  std::string out = writer.data();
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+Result<std::string> DecodeFrameExact(std::string_view bytes) {
+  if (bytes.size() < kFrameHeaderSize) {
+    return Status::InvalidArgument("malformed frame: truncated header");
+  }
+  const std::string_view header = bytes.substr(0, kFrameHeaderSize);
+  FC_RETURN_IF_ERROR(CheckHeader(header, kMaxFramePayload));
+  const size_t payload_size = PeekU32(header, 12);
+  if (bytes.size() < kFrameHeaderSize + payload_size) {
+    return Status::InvalidArgument("malformed frame: truncated payload");
+  }
+  if (bytes.size() > kFrameHeaderSize + payload_size) {
+    return Status::InvalidArgument("malformed frame: trailing bytes after frame");
+  }
+  const std::string_view payload = bytes.substr(kFrameHeaderSize);
+  FC_RETURN_IF_ERROR(CheckPayloadCrc(header, payload));
+  return std::string(payload);
+}
+
+void FrameAssembler::Append(std::string_view bytes) {
+  buf_.append(bytes.data(), bytes.size());
+}
+
+Result<std::optional<std::string>> FrameAssembler::Next() {
+  if (!poisoned_.ok()) return poisoned_;
+  // Compact the consumed prefix once it dominates the buffer, so a
+  // long-lived connection does not grow its buffer without bound.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  const std::string_view pending = std::string_view(buf_).substr(pos_);
+  if (pending.size() < kFrameHeaderSize) return std::optional<std::string>();
+  const std::string_view header = pending.substr(0, kFrameHeaderSize);
+  Status s = CheckHeader(header, max_payload_);
+  if (!s.ok()) {
+    poisoned_ = s;
+    return poisoned_;
+  }
+  const size_t payload_size = PeekU32(header, 12);
+  if (pending.size() < kFrameHeaderSize + payload_size) {
+    return std::optional<std::string>();
+  }
+  const std::string_view payload =
+      pending.substr(kFrameHeaderSize, payload_size);
+  s = CheckPayloadCrc(header, payload);
+  if (!s.ok()) {
+    poisoned_ = s;
+    return poisoned_;
+  }
+  pos_ += kFrameHeaderSize + payload_size;
+  return std::optional<std::string>(std::string(payload));
+}
+
+std::string EncodeRequest(const QueryRequest& request) {
+  ByteWriter writer;
+  writer.U8(static_cast<uint8_t>(request.type));
+  writer.U64(request.request_id);
+  switch (request.type) {
+    case RequestType::kPointLookup:
+    case RequestType::kCellOrAncestor:
+      writer.U32(request.pl_index);
+      WriteValues(&writer, request.values);
+      break;
+    case RequestType::kDrillDown:
+      writer.U32(request.pl_index);
+      writer.U32(request.dim);
+      WriteValues(&writer, request.values);
+      break;
+    case RequestType::kSimilarity:
+      writer.U32(request.pl_index);
+      WriteValues(&writer, request.values);
+      WriteValues(&writer, request.values_b);
+      break;
+    case RequestType::kStats:
+      break;
+  }
+  return writer.data();
+}
+
+Result<QueryRequest> DecodeRequest(std::string_view payload) {
+  ByteReader reader(payload);
+  uint8_t type = 0;
+  if (!reader.U8(&type).ok()) return Truncated("header");
+  QueryRequest request;
+  if (!reader.U64(&request.request_id).ok()) return Truncated("header");
+  switch (type) {
+    case static_cast<uint8_t>(RequestType::kPointLookup):
+    case static_cast<uint8_t>(RequestType::kCellOrAncestor):
+      request.type = static_cast<RequestType>(type);
+      if (!reader.U32(&request.pl_index).ok()) return Truncated("body");
+      FC_RETURN_IF_ERROR(ReadValues(&reader, "body", &request.values));
+      break;
+    case static_cast<uint8_t>(RequestType::kDrillDown):
+      request.type = RequestType::kDrillDown;
+      if (!reader.U32(&request.pl_index).ok()) return Truncated("body");
+      if (!reader.U32(&request.dim).ok()) return Truncated("body");
+      FC_RETURN_IF_ERROR(ReadValues(&reader, "body", &request.values));
+      break;
+    case static_cast<uint8_t>(RequestType::kSimilarity):
+      request.type = RequestType::kSimilarity;
+      if (!reader.U32(&request.pl_index).ok()) return Truncated("body");
+      FC_RETURN_IF_ERROR(ReadValues(&reader, "body", &request.values));
+      FC_RETURN_IF_ERROR(ReadValues(&reader, "body", &request.values_b));
+      break;
+    case static_cast<uint8_t>(RequestType::kStats):
+      request.type = RequestType::kStats;
+      break;
+    default:
+      return Status::InvalidArgument("malformed request: unknown type");
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("malformed request: trailing bytes");
+  }
+  return request;
+}
+
+std::string EncodeResponse(const QueryResponse& response) {
+  ByteWriter writer;
+  writer.U64(response.request_id);
+  writer.U64(response.epoch);
+  writer.U8(static_cast<uint8_t>(response.code));
+  writer.Str(response.message);
+  writer.Str(response.body);
+  return writer.data();
+}
+
+Result<QueryResponse> DecodeResponse(std::string_view payload) {
+  ByteReader reader(payload);
+  QueryResponse response;
+  uint8_t code = 0;
+  if (!reader.U64(&response.request_id).ok() ||
+      !reader.U64(&response.epoch).ok() || !reader.U8(&code).ok() ||
+      !reader.Str(&response.message).ok() || !reader.Str(&response.body).ok()) {
+    return Status::InvalidArgument("malformed response: truncated");
+  }
+  if (code > static_cast<uint8_t>(Status::Code::kInternal)) {
+    return Status::InvalidArgument("malformed response: unknown status code");
+  }
+  response.code = static_cast<Status::Code>(code);
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("malformed response: trailing bytes");
+  }
+  return response;
+}
+
+}  // namespace flowcube

@@ -1,0 +1,145 @@
+#ifndef FLOWCUBE_SERVE_PROTOCOL_H_
+#define FLOWCUBE_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flowcube {
+
+// FCQP — the FlowCube query protocol (DESIGN.md §14): the binary wire
+// format the query server and its clients speak. Every message travels in
+// one frame:
+//
+//   u32 magic "FCQP" | u32 version | u32 crc32(payload) | u32 payload size
+//   payload bytes
+//
+// All integers are little-endian (io/binary_io.h primitives, the same
+// substrate as the FCSP checkpoint format). The payload of a
+// client-to-server frame is an encoded QueryRequest; server-to-client
+// frames carry a QueryResponse. Like the checkpoint reader, the decoders
+// are strictly bounds-checked and report every malformed input as a Status
+// — truncation, bad magic, version skew, length-field overflow, and CRC
+// tampering each map to a distinct, stable error message
+// (tests/serve_protocol_test.cc pins them all).
+
+inline constexpr uint32_t kFrameMagic = 0x50514346;  // "FCQP"
+inline constexpr uint32_t kProtocolVersion = 1;
+// Frame header bytes preceding the payload.
+inline constexpr size_t kFrameHeaderSize = 16;
+// Hard payload cap, enforced on both encode and decode: a length field
+// beyond this is rejected before any allocation, so a hostile header cannot
+// make the server reserve gigabytes.
+inline constexpr size_t kMaxFramePayload = 1u << 20;
+// Dimension-value lists longer than this are rejected at decode; no schema
+// in this system has anywhere near 64 dimensions.
+inline constexpr size_t kMaxQueryValues = 64;
+
+// Wraps `payload` in a frame. FC_CHECKs payload size against the cap — the
+// cap is a protocol constant, not a negotiated limit, so an oversized
+// outbound payload is a programming error.
+std::string EncodeFrame(std::string_view payload);
+
+// Decodes a byte string that must contain exactly one complete frame;
+// returns its payload. Used by tests and the fuzz harness; streaming
+// consumers use FrameAssembler below.
+Result<std::string> DecodeFrameExact(std::string_view bytes);
+
+// Incremental frame extraction over a TCP byte stream: Append() raw bytes
+// as they arrive, then call Next() until it yields nullopt (need more
+// bytes). A non-OK status is fatal for the connection — after bad magic,
+// version skew, an oversized length field, or a checksum mismatch the
+// stream has no resynchronization point and must be closed.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void Append(std::string_view bytes);
+
+  // The next complete frame's payload, nullopt when the buffered bytes end
+  // mid-frame. Once an error is returned, every further call returns the
+  // same error.
+  Result<std::optional<std::string>> Next();
+
+  // Bytes buffered but not yet consumed by Next().
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  size_t max_payload_;  // not const: assemblers move with their connection
+  std::string buf_;
+  size_t pos_ = 0;
+  Status poisoned_;
+};
+
+// ---------------------------------------------------------------------------
+// Requests.
+
+enum class RequestType : uint8_t {
+  // Resolve a cell by dimension value names ("*" = top level) at one path
+  // level; the response body carries the cell's canonical serialization.
+  kPointLookup = 1,
+  // Like kPointLookup but falls back to the nearest materialized ancestor
+  // (FlowCubeQuery::CellOrAncestor).
+  kCellOrAncestor = 2,
+  // Resolve a cell, then return every materialized child along `dim`.
+  kDrillDown = 3,
+  // Flowgraph distance between two cells (values / values_b).
+  kSimilarity = 4,
+  // Snapshot-level statistics: cuboids, cells, memory, live records.
+  kStats = 5,
+};
+
+// One decoded request. `values` holds the primary cell coordinates (one
+// name per schema dimension, "*" for generalized); `values_b` is only used
+// by kSimilarity, `dim` only by kDrillDown.
+struct QueryRequest {
+  RequestType type = RequestType::kPointLookup;
+  // Echoed verbatim in the response so clients can pipeline requests.
+  uint64_t request_id = 0;
+  uint32_t pl_index = 0;
+  std::vector<std::string> values;
+  uint32_t dim = 0;
+  std::vector<std::string> values_b;
+
+  friend bool operator==(const QueryRequest& a, const QueryRequest& b) =
+      default;
+};
+
+// Serializes a request payload (not framed; pass to EncodeFrame). The
+// encoding is canonical: DecodeRequest ∘ EncodeRequest is the identity and
+// EncodeRequest ∘ DecodeRequest reproduces accepted payloads byte-for-byte
+// (the fuzz harness asserts this).
+std::string EncodeRequest(const QueryRequest& request);
+Result<QueryRequest> DecodeRequest(std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Responses.
+
+struct QueryResponse {
+  uint64_t request_id = 0;
+  // Snapshot epoch the request executed against (0 = no snapshot was
+  // published yet). Readers pin one epoch for the whole request, so every
+  // byte of the body describes that single consistent cube.
+  uint64_t epoch = 0;
+  Status::Code code = Status::Code::kOk;
+  // Status message for non-OK codes (empty on success).
+  std::string message;
+  // Type-specific body (serve/query_service.h documents each layout);
+  // empty on error.
+  std::string body;
+
+  friend bool operator==(const QueryResponse& a, const QueryResponse& b) =
+      default;
+};
+
+std::string EncodeResponse(const QueryResponse& response);
+Result<QueryResponse> DecodeResponse(std::string_view payload);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_SERVE_PROTOCOL_H_

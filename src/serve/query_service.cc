@@ -1,0 +1,165 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "flowcube/dump.h"
+#include "flowcube/query.h"
+
+namespace flowcube {
+namespace {
+
+struct ServiceMetrics {
+  Counter& requests = MetricRegistry::Global().counter("serve.requests");
+  Counter& errors = MetricRegistry::Global().counter("serve.request_errors");
+  // How many epochs behind the newest publication the pinned snapshot was
+  // at execution time (0 = served the freshest cube).
+  Gauge& epoch_lag = MetricRegistry::Global().gauge("serve.epoch_lag");
+
+  static ServiceMetrics& Get() {
+    static ServiceMetrics* m = new ServiceMetrics();
+    return *m;
+  }
+};
+
+QueryResponse ErrorResponse(const QueryRequest& request, uint64_t epoch,
+                            const Status& status) {
+  QueryResponse response;
+  response.request_id = request.request_id;
+  response.epoch = epoch;
+  response.code = status.code();
+  response.message = status.message();
+  return response;
+}
+
+void AppendCell(const FlowCube& cube, const CellRef& ref, const char* tag,
+                std::string* body) {
+  body->append(tag);
+  body->append(" ");
+  body->append(cube.CellName(ref.cell->dims));
+  body->append("\n");
+  body->append(DumpFlowCell(*ref.cell));
+}
+
+Status CheckShape(const FlowCube& cube, const QueryRequest& request) {
+  if (request.pl_index >= cube.plan().path_levels.size()) {
+    return Status::InvalidArgument("pl_index out of range");
+  }
+  if (request.type == RequestType::kDrillDown &&
+      request.dim >= cube.schema().num_dimensions()) {
+    return Status::InvalidArgument("dimension index out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+QueryService::QueryService(const SnapshotRegistry* registry)
+    : registry_(registry) {
+  FC_CHECK(registry_ != nullptr);
+}
+
+QueryResponse QueryService::Execute(const QueryRequest& request) const {
+  SnapshotPtr snapshot = registry_->Acquire();
+  if (snapshot == nullptr) {
+    ServiceMetrics::Get().requests.Increment();
+    ServiceMetrics::Get().errors.Increment();
+    return ErrorResponse(
+        request, 0, Status::FailedPrecondition("no snapshot published yet"));
+  }
+  ServiceMetrics::Get().epoch_lag.Set(
+      static_cast<int64_t>(registry_->current_epoch() - snapshot->epoch));
+  return ExecuteOn(*snapshot, request);
+}
+
+QueryResponse QueryService::ExecuteOn(const CubeSnapshot& snapshot,
+                                      const QueryRequest& request) {
+  ServiceMetrics& metrics = ServiceMetrics::Get();
+  metrics.requests.Increment();
+  const FlowCube& cube = *snapshot.cube;
+  const uint64_t epoch = snapshot.epoch;
+
+  if (request.type != RequestType::kStats) {
+    Status shape = CheckShape(cube, request);
+    if (!shape.ok()) {
+      metrics.errors.Increment();
+      return ErrorResponse(request, epoch, shape);
+    }
+  }
+
+  FlowCubeQuery query(&cube);
+  QueryResponse response;
+  response.request_id = request.request_id;
+  response.epoch = epoch;
+
+  switch (request.type) {
+    case RequestType::kPointLookup:
+    case RequestType::kCellOrAncestor: {
+      Result<CellRef> ref =
+          request.type == RequestType::kPointLookup
+              ? query.Cell(request.values, request.pl_index)
+              : query.CellOrAncestor(request.values, request.pl_index);
+      if (!ref.ok()) {
+        metrics.errors.Increment();
+        return ErrorResponse(request, epoch, ref.status());
+      }
+      response.body = "cell " + cube.CellName(ref->cell->dims) + "\nil " +
+                      std::to_string(ref->il_index) + " pl " +
+                      std::to_string(ref->pl_index) + "\n" +
+                      DumpFlowCell(*ref->cell);
+      break;
+    }
+    case RequestType::kDrillDown: {
+      Result<CellRef> parent = query.Cell(request.values, request.pl_index);
+      if (!parent.ok()) {
+        metrics.errors.Increment();
+        return ErrorResponse(request, epoch, parent.status());
+      }
+      std::vector<CellRef> children = query.DrillDown(*parent, request.dim);
+      // Cuboid iteration order is insertion order, which a maintained cube
+      // and a rebuilt cube need not share; the body sorts by coordinates so
+      // equal cubes produce equal bytes.
+      std::sort(children.begin(), children.end(),
+                [](const CellRef& a, const CellRef& b) {
+                  return a.cell->dims < b.cell->dims;
+                });
+      response.body = "children " + std::to_string(children.size()) + "\n";
+      for (const CellRef& child : children) {
+        AppendCell(cube, child, "child", &response.body);
+      }
+      break;
+    }
+    case RequestType::kSimilarity: {
+      Result<CellRef> a = query.Cell(request.values, request.pl_index);
+      if (!a.ok()) {
+        metrics.errors.Increment();
+        return ErrorResponse(request, epoch, a.status());
+      }
+      Result<CellRef> b = query.Cell(request.values_b, request.pl_index);
+      if (!b.ok()) {
+        metrics.errors.Increment();
+        return ErrorResponse(request, epoch, b.status());
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "distance %.17g\n",
+                    query.Compare(*a, *b));
+      response.body = buf;
+      break;
+    }
+    case RequestType::kStats: {
+      response.body = "records " + std::to_string(snapshot.records) +
+                      "\ncuboids " + std::to_string(cube.num_cuboids()) +
+                      "\ncells " + std::to_string(cube.TotalCells()) +
+                      "\nredundant " + std::to_string(cube.RedundantCells()) +
+                      "\n";
+      break;
+    }
+  }
+  return response;
+}
+
+}  // namespace flowcube

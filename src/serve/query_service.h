@@ -1,0 +1,53 @@
+#ifndef FLOWCUBE_SERVE_QUERY_SERVICE_H_
+#define FLOWCUBE_SERVE_QUERY_SERVICE_H_
+
+#include "serve/protocol.h"
+#include "serve/snapshot_registry.h"
+
+namespace flowcube {
+
+// Executes decoded FCQP requests against published cube snapshots. One
+// request pins exactly one snapshot for its whole execution (the epoch is
+// echoed in the response), so the body always describes a single consistent
+// cube even while the maintainer keeps publishing newer epochs.
+//
+// Response bodies are deterministic text built from the canonical cell
+// serialization (flowcube/dump.h), chosen so a response is byte-comparable
+// against a from-scratch rebuild of the same epoch — the snapshot isolation
+// test's differential oracle:
+//
+//   kPointLookup / kCellOrAncestor:
+//     "cell <name>\nil <il> pl <pl>\n" + DumpFlowCell(cell)
+//   kDrillDown:
+//     "children <n>\n" then per child (sorted by coordinates)
+//     "child <name>\n" + DumpFlowCell(child)
+//   kSimilarity:
+//     "distance <%.17g>\n"
+//   kStats:
+//     "records <n>\ncuboids <n>\ncells <n>\nredundant <n>\n"
+//     (memory is deliberately absent: vector capacities differ between a
+//     clone and a rebuild, and the body must not)
+//
+// Errors map straight onto the Status vocabulary: the response carries the
+// failing code and message with an empty body.
+class QueryService {
+ public:
+  // `registry` must outlive the service.
+  explicit QueryService(const SnapshotRegistry* registry);
+
+  // Pins the registry's current snapshot and executes. Before the first
+  // Publish, every request fails with kFailedPrecondition and epoch 0.
+  QueryResponse Execute(const QueryRequest& request) const;
+
+  // Executes against an explicit snapshot. Exposed so the differential
+  // oracle can run the same code path against a full rebuild of one epoch.
+  static QueryResponse ExecuteOn(const CubeSnapshot& snapshot,
+                                 const QueryRequest& request);
+
+ private:
+  const SnapshotRegistry* registry_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_SERVE_QUERY_SERVICE_H_

@@ -1,0 +1,375 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+
+namespace flowcube {
+namespace {
+
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kWakeTag = 1;
+
+struct ServerMetrics {
+  Counter& accepted =
+      MetricRegistry::Global().counter("serve.connections.accepted");
+  Counter& closed =
+      MetricRegistry::Global().counter("serve.connections.closed");
+  Counter& dropped_slow =
+      MetricRegistry::Global().counter("serve.connections.dropped_slow");
+  Counter& frames_in = MetricRegistry::Global().counter("serve.frames.in");
+  Counter& frames_out = MetricRegistry::Global().counter("serve.frames.out");
+  Gauge& active = MetricRegistry::Global().gauge("serve.connections.active");
+  Histogram& worker_seconds =
+      MetricRegistry::Global().histogram("serve.worker_seconds");
+
+  static ServerMetrics& Get() {
+    static ServerMetrics* m = new ServerMetrics();
+    return *m;
+  }
+};
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " +
+                          std::strerror(errno));
+}
+
+}  // namespace
+
+// One accepted socket. The fd is owned here and closed only on
+// destruction, which happens after both the connection table and every
+// in-flight request released their shared_ptr.
+struct QueryServer::Connection {
+  Connection(int fd_in, uint64_t id_in) : fd(fd_in), id(id_in) {}
+  ~Connection() { ::close(fd); }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  const int fd;
+  const uint64_t id;
+
+  // Event thread only.
+  FrameAssembler assembler;
+
+  Mutex mu;
+  // Response bytes not yet accepted by the socket.
+  std::string out FC_GUARDED_BY(mu);
+  // Whether the epoll interest set currently includes EPOLLOUT.
+  bool want_write FC_GUARDED_BY(mu) = false;
+
+  // Set (by either side) when the connection is beyond saving: the event
+  // thread tears it down at the next event. A worker that drops a slow
+  // reader also shutdown()s the socket so that event arrives promptly.
+  std::atomic<bool> dropped{false};
+};
+
+QueryServer::QueryServer(const QueryService* service, ServerOptions options)
+    : service_(service),
+      options_(options),
+      queue_(options.queue_capacity == 0 ? 1 : options.queue_capacity) {}
+
+Result<std::unique_ptr<QueryServer>> QueryServer::Start(
+    const QueryService* service, ServerOptions options) {
+  FC_CHECK(service != nullptr);
+  FC_CHECK_MSG(options.num_workers > 0, "num_workers must be > 0");
+  std::unique_ptr<QueryServer> server(new QueryServer(service, options));
+  FC_RETURN_IF_ERROR(server->Init());
+  return server;
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+Status QueryServer::Init() {
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(listen_fd_, 128) < 0) return Errno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return Errno("eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    return Errno("epoll_ctl(listen)");
+  }
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    return Errno("epoll_ctl(wake)");
+  }
+
+  event_thread_ = std::thread([this] { EventLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void QueryServer::Shutdown() {
+  if (shutdown_done_) return;
+  shutdown_done_ = true;
+
+  // Order matters: close the queue first so an event thread blocked in
+  // Push() wakes with false, then raise the stop flag and poke the eventfd
+  // so epoll_wait returns. Workers are joined after the event thread; per
+  // the BoundedQueue contract they drain every accepted request first.
+  queue_.Close();
+  stopping_.store(true, std::memory_order_release);
+  uint64_t tick = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &tick, sizeof(tick));
+  if (event_thread_.joinable()) event_thread_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+
+  // All threads are gone; releasing the table closes every remaining
+  // socket via the Connection destructors.
+  ServerMetrics& metrics = ServerMetrics::Get();
+  metrics.closed.Add(conns_.size());
+  conns_.clear();
+  active_connections_.store(0, std::memory_order_relaxed);
+  metrics.active.Set(0);
+
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+}
+
+void QueryServer::EventLoop() {
+  std::array<epoll_event, 64> events;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(), events.size(), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "flowcube serve: epoll_wait failed: %s\n",
+                   std::strerror(errno));
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kWakeTag) {
+        uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(wake_fd_, &drained, sizeof(drained));
+      } else if (tag == kListenTag) {
+        AcceptAll();
+      } else {
+        HandleConnEvent(tag, events[i].events);
+      }
+    }
+  }
+}
+
+void QueryServer::AcceptAll() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN, or a racing client that went away
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.sndbuf > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf,
+                   sizeof(options_.sndbuf));
+    }
+    const uint64_t id = next_conn_id_++;
+    auto conn = std::make_shared<Connection>(fd, id);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      continue;  // conn destructor closes the fd
+    }
+    conns_.emplace(id, std::move(conn));
+    ServerMetrics::Get().accepted.Increment();
+    const size_t active =
+        active_connections_.fetch_add(1, std::memory_order_relaxed) + 1;
+    ServerMetrics::Get().active.Set(static_cast<int64_t>(active));
+  }
+}
+
+void QueryServer::HandleConnEvent(uint64_t id, uint32_t events) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  const std::shared_ptr<Connection>& conn = it->second;
+
+  if (conn->dropped.load(std::memory_order_acquire) ||
+      (events & (EPOLLHUP | EPOLLERR)) != 0) {
+    CloseConn(id);
+    return;
+  }
+
+  if ((events & EPOLLOUT) != 0) {
+    bool ok = true;
+    {
+      MutexLock lock(conn->mu);
+      ok = FlushLocked(conn.get());
+      if (ok && conn->out.empty() && conn->want_write) {
+        conn->want_write = false;
+        ModEvents(*conn, false);
+      }
+    }
+    if (!ok) {
+      CloseConn(id);
+      return;
+    }
+  }
+
+  if ((events & EPOLLIN) != 0) {
+    char buf[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->assembler.Append(std::string_view(buf, static_cast<size_t>(n)));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      CloseConn(id);  // orderly close (0) or hard error
+      return;
+    }
+    for (;;) {
+      Result<std::optional<std::string>> frame = conn->assembler.Next();
+      if (!frame.ok()) {
+        // The stream has no resync point after a framing error; drop the
+        // connection (the protocol tests cover the per-error statuses via
+        // DecodeFrameExact).
+        CloseConn(id);
+        return;
+      }
+      if (!frame->has_value()) break;
+      ServerMetrics::Get().frames_in.Increment();
+      if (!queue_.Push(ServeWork{conn, std::move(**frame)})) {
+        return;  // shutting down; request dropped with the queue closed
+      }
+    }
+  }
+}
+
+void QueryServer::CloseConn(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  conns_.erase(it);  // fd closes when the last in-flight request finishes
+  ServerMetrics::Get().closed.Increment();
+  const size_t active =
+      active_connections_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  ServerMetrics::Get().active.Set(static_cast<int64_t>(active));
+}
+
+void QueryServer::ModEvents(const Connection& conn, bool want_write) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  ev.data.u64 = conn.id;
+  // ENOENT (connection already torn down) and EBADF (post-shutdown) are
+  // benign here.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+bool QueryServer::FlushLocked(Connection* conn) {
+  size_t sent = 0;
+  while (sent < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + sent, conn->out.size() - sent,
+               MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    conn->dropped.store(true, std::memory_order_release);
+    conn->out.erase(0, sent);
+    return false;
+  }
+  conn->out.erase(0, sent);
+  return true;
+}
+
+void QueryServer::SendToConn(const std::shared_ptr<Connection>& conn,
+                             std::string_view bytes) {
+  if (conn->dropped.load(std::memory_order_acquire)) return;
+  MutexLock lock(conn->mu);
+  conn->out.append(bytes.data(), bytes.size());
+  if (!FlushLocked(conn.get())) {
+    ::shutdown(conn->fd, SHUT_RDWR);
+    return;
+  }
+  if (conn->out.empty()) {
+    ServerMetrics::Get().frames_out.Increment();
+    return;
+  }
+  if (conn->out.size() > options_.max_write_buffer) {
+    // Slow reader: cap the memory it can pin and let the event thread reap
+    // the connection.
+    conn->dropped.store(true, std::memory_order_release);
+    ServerMetrics::Get().dropped_slow.Increment();
+    ::shutdown(conn->fd, SHUT_RDWR);
+    return;
+  }
+  ServerMetrics::Get().frames_out.Increment();
+  if (!conn->want_write) {
+    conn->want_write = true;
+    ModEvents(*conn, true);
+  }
+}
+
+void QueryServer::WorkerLoop() {
+  ServerMetrics& metrics = ServerMetrics::Get();
+  for (;;) {
+    std::optional<ServeWork> work = queue_.Pop();
+    if (!work.has_value()) return;  // closed and drained
+    Stopwatch timer;
+    QueryResponse response;
+    Result<QueryRequest> request = DecodeRequest(work->payload);
+    if (!request.ok()) {
+      // The frame was well-formed but the payload was not a request; the
+      // id is unknowable, so 0 goes back.
+      response.code = request.status().code();
+      response.message = request.status().message();
+    } else {
+      response = service_->Execute(*request);
+    }
+    SendToConn(work->conn, EncodeFrame(EncodeResponse(response)));
+    metrics.worker_seconds.Record(timer.ElapsedSeconds());
+  }
+}
+
+}  // namespace flowcube

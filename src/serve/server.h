@@ -1,0 +1,133 @@
+#ifndef FLOWCUBE_SERVE_SERVER_H_
+#define FLOWCUBE_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "serve/protocol.h"
+#include "serve/query_service.h"
+#include "stream/bounded_queue.h"
+
+namespace flowcube {
+
+struct ServerOptions {
+  // TCP port; 0 picks an ephemeral port (read it back via port()). The
+  // server binds loopback only — it is an analysis endpoint, not an
+  // internet-facing daemon.
+  uint16_t port = 0;
+  // Request-execution threads.
+  int num_workers = 4;
+  // Decoded-request backlog between the event thread and the workers. When
+  // full, the event thread blocks in Push — BoundedQueue backpressure — so
+  // clients that outrun the workers are throttled at the socket instead of
+  // buffering unboundedly.
+  size_t queue_capacity = 1024;
+  // A connection whose unsent responses exceed this many bytes (a slow or
+  // stalled reader) is dropped rather than allowed to pin memory.
+  size_t max_write_buffer = 8u << 20;
+  // SO_SNDBUF for accepted sockets; 0 keeps the kernel default. The stress
+  // tests shrink this so loopback's generous buffering can't absorb a slow
+  // reader's backlog before max_write_buffer trips.
+  int sndbuf = 0;
+};
+
+// The FCQP TCP server (DESIGN.md §14): one epoll event thread owns accept,
+// reads, and deferred writes; a small worker pool executes requests against
+// pinned snapshots and sends responses directly when the socket has room.
+//
+// Threading:
+//   - the event thread is the only toucher of the connection table and each
+//     connection's FrameAssembler;
+//   - a connection's outbound buffer is shared between workers (append +
+//     opportunistic flush) and the event thread (EPOLLOUT flush), guarded
+//     by the per-connection mutex;
+//   - sockets are closed only by the Connection destructor, after the last
+//     shared_ptr (table entry or in-flight request) drops, so a worker can
+//     never write into a recycled fd.
+//
+// Shutdown (exercised by tests/serve_stress_test.cc): Shutdown() closes the
+// request queue, wakes and joins the event thread, then joins the workers —
+// which, per the BoundedQueue contract, drain every accepted request before
+// exiting — and finally releases the connections. In-flight requests thus
+// finish executing; their responses are delivered when the socket still has
+// room and dropped with the connection otherwise. Idempotent; the
+// destructor calls it.
+class QueryServer {
+ public:
+  // Binds, listens, and starts the threads. `service` must outlive the
+  // server.
+  static Result<std::unique_ptr<QueryServer>> Start(
+      const QueryService* service, ServerOptions options = {});
+
+  ~QueryServer();
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  // The bound port (resolves ephemeral binds).
+  uint16_t port() const { return port_; }
+
+  // Currently open connections.
+  size_t active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
+
+  void Shutdown();
+
+ private:
+  struct Connection;
+  struct ServeWork {
+    std::shared_ptr<Connection> conn;
+    std::string payload;
+  };
+
+  QueryServer(const QueryService* service, ServerOptions options);
+
+  Status Init();
+  void EventLoop();
+  void WorkerLoop();
+  void AcceptAll();
+  void HandleConnEvent(uint64_t id, uint32_t events);
+  void CloseConn(uint64_t id);
+  // Re-declares the fd's epoll interest set (EPOLLIN, plus EPOLLOUT when
+  // the out buffer has pending bytes).
+  void ModEvents(const Connection& conn, bool want_write);
+  // Sends as much of the out buffer as the socket accepts. Returns false
+  // when the connection failed and must be dropped.
+  bool FlushLocked(Connection* conn);
+  // Worker side: append a response frame and flush opportunistically.
+  void SendToConn(const std::shared_ptr<Connection>& conn,
+                  std::string_view bytes);
+
+  const QueryService* service_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  bool shutdown_done_ = false;
+  BoundedQueue<ServeWork> queue_;
+  std::thread event_thread_;
+  std::vector<std::thread> workers_;
+
+  // Event-thread-owned (touched elsewhere only after the joins in
+  // Shutdown): live connections by id. std::map for deterministic
+  // iteration under the project's lint rules.
+  std::map<uint64_t, std::shared_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 2;  // 0 = listen socket, 1 = wake eventfd
+
+  std::atomic<size_t> active_connections_{0};
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_SERVE_SERVER_H_

@@ -1,0 +1,87 @@
+#include "serve/snapshot_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "stream/incremental_maintainer.h"
+
+namespace flowcube {
+namespace {
+
+struct RegistryMetrics {
+  Counter& published =
+      MetricRegistry::Global().counter("serve.snapshots.published");
+  Counter& acquires =
+      MetricRegistry::Global().counter("serve.snapshots.acquires");
+  Gauge& epoch = MetricRegistry::Global().gauge("serve.snapshot.epoch");
+  Gauge& live = MetricRegistry::Global().gauge("serve.snapshots.live");
+
+  static RegistryMetrics& Get() {
+    static RegistryMetrics* m = new RegistryMetrics();
+    return *m;
+  }
+};
+
+}  // namespace
+
+uint64_t SnapshotRegistry::Publish(std::shared_ptr<const FlowCube> cube,
+                                   uint64_t records) {
+  FC_CHECK_MSG(cube != nullptr, "cannot publish a null cube snapshot");
+  auto snapshot = std::make_shared<CubeSnapshot>();
+  snapshot->records = records;
+  snapshot->cube = std::move(cube);
+  size_t live = 0;
+  uint64_t epoch = 0;
+  {
+    MutexLock lock(mu_);
+    epoch = ++epoch_;
+    snapshot->epoch = epoch;
+    current_ = std::move(snapshot);
+    outstanding_.push_back(current_);
+    // Prune retirements opportunistically so the bookkeeping stays O(live),
+    // not O(epochs ever published).
+    std::erase_if(outstanding_,
+                  [](const std::weak_ptr<const CubeSnapshot>& w) {
+                    return w.expired();
+                  });
+    live = outstanding_.size();
+  }
+  RegistryMetrics& metrics = RegistryMetrics::Get();
+  metrics.published.Increment();
+  metrics.epoch.Set(static_cast<int64_t>(epoch));
+  metrics.live.Set(static_cast<int64_t>(live));
+  return epoch;
+}
+
+SnapshotPtr SnapshotRegistry::Acquire() const {
+  RegistryMetrics::Get().acquires.Increment();
+  MutexLock lock(mu_);
+  return current_;
+}
+
+uint64_t SnapshotRegistry::current_epoch() const {
+  MutexLock lock(mu_);
+  return epoch_;
+}
+
+size_t SnapshotRegistry::live_snapshots() const {
+  MutexLock lock(mu_);
+  std::erase_if(outstanding_,
+                [](const std::weak_ptr<const CubeSnapshot>& w) {
+                  return w.expired();
+                });
+  return outstanding_.size();
+}
+
+void AttachToRegistry(IncrementalMaintainer* maintainer,
+                      SnapshotRegistry* registry) {
+  FC_CHECK(maintainer != nullptr && registry != nullptr);
+  maintainer->SetPublishHook([registry](const IncrementalMaintainer& m) {
+    registry->Publish(std::make_shared<const FlowCube>(m.cube().Clone()),
+                      m.live_record_count());
+  });
+}
+
+}  // namespace flowcube

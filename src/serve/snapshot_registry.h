@@ -1,0 +1,86 @@
+#ifndef FLOWCUBE_SERVE_SNAPSHOT_REGISTRY_H_
+#define FLOWCUBE_SERVE_SNAPSHOT_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "flowcube/flowcube.h"
+
+namespace flowcube {
+
+class IncrementalMaintainer;
+
+// One published, immutable cube snapshot. Readers that Acquire() it share
+// ownership; the snapshot (epoch included) stays valid until the last
+// shared_ptr drops, no matter how many newer epochs are published
+// meanwhile.
+struct CubeSnapshot {
+  // Monotonic publication counter, starting at 1. Responses carry the epoch
+  // they were served from, so clients (and the isolation tests) can match a
+  // response against the exact cube state that produced it.
+  uint64_t epoch = 0;
+  // Live records the maintainer had applied when this snapshot was taken —
+  // the key the differential oracle uses to rebuild this epoch from
+  // scratch.
+  uint64_t records = 0;
+  std::shared_ptr<const FlowCube> cube;
+};
+
+using SnapshotPtr = std::shared_ptr<const CubeSnapshot>;
+
+// RCU-style publication point between one writer (the stream maintainer)
+// and any number of readers (DESIGN.md §14). Publish() swaps the current
+// snapshot pointer under a short mutex hold; Acquire() copies it under the
+// same mutex — a few nanoseconds, never blocked by query execution — and
+// from then on the reader works lock-free against its pinned, immutable
+// cube. Retirement is automatic: an old epoch's memory is released when the
+// last reader unpins it (shared_ptr refcount), so a slow reader can never
+// observe a half-applied batch and a fast writer can never free a cube out
+// from under a reader.
+//
+// The registry never blocks ingestion on readers: Publish() only swaps a
+// pointer, so the maintainer's Apply cadence is independent of query load
+// (the clone it publishes is built outside any lock).
+class SnapshotRegistry {
+ public:
+  SnapshotRegistry() = default;
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  // Publishes `cube` as the next epoch and returns that epoch. `records` is
+  // the maintainer's live record count at publication time.
+  uint64_t Publish(std::shared_ptr<const FlowCube> cube, uint64_t records);
+
+  // Pins the current snapshot. nullptr before the first Publish.
+  SnapshotPtr Acquire() const;
+
+  // Epoch of the most recent Publish (0 = nothing published yet).
+  uint64_t current_epoch() const;
+
+  // Number of snapshots still pinned somewhere (the current one included).
+  // The shutdown stress test asserts this returns to 1 once all readers are
+  // gone — a higher steady-state value means a leaked epoch pin.
+  size_t live_snapshots() const;
+
+ private:
+  mutable Mutex mu_;
+  SnapshotPtr current_ FC_GUARDED_BY(mu_);
+  uint64_t epoch_ FC_GUARDED_BY(mu_) = 0;
+  // Weak references to every published snapshot, pruned opportunistically;
+  // what is still lockable is still pinned by some reader.
+  mutable std::vector<std::weak_ptr<const CubeSnapshot>> outstanding_
+      FC_GUARDED_BY(mu_);
+};
+
+// Wires a maintainer to a registry: installs a publish hook that clones the
+// maintained cube after every successful Apply and publishes the clone.
+// The registry must outlive the maintainer (or the hook must be cleared
+// first with maintainer->SetPublishHook(nullptr)).
+void AttachToRegistry(IncrementalMaintainer* maintainer,
+                      SnapshotRegistry* registry);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_SERVE_SNAPSHOT_REGISTRY_H_

@@ -187,6 +187,7 @@ Status IncrementalMaintainer::ApplyRecords(std::span<const PathRecord> records,
   metrics.redundancy_updates.Add(stats->redundancy_updates);
   metrics.live_records.Set(static_cast<int64_t>(live_record_count()));
   metrics.memory_bytes.Set(static_cast<int64_t>(cube_.MemoryUsage()));
+  if (publish_hook_) publish_hook_(*this);
   return Status::OK();
 }
 

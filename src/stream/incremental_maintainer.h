@@ -1,6 +1,7 @@
 #ifndef FLOWCUBE_STREAM_INCREMENTAL_MAINTAINER_H_
 #define FLOWCUBE_STREAM_INCREMENTAL_MAINTAINER_H_
 
+#include <functional>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -99,6 +100,15 @@ class IncrementalMaintainer {
   Status ApplyRecords(std::span<const PathRecord> records,
                       ApplyStats* stats = nullptr);
 
+  // Called after every successful Apply/ApplyRecords, while the cube is
+  // quiescent — the hook may read cube() and live_record_count() freely.
+  // The serving layer uses this to clone and publish an immutable snapshot
+  // per batch (serve/snapshot_registry.h); stream/ itself stays unaware of
+  // the serving types. nullptr clears the hook. Runs on the Apply caller's
+  // thread; external synchronization rules are unchanged.
+  using PublishHook = std::function<void(const IncrementalMaintainer&)>;
+  void SetPublishHook(PublishHook hook) { publish_hook_ = std::move(hook); }
+
   // Records currently live (the whole stream, or the trailing window), in
   // ingestion order. A batch rebuild over exactly these records reproduces
   // cube() byte-for-byte.
@@ -170,6 +180,7 @@ class IncrementalMaintainer {
   std::vector<CellMap> cells_;
 
   FlowCube cube_;
+  PublishHook publish_hook_;
 };
 
 }  // namespace flowcube

@@ -63,5 +63,9 @@ TEST(FuzzRegressionTest, CheckpointCorpusReplaysCleanly) {
   Replay("checkpoint", &FuzzCheckpoint);
 }
 
+TEST(FuzzRegressionTest, ServeFrameCorpusReplaysCleanly) {
+  Replay("serve", &FuzzServeFrame);
+}
+
 }  // namespace
 }  // namespace flowcube

@@ -1,0 +1,323 @@
+// FCQP wire-format robustness (serve/protocol.h): every malformed-frame
+// class — truncation, bad magic, version skew, length-field overflow, CRC
+// tampering — must decode to a distinct, stable error status, and every
+// well-formed message must round-trip canonically. Mirrors the FCSP
+// checkpoint robustness suite (stream_checkpoint_test.cc): corrupt one
+// field at a time, assert the exact status message.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.h"
+
+namespace flowcube {
+namespace {
+
+constexpr size_t kMagicOffset = 0;
+constexpr size_t kVersionOffset = 4;
+constexpr size_t kCrcOffset = 8;
+constexpr size_t kSizeOffset = 12;
+
+void PutU32(std::string* bytes, size_t offset, uint32_t v) {
+  ASSERT_LE(offset + 4, bytes->size());
+  for (int i = 0; i < 4; ++i) {
+    (*bytes)[offset + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+QueryRequest SampleRequest() {
+  QueryRequest request;
+  request.type = RequestType::kPointLookup;
+  request.request_id = 42;
+  request.pl_index = 1;
+  request.values = {"outerwear", "*"};
+  return request;
+}
+
+std::string SampleFrame() { return EncodeFrame(EncodeRequest(SampleRequest())); }
+
+void ExpectDecodeError(const std::string& bytes, const std::string& message) {
+  Result<std::string> payload = DecodeFrameExact(bytes);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(payload.status().message(), message);
+}
+
+TEST(ServeProtocolTest, FrameRoundTrips) {
+  const std::string payload = EncodeRequest(SampleRequest());
+  const std::string frame = EncodeFrame(payload);
+  EXPECT_EQ(frame.size(), kFrameHeaderSize + payload.size());
+  Result<std::string> decoded = DecodeFrameExact(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, payload);
+}
+
+TEST(ServeProtocolTest, EmptyPayloadFrameRoundTrips) {
+  Result<std::string> decoded = DecodeFrameExact(EncodeFrame(""));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(ServeProtocolTest, TruncatedHeaderEveryPrefixLength) {
+  const std::string frame = SampleFrame();
+  for (size_t len = 0; len < kFrameHeaderSize; ++len) {
+    SCOPED_TRACE(len);
+    ExpectDecodeError(frame.substr(0, len),
+                      "malformed frame: truncated header");
+  }
+}
+
+TEST(ServeProtocolTest, TruncatedPayloadEveryLength) {
+  const std::string frame = SampleFrame();
+  for (size_t len = kFrameHeaderSize; len < frame.size(); ++len) {
+    SCOPED_TRACE(len);
+    ExpectDecodeError(frame.substr(0, len),
+                      "malformed frame: truncated payload");
+  }
+}
+
+TEST(ServeProtocolTest, BadMagic) {
+  std::string frame = SampleFrame();
+  PutU32(&frame, kMagicOffset, kFrameMagic ^ 1);
+  ExpectDecodeError(frame, "malformed frame: bad magic");
+}
+
+TEST(ServeProtocolTest, VersionSkew) {
+  for (uint32_t version : {0u, kProtocolVersion + 1, 0xFFFFFFFFu}) {
+    SCOPED_TRACE(version);
+    std::string frame = SampleFrame();
+    PutU32(&frame, kVersionOffset, version);
+    ExpectDecodeError(frame, "malformed frame: unsupported version");
+  }
+}
+
+TEST(ServeProtocolTest, LengthFieldOverflow) {
+  // A hostile length field beyond the cap must be rejected from the header
+  // alone — before any allocation and regardless of how many payload bytes
+  // actually follow.
+  for (uint32_t size : {static_cast<uint32_t>(kMaxFramePayload) + 1,
+                        0xFFFFFFFFu}) {
+    SCOPED_TRACE(size);
+    std::string frame = SampleFrame();
+    PutU32(&frame, kSizeOffset, size);
+    ExpectDecodeError(frame, "malformed frame: payload length exceeds limit");
+  }
+}
+
+TEST(ServeProtocolTest, CrcTamperedPayload) {
+  // Flipping any payload byte must trip the checksum.
+  const std::string frame = SampleFrame();
+  for (size_t i = kFrameHeaderSize; i < frame.size(); ++i) {
+    SCOPED_TRACE(i);
+    std::string bad = frame;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    ExpectDecodeError(bad, "malformed frame: payload checksum mismatch");
+  }
+}
+
+TEST(ServeProtocolTest, CrcTamperedField) {
+  std::string frame = SampleFrame();
+  PutU32(&frame, kCrcOffset, 0xDEADBEEF);
+  ExpectDecodeError(frame, "malformed frame: payload checksum mismatch");
+}
+
+TEST(ServeProtocolTest, TrailingBytesAfterFrame) {
+  ExpectDecodeError(SampleFrame() + "x",
+                    "malformed frame: trailing bytes after frame");
+}
+
+// ---------------------------------------------------------------------------
+// Request payloads.
+
+TEST(ServeProtocolTest, RequestRoundTripsEveryType) {
+  QueryRequest point = SampleRequest();
+  QueryRequest ancestor;
+  ancestor.type = RequestType::kCellOrAncestor;
+  ancestor.request_id = 7;
+  ancestor.values = {"*", "nike"};
+  QueryRequest drill;
+  drill.type = RequestType::kDrillDown;
+  drill.request_id = 8;
+  drill.pl_index = 2;
+  drill.dim = 1;
+  drill.values = {"outerwear", "*"};
+  QueryRequest similarity;
+  similarity.type = RequestType::kSimilarity;
+  similarity.request_id = 9;
+  similarity.values = {"outerwear", "*"};
+  similarity.values_b = {"shirts", "*"};
+  QueryRequest stats;
+  stats.type = RequestType::kStats;
+  stats.request_id = 10;
+
+  for (const QueryRequest& request :
+       {point, ancestor, drill, similarity, stats}) {
+    SCOPED_TRACE(static_cast<int>(request.type));
+    const std::string payload = EncodeRequest(request);
+    Result<QueryRequest> decoded = DecodeRequest(payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, request);
+    // Canonical: re-encoding reproduces the payload byte-for-byte.
+    EXPECT_EQ(EncodeRequest(*decoded), payload);
+  }
+}
+
+TEST(ServeProtocolTest, RequestUnknownType) {
+  std::string payload = EncodeRequest(SampleRequest());
+  payload[0] = 99;
+  Result<QueryRequest> decoded = DecodeRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().message(), "malformed request: unknown type");
+}
+
+TEST(ServeProtocolTest, RequestTruncatedAtEveryLength) {
+  const std::string payload = EncodeRequest(SampleRequest());
+  for (size_t len = 0; len < payload.size(); ++len) {
+    SCOPED_TRACE(len);
+    Result<QueryRequest> decoded = DecodeRequest(payload.substr(0, len));
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), Status::Code::kInvalidArgument);
+    EXPECT_TRUE(decoded.status().message() ==
+                    "malformed request: truncated header" ||
+                decoded.status().message() ==
+                    "malformed request: truncated body")
+        << decoded.status().message();
+  }
+}
+
+TEST(ServeProtocolTest, RequestTooManyValues) {
+  QueryRequest request = SampleRequest();
+  request.values.assign(kMaxQueryValues + 1, "v");
+  Result<QueryRequest> decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().message(),
+            "malformed request: too many dimension values");
+}
+
+TEST(ServeProtocolTest, RequestTrailingBytes) {
+  Result<QueryRequest> decoded =
+      DecodeRequest(EncodeRequest(SampleRequest()) + "x");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().message(), "malformed request: trailing bytes");
+}
+
+// ---------------------------------------------------------------------------
+// Response payloads.
+
+TEST(ServeProtocolTest, ResponseRoundTrips) {
+  QueryResponse ok;
+  ok.request_id = 42;
+  ok.epoch = 17;
+  ok.body = "cell (outerwear, *)\n";
+  QueryResponse error;
+  error.request_id = 43;
+  error.epoch = 17;
+  error.code = Status::Code::kNotFound;
+  error.message = "cell not materialized";
+  for (const QueryResponse& response : {ok, error}) {
+    const std::string payload = EncodeResponse(response);
+    Result<QueryResponse> decoded = DecodeResponse(payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, response);
+    EXPECT_EQ(EncodeResponse(*decoded), payload);
+  }
+}
+
+TEST(ServeProtocolTest, ResponseTruncated) {
+  QueryResponse response;
+  response.request_id = 1;
+  const std::string payload = EncodeResponse(response);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    SCOPED_TRACE(len);
+    Result<QueryResponse> decoded = DecodeResponse(payload.substr(0, len));
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().message(), "malformed response: truncated");
+  }
+}
+
+TEST(ServeProtocolTest, ResponseUnknownStatusCode) {
+  QueryResponse response;
+  std::string payload = EncodeResponse(response);
+  payload[16] = 99;  // code byte follows the two u64s
+  Result<QueryResponse> decoded = DecodeResponse(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().message(),
+            "malformed response: unknown status code");
+}
+
+TEST(ServeProtocolTest, ResponseTrailingBytes) {
+  QueryResponse response;
+  Result<QueryResponse> decoded =
+      DecodeResponse(EncodeResponse(response) + "x");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().message(), "malformed response: trailing bytes");
+}
+
+// ---------------------------------------------------------------------------
+// Streaming assembly.
+
+TEST(ServeProtocolTest, AssemblerReassemblesByteByByte) {
+  // Three frames delivered one byte at a time must come out intact, in
+  // order, regardless of where frame boundaries fall.
+  std::vector<std::string> payloads;
+  std::string wire;
+  for (uint64_t id = 1; id <= 3; ++id) {
+    QueryRequest request = SampleRequest();
+    request.request_id = id;
+    payloads.push_back(EncodeRequest(request));
+    wire += EncodeFrame(payloads.back());
+  }
+  FrameAssembler assembler;
+  std::vector<std::string> got;
+  for (char byte : wire) {
+    assembler.Append(std::string_view(&byte, 1));
+    for (;;) {
+      Result<std::optional<std::string>> next = assembler.Next();
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      if (!next->has_value()) break;
+      got.push_back(**next);
+    }
+  }
+  EXPECT_EQ(got, payloads);
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(ServeProtocolTest, AssemblerPoisonsOnBadMagicAndStaysPoisoned) {
+  std::string frame = SampleFrame();
+  PutU32(&frame, kMagicOffset, 0x12345678);
+  FrameAssembler assembler;
+  assembler.Append(frame);
+  for (int i = 0; i < 3; ++i) {
+    Result<std::optional<std::string>> next = assembler.Next();
+    ASSERT_FALSE(next.ok());
+    EXPECT_EQ(next.status().message(), "malformed frame: bad magic");
+  }
+  // Even appending a valid frame cannot revive the stream.
+  assembler.Append(SampleFrame());
+  EXPECT_FALSE(assembler.Next().ok());
+}
+
+TEST(ServeProtocolTest, AssemblerPoisonsOnCrcMismatch) {
+  std::string frame = SampleFrame();
+  frame[frame.size() - 1] = static_cast<char>(frame[frame.size() - 1] ^ 0x40);
+  FrameAssembler assembler;
+  assembler.Append(frame);
+  Result<std::optional<std::string>> next = assembler.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().message(),
+            "malformed frame: payload checksum mismatch");
+}
+
+TEST(ServeProtocolTest, AssemblerHonorsCustomPayloadCap) {
+  FrameAssembler assembler(/*max_payload=*/8);
+  assembler.Append(EncodeFrame("123456789"));  // 9 > 8
+  Result<std::optional<std::string>> next = assembler.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().message(),
+            "malformed frame: payload length exceeds limit");
+}
+
+}  // namespace
+}  // namespace flowcube

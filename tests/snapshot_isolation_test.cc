@@ -1,0 +1,324 @@
+// Snapshot isolation differential: N reader threads hammer the query
+// server over loopback while the maintainer keeps applying batches and
+// publishing epochs. Every response a reader receives must byte-match the
+// same request executed against a from-scratch FlowCubeBuilder rebuild of
+// the record prefix the response's epoch was published at — i.e. a reader
+// always sees one complete, consistent cube state, never a half-applied
+// batch, no matter how the publish raced its request. Runs tsan-clean (the
+// serve label is in the tsan CI leg).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flowcube/builder.h"
+#include "gen/path_generator.h"
+#include "path/path_database.h"
+#include "serve/client.h"
+#include "serve/query_service.h"
+#include "serve/server.h"
+#include "serve/snapshot_registry.h"
+#include "stream/incremental_maintainer.h"
+
+namespace flowcube {
+namespace {
+
+constexpr int kNumReaders = 8;
+constexpr int kRequestsPerReader = 50;
+constexpr size_t kBatchSize = 10;
+constexpr size_t kNumRecords = 120;  // 12 epochs at kBatchSize
+
+GeneratorConfig FixtureConfig() {
+  GeneratorConfig cfg;
+  cfg.num_dimensions = 2;
+  cfg.dim_distinct_per_level = {2, 2, 2};
+  cfg.num_location_groups = 3;
+  cfg.locations_per_group = 3;
+  cfg.num_sequences = 6;
+  cfg.min_sequence_length = 2;
+  cfg.max_sequence_length = 5;
+  cfg.seed = 4242;
+  return cfg;
+}
+
+FlowCubeBuilderOptions BuildOptions() {
+  FlowCubeBuilderOptions options;
+  options.min_support = 2;
+  options.compute_exceptions = true;
+  options.mark_redundant = true;
+  return options;
+}
+
+// A cell coordinate expressed as the value names a request carries.
+struct Candidate {
+  std::vector<std::string> values;
+  uint32_t pl_index = 0;
+};
+
+// Decodes every materialized cell of `cube` into request value names —
+// the deterministic pool the readers draw their lookups from.
+std::vector<Candidate> HarvestCells(const FlowCube& cube) {
+  std::vector<Candidate> out;
+  const FlowCubePlan& plan = cube.plan();
+  for (size_t il = 0; il < plan.item_levels.size(); ++il) {
+    for (size_t pl = 0; pl < plan.path_levels.size(); ++pl) {
+      for (const FlowCell* cell : cube.cuboid(il, pl).SortedCells()) {
+        Candidate c;
+        c.pl_index = static_cast<uint32_t>(pl);
+        c.values.assign(cube.schema().num_dimensions(), "*");
+        for (ItemId id : cell->dims) {
+          const size_t d = cube.catalog().DimOf(id);
+          c.values[d] =
+              cube.schema().dimensions[d].Name(cube.catalog().NodeOf(id));
+        }
+        out.push_back(std::move(c));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> LeafValues(const PathSchema& schema,
+                                    const PathRecord& rec) {
+  std::vector<std::string> values;
+  values.reserve(rec.dims.size());
+  for (size_t d = 0; d < rec.dims.size(); ++d) {
+    values.push_back(schema.dimensions[d].Name(rec.dims[d]));
+  }
+  return values;
+}
+
+// Deterministic request mix: materialized-cell lookups, leaf lookups that
+// fall back to ancestors, drill-downs, similarity pairs, stats, and one
+// guaranteed-miss — errors must be snapshot-consistent too.
+QueryRequest MakeRequest(const PathDatabase& db,
+                         const std::vector<Candidate>& pool, int reader,
+                         int i) {
+  QueryRequest req;
+  req.request_id =
+      static_cast<uint64_t>(reader) * 100000 + static_cast<uint64_t>(i);
+  const size_t pick = (static_cast<size_t>(reader) * 13 +
+                       static_cast<size_t>(i) * 7) %
+                      pool.size();
+  switch ((reader + i) % 6) {
+    case 0:
+      req.type = RequestType::kPointLookup;
+      req.values = pool[pick].values;
+      req.pl_index = pool[pick].pl_index;
+      break;
+    case 1:
+      req.type = RequestType::kCellOrAncestor;
+      req.values = LeafValues(
+          db.schema(),
+          db.record((static_cast<size_t>(reader) * 31 +
+                     static_cast<size_t>(i) * 11) %
+                    db.size()));
+      break;
+    case 2:
+      req.type = RequestType::kDrillDown;
+      req.values = pool[pick].values;
+      req.pl_index = pool[pick].pl_index;
+      req.dim = static_cast<uint32_t>((reader + i) % 2);
+      break;
+    case 3:
+      req.type = RequestType::kSimilarity;
+      req.values = pool[pick].values;
+      req.values_b = pool[(pick + 1) % pool.size()].values;
+      req.pl_index = pool[pick].pl_index;
+      break;
+    case 4:
+      req.type = RequestType::kStats;
+      break;
+    default:
+      req.type = RequestType::kPointLookup;
+      req.values = {"no-such-value", "*"};
+      break;
+  }
+  return req;
+}
+
+TEST(SnapshotIsolationTest, ResponsesMatchFullRebuildAtPinnedEpoch) {
+  PathGenerator gen(FixtureConfig());
+  const PathDatabase db = gen.Generate(kNumRecords);
+  ASSERT_EQ(db.size(), kNumRecords);
+  Result<FlowCubePlan> plan = FlowCubePlan::Default(db.schema());
+  ASSERT_TRUE(plan.ok());
+
+  IncrementalMaintainerOptions options;
+  options.build = BuildOptions();
+  Result<IncrementalMaintainer> created =
+      IncrementalMaintainer::Create(db.schema_ptr(), plan.value(), options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  IncrementalMaintainer maintainer = std::move(created.value());
+
+  SnapshotRegistry registry;
+  AttachToRegistry(&maintainer, &registry);
+
+  // Epoch 1 goes out before the server accepts traffic, so no reader ever
+  // sees the no-snapshot error and every response has a rebuildable epoch.
+  ASSERT_TRUE(maintainer
+                  .ApplyRecords(std::span<const PathRecord>(db.records())
+                                    .subspan(0, kBatchSize))
+                  .ok());
+  ASSERT_EQ(registry.current_epoch(), 1u);
+
+  // The candidate pool comes from a rebuild of epoch 1 — deterministic, and
+  // most of these cells stay materialized as records accumulate.
+  const FlowCubeBuilder builder(options.build);
+  std::vector<Candidate> pool;
+  {
+    PathDatabase first(db.schema_ptr());
+    for (size_t i = 0; i < kBatchSize; ++i) {
+      ASSERT_TRUE(first.Append(db.record(i)).ok());
+    }
+    Result<FlowCube> cube = builder.Build(first, plan.value());
+    ASSERT_TRUE(cube.ok());
+    pool = HarvestCells(cube.value());
+  }
+  ASSERT_FALSE(pool.empty());
+
+  QueryService service(&registry);
+  Result<std::unique_ptr<QueryServer>> server = QueryServer::Start(&service);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const uint16_t port = (*server)->port();
+
+  struct Recorded {
+    QueryRequest request;
+    QueryResponse response;
+  };
+  std::vector<std::vector<Recorded>> recorded(kNumReaders);
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kNumReaders);
+  for (int r = 0; r < kNumReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Result<ServeClient> client = ServeClient::Connect(port);
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kRequestsPerReader; ++i) {
+        const QueryRequest request = MakeRequest(db, pool, r, i);
+        Result<QueryResponse> response = client->Call(request);
+        if (!response.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        recorded[r].push_back(Recorded{request, *response});
+      }
+    });
+  }
+
+  // Keep publishing epochs while the readers run.
+  for (size_t offset = kBatchSize; offset < kNumRecords;
+       offset += kBatchSize) {
+    ASSERT_TRUE(maintainer
+                    .ApplyRecords(std::span<const PathRecord>(db.records())
+                                      .subspan(offset, kBatchSize))
+                    .ok());
+    std::this_thread::yield();
+  }
+  for (std::thread& t : readers) t.join();
+  (*server)->Shutdown();
+  ASSERT_EQ(failures.load(), 0);
+  ASSERT_EQ(registry.current_epoch(), kNumRecords / kBatchSize);
+
+  // Oracle: rebuild each observed epoch's record prefix from scratch and
+  // replay the request against it through the same execution path; the
+  // wire response must match byte-for-byte.
+  std::map<uint64_t, CubeSnapshot> oracles;
+  size_t checked = 0;
+  size_t ok_responses = 0;
+  for (int r = 0; r < kNumReaders; ++r) {
+    ASSERT_EQ(recorded[r].size(), static_cast<size_t>(kRequestsPerReader));
+    for (const Recorded& entry : recorded[r]) {
+      const uint64_t epoch = entry.response.epoch;
+      ASSERT_GE(epoch, 1u);
+      ASSERT_LE(epoch, kNumRecords / kBatchSize);
+      auto it = oracles.find(epoch);
+      if (it == oracles.end()) {
+        PathDatabase prefix(db.schema_ptr());
+        for (size_t i = 0; i < epoch * kBatchSize; ++i) {
+          ASSERT_TRUE(prefix.Append(db.record(i)).ok());
+        }
+        Result<FlowCube> cube = builder.Build(prefix, plan.value());
+        ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+        CubeSnapshot snapshot;
+        snapshot.epoch = epoch;
+        snapshot.records = epoch * kBatchSize;
+        snapshot.cube =
+            std::make_shared<const FlowCube>(std::move(cube.value()));
+        it = oracles.emplace(epoch, std::move(snapshot)).first;
+      }
+      const QueryResponse expected =
+          QueryService::ExecuteOn(it->second, entry.request);
+      ASSERT_EQ(EncodeResponse(entry.response), EncodeResponse(expected))
+          << "reader " << r << " request " << entry.request.request_id
+          << " diverged from the epoch-" << epoch << " rebuild";
+      ++checked;
+      if (entry.response.code == Status::Code::kOk) ++ok_responses;
+    }
+  }
+  EXPECT_EQ(checked,
+            static_cast<size_t>(kNumReaders) * kRequestsPerReader);
+  // The mix must actually exercise cube reads, not just error paths.
+  EXPECT_GT(ok_responses, checked / 2);
+}
+
+// The registry itself: pinned epochs survive newer publishes; retirement
+// frees them once unpinned.
+TEST(SnapshotIsolationTest, PinnedEpochSurvivesLaterPublishes) {
+  PathGenerator gen(FixtureConfig());
+  const PathDatabase db = gen.Generate(30);
+  Result<FlowCubePlan> plan = FlowCubePlan::Default(db.schema());
+  ASSERT_TRUE(plan.ok());
+  IncrementalMaintainerOptions options;
+  options.build = BuildOptions();
+  Result<IncrementalMaintainer> created =
+      IncrementalMaintainer::Create(db.schema_ptr(), plan.value(), options);
+  ASSERT_TRUE(created.ok());
+  IncrementalMaintainer maintainer = std::move(created.value());
+  SnapshotRegistry registry;
+  AttachToRegistry(&maintainer, &registry);
+
+  EXPECT_EQ(registry.Acquire(), nullptr);
+  ASSERT_TRUE(maintainer
+                  .ApplyRecords(
+                      std::span<const PathRecord>(db.records()).subspan(0, 10))
+                  .ok());
+  SnapshotPtr pinned = registry.Acquire();
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->epoch, 1u);
+  EXPECT_EQ(pinned->records, 10u);
+  const size_t cells_at_epoch1 = pinned->cube->TotalCells();
+
+  ASSERT_TRUE(maintainer
+                  .ApplyRecords(
+                      std::span<const PathRecord>(db.records()).subspan(10, 20))
+                  .ok());
+  EXPECT_EQ(registry.current_epoch(), 2u);
+  EXPECT_EQ(registry.live_snapshots(), 2u);  // current + the pin
+
+  // The pinned cube is frozen at its epoch.
+  EXPECT_EQ(pinned->cube->TotalCells(), cells_at_epoch1);
+  SnapshotPtr current = registry.Acquire();
+  EXPECT_EQ(current->epoch, 2u);
+  EXPECT_EQ(current->records, 30u);
+
+  pinned.reset();
+  EXPECT_EQ(registry.live_snapshots(), 1u);
+  current.reset();
+  EXPECT_EQ(registry.live_snapshots(), 1u);  // registry's own reference
+}
+
+}  // namespace
+}  // namespace flowcube
