@@ -1,0 +1,262 @@
+// Shard scaling benchmark (no paper figure — the sharded deployment is
+// ours): sweeps the shard count 1 -> 8 over one fixed workload and reports,
+// per point, the sharded build time (splitting the whole stream through the
+// ingest splitter into per-shard incremental maintainers), the resulting
+// ingest throughput, and the coordinator's query throughput / tail latency
+// under concurrent closed-loop callers fanning out over the in-process
+// transport.
+//
+// Expected shape: ingest time drops with shards only modestly (the splitter
+// is single-writer; the win is per-shard cubes being smaller), while
+// coordinator QPS holds roughly flat as the per-query fan-out widens —
+// the merge cost grows with N but each shard answers over less data.
+//
+// Knobs: FLOWCUBE_SHARDS pins the sweep to one shard count;
+// FLOWCUBE_SHARD_PARTITIONER selects "dims_hash" (default) or "range".
+// FLOWCUBE_BENCH_SCALE scales the record count like every other bench.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "flowcube/builder.h"
+#include "shard/backend.h"
+#include "shard/coordinator.h"
+#include "shard/ingest_splitter.h"
+#include "shard/partitioner.h"
+#include "shard/shard_node.h"
+
+namespace {
+
+using namespace flowcube;
+using namespace flowcube::bench;
+
+BenchJson& Json() {
+  static BenchJson json("shard_scaling", "number of shards");
+  return json;
+}
+
+const char* PartitionerKind() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, pre-thread setup
+  const char* s = std::getenv("FLOWCUBE_SHARD_PARTITIONER");
+  return (s != nullptr && s[0] != '\0') ? s : "dims_hash";
+}
+
+// Shared workload: one generated database, ~10x the differential suite's
+// size at the default scale and ~100x at scale 1.
+const PathDatabase& Workload() {
+  static const PathDatabase* db = [] {
+    return new PathDatabase(PathGenerator(BaselineConfig(/*num_dims=*/2))
+                                .Generate(std::max<size_t>(400, ScaledN(8))));
+  }();
+  return *db;
+}
+
+FlowCubeBuilderOptions GlobalOptions(const PathDatabase& db) {
+  FlowCubeBuilderOptions options;
+  options.min_support = std::max<uint32_t>(
+      2, static_cast<uint32_t>(db.size() / 200));
+  options.compute_exceptions = false;
+  options.mark_redundant = false;
+  return options;
+}
+
+QueryRequest MixedRequest(const PathDatabase& db, uint64_t seq) {
+  const size_t num_dims = db.schema().num_dimensions();
+  QueryRequest req;
+  req.request_id = seq;
+  switch (seq % 4) {
+    case 0:
+      req.type = RequestType::kPointLookup;
+      req.values.assign(num_dims, "*");
+      break;
+    case 1: {
+      // Leaf coordinates with ancestor fallback: resolves low in the
+      // lattice, so the fetch batch carries the generalization closure.
+      req.type = RequestType::kCellOrAncestor;
+      const PathRecord& rec = db.record((seq * 13) % db.size());
+      for (size_t d = 0; d < rec.dims.size(); ++d) {
+        req.values.push_back(db.schema().dimensions[d].Name(rec.dims[d]));
+      }
+      break;
+    }
+    case 2:
+      req.type = RequestType::kDrillDown;
+      req.values.assign(num_dims, "*");
+      req.dim = static_cast<uint32_t>((seq / 4) % num_dims);
+      break;
+    default:
+      req.type = RequestType::kStats;
+      break;
+  }
+  return req;
+}
+
+struct SweepRow {
+  size_t shards = 0;
+  uint64_t records = 0;
+  double build_seconds = 0.0;
+  double ingest_rps = 0.0;
+  uint64_t queries = 0;
+  uint64_t errors = 0;
+  double query_seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+SweepRow RunSweep(size_t num_shards) {
+  const PathDatabase& db = Workload();
+  const FlowCubePlan plan = FlowCubePlan::Default(db.schema()).value();
+  const FlowCubeBuilderOptions global = GlobalOptions(db);
+
+  std::unique_ptr<ShardPartitioner> partitioner =
+      MakePartitioner(PartitionerKind(), num_shards,
+                      db.schema().dimensions[0].NodeCount())
+          .value();
+  std::vector<std::unique_ptr<ShardNode>> nodes;
+  std::vector<ShardNode*> raw;
+  std::vector<const QueryService*> services;
+  for (size_t s = 0; s < num_shards; ++s) {
+    ShardNodeOptions options;
+    options.global_build = global;
+    nodes.push_back(
+        ShardNode::Create(db.schema_ptr(), plan, options).value());
+    raw.push_back(nodes.back().get());
+    services.push_back(&nodes.back()->service());
+  }
+  ShardIngestSplitter splitter(partitioner.get(), raw);
+  LocalShardBackend backend(services);
+  ShardCoordinatorOptions coordinator_options;
+  coordinator_options.min_support = global.min_support;
+  const ShardCoordinator coordinator(db.schema_ptr(), plan, &backend,
+                                     coordinator_options);
+
+  SweepRow row;
+  row.shards = num_shards;
+  row.records = db.size();
+
+  // Build phase: the whole stream through the splitter, batched the way a
+  // streaming deployment would batch it.
+  const std::span<const PathRecord> records(db.records());
+  const size_t batch = std::max<size_t>(1, db.size() / 16);
+  const auto build_start = std::chrono::steady_clock::now();
+  for (size_t offset = 0; offset < records.size(); offset += batch) {
+    const size_t n = std::min(batch, records.size() - offset);
+    FC_CHECK(splitter.Apply(records.subspan(offset, n)).ok());
+  }
+  row.build_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - build_start)
+                          .count();
+  row.ingest_rps =
+      row.build_seconds > 0 ? db.size() / row.build_seconds : 0.0;
+
+  // Query phase: closed-loop callers against the coordinator.
+  constexpr int kCallers = 4;
+  const size_t per_caller = std::max<size_t>(50, ScaledN(1) / 4);
+  std::vector<std::vector<double>> latencies(kCallers);
+  std::atomic<uint64_t> errors{0};
+  const auto query_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      std::vector<double>& lat = latencies[static_cast<size_t>(c)];
+      lat.reserve(per_caller);
+      for (size_t i = 0; i < per_caller; ++i) {
+        const uint64_t seq =
+            static_cast<uint64_t>(c) * per_caller + i;
+        const auto t0 = std::chrono::steady_clock::now();
+        const CoordinatorResult result =
+            coordinator.Execute(MixedRequest(db, seq));
+        const auto t1 = std::chrono::steady_clock::now();
+        if (result.response.code != Status::Code::kOk) {
+          errors.fetch_add(1);
+          continue;
+        }
+        lat.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  row.query_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - query_start)
+                          .count();
+
+  std::vector<double> all;
+  for (const std::vector<double>& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    row.p50_ms = all[all.size() / 2];
+    row.p99_ms = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+  }
+  row.queries = all.size();
+  row.errors = errors.load();
+  row.qps = row.query_seconds > 0 ? row.queries / row.query_seconds : 0.0;
+  return row;
+}
+
+void RegisterAll() {
+  std::vector<size_t> shard_counts = {1, 2, 4, 8};
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, pre-thread setup
+  if (const char* s = std::getenv("FLOWCUBE_SHARDS")) {
+    const long n = std::atol(s);
+    if (n > 0) shard_counts.assign(1, static_cast<size_t>(n));
+  }
+  for (const size_t shards : shard_counts) {
+    const std::string bench_name =
+        "shard_scaling/shards=" + std::to_string(shards);
+    benchmark::RegisterBenchmark(
+        bench_name.c_str(),
+        [shards](benchmark::State& state) {
+          for (auto _ : state) {
+            const SweepRow row = RunSweep(shards);
+            state.SetIterationTime(row.build_seconds + row.query_seconds);
+            state.counters["build_s"] = row.build_seconds;
+            state.counters["ingest_rps"] = row.ingest_rps;
+            state.counters["qps"] = row.qps;
+            state.counters["p99_ms"] = row.p99_ms;
+            Json().AddRow(
+                {JsonField::Str("x", std::to_string(shards) + " shards"),
+                 JsonField::Int("shards", row.shards),
+                 JsonField::Str("partitioner", PartitionerKind()),
+                 JsonField::Int("records", row.records),
+                 JsonField::Num("build_seconds", row.build_seconds),
+                 JsonField::Num("ingest_rps", row.ingest_rps),
+                 JsonField::Int("queries", row.queries),
+                 JsonField::Int("errors", row.errors),
+                 JsonField::Num("query_seconds", row.query_seconds),
+                 JsonField::Num("qps", row.qps),
+                 JsonField::Num("p50_ms", row.p50_ms),
+                 JsonField::Num("p99_ms", row.p99_ms)});
+          }
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  flowcube::ConsumeMetricsFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  Json().Write();
+  flowcube::DumpMetricsIfEnabled(stdout);
+  return 0;
+}

@@ -18,6 +18,10 @@ std::string_view StatusCodeName(Status::Code code) {
       return "FailedPrecondition";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

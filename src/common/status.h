@@ -26,6 +26,9 @@ class Status {
     kOutOfRange,
     kFailedPrecondition,
     kInternal,
+    // Appended after kInternal so existing wire encodings stay stable.
+    kUnavailable,        // endpoint unreachable (refused / reset / closed)
+    kDeadlineExceeded,   // connect or read timed out
   };
 
   // Constructs an OK status.
@@ -55,6 +58,12 @@ class Status {
   }
   static Status Internal(std::string_view msg) {
     return Status(Code::kInternal, msg);
+  }
+  static Status Unavailable(std::string_view msg) {
+    return Status(Code::kUnavailable, msg);
+  }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(Code::kDeadlineExceeded, msg);
   }
 
   // True iff the operation succeeded.

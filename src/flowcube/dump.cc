@@ -77,6 +77,12 @@ void AppendGraph(std::string* out, const FlowGraph& g) {
 
 }  // namespace
 
+std::string DumpFlowGraph(const FlowGraph& graph) {
+  std::string out;
+  AppendGraph(&out, graph);
+  return out;
+}
+
 std::string DumpFlowCell(const FlowCell& cell) {
   std::string out = "cell dims=";
   AppendItemset(&out, cell.dims);

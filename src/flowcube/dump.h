@@ -21,6 +21,13 @@ std::string DumpFlowCube(const FlowCube& cube);
 // exceptions); exposed for targeted diffing.
 std::string DumpFlowCell(const FlowCell& cell);
 
+// Just the flowgraph block of the cell dump (the "  graph ..."/"  node ..."
+// lines plus exceptions). Node tables are rendered in id order, so two
+// graphs dump identically iff their numbered representations match — pass
+// graphs through FlowGraph::Canonical() first to compare them structurally.
+// Used by the shard coordinator to render merged measures.
+std::string DumpFlowGraph(const FlowGraph& graph);
+
 }  // namespace flowcube
 
 #endif  // FLOWCUBE_FLOWCUBE_DUMP_H_

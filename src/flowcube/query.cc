@@ -40,6 +40,65 @@ void EnumeratePaths(const FlowGraph& g, FlowNodeId node, Path* prefix,
 
 }  // namespace
 
+Result<CellCoords> ResolveCellCoords(const FlowCube& cube,
+                                     const std::vector<std::string>& values,
+                                     size_t pl_index) {
+  const PathSchema& schema = cube.schema();
+  if (values.size() != schema.num_dimensions()) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu dimension values, got %zu",
+                  schema.num_dimensions(), values.size()));
+  }
+  if (pl_index >= cube.plan().path_levels.size()) {
+    return Status::InvalidArgument("path level index out of range");
+  }
+  ItemLevel level;
+  level.levels.resize(values.size(), 0);
+  CellCoords coords;
+  for (size_t d = 0; d < values.size(); ++d) {
+    if (values[d] == "*") continue;
+    Result<NodeId> node = schema.dimensions[d].Find(values[d]);
+    if (!node.ok()) return node.status();
+    level.levels[d] = schema.dimensions[d].Level(node.value());
+    coords.key.push_back(cube.catalog().DimItem(d, node.value()));
+  }
+  std::sort(coords.key.begin(), coords.key.end());
+  const int il = cube.plan().FindItemLevel(level);
+  if (il < 0) {
+    return Status::NotFound("cuboid at item level " + level.ToString() +
+                            " is not materialized");
+  }
+  coords.il_index = static_cast<size_t>(il);
+  return coords;
+}
+
+Result<std::vector<std::vector<std::string>>> EnumerateAncestorCandidates(
+    const PathSchema& schema, const std::vector<std::string>& values) {
+  // Mirrors CellOrAncestor's frontier exactly, just without the probing:
+  // every candidate is expanded, so the list is the full closure in probe
+  // order (expansion of a candidate never reorders candidates before it).
+  std::vector<std::vector<std::string>> out;
+  std::deque<std::vector<std::string>> frontier{values};
+  std::set<std::vector<std::string>> seen{values};
+  while (!frontier.empty()) {
+    std::vector<std::string> v = std::move(frontier.front());
+    frontier.pop_front();
+    for (size_t d = 0; d < v.size(); ++d) {
+      if (v[d] == "*") continue;
+      const Result<NodeId> node = schema.dimensions[d].Find(v[d]);
+      if (!node.ok()) return node.status();
+      const NodeId up = schema.dimensions[d].Parent(node.value());
+      std::vector<std::string> parent = v;
+      parent[d] = schema.dimensions[d].Level(up) == 0
+                      ? "*"
+                      : schema.dimensions[d].Name(up);
+      if (seen.insert(parent).second) frontier.push_back(std::move(parent));
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
 FlowCubeQuery::FlowCubeQuery(const FlowCube* cube) : cube_(cube) {
   FC_CHECK(cube_ != nullptr);
 }
@@ -60,49 +119,22 @@ Result<CellRef> FlowCubeQuery::Cell(const std::vector<std::string>& values,
     m_misses.Increment();
     misses_.fetch_add(1, std::memory_order_relaxed);
   };
-  const PathSchema& schema = cube_->schema();
-  if (values.size() != schema.num_dimensions()) {
+  Result<CellCoords> coords = ResolveCellCoords(*cube_, values, pl_index);
+  if (!coords.ok()) {
     miss();
-    return Status::InvalidArgument(
-        StrFormat("expected %zu dimension values, got %zu",
-                  schema.num_dimensions(), values.size()));
-  }
-  if (pl_index >= cube_->plan().path_levels.size()) {
-    miss();
-    return Status::InvalidArgument("path level index out of range");
-  }
-  ItemLevel level;
-  level.levels.resize(values.size(), 0);
-  Itemset key;
-  for (size_t d = 0; d < values.size(); ++d) {
-    if (values[d] == "*") continue;
-    Result<NodeId> node = schema.dimensions[d].Find(values[d]);
-    if (!node.ok()) {
-      miss();
-      return node.status();
-    }
-    level.levels[d] = schema.dimensions[d].Level(node.value());
-    key.push_back(cube_->catalog().DimItem(d, node.value()));
-  }
-  std::sort(key.begin(), key.end());
-
-  const int il = cube_->plan().FindItemLevel(level);
-  if (il < 0) {
-    miss();
-    return Status::NotFound("cuboid at item level " + level.ToString() +
-                            " is not materialized");
+    return coords.status();
   }
   const FlowCell* cell =
-      cube_->cuboid(static_cast<size_t>(il), pl_index).Find(key);
+      cube_->cuboid(coords->il_index, pl_index).Find(coords->key);
   if (cell == nullptr) {
     miss();
-    return Status::NotFound("cell " + cube_->CellName(key) +
+    return Status::NotFound("cell " + cube_->CellName(coords->key) +
                             " is not materialized (below the iceberg "
                             "threshold or pruned)");
   }
   m_hits.Increment();
   hits_.fetch_add(1, std::memory_order_relaxed);
-  return CellRef{cell, static_cast<size_t>(il), pl_index};
+  return CellRef{cell, coords->il_index, pl_index};
 }
 
 Result<CellRef> FlowCubeQuery::CellOrAncestor(

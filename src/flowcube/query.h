@@ -33,6 +33,33 @@ struct CellRef {
   size_t pl_index = 0;
 };
 
+// Resolved coordinates of a cell inside a cube's plan: the item-level index
+// plus the sorted dimension-item key. Resolution touches only the cube's
+// schema, catalog, and plan — never its cells — so it works on an empty
+// "skeleton" cube, which is how the shard coordinator resolves names
+// without holding any materialized data.
+struct CellCoords {
+  size_t il_index = 0;
+  Itemset key;
+};
+
+// Resolves dimension value names ("*" = top level) to cell coordinates.
+// Produces exactly the error statuses FlowCubeQuery::Cell surfaces for
+// shape, name, and unmaterialized-cuboid problems, in the same precedence,
+// so resolution can run coordinator-side with unchanged error semantics.
+Result<CellCoords> ResolveCellCoords(const FlowCube& cube,
+                                     const std::vector<std::string>& values,
+                                     size_t pl_index);
+
+// The breadth-first one-dimension-generalization closure of `values`: the
+// original vector first, then candidates in exactly the order
+// FlowCubeQuery::CellOrAncestor probes them (frontier expanded with
+// dimensions in index order, duplicates pruned). The first materialized
+// candidate in this list IS the CellOrAncestor answer, which lets the shard
+// coordinator fan the whole candidate list out in a single round per shard.
+Result<std::vector<std::vector<std::string>>> EnumerateAncestorCandidates(
+    const PathSchema& schema, const std::vector<std::string>& values);
+
 // A typical path through a cell's flowgraph: a full root-to-termination
 // location sequence with the most likely duration at each stage, and the
 // probability the model assigns to that location sequence.

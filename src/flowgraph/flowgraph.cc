@@ -1,6 +1,7 @@
 #include "flowgraph/flowgraph.h"
 
 #include <algorithm>
+#include <deque>
 #include <utility>
 
 #include "common/logging.h"
@@ -72,6 +73,40 @@ void FlowGraph::MergeFrom(const FlowGraph& other) {
       work.emplace_back(src_child, dst_child);
     }
   }
+}
+
+FlowGraph FlowGraph::Canonical() const {
+  FlowGraph out;
+  // Breadth-first over (source node, canonical node) pairs. Canonical ids
+  // are assigned in visit order, which depends only on the abstract tree
+  // because each node's children are expanded in ascending location order
+  // (locations are unique among siblings).
+  std::deque<std::pair<FlowNodeId, FlowNodeId>> work;
+  work.emplace_back(kRoot, kRoot);
+  std::vector<FlowNodeId> kids;
+  while (!work.empty()) {
+    const auto [src, dst] = work.front();
+    work.pop_front();
+    out.nodes_[dst].path_count = path_count(src);
+    out.nodes_[dst].terminate_count = terminate_count(src);
+    const std::span<const DurationCount> durs = duration_counts(src);
+    out.nodes_[dst].duration_counts.assign(durs.begin(), durs.end());
+    kids.assign(children(src).begin(), children(src).end());
+    std::sort(kids.begin(), kids.end(), [this](FlowNodeId a, FlowNodeId b) {
+      return location(a) < location(b);
+    });
+    for (FlowNodeId c : kids) {
+      const FlowNodeId id = static_cast<FlowNodeId>(out.nodes_.size());
+      Node node;
+      node.location = location(c);
+      node.parent = dst;
+      node.depth = out.nodes_[dst].depth + 1;
+      out.nodes_.push_back(std::move(node));
+      out.nodes_[dst].children.push_back(id);
+      work.emplace_back(c, id);
+    }
+  }
+  return out;
 }
 
 void FlowGraph::Seal() {

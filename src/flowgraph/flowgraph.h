@@ -106,6 +106,16 @@ class FlowGraph {
   // in either form.
   void MergeFrom(const FlowGraph& other);
 
+  // Returns a structurally-equal copy whose node numbering is a pure
+  // function of the abstract tree: breadth-first from the root, each node's
+  // children ordered by ascending location. Two graphs accumulating the same
+  // counts — regardless of AddPath/MergeFrom order — canonicalize to the
+  // same node tables, so dumps and serializations of the canonical form are
+  // byte-comparable. Exceptions are dropped (their node ids refer to the
+  // original numbering, and the exception set is holistic anyway). The
+  // result is mutable (unsealed). Works on either storage form.
+  FlowGraph Canonical() const;
+
   // Freezes the graph into the columnar form. Idempotent. Accessors keep
   // returning the same values; mutating entry points FC_CHECK afterwards.
   void Seal();

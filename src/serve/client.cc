@@ -1,14 +1,19 @@
 #include "serve/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 
 namespace flowcube {
@@ -18,16 +23,26 @@ Status Errno(const char* what) {
   return Status::Internal(std::string(what) + ": " + std::strerror(errno));
 }
 
-}  // namespace
+// The connect-time errno values that mean "nothing (healthy) is listening
+// there right now" — worth a retry, surfaced as kUnavailable.
+bool IsUnavailableErrno(int err) {
+  return err == ECONNREFUSED || err == ECONNRESET || err == ECONNABORTED ||
+         err == ENETUNREACH || err == EHOSTUNREACH;
+}
 
-Result<ServeClient> ServeClient::Connect(uint16_t port, int rcvbuf) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+// One connect attempt. Returns the connected fd, kUnavailable for a refused
+// connection, kDeadlineExceeded for a timed-out one, kInternal otherwise.
+Result<int> ConnectOnce(uint16_t port, const ClientOptions& options) {
+  const bool timed = options.connect_timeout_ms > 0;
+  const int fd = ::socket(
+      AF_INET, SOCK_STREAM | SOCK_CLOEXEC | (timed ? SOCK_NONBLOCK : 0), 0);
   if (fd < 0) return Errno("socket");
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  if (rcvbuf > 0) {
+  if (options.rcvbuf > 0) {
     // Before connect() so the shrunken window is what gets advertised.
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &options.rcvbuf,
+                 sizeof(options.rcvbuf));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -35,17 +50,83 @@ Result<ServeClient> ServeClient::Connect(uint16_t port, int rcvbuf) {
   addr.sin_port = htons(port);
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
       0) {
-    Status s = Errno("connect");
-    ::close(fd);
-    return s;
+    if (timed && errno == EINPROGRESS) {
+      // Await writability for the allowance, then read the final outcome
+      // from SO_ERROR. poll() carries the deadline for us — no clock reads.
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, options.connect_timeout_ms);
+      if (ready == 0) {
+        ::close(fd);
+        return Status::DeadlineExceeded("connect timed out");
+      }
+      if (ready < 0) {
+        Status s = Errno("poll");
+        ::close(fd);
+        return s;
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        ::close(fd);
+        if (IsUnavailableErrno(err)) {
+          return Status::Unavailable(std::string("connect: ") +
+                                     std::strerror(err));
+        }
+        return Status::Internal(std::string("connect: ") + std::strerror(err));
+      }
+    } else {
+      const int err = errno;
+      ::close(fd);
+      if (IsUnavailableErrno(err)) {
+        return Status::Unavailable(std::string("connect: ") +
+                                   std::strerror(err));
+      }
+      return Status::Internal(std::string("connect: ") + std::strerror(err));
+    }
   }
-  return ServeClient(fd);
+  if (timed) {
+    // The deadline only governs connection establishment; the socket reads
+    // and writes stay blocking (ReadResponse applies its own poll budget).
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  }
+  return fd;
+}
+
+}  // namespace
+
+Result<ServeClient> ServeClient::Connect(uint16_t port, int rcvbuf) {
+  ClientOptions options;
+  options.rcvbuf = rcvbuf;
+  return Connect(port, options);
+}
+
+Result<ServeClient> ServeClient::Connect(uint16_t port,
+                                         const ClientOptions& options) {
+  int backoff_ms = options.backoff_initial_ms;
+  for (int attempt = 0;; ++attempt) {
+    Result<int> fd = ConnectOnce(port, options);
+    if (fd.ok()) return ServeClient(*fd, options);
+    // Only "nobody is listening (yet)" and establishment timeouts are
+    // retryable; anything else is a real error the caller must see now.
+    const bool retryable = fd.status().code() == Status::Code::kUnavailable ||
+                           fd.status().code() == Status::Code::kDeadlineExceeded;
+    if (!retryable || attempt >= options.reconnect_attempts) {
+      return fd.status();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, options.backoff_max_ms);
+  }
 }
 
 ServeClient::~ServeClient() { Close(); }
 
 ServeClient::ServeClient(ServeClient&& other) noexcept
-    : fd_(other.fd_), assembler_(std::move(other.assembler_)) {
+    : fd_(other.fd_),
+      read_timeout_ms_(other.read_timeout_ms_),
+      max_frame_payload_(other.max_frame_payload_),
+      assembler_(std::move(other.assembler_)) {
   other.fd_ = -1;
 }
 
@@ -53,6 +134,8 @@ ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    read_timeout_ms_ = other.read_timeout_ms_;
+    max_frame_payload_ = other.max_frame_payload_;
     assembler_ = std::move(other.assembler_);
     other.fd_ = -1;
   }
@@ -87,6 +170,21 @@ Result<QueryResponse> ServeClient::ReadResponse() {
     Result<std::optional<std::string>> frame = assembler_.Next();
     if (!frame.ok()) return frame.status();
     if (frame->has_value()) return DecodeResponse(**frame);
+    if (read_timeout_ms_ > 0) {
+      // The whole allowance is granted to each wait-for-bytes; a response
+      // trickling in over k reads can take up to k allowances, which is
+      // fine — the point is that a silent server can't block us forever,
+      // without this code ever reading a clock.
+      pollfd pfd{fd_, POLLIN, 0};
+      int ready;
+      do {
+        ready = ::poll(&pfd, 1, read_timeout_ms_);
+      } while (ready < 0 && errno == EINTR);
+      if (ready == 0) {
+        return Status::DeadlineExceeded("read timed out awaiting response");
+      }
+      if (ready < 0) return Errno("poll");
+    }
     char buf[64 * 1024];
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n == 0) {
@@ -101,7 +199,8 @@ Result<QueryResponse> ServeClient::ReadResponse() {
 }
 
 Result<QueryResponse> ServeClient::Call(const QueryRequest& request) {
-  FC_RETURN_IF_ERROR(SendRaw(EncodeFrame(EncodeRequest(request))));
+  FC_RETURN_IF_ERROR(
+      SendRaw(EncodeFrame(EncodeRequest(request), max_frame_payload_)));
   return ReadResponse();
 }
 

@@ -8,17 +8,56 @@
 
 namespace flowcube {
 
+// Connection behavior knobs for ServeClient. The defaults reproduce the
+// original client exactly: blocking connect and reads with no deadline, one
+// connect attempt, public frame cap.
+struct ClientOptions {
+  // A positive value sets SO_RCVBUF before connecting (the slow-reader
+  // stress test shrinks it so the kernel can't buffer responses on the
+  // client's behalf).
+  int rcvbuf = 0;
+  // Maximum time to wait for the TCP connect to complete; 0 blocks
+  // indefinitely. Expiry surfaces as kDeadlineExceeded.
+  int connect_timeout_ms = 0;
+  // Maximum time ReadResponse waits for bytes to arrive; 0 blocks
+  // indefinitely. The budget covers the whole response (poll is re-armed
+  // per recv with the remaining allowance tracked in bytes-free attempt
+  // counters, never wall-clock reads). Expiry surfaces as
+  // kDeadlineExceeded.
+  int read_timeout_ms = 0;
+  // Extra connect attempts after a refused or timed-out one. Between
+  // attempts the client sleeps backoff_initial_ms doubled per retry and
+  // capped at backoff_max_ms — attempt-counter based, no clock reads, so
+  // the lint's determinism rules hold.
+  int reconnect_attempts = 0;
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 1000;
+  // Frame-size cap for inbound responses. Shard-internal connections pass
+  // kMaxInternalFramePayload; public clients keep the 1 MiB default.
+  size_t max_frame_payload = kMaxFramePayload;
+};
+
 // Minimal blocking FCQP client over loopback TCP: one socket, synchronous
 // Call (send one request frame, read one response frame). This is the
-// in-process client every serve test, the bench driver, and the demo speak
-// through — exercising the full wire path (framing, epoll, worker pool)
-// rather than calling QueryService directly.
+// in-process client every serve test, the bench driver, the demo, and the
+// shard coordinator's remote backend speak through — exercising the full
+// wire path (framing, epoll, worker pool) rather than calling QueryService
+// directly.
+//
+// Failure vocabulary (pinned by tests/serve_client_test.cc):
+//   kUnavailable       connect refused/reset — nothing is listening.
+//   kDeadlineExceeded  connect or read exceeded its configured timeout.
+//   kInvalidArgument   poisoned frame (bad magic/version/CRC/oversize) —
+//                      the FrameAssembler's verbatim status.
+//   kInternal          server closed the connection mid-conversation, or
+//                      an unexpected socket error.
 class ServeClient {
  public:
-  // Connects to 127.0.0.1:port. A positive `rcvbuf` sets SO_RCVBUF before
-  // connecting (the slow-reader stress test shrinks it so the kernel can't
-  // buffer responses on the client's behalf).
+  // Connects to 127.0.0.1:port. The two-argument form keeps the original
+  // signature; it is exactly Connect(port, ClientOptions{.rcvbuf = rcvbuf}).
   static Result<ServeClient> Connect(uint16_t port, int rcvbuf = 0);
+  static Result<ServeClient> Connect(uint16_t port,
+                                     const ClientOptions& options);
 
   ~ServeClient();
   ServeClient(ServeClient&& other) noexcept;
@@ -26,8 +65,9 @@ class ServeClient {
   ServeClient(const ServeClient&) = delete;
   ServeClient& operator=(const ServeClient&) = delete;
 
-  // Sends `request` and blocks for its response. Fails with kInternal when
-  // the server closes the connection first (e.g. after a framing error).
+  // Sends `request` and blocks for its response (at most read_timeout_ms).
+  // Fails with kInternal when the server closes the connection first (e.g.
+  // after a framing error).
   Result<QueryResponse> Call(const QueryRequest& request);
 
   // Sends raw bytes as-is — the stress and protocol tests use this to put
@@ -44,9 +84,15 @@ class ServeClient {
   bool connected() const { return fd_ >= 0; }
 
  private:
-  explicit ServeClient(int fd) : fd_(fd) {}
+  ServeClient(int fd, const ClientOptions& options)
+      : fd_(fd),
+        read_timeout_ms_(options.read_timeout_ms),
+        max_frame_payload_(options.max_frame_payload),
+        assembler_(options.max_frame_payload) {}
 
   int fd_ = -1;
+  int read_timeout_ms_ = 0;
+  size_t max_frame_payload_ = kMaxFramePayload;
   FrameAssembler assembler_;
 };
 

@@ -70,11 +70,46 @@ void WriteValues(ByteWriter* writer, const std::vector<std::string>& values) {
   for (const std::string& v : values) writer->Str(v);
 }
 
+// Reads a length-prefixed coordinate list with both caps (list length,
+// per-coordinate key length) applied before any allocation.
+Status ReadCoords(ByteReader* reader, std::vector<WireCellCoord>* out) {
+  uint32_t count = 0;
+  if (!reader->U32(&count).ok()) return Truncated("body");
+  if (count > kMaxCellCoords) {
+    return Status::InvalidArgument("malformed request: too many coordinates");
+  }
+  out->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireCellCoord& c = (*out)[i];
+    if (!reader->U32(&c.il_index).ok()) return Truncated("body");
+    uint32_t key_size = 0;
+    if (!reader->U32(&key_size).ok()) return Truncated("body");
+    if (key_size > kMaxQueryValues) {
+      return Status::InvalidArgument(
+          "malformed request: coordinate key too long");
+    }
+    c.key.resize(key_size);
+    for (uint32_t k = 0; k < key_size; ++k) {
+      if (!reader->U32(&c.key[k]).ok()) return Truncated("body");
+    }
+  }
+  return Status::OK();
+}
+
+void WriteCoords(ByteWriter* writer, const std::vector<WireCellCoord>& coords) {
+  writer->U32(static_cast<uint32_t>(coords.size()));
+  for (const WireCellCoord& c : coords) {
+    writer->U32(c.il_index);
+    writer->U32(static_cast<uint32_t>(c.key.size()));
+    for (uint32_t id : c.key) writer->U32(id);
+  }
+}
+
 }  // namespace
 
-std::string EncodeFrame(std::string_view payload) {
-  FC_CHECK_MSG(payload.size() <= kMaxFramePayload,
-               "frame payload exceeds kMaxFramePayload: " << payload.size());
+std::string EncodeFrame(std::string_view payload, size_t max_payload) {
+  FC_CHECK_MSG(payload.size() <= max_payload,
+               "frame payload exceeds the frame cap: " << payload.size());
   ByteWriter writer;
   writer.U32(kFrameMagic);
   writer.U32(kProtocolVersion);
@@ -160,6 +195,17 @@ std::string EncodeRequest(const QueryRequest& request) {
       break;
     case RequestType::kStats:
       break;
+    case RequestType::kCellFetchBatch:
+      writer.U32(request.pl_index);
+      WriteCoords(&writer, request.coords);
+      break;
+    case RequestType::kChildrenFetch:
+      writer.U32(request.pl_index);
+      writer.U32(request.dim);
+      WriteCoords(&writer, request.coords);
+      break;
+    case RequestType::kStatsFetch:
+      break;
   }
   return writer.data();
 }
@@ -192,6 +238,20 @@ Result<QueryRequest> DecodeRequest(std::string_view payload) {
     case static_cast<uint8_t>(RequestType::kStats):
       request.type = RequestType::kStats;
       break;
+    case static_cast<uint8_t>(RequestType::kCellFetchBatch):
+      request.type = RequestType::kCellFetchBatch;
+      if (!reader.U32(&request.pl_index).ok()) return Truncated("body");
+      FC_RETURN_IF_ERROR(ReadCoords(&reader, &request.coords));
+      break;
+    case static_cast<uint8_t>(RequestType::kChildrenFetch):
+      request.type = RequestType::kChildrenFetch;
+      if (!reader.U32(&request.pl_index).ok()) return Truncated("body");
+      if (!reader.U32(&request.dim).ok()) return Truncated("body");
+      FC_RETURN_IF_ERROR(ReadCoords(&reader, &request.coords));
+      break;
+    case static_cast<uint8_t>(RequestType::kStatsFetch):
+      request.type = RequestType::kStatsFetch;
+      break;
     default:
       return Status::InvalidArgument("malformed request: unknown type");
   }
@@ -220,7 +280,7 @@ Result<QueryResponse> DecodeResponse(std::string_view payload) {
       !reader.Str(&response.message).ok() || !reader.Str(&response.body).ok()) {
     return Status::InvalidArgument("malformed response: truncated");
   }
-  if (code > static_cast<uint8_t>(Status::Code::kInternal)) {
+  if (code > static_cast<uint8_t>(Status::Code::kDeadlineExceeded)) {
     return Status::InvalidArgument("malformed response: unknown status code");
   }
   response.code = static_cast<Status::Code>(code);

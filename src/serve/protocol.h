@@ -38,11 +38,24 @@ inline constexpr size_t kMaxFramePayload = 1u << 20;
 // Dimension-value lists longer than this are rejected at decode; no schema
 // in this system has anywhere near 64 dimensions.
 inline constexpr size_t kMaxQueryValues = 64;
+// Cap on the coordinate list of a kCellFetchBatch request. The largest
+// batch a coordinator sends is a cell-or-ancestor generalization closure,
+// which is bounded by the product of per-dimension hierarchy depths —
+// orders of magnitude below this.
+inline constexpr size_t kMaxCellCoords = 4096;
+// Payload cap for shard-internal connections (coordinator <-> shard
+// server). Internal responses carry whole cuboid listings and per-cell
+// flowgraph serializations, which outgrow the public 1 MiB cap at bench
+// scale; both ends of an internal connection pass this to EncodeFrame /
+// FrameAssembler / ServerOptions explicitly.
+inline constexpr size_t kMaxInternalFramePayload = 1u << 26;
 
 // Wraps `payload` in a frame. FC_CHECKs payload size against the cap — the
-// cap is a protocol constant, not a negotiated limit, so an oversized
+// cap is a protocol constant (public, or kMaxInternalFramePayload on
+// shard-internal connections), not a negotiated limit, so an oversized
 // outbound payload is a programming error.
-std::string EncodeFrame(std::string_view payload);
+std::string EncodeFrame(std::string_view payload,
+                        size_t max_payload = kMaxFramePayload);
 
 // Decodes a byte string that must contain exactly one complete frame;
 // returns its payload. Used by tests and the fuzz harness; streaming
@@ -92,11 +105,45 @@ enum class RequestType : uint8_t {
   kSimilarity = 4,
   // Snapshot-level statistics: cuboids, cells, memory, live records.
   kStats = 5,
+
+  // --- Shard-internal requests (coordinator -> shard) ---------------------
+  // These carry pre-resolved coordinates (item-level index + sorted
+  // dimension-item ids) instead of value names: the coordinator resolves
+  // names once against its skeleton cube, and each fans out as exactly one
+  // request per shard so the shard's single pinned snapshot answers every
+  // probe of the public query at one consistent epoch. Bodies are binary
+  // (serve/query_service.h documents each layout).
+
+  // Fetch a batch of cells by coordinates: per coordinate, found flag,
+  // support, and the serialized flowgraph.
+  kCellFetchBatch = 6,
+  // Fetch a parent cell and all its materialized drill-down children along
+  // one dimension, with their flowgraphs.
+  kChildrenFetch = 7,
+  // Shard statistics: live record count plus every cuboid's (key, support)
+  // list, for coordinator-side global aggregation.
+  kStatsFetch = 8,
+};
+
+// Pre-resolved cell coordinates as they travel in a kCellFetchBatch /
+// kChildrenFetch request: an index into the plan's item levels plus the
+// sorted dimension-item-id key (flowcube/query.h CellCoords, made
+// wire-width explicit). Dimension-item ids are a pure function of the
+// schema (mining/item_catalog.h), so they mean the same thing on every
+// shard as on the coordinator.
+struct WireCellCoord {
+  uint32_t il_index = 0;
+  std::vector<uint32_t> key;
+
+  friend bool operator==(const WireCellCoord& a, const WireCellCoord& b) =
+      default;
 };
 
 // One decoded request. `values` holds the primary cell coordinates (one
 // name per schema dimension, "*" for generalized); `values_b` is only used
-// by kSimilarity, `dim` only by kDrillDown.
+// by kSimilarity, `dim` only by kDrillDown / kChildrenFetch, `coords` only
+// by the shard-internal fetches (kCellFetchBatch takes the whole list,
+// kChildrenFetch exactly one entry).
 struct QueryRequest {
   RequestType type = RequestType::kPointLookup;
   // Echoed verbatim in the response so clients can pipeline requests.
@@ -105,6 +152,7 @@ struct QueryRequest {
   std::vector<std::string> values;
   uint32_t dim = 0;
   std::vector<std::string> values_b;
+  std::vector<WireCellCoord> coords;
 
   friend bool operator==(const QueryRequest& a, const QueryRequest& b) =
       default;

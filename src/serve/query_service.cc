@@ -9,6 +9,8 @@
 #include "common/metrics.h"
 #include "flowcube/dump.h"
 #include "flowcube/query.h"
+#include "io/binary_io.h"
+#include "stream/checkpoint.h"
 
 namespace flowcube {
 namespace {
@@ -19,6 +21,10 @@ struct ServiceMetrics {
   // How many epochs behind the newest publication the pinned snapshot was
   // at execution time (0 = served the freshest cube).
   Gauge& epoch_lag = MetricRegistry::Global().gauge("serve.epoch_lag");
+  Counter& cache_hits =
+      MetricRegistry::Global().counter("serve.cell_cache_hits");
+  Counter& cache_misses =
+      MetricRegistry::Global().counter("serve.cell_cache_misses");
 
   static ServiceMetrics& Get() {
     static ServiceMetrics* m = new ServiceMetrics();
@@ -49,18 +55,75 @@ Status CheckShape(const FlowCube& cube, const QueryRequest& request) {
   if (request.pl_index >= cube.plan().path_levels.size()) {
     return Status::InvalidArgument("pl_index out of range");
   }
-  if (request.type == RequestType::kDrillDown &&
+  if ((request.type == RequestType::kDrillDown ||
+       request.type == RequestType::kChildrenFetch) &&
       request.dim >= cube.schema().num_dimensions()) {
     return Status::InvalidArgument("dimension index out of range");
+  }
+  if (request.type == RequestType::kCellFetchBatch ||
+      request.type == RequestType::kChildrenFetch) {
+    for (const WireCellCoord& c : request.coords) {
+      if (c.il_index >= cube.plan().item_levels.size()) {
+        return Status::InvalidArgument("il_index out of range");
+      }
+    }
+  }
+  if (request.type == RequestType::kChildrenFetch &&
+      request.coords.size() != 1) {
+    return Status::InvalidArgument(
+        "children fetch takes exactly one coordinate");
   }
   return Status::OK();
 }
 
+// The unambiguous string key of a point lookup inside one epoch:
+// length-prefixing each value name keeps "ab"+"c" distinct from "a"+"bc".
+std::string LookupCacheKey(uint64_t epoch, const QueryRequest& request) {
+  std::string key = std::to_string(epoch);
+  key.push_back('/');
+  key += std::to_string(request.pl_index);
+  for (const std::string& v : request.values) {
+    key.push_back('/');
+    key += std::to_string(v.size());
+    key.push_back(':');
+    key += v;
+  }
+  return key;
+}
+
 }  // namespace
 
-QueryService::QueryService(const SnapshotRegistry* registry)
-    : registry_(registry) {
+QueryService::QueryService(const SnapshotRegistry* registry,
+                           QueryServiceOptions options)
+    : registry_(registry), options_(options) {
   FC_CHECK(registry_ != nullptr);
+}
+
+bool QueryService::CacheGet(const std::string& key, uint64_t* epoch,
+                            std::string* body) const {
+  MutexLock lock(cache_mu_);
+  const auto it = cache_index_.find(key);
+  if (it == cache_index_.end()) return false;
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  *epoch = it->second->epoch;
+  *body = it->second->body;
+  return true;
+}
+
+void QueryService::CachePut(const std::string& key, uint64_t epoch,
+                            const std::string& body) const {
+  MutexLock lock(cache_mu_);
+  const auto it = cache_index_.find(key);
+  if (it != cache_index_.end()) {
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return;
+  }
+  cache_lru_.push_front(CachedLookup{key, epoch, body});
+  cache_index_[key] = cache_lru_.begin();
+  while (cache_lru_.size() > options_.cell_cache_capacity) {
+    cache_index_.erase(cache_lru_.back().key);
+    cache_lru_.pop_back();
+  }
 }
 
 QueryResponse QueryService::Execute(const QueryRequest& request) const {
@@ -73,6 +136,23 @@ QueryResponse QueryService::Execute(const QueryRequest& request) const {
   }
   ServiceMetrics::Get().epoch_lag.Set(
       static_cast<int64_t>(registry_->current_epoch() - snapshot->epoch));
+  if (request.type == RequestType::kPointLookup &&
+      options_.cell_cache_capacity > 0) {
+    const std::string key = LookupCacheKey(snapshot->epoch, request);
+    QueryResponse response;
+    if (CacheGet(key, &response.epoch, &response.body)) {
+      ServiceMetrics::Get().cache_hits.Increment();
+      ServiceMetrics::Get().requests.Increment();
+      response.request_id = request.request_id;
+      return response;
+    }
+    ServiceMetrics::Get().cache_misses.Increment();
+    QueryResponse fresh = ExecuteOn(*snapshot, request);
+    if (fresh.code == Status::Code::kOk) {
+      CachePut(key, fresh.epoch, fresh.body);
+    }
+    return fresh;
+  }
   return ExecuteOn(*snapshot, request);
 }
 
@@ -83,7 +163,8 @@ QueryResponse QueryService::ExecuteOn(const CubeSnapshot& snapshot,
   const FlowCube& cube = *snapshot.cube;
   const uint64_t epoch = snapshot.epoch;
 
-  if (request.type != RequestType::kStats) {
+  if (request.type != RequestType::kStats &&
+      request.type != RequestType::kStatsFetch) {
     Status shape = CheckShape(cube, request);
     if (!shape.ok()) {
       metrics.errors.Increment();
@@ -156,6 +237,75 @@ QueryResponse QueryService::ExecuteOn(const CubeSnapshot& snapshot,
                       "\ncells " + std::to_string(cube.TotalCells()) +
                       "\nredundant " + std::to_string(cube.RedundantCells()) +
                       "\n";
+      break;
+    }
+    case RequestType::kCellFetchBatch: {
+      ByteWriter w;
+      w.U32(static_cast<uint32_t>(request.coords.size()));
+      for (const WireCellCoord& c : request.coords) {
+        const FlowCell* cell =
+            cube.cuboid(c.il_index, request.pl_index).Find(c.key);
+        if (cell == nullptr) {
+          w.U8(0);
+          continue;
+        }
+        w.U8(1);
+        w.U32(cell->support);
+        EncodeFlowGraph(cell->graph, &w);
+      }
+      response.body = w.data();
+      break;
+    }
+    case RequestType::kChildrenFetch: {
+      const WireCellCoord& c = request.coords[0];
+      ByteWriter w;
+      const FlowCell* parent =
+          cube.cuboid(c.il_index, request.pl_index).Find(c.key);
+      if (parent == nullptr) {
+        // No parent paths on this shard means no child paths either.
+        w.U8(0);
+        w.U32(0);
+        response.body = w.data();
+        break;
+      }
+      w.U8(1);
+      w.U32(parent->support);
+      EncodeFlowGraph(parent->graph, &w);
+      std::vector<CellRef> children = query.DrillDown(
+          CellRef{parent, c.il_index, request.pl_index}, request.dim);
+      std::sort(children.begin(), children.end(),
+                [](const CellRef& a, const CellRef& b) {
+                  return a.cell->dims < b.cell->dims;
+                });
+      w.U32(static_cast<uint32_t>(children.size()));
+      for (const CellRef& child : children) {
+        w.U32(static_cast<uint32_t>(child.cell->dims.size()));
+        for (ItemId id : child.cell->dims) w.U32(id);
+        w.U32(child.cell->support);
+        EncodeFlowGraph(child.cell->graph, &w);
+      }
+      response.body = w.data();
+      break;
+    }
+    case RequestType::kStatsFetch: {
+      ByteWriter w;
+      w.U64(snapshot.records);
+      const FlowCubePlan& plan = cube.plan();
+      w.U32(static_cast<uint32_t>(plan.item_levels.size()));
+      w.U32(static_cast<uint32_t>(plan.path_levels.size()));
+      for (size_t il = 0; il < plan.item_levels.size(); ++il) {
+        for (size_t pl = 0; pl < plan.path_levels.size(); ++pl) {
+          const std::vector<const FlowCell*> cells =
+              cube.cuboid(il, pl).SortedCells();
+          w.U32(static_cast<uint32_t>(cells.size()));
+          for (const FlowCell* cell : cells) {
+            w.U32(static_cast<uint32_t>(cell->dims.size()));
+            for (ItemId id : cell->dims) w.U32(id);
+            w.U32(cell->support);
+          }
+        }
+      }
+      response.body = w.data();
       break;
     }
   }

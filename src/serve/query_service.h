@@ -1,10 +1,28 @@
 #ifndef FLOWCUBE_SERVE_QUERY_SERVICE_H_
 #define FLOWCUBE_SERVE_QUERY_SERVICE_H_
 
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/thread_annotations.h"
 #include "serve/protocol.h"
 #include "serve/snapshot_registry.h"
 
 namespace flowcube {
+
+// Tuning knobs for QueryService.
+struct QueryServiceOptions {
+  // Entry capacity of the cell-name lookup cache: successful kPointLookup
+  // responses keyed by (epoch, pl_index, value names), evicted LRU. The
+  // epoch lives in the key, so a cached body can never describe anything
+  // but the snapshot it was rendered from; entries from superseded epochs
+  // simply age out. 0 disables the cache. Hit/miss counts are exported as
+  // serve.cell_cache_hits / serve.cell_cache_misses.
+  size_t cell_cache_capacity = 256;
+};
 
 // Executes decoded FCQP requests against published cube snapshots. One
 // request pins exactly one snapshot for its whole execution (the epoch is
@@ -28,24 +46,65 @@ namespace flowcube {
 //     (memory is deliberately absent: vector capacities differ between a
 //     clone and a rebuild, and the body must not)
 //
+// The shard-internal requests carry binary bodies instead (io/binary_io
+// little-endian primitives; flowgraphs in the FCSP node-table encoding of
+// stream/checkpoint.h EncodeFlowGraph):
+//
+//   kCellFetchBatch:
+//     u32 count, then per requested coordinate:
+//       u8 found; when found: u32 support, flowgraph
+//   kChildrenFetch:
+//     u8 parent_found; when found: u32 parent_support, flowgraph
+//     u32 num_children, then per child (sorted by coordinates):
+//       u32 key_size, u32 key ids..., u32 support, flowgraph
+//   kStatsFetch:
+//     u64 records, u32 num_item_levels, u32 num_path_levels, then per
+//     cuboid (item level outer, path level inner):
+//       u32 num_cells, then per cell (sorted by coordinates):
+//         u32 key_size, u32 key ids..., u32 support
+//
 // Errors map straight onto the Status vocabulary: the response carries the
 // failing code and message with an empty body.
 class QueryService {
  public:
   // `registry` must outlive the service.
-  explicit QueryService(const SnapshotRegistry* registry);
+  explicit QueryService(const SnapshotRegistry* registry,
+                        QueryServiceOptions options = {});
 
   // Pins the registry's current snapshot and executes. Before the first
   // Publish, every request fails with kFailedPrecondition and epoch 0.
+  // Successful point lookups are served from / inserted into the cell-name
+  // cache; cached responses are byte-identical to a fresh execution
+  // because the cache stores completed ExecuteOn output per epoch.
   QueryResponse Execute(const QueryRequest& request) const;
 
-  // Executes against an explicit snapshot. Exposed so the differential
-  // oracle can run the same code path against a full rebuild of one epoch.
+  // Executes against an explicit snapshot, bypassing the cache. Exposed so
+  // the differential oracle can run the same code path against a full
+  // rebuild of one epoch.
   static QueryResponse ExecuteOn(const CubeSnapshot& snapshot,
                                  const QueryRequest& request);
 
  private:
+  // An LRU entry: cache key -> the successful response's (epoch, body).
+  struct CachedLookup {
+    std::string key;
+    uint64_t epoch = 0;
+    std::string body;
+  };
+
+  bool CacheGet(const std::string& key, uint64_t* epoch,
+                std::string* body) const;
+  void CachePut(const std::string& key, uint64_t epoch,
+                const std::string& body) const;
+
   const SnapshotRegistry* registry_;
+  QueryServiceOptions options_;
+
+  mutable Mutex cache_mu_;
+  // Most-recently-used at the front.
+  mutable std::list<CachedLookup> cache_lru_ FC_GUARDED_BY(cache_mu_);
+  mutable std::unordered_map<std::string, std::list<CachedLookup>::iterator>
+      cache_index_ FC_GUARDED_BY(cache_mu_);
 };
 
 }  // namespace flowcube

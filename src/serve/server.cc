@@ -54,7 +54,8 @@ Status Errno(const char* what) {
 // destruction, which happens after both the connection table and every
 // in-flight request released their shared_ptr.
 struct QueryServer::Connection {
-  Connection(int fd_in, uint64_t id_in) : fd(fd_in), id(id_in) {}
+  Connection(int fd_in, uint64_t id_in, size_t max_payload)
+      : fd(fd_in), id(id_in), assembler(max_payload) {}
   ~Connection() { ::close(fd); }
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
@@ -210,7 +211,8 @@ void QueryServer::AcceptAll() {
                    sizeof(options_.sndbuf));
     }
     const uint64_t id = next_conn_id_++;
-    auto conn = std::make_shared<Connection>(fd, id);
+    auto conn =
+        std::make_shared<Connection>(fd, id, options_.max_frame_payload);
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.u64 = id;
@@ -367,7 +369,8 @@ void QueryServer::WorkerLoop() {
     } else {
       response = service_->Execute(*request);
     }
-    SendToConn(work->conn, EncodeFrame(EncodeResponse(response)));
+    SendToConn(work->conn, EncodeFrame(EncodeResponse(response),
+                                       options_.max_frame_payload));
     metrics.worker_seconds.Record(timer.ElapsedSeconds());
   }
 }

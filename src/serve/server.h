@@ -36,6 +36,11 @@ struct ServerOptions {
   // tests shrink this so loopback's generous buffering can't absorb a slow
   // reader's backlog before max_write_buffer trips.
   int sndbuf = 0;
+  // Frame-size cap applied to inbound frames and asserted on outbound
+  // ones. Public servers keep the 1 MiB protocol default; shard-internal
+  // servers (fronting a shard for a coordinator) pass
+  // kMaxInternalFramePayload so bulk cell/stats transfers fit.
+  size_t max_frame_payload = kMaxFramePayload;
 };
 
 // The FCQP TCP server (DESIGN.md §14): one epoll event thread owns accept,

@@ -1,0 +1,67 @@
+#include "shard/backend.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace flowcube {
+
+LocalShardBackend::LocalShardBackend(std::vector<const QueryService*> services)
+    : services_(std::move(services)) {
+  for (const QueryService* service : services_) FC_CHECK(service != nullptr);
+}
+
+Result<QueryResponse> LocalShardBackend::Call(size_t shard,
+                                              const QueryRequest& request) {
+  FC_CHECK(shard < services_.size());
+  return services_[shard]->Execute(request);
+}
+
+RemoteShardBackend::RemoteShardBackend(std::vector<uint16_t> ports,
+                                       RemoteShardBackendOptions options)
+    : options_(options) {
+  channels_.reserve(ports.size());
+  for (uint16_t port : ports) {
+    auto channel = std::make_unique<Channel>();
+    channel->port = port;
+    channels_.push_back(std::move(channel));
+  }
+}
+
+Result<QueryResponse> RemoteShardBackend::CallLocked(
+    Channel* channel, const QueryRequest& request) {
+  if (channel->client == nullptr) {
+    ClientOptions client_options;
+    client_options.connect_timeout_ms = options_.timeout_ms;
+    client_options.read_timeout_ms = options_.timeout_ms;
+    client_options.reconnect_attempts = options_.reconnect_attempts;
+    client_options.max_frame_payload = kMaxInternalFramePayload;
+    Result<ServeClient> client =
+        ServeClient::Connect(channel->port, client_options);
+    if (!client.ok()) return client.status();
+    channel->client =
+        std::make_unique<ServeClient>(std::move(client).value());
+  }
+  Result<QueryResponse> response = channel->client->Call(request);
+  if (!response.ok()) {
+    // The connection is in an unknown state after any failure; drop it so
+    // the next attempt starts fresh.
+    channel->client.reset();
+  }
+  return response;
+}
+
+Result<QueryResponse> RemoteShardBackend::Call(size_t shard,
+                                               const QueryRequest& request) {
+  FC_CHECK(shard < channels_.size());
+  Channel* channel = channels_[shard].get();
+  MutexLock lock(channel->mu);
+  Result<QueryResponse> response = CallLocked(channel, request);
+  if (response.ok()) return response;
+  // Single retry over a fresh connection: a server-dropped idle connection
+  // fails the first send or read, not the shard. A second failure is the
+  // shard's true state and surfaces to the coordinator.
+  return CallLocked(channel, request);
+}
+
+}  // namespace flowcube

@@ -1,0 +1,92 @@
+#ifndef FLOWCUBE_SHARD_COORDINATOR_H_
+#define FLOWCUBE_SHARD_COORDINATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "flowcube/flowcube.h"
+#include "flowgraph/similarity.h"
+#include "serve/protocol.h"
+#include "shard/backend.h"
+
+namespace flowcube {
+
+// Coordinator knobs.
+struct ShardCoordinatorOptions {
+  // The *global* iceberg threshold delta: a cell exists for clients when
+  // its per-shard supports sum to at least this. Must equal the
+  // min_support a monolithic build would use.
+  uint32_t min_support = 2;
+  // Distance options for kSimilarity (the single-node service uses the
+  // defaults; keep them unless every node agrees).
+  SimilarityOptions similarity;
+};
+
+// One coordinator answer: the public FCQP response plus the epoch vector —
+// for each shard, the snapshot epoch its contribution was pinned at. The
+// response's own epoch field is always 0: a fanned-out answer has no single
+// epoch, the vector is the honest version. Every public query costs
+// exactly one internal round per shard, so each shard's slice of the
+// answer is internally consistent at its pinned epoch by construction.
+// `epochs` is empty when the query failed before fan-out (resolution or
+// shape errors) and partial when a shard failed mid-fan-out.
+struct CoordinatorResult {
+  QueryResponse response;
+  std::vector<uint64_t> epochs;
+};
+
+// Fans public FCQP queries out to N shards and merges their results into
+// byte-canonical responses (DESIGN.md §15). The coordinator holds no cube
+// data — only a "skeleton" FlowCube (plan + schema + item catalog, zero
+// cells) for name resolution and rendering; measures arrive from shards as
+// serialized flowgraphs, are combined with the algebraic MergeFrom in
+// ascending shard order, canonicalized (FlowGraph::Canonical — shard
+// counts must not leak into node numbering), and rendered with the same
+// dump primitives the single-node service uses. Responses are therefore
+// byte-identical for any shard count and both transports; the shard
+// differential suite pins this against a 1-shard deployment.
+//
+// Error semantics mirror the single-node QueryService exactly (same codes,
+// same messages) for every data-dependent outcome. Transport failures add
+// the partial-failure vocabulary: kUnavailable / kDeadlineExceeded /
+// kInternal with a "shard <i>: " message prefix.
+class ShardCoordinator {
+ public:
+  // `backend` must outlive the coordinator. `schema`/`plan` must be the
+  // ones every shard runs (dimension-item ids are derived from the schema,
+  // so coordinates resolved here mean the same thing on every shard).
+  ShardCoordinator(SchemaPtr schema, FlowCubePlan plan, ShardBackend* backend,
+                   ShardCoordinatorOptions options = {});
+
+  // Executes one public query (kPointLookup, kCellOrAncestor, kDrillDown,
+  // kSimilarity, kStats). Internal request types are rejected with
+  // kInvalidArgument. Thread-safe if the backend's Call is.
+  CoordinatorResult Execute(const QueryRequest& request) const;
+
+  // The catalog/plan skeleton (no cells); exposed for tests.
+  const FlowCube& skeleton() const { return skeleton_; }
+
+ private:
+  // Sends `internal` to every shard in ascending order, collecting bodies
+  // and epochs. Any shard error aborts with a "shard <i>: "-prefixed
+  // status of the same code.
+  Result<std::vector<std::string>> FanOut(const QueryRequest& internal,
+                                          std::vector<uint64_t>* epochs) const;
+
+  CoordinatorResult PointLookup(const QueryRequest& request,
+                                bool or_ancestor) const;
+  CoordinatorResult DrillDown(const QueryRequest& request) const;
+  CoordinatorResult Similarity(const QueryRequest& request) const;
+  CoordinatorResult Stats(const QueryRequest& request) const;
+
+  SchemaPtr schema_;
+  FlowCube skeleton_;
+  ShardBackend* backend_;
+  ShardCoordinatorOptions options_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_SHARD_COORDINATOR_H_

@@ -1,0 +1,41 @@
+#include "shard/ingest_splitter.h"
+
+#include "common/logging.h"
+
+namespace flowcube {
+
+ShardIngestSplitter::ShardIngestSplitter(const ShardPartitioner* partitioner,
+                                         std::vector<ShardNode*> shards)
+    : partitioner_(partitioner), shards_(std::move(shards)) {
+  FC_CHECK(partitioner_ != nullptr);
+  FC_CHECK_MSG(partitioner_->num_shards() == shards_.size(),
+               "partitioner shard count disagrees with the shard list");
+  for (ShardNode* shard : shards_) FC_CHECK(shard != nullptr);
+  buckets_.resize(shards_.size());
+}
+
+Status ShardIngestSplitter::Apply(std::span<const PathRecord> records,
+                                  SplitStats* stats) {
+  for (std::vector<PathRecord>& bucket : buckets_) bucket.clear();
+  for (const PathRecord& record : records) {
+    const size_t shard = partitioner_->ShardOf(record);
+    FC_CHECK_MSG(shard < buckets_.size(),
+                 "partitioner returned an out-of-range shard");
+    buckets_[shard].push_back(record);
+  }
+  if (stats != nullptr) {
+    stats->per_shard.assign(shards_.size(), 0);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (stats != nullptr) stats->per_shard[s] = buckets_[s].size();
+    if (buckets_[s].empty()) continue;
+    FC_RETURN_IF_ERROR(shards_[s]->Apply(buckets_[s]));
+  }
+  return Status::OK();
+}
+
+Status ShardIngestSplitter::Apply(const StreamDelta& delta, SplitStats* stats) {
+  return Apply(std::span<const PathRecord>(delta.records), stats);
+}
+
+}  // namespace flowcube

@@ -1,0 +1,56 @@
+#ifndef FLOWCUBE_SHARD_INGEST_SPLITTER_H_
+#define FLOWCUBE_SHARD_INGEST_SPLITTER_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "shard/partitioner.h"
+#include "shard/shard_node.h"
+#include "stream/stream_ingestor.h"
+
+namespace flowcube {
+
+// Per-Apply accounting of one split batch.
+struct SplitStats {
+  // Records routed to each shard by the partitioner.
+  std::vector<size_t> per_shard;
+};
+
+// Routes incoming record batches to shards: partitions each batch with the
+// ShardPartitioner (preserving intra-shard record order — shard s sees
+// exactly the subsequence of the stream the partitioner assigns to it) and
+// applies every non-empty sub-batch through its shard's maintainer, in
+// ascending shard order. Empty sub-batches are skipped entirely, so a
+// shard's epoch counter advances once per batch that actually contained
+// records for it — the deterministic epoch↔record-count mapping the
+// differential suite's oracle replays.
+//
+// Single-writer like the maintainers it drives: one logical owner calls
+// Apply; concurrent queries are safe because shards publish RCU snapshots.
+class ShardIngestSplitter {
+ public:
+  // `partitioner` and `shards` must outlive the splitter;
+  // partitioner->num_shards() must equal shards.size().
+  ShardIngestSplitter(const ShardPartitioner* partitioner,
+                      std::vector<ShardNode*> shards);
+
+  // Partitions `records` and applies the sub-batches. On a shard failure
+  // the error is returned immediately; earlier shards of the batch have
+  // already applied (the same at-least-once boundary a multi-node deploy
+  // has — the differential suite only exercises the success path).
+  Status Apply(std::span<const PathRecord> records, SplitStats* stats = nullptr);
+
+  // Convenience: Apply over a stream delta's records.
+  Status Apply(const StreamDelta& delta, SplitStats* stats = nullptr);
+
+ private:
+  const ShardPartitioner* partitioner_;
+  std::vector<ShardNode*> shards_;
+  // Reused scratch: per-shard record buffers.
+  std::vector<std::vector<PathRecord>> buckets_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_SHARD_INGEST_SPLITTER_H_

@@ -1,0 +1,62 @@
+#include "shard/partitioner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace flowcube {
+
+DimsHashPartitioner::DimsHashPartitioner(size_t num_shards)
+    : num_shards_(num_shards) {
+  FC_CHECK_MSG(num_shards_ > 0, "partitioner needs at least one shard");
+}
+
+size_t DimsHashPartitioner::ShardOf(const PathRecord& record) const {
+  // FNV-1a over the dimension ids' little-endian bytes: deterministic,
+  // platform-independent, and entirely derived from the record.
+  uint64_t h = 1469598103934665603ull;
+  for (NodeId d : record.dims) {
+    for (int byte = 0; byte < 4; ++byte) {
+      h ^= (static_cast<uint64_t>(d) >> (8 * byte)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  return static_cast<size_t>(h % num_shards_);
+}
+
+RangePartitioner::RangePartitioner(size_t num_shards, size_t id_space)
+    : num_shards_(num_shards), id_space_(id_space) {
+  FC_CHECK_MSG(num_shards_ > 0, "partitioner needs at least one shard");
+  FC_CHECK_MSG(id_space_ > 0, "range partitioner needs a non-empty id space");
+}
+
+size_t RangePartitioner::ShardOf(const PathRecord& record) const {
+  FC_CHECK_MSG(!record.dims.empty(),
+               "range partitioner needs a leading dimension value");
+  const size_t id = std::min(static_cast<size_t>(record.dims[0]),
+                             id_space_ - 1);
+  // Even split of [0, id_space) into num_shards contiguous ranges.
+  return id * num_shards_ / id_space_;
+}
+
+Result<std::unique_ptr<ShardPartitioner>> MakePartitioner(
+    const std::string& kind, size_t num_shards, size_t id_space) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("shard count must be positive");
+  }
+  if (kind.empty() || kind == "dims_hash") {
+    return std::unique_ptr<ShardPartitioner>(
+        new DimsHashPartitioner(num_shards));
+  }
+  if (kind == "range") {
+    if (id_space == 0) {
+      return Status::InvalidArgument(
+          "range partitioner needs a positive id space");
+    }
+    return std::unique_ptr<ShardPartitioner>(
+        new RangePartitioner(num_shards, id_space));
+  }
+  return Status::InvalidArgument("unknown partitioner kind: " + kind);
+}
+
+}  // namespace flowcube

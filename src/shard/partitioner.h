@@ -1,0 +1,73 @@
+#ifndef FLOWCUBE_SHARD_PARTITIONER_H_
+#define FLOWCUBE_SHARD_PARTITIONER_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "path/path.h"
+
+namespace flowcube {
+
+// Assigns each path record to one of N shards (DESIGN.md §15). The
+// assignment must be a pure function of the record and the construction
+// parameters — never of clocks, random state, or arrival order — so that
+// re-partitioning the same database always lands every record on the same
+// shard; the shard differential suite's oracle replays depend on it.
+class ShardPartitioner {
+ public:
+  virtual ~ShardPartitioner() = default;
+
+  // The shard index of `record`, in [0, num_shards()).
+  virtual size_t ShardOf(const PathRecord& record) const = 0;
+
+  virtual size_t num_shards() const = 0;
+
+  // Stable identifier for logs and bench labels ("dims_hash", "range").
+  virtual std::string name() const = 0;
+};
+
+// Hash partitioner over the record's item-dimension ids: FNV-1a folded over
+// dims, modulo the shard count. Spreads any dimension mix evenly and needs
+// no knowledge of the schema.
+class DimsHashPartitioner : public ShardPartitioner {
+ public:
+  explicit DimsHashPartitioner(size_t num_shards);
+
+  size_t ShardOf(const PathRecord& record) const override;
+  size_t num_shards() const override { return num_shards_; }
+  std::string name() const override { return "dims_hash"; }
+
+ private:
+  size_t num_shards_;
+};
+
+// Range partitioner over the leading dimension's node-id space, the
+// EPC-range style of the RFID literature: contiguous id ranges map to
+// consecutive shards, so co-ranged items (think consecutive EPC blocks)
+// stay colocated. `id_space` is the leading dimension's node count
+// (PathSchema::dimensions[0].NodeCount()); ids at or beyond it clamp into
+// the last shard rather than fault.
+class RangePartitioner : public ShardPartitioner {
+ public:
+  RangePartitioner(size_t num_shards, size_t id_space);
+
+  size_t ShardOf(const PathRecord& record) const override;
+  size_t num_shards() const override { return num_shards_; }
+  std::string name() const override { return "range"; }
+
+ private:
+  size_t num_shards_;
+  size_t id_space_;
+};
+
+// Builds a partitioner by name: "dims_hash" (default) or "range". The
+// FLOWCUBE_SHARD_PARTITIONER knob feeds this. `id_space` is only consulted
+// by "range".
+Result<std::unique_ptr<ShardPartitioner>> MakePartitioner(
+    const std::string& kind, size_t num_shards, size_t id_space);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_SHARD_PARTITIONER_H_

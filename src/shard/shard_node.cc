@@ -1,0 +1,67 @@
+#include "shard/shard_node.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace flowcube {
+
+FlowCubeBuilderOptions ShardNode::ShardLocalBuild(
+    const FlowCubeBuilderOptions& global) {
+  FlowCubeBuilderOptions local = global;
+  // Materialize every cell with at least one path: the global iceberg
+  // threshold is applied coordinator-side to summed supports.
+  local.min_support = 1;
+  // Exceptions are holistic (Lemma 4.3) and redundancy is a global
+  // property; neither can be assembled from per-shard results.
+  local.compute_exceptions = false;
+  local.mark_redundant = false;
+  return local;
+}
+
+Result<std::unique_ptr<ShardNode>> ShardNode::Create(SchemaPtr schema,
+                                                     FlowCubePlan plan,
+                                                     ShardNodeOptions options) {
+  IncrementalMaintainerOptions maintainer_options;
+  maintainer_options.build = ShardLocalBuild(options.global_build);
+  maintainer_options.window_records = options.window_records;
+  Result<IncrementalMaintainer> maintainer = IncrementalMaintainer::Create(
+      std::move(schema), std::move(plan), maintainer_options);
+  if (!maintainer.ok()) return maintainer.status();
+
+  std::unique_ptr<ShardNode> node(new ShardNode());
+  node->maintainer_ = std::make_unique<IncrementalMaintainer>(
+      std::move(maintainer).value());
+  AttachToRegistry(node->maintainer_.get(), &node->registry_);
+  // Publish the empty cube as epoch 1 so a record-less shard is queryable
+  // (every coordinator query pins one epoch per shard; "no snapshot yet"
+  // would poison the whole fan-out).
+  {
+    auto clone = std::make_shared<FlowCube>(node->maintainer_->cube().Clone());
+    node->registry_.Publish(std::move(clone), 0);
+  }
+  node->service_ = std::make_unique<QueryService>(&node->registry_,
+                                                  options.service);
+  if (options.serve_remote) {
+    ServerOptions server_options;
+    server_options.max_frame_payload = kMaxInternalFramePayload;
+    Result<std::unique_ptr<QueryServer>> server =
+        QueryServer::Start(node->service_.get(), server_options);
+    if (!server.ok()) return server.status();
+    node->server_ = std::move(server).value();
+  }
+  return node;
+}
+
+ShardNode::~ShardNode() {
+  // The server's workers call into service_ (and through it the registry);
+  // stop them before any of that is torn down.
+  if (server_ != nullptr) server_->Shutdown();
+  if (maintainer_ != nullptr) maintainer_->SetPublishHook(nullptr);
+}
+
+Status ShardNode::Apply(std::span<const PathRecord> records) {
+  return maintainer_->ApplyRecords(records);
+}
+
+}  // namespace flowcube

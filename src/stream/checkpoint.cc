@@ -209,6 +209,15 @@ struct FlowGraphSerializer {
   }
 };
 
+void EncodeFlowGraph(const FlowGraph& graph, ByteWriter* writer) {
+  FlowGraphSerializer::Encode(graph, writer);
+}
+
+Status DecodeFlowGraph(ByteReader* reader, const PathSchema& schema,
+                       FlowGraph* graph) {
+  return FlowGraphSerializer::Decode(reader, schema, graph);
+}
+
 // Friend of IncrementalMaintainer: reads its private indexes to encode, and
 // rebuilds them on decode by re-appending the live records (index rebuild is
 // linear — no mining replay; the cube's cells install verbatim).

@@ -6,6 +6,8 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "flowgraph/flowgraph.h"
+#include "io/binary_io.h"
 #include "stream/incremental_maintainer.h"
 #include "stream/stream_ingestor.h"
 
@@ -50,6 +52,17 @@ std::string EncodeCheckpoint(const IncrementalMaintainer& maintainer,
 Result<RestoredPipeline> DecodeCheckpoint(std::string_view bytes,
                                           SchemaPtr schema, FlowCubePlan plan,
                                           IncrementalMaintainerOptions options);
+
+// Standalone flowgraph codec — the exact node-table encoding FCSP uses for
+// cube cells (children order, sorted duration counts, exceptions verbatim),
+// exposed for wire transfer of single measures (the shard layer ships
+// per-cell flowgraphs to the coordinator this way). Encoding reads through
+// the accessor API (both storage forms encode identically); decoding is
+// strictly bounds-checked, validates tree structure against `schema`, and
+// returns a sealed graph.
+void EncodeFlowGraph(const FlowGraph& graph, ByteWriter* writer);
+Status DecodeFlowGraph(ByteReader* reader, const PathSchema& schema,
+                       FlowGraph* graph);
 
 // File variants.
 Status SaveCheckpoint(const IncrementalMaintainer& maintainer,

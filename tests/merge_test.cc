@@ -3,10 +3,13 @@
 // exactly, and the flowcube query API must exploit it for roll-ups.
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "flowcube/builder.h"
+#include "flowcube/dump.h"
 #include "flowcube/query.h"
 #include "flowgraph/builder.h"
 #include "flowgraph/merge.h"
@@ -125,6 +128,163 @@ TEST(Merge, QueryMergeChildrenMatchesParent) {
   const Result<FlowGraph> merged = query.MergeChildren(*shoes, 0);
   ASSERT_TRUE(merged.ok()) << merged.status().ToString();
   ExpectSameCounts(merged.value(), shoes->cell->graph);
+}
+
+// --- MergeFrom properties with sealed sources ------------------------------
+// The shard coordinator merges sealed graphs decoded off the wire, so the
+// algebraic properties must hold with sources in either storage form, and
+// the canonical dump must not depend on merge order.
+
+// Total count mass of a graph: every per-node counter summed. MergeFrom
+// must conserve this — merging never invents or drops counts.
+struct CountMass {
+  uint64_t paths = 0;
+  uint64_t terminates = 0;
+  uint64_t durations = 0;
+
+  friend bool operator==(const CountMass& a, const CountMass& b) = default;
+  CountMass operator+(const CountMass& o) const {
+    return CountMass{paths + o.paths, terminates + o.terminates,
+                     durations + o.durations};
+  }
+};
+
+CountMass MassOf(const FlowGraph& g) {
+  CountMass m;
+  for (FlowNodeId n = 0; n < g.num_nodes(); ++n) {
+    m.paths += g.path_count(n);
+    m.terminates += g.terminate_count(n);
+    for (const DurationCount& dc : g.duration_counts(n)) {
+      m.durations += dc.count;
+    }
+  }
+  return m;
+}
+
+FlowGraph Sealed(const FlowGraph& g) {
+  FlowGraph copy = g;
+  copy.Seal();
+  return copy;
+}
+
+std::string CanonicalDump(const FlowGraph& g) {
+  return DumpFlowGraph(g.Canonical());
+}
+
+TEST(MergeProperty, SealedSourcesMergeExactlyLikeMutableOnes) {
+  PathDatabase db = MakePaperDatabase();
+  std::vector<Path> all;
+  for (const PathRecord& r : db.records()) all.push_back(r.path);
+  std::vector<Path> p1(all.begin(), all.begin() + 4);
+  std::vector<Path> p2(all.begin() + 4, all.end());
+  const FlowGraph g1 = BuildFlowGraph(p1);
+  const FlowGraph g2 = BuildFlowGraph(p2);
+
+  FlowGraph from_mutable;
+  from_mutable.MergeFrom(g1);
+  from_mutable.MergeFrom(g2);
+  FlowGraph from_sealed;
+  from_sealed.MergeFrom(Sealed(g1));
+  from_sealed.MergeFrom(Sealed(g2));
+
+  ExpectSameCounts(from_mutable, from_sealed);
+  EXPECT_EQ(DumpFlowGraph(from_mutable), DumpFlowGraph(from_sealed));
+  ExpectSameCounts(from_sealed, BuildFlowGraph(all));
+}
+
+TEST(MergeProperty, DisjointMergeConservesCountsAndNodes) {
+  // Location alphabets {1,2} and {7,8} share nothing but the root, so the
+  // merged tree is the two trees glued at the root.
+  std::vector<Path> pa = {Path{{Stage{1, 2}, Stage{2, 3}}},
+                          Path{{Stage{1, 4}}}};
+  std::vector<Path> pb = {Path{{Stage{7, 1}, Stage{8, 1}}}};
+  const FlowGraph a = BuildFlowGraph(pa);
+  const FlowGraph b = BuildFlowGraph(pb);
+
+  FlowGraph merged;
+  merged.MergeFrom(Sealed(a));
+  merged.MergeFrom(Sealed(b));
+  EXPECT_EQ(merged.num_nodes(), a.num_nodes() + b.num_nodes() - 1);
+  EXPECT_EQ(merged.total_paths(), a.total_paths() + b.total_paths());
+  EXPECT_EQ(MassOf(merged), MassOf(a) + MassOf(b));
+}
+
+TEST(MergeProperty, OverlappingMergeConservesCountMass) {
+  // Shared prefixes: counts add on shared nodes instead of duplicating
+  // branches, but the total mass is still the sum.
+  std::vector<Path> pa = {Path{{Stage{1, 2}, Stage{2, 3}}},
+                          Path{{Stage{1, 2}, Stage{3, 1}}}};
+  std::vector<Path> pb = {Path{{Stage{1, 5}, Stage{2, 3}}},
+                          Path{{Stage{1, 2}}}};
+  const FlowGraph a = BuildFlowGraph(pa);
+  const FlowGraph b = BuildFlowGraph(pb);
+
+  FlowGraph merged;
+  merged.MergeFrom(a);
+  merged.MergeFrom(Sealed(b));
+  EXPECT_LT(merged.num_nodes(), a.num_nodes() + b.num_nodes() - 1);
+  EXPECT_EQ(MassOf(merged), MassOf(a) + MassOf(b));
+
+  std::vector<Path> all = pa;
+  all.insert(all.end(), pb.begin(), pb.end());
+  ExpectSameCounts(merged, BuildFlowGraph(all));
+}
+
+TEST(MergeProperty, EmptySealedSourceIsNeutral) {
+  std::vector<Path> paths = {Path{{Stage{1, 2}, Stage{3, 4}}}};
+  FlowGraph g = BuildFlowGraph(paths);
+  const std::string before = CanonicalDump(g);
+  FlowGraph empty;
+  g.MergeFrom(Sealed(empty));
+  EXPECT_EQ(CanonicalDump(g), before);
+  EXPECT_EQ(MassOf(g), MassOf(BuildFlowGraph(paths)));
+
+  // An empty destination adopts a sealed source wholesale.
+  FlowGraph fresh;
+  fresh.MergeFrom(Sealed(g));
+  EXPECT_EQ(CanonicalDump(fresh), before);
+}
+
+TEST(MergeProperty, CanonicalDumpIsMergeOrderIndependent) {
+  GeneratorConfig cfg;
+  cfg.num_dimensions = 1;
+  cfg.num_sequences = 8;
+  cfg.seed = 31;
+  PathGenerator gen(cfg);
+  PathDatabase db = gen.Generate(60);
+
+  // One single-path sealed graph per record, merged under three different
+  // fixed orders. Node numbering of the raw merges differs (insertion
+  // order), but the canonical dump must be one string.
+  std::vector<FlowGraph> parts;
+  std::vector<Path> all;
+  for (size_t i = 0; i < db.size(); ++i) {
+    std::vector<Path> one = {db.record(i).path};
+    parts.push_back(Sealed(BuildFlowGraph(one)));
+    all.push_back(db.record(i).path);
+  }
+  std::vector<size_t> forward;
+  std::vector<size_t> reverse;
+  std::vector<size_t> interleaved;
+  for (size_t i = 0; i < parts.size(); ++i) forward.push_back(i);
+  for (size_t i = parts.size(); i-- > 0;) reverse.push_back(i);
+  for (size_t i = 0; i < parts.size(); i += 2) interleaved.push_back(i);
+  for (size_t i = 1; i < parts.size(); i += 2) interleaved.push_back(i);
+
+  std::string expected;
+  for (const std::vector<size_t>& order : {forward, reverse, interleaved}) {
+    FlowGraph merged;
+    for (size_t i : order) merged.MergeFrom(parts[i]);
+    const std::string dump = CanonicalDump(merged);
+    if (expected.empty()) {
+      expected = dump;
+    } else {
+      EXPECT_EQ(dump, expected);
+    }
+    EXPECT_EQ(MassOf(merged), MassOf(BuildFlowGraph(all)));
+  }
+  // Direct accumulation canonicalizes to the same bytes as any merge.
+  EXPECT_EQ(CanonicalDump(BuildFlowGraph(all)), expected);
 }
 
 TEST(Merge, QueryMergeChildrenFailsUnderIcebergPruning) {

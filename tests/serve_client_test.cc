@@ -1,0 +1,307 @@
+// ServeClient failure vocabulary and the QueryService lookup cache.
+//
+// The client's statuses are load-bearing for the shard coordinator's
+// partial-failure reporting: kUnavailable (refused), kDeadlineExceeded
+// (connect/read timeout), kInvalidArgument (poisoned frame), kInternal
+// (server closed mid-conversation) each travel through RemoteShardBackend
+// into coordinator responses, so this suite pins the exact code for each
+// failure class against real sockets.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "flowcube/builder.h"
+#include "gen/paper_example.h"
+#include "serve/client.h"
+#include "serve/query_service.h"
+#include "serve/server.h"
+#include "serve/snapshot_registry.h"
+
+namespace flowcube {
+namespace {
+
+// A loopback listener managed with raw sockets, so tests can produce
+// server behaviors a real QueryServer never exhibits: never answering,
+// sending garbage, or closing immediately.
+class RawListener {
+ public:
+  RawListener() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    EXPECT_GE(fd_, 0);
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(fd_, 8), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~RawListener() { Close(); }
+
+  uint16_t port() const { return port_; }
+
+  int Accept() { return ::accept(fd_, nullptr, nullptr); }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+// A loopback port with nothing listening on it: bind, read the port back,
+// close. Nothing re-binds it within the test, so connects are refused.
+uint16_t ClosedPort() {
+  RawListener listener;
+  const uint16_t port = listener.port();
+  listener.Close();
+  return port;
+}
+
+QueryRequest StatsRequest() {
+  QueryRequest request;
+  request.type = RequestType::kStats;
+  request.request_id = 7;
+  return request;
+}
+
+TEST(ServeClientTest, RefusedConnectIsUnavailable) {
+  Result<ServeClient> client = ServeClient::Connect(ClosedPort());
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), Status::Code::kUnavailable);
+}
+
+TEST(ServeClientTest, RefusedConnectStaysUnavailableAfterRetries) {
+  ClientOptions options;
+  options.reconnect_attempts = 3;
+  options.backoff_initial_ms = 1;
+  options.backoff_max_ms = 4;
+  Result<ServeClient> client = ServeClient::Connect(ClosedPort(), options);
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), Status::Code::kUnavailable);
+}
+
+TEST(ServeClientTest, ReadTimeoutIsDeadlineExceeded) {
+  // The listener's backlog completes the TCP handshake but the "server"
+  // never reads or answers, so the request send succeeds and the read must
+  // time out — distinctly from refused and from closed.
+  RawListener listener;
+  ClientOptions options;
+  options.read_timeout_ms = 50;
+  Result<ServeClient> client = ServeClient::Connect(listener.port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Result<QueryResponse> response = client->Call(StatsRequest());
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(response.status().message(), "read timed out awaiting response");
+}
+
+TEST(ServeClientTest, PoisonedFrameIsInvalidArgument) {
+  RawListener listener;
+  std::thread server([&] {
+    const int fd = listener.Accept();
+    ASSERT_GE(fd, 0);
+    // A full header of 0xFF cannot carry the FCQP magic.
+    const std::string garbage(64, '\xFF');
+    ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), 0),
+              static_cast<ssize_t>(garbage.size()));
+    ::close(fd);
+  });
+  Result<ServeClient> client = ServeClient::Connect(listener.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Result<QueryResponse> response = client->ReadResponse();
+  server.join();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(response.status().message(), "malformed frame: bad magic");
+}
+
+TEST(ServeClientTest, ServerCloseIsInternal) {
+  RawListener listener;
+  std::thread server([&] {
+    const int fd = listener.Accept();
+    ASSERT_GE(fd, 0);
+    ::close(fd);
+  });
+  Result<ServeClient> client = ServeClient::Connect(listener.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  server.join();
+  Result<QueryResponse> response = client->Call(StatsRequest());
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), Status::Code::kInternal);
+  EXPECT_EQ(response.status().message(), "connection closed by server");
+}
+
+TEST(ServeClientTest, ReconnectBackoffRidesOutLateServerStart) {
+  // The server comes up only after the client's first attempts have been
+  // refused; bounded reconnect-with-backoff must land the connection once
+  // it is listening, and a real Call must then complete.
+  const uint16_t port = ClosedPort();
+  SnapshotRegistry registry;
+  QueryService service(&registry);
+  std::unique_ptr<QueryServer> server;
+  std::thread starter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    ServerOptions options;
+    options.port = port;
+    Result<std::unique_ptr<QueryServer>> started =
+        QueryServer::Start(&service, options);
+    ASSERT_TRUE(started.ok()) << started.status().ToString();
+    server = std::move(started.value());
+  });
+  ClientOptions options;
+  options.reconnect_attempts = 50;
+  options.backoff_initial_ms = 5;
+  options.backoff_max_ms = 20;
+  options.read_timeout_ms = 5000;
+  Result<ServeClient> client = ServeClient::Connect(port, options);
+  starter.join();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Result<QueryResponse> response = client->Call(StatsRequest());
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  // No snapshot was published; the error must still arrive as a response.
+  EXPECT_EQ(response->code, Status::Code::kFailedPrecondition);
+  client->Close();
+  server->Shutdown();
+}
+
+// --- QueryService lookup cache ---------------------------------------------
+
+std::shared_ptr<const FlowCube> BuildPaperCube() {
+  PathDatabase db = MakePaperDatabase();
+  FlowCubePlan plan = FlowCubePlan::Default(db.schema()).value();
+  FlowCubeBuilderOptions options;
+  options.min_support = 1;
+  options.compute_exceptions = false;
+  FlowCubeBuilder builder(options);
+  Result<FlowCube> cube = builder.Build(db, plan);
+  EXPECT_TRUE(cube.ok());
+  return std::make_shared<const FlowCube>(std::move(cube.value()));
+}
+
+QueryRequest Lookup(const std::vector<std::string>& values) {
+  QueryRequest request;
+  request.type = RequestType::kPointLookup;
+  request.request_id = 1;
+  request.values = values;
+  return request;
+}
+
+TEST(QueryServiceCacheTest, RepeatLookupHitsWithinOneEpoch) {
+  SnapshotRegistry registry;
+  registry.Publish(BuildPaperCube(), 10);
+  QueryServiceOptions options;
+  options.cell_cache_capacity = 8;
+  QueryService service(&registry, options);
+
+  ScopedEpoch epoch;
+  Counter& hits = MetricRegistry::Global().counter("serve.cell_cache_hits");
+  Counter& misses =
+      MetricRegistry::Global().counter("serve.cell_cache_misses");
+
+  const QueryResponse first = service.Execute(Lookup({"shoes", "nike"}));
+  ASSERT_EQ(first.code, Status::Code::kOk);
+  EXPECT_EQ(hits.value(), 0u);
+  EXPECT_EQ(misses.value(), 1u);
+
+  QueryRequest repeat = Lookup({"shoes", "nike"});
+  repeat.request_id = 2;
+  const QueryResponse second = service.Execute(repeat);
+  EXPECT_EQ(hits.value(), 1u);
+  EXPECT_EQ(misses.value(), 1u);
+  // A cached response is the original body at the original epoch, with the
+  // request id of the request that hit.
+  EXPECT_EQ(second.request_id, 2u);
+  EXPECT_EQ(second.epoch, first.epoch);
+  EXPECT_EQ(second.body, first.body);
+
+  // A different key misses; errors are not cached.
+  service.Execute(Lookup({"outerwear", "nike"}));
+  EXPECT_EQ(misses.value(), 2u);
+  const QueryResponse miss = service.Execute(Lookup({"no-such", "nike"}));
+  EXPECT_EQ(miss.code, Status::Code::kNotFound);
+  service.Execute(Lookup({"no-such", "nike"}));
+  EXPECT_EQ(hits.value(), 1u);
+  EXPECT_EQ(misses.value(), 4u);
+}
+
+TEST(QueryServiceCacheTest, NewEpochInvalidatesByKey) {
+  SnapshotRegistry registry;
+  registry.Publish(BuildPaperCube(), 10);
+  QueryServiceOptions options;
+  options.cell_cache_capacity = 8;
+  QueryService service(&registry, options);
+
+  ScopedEpoch epoch;
+  Counter& hits = MetricRegistry::Global().counter("serve.cell_cache_hits");
+  Counter& misses =
+      MetricRegistry::Global().counter("serve.cell_cache_misses");
+
+  service.Execute(Lookup({"shoes", "nike"}));
+  registry.Publish(BuildPaperCube(), 20);
+  const QueryResponse after = service.Execute(Lookup({"shoes", "nike"}));
+  // The epoch is part of the cache key, so the stale entry cannot answer.
+  EXPECT_EQ(after.epoch, 2u);
+  EXPECT_EQ(hits.value(), 0u);
+  EXPECT_EQ(misses.value(), 2u);
+}
+
+TEST(QueryServiceCacheTest, CapacityEvictsLeastRecentlyUsed) {
+  SnapshotRegistry registry;
+  registry.Publish(BuildPaperCube(), 10);
+  QueryServiceOptions options;
+  options.cell_cache_capacity = 1;
+  QueryService service(&registry, options);
+
+  ScopedEpoch epoch;
+  Counter& hits = MetricRegistry::Global().counter("serve.cell_cache_hits");
+  Counter& misses =
+      MetricRegistry::Global().counter("serve.cell_cache_misses");
+
+  service.Execute(Lookup({"shoes", "nike"}));
+  service.Execute(Lookup({"outerwear", "nike"}));  // evicts shoes
+  service.Execute(Lookup({"shoes", "nike"}));      // miss again
+  EXPECT_EQ(hits.value(), 0u);
+  EXPECT_EQ(misses.value(), 3u);
+  service.Execute(Lookup({"shoes", "nike"}));
+  EXPECT_EQ(hits.value(), 1u);
+}
+
+TEST(QueryServiceCacheTest, ZeroCapacityDisablesTheCache) {
+  SnapshotRegistry registry;
+  registry.Publish(BuildPaperCube(), 10);
+  QueryServiceOptions options;
+  options.cell_cache_capacity = 0;
+  QueryService service(&registry, options);
+
+  ScopedEpoch epoch;
+  Counter& hits = MetricRegistry::Global().counter("serve.cell_cache_hits");
+  Counter& misses =
+      MetricRegistry::Global().counter("serve.cell_cache_misses");
+  service.Execute(Lookup({"shoes", "nike"}));
+  service.Execute(Lookup({"shoes", "nike"}));
+  EXPECT_EQ(hits.value(), 0u);
+  EXPECT_EQ(misses.value(), 0u);
+}
+
+}  // namespace
+}  // namespace flowcube
