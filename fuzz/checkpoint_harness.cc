@@ -58,13 +58,14 @@ int FuzzCheckpoint(const uint8_t* data, size_t size) {
       DecodeCheckpoint(bytes, fx.schema, fx.plan, fx.options);
   if (!restored.ok()) return 0;  // rejected cleanly — the common path
 
-  // An accepted checkpoint must re-encode byte-identically: the format has
-  // exactly one serialization of any pipeline state.
+  // An accepted checkpoint must re-encode byte-identically *in its own
+  // format*: each format has exactly one serialization of any pipeline
+  // state (v2 additionally enforces canonical section/column layout).
   const IngestorState* state = restored->ingestor_state.has_value()
                                    ? &*restored->ingestor_state
                                    : nullptr;
   const std::string reencoded =
-      EncodeCheckpoint(restored->maintainer, state);
+      EncodeCheckpoint(restored->maintainer, state, restored->format);
   FC_CHECK_MSG(reencoded == bytes,
                "accepted checkpoint did not re-encode byte-identically "
                "(input " << size << " bytes, re-encoded " << reencoded.size()

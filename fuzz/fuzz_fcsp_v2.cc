@@ -1,0 +1,8 @@
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return flowcube::FuzzFcspV2(data, size);
+}

@@ -25,6 +25,13 @@ int FuzzTextIo(const uint8_t* data, size_t size);
 // fixture. Accepted inputs must re-encode byte-identically.
 int FuzzCheckpoint(const uint8_t* data, size_t size);
 
+// store/mapped_cube.h + stream/checkpoint.h on FCSP v2 images: the
+// zero-copy mapped loader (both CRC-verifying and CRC-skipping — the
+// structural walk must bound-check either way) and the resume reader
+// against the same fixed fixture. Accepted checkpoints must re-encode
+// byte-identically; v2 files both readers accept must agree on the cube.
+int FuzzFcspV2(const uint8_t* data, size_t size);
+
 // serve/protocol.h: the FCQP frame + request/response decoders. Accepted
 // frames must re-frame byte-identically, accepted requests/responses must
 // re-encode canonically, and FrameAssembler must agree with the exact

@@ -4,11 +4,14 @@
 //
 //   fuzz_make_seeds <corpus-dir>   # writes <dir>/{text_io,checkpoint,serve}/
 //
+// The checkpoint corpus stays on the v1 wire format and fuzz/corpus/fcsp_v2
+// holds the v2 images, so each grammar keeps its own seed pool.
 // The checkpoint seeds use the same fixture config as checkpoint_harness.cc
 // and tests/stream_checkpoint_test.cc — DecodeCheckpoint validates a config
 // fingerprint, so seeds built against any other config would be rejected at
 // the first branch and teach the fuzzer nothing about the payload grammar.
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <span>
@@ -16,6 +19,7 @@
 
 #include "common/logging.h"
 #include "gen/path_generator.h"
+#include "io/binary_io.h"
 #include "io/text_io.h"
 #include "serve/protocol.h"
 #include "stream/checkpoint.h"
@@ -85,7 +89,7 @@ void MakeCheckpointSeeds(const std::filesystem::path& dir) {
                                  .subspan(0, records))
                  .ok());
     WriteFile(dir / ("seed_" + std::to_string(n++) + ".fcsp"),
-              EncodeCheckpoint(m.value(), nullptr));
+              EncodeCheckpoint(m.value(), nullptr, kCheckpointFormatV1));
   }
 
   // One seed with resumable ingestor state so the optional tail section is
@@ -105,7 +109,77 @@ void MakeCheckpointSeeds(const std::filesystem::path& dir) {
   state.watermark = 700;
   state.batches_processed = 3;
   WriteFile(dir / ("seed_" + std::to_string(n++) + ".fcsp"),
-            EncodeCheckpoint(m.value(), &state));
+            EncodeCheckpoint(m.value(), &state, kCheckpointFormatV1));
+}
+
+void MakeFcspV2Seeds(const std::filesystem::path& dir) {
+  PathGenerator gen(FixtureConfig());
+  PathDatabase db = gen.Generate(60);
+  Result<FlowCubePlan> plan = FlowCubePlan::Default(db.schema());
+  FC_CHECK(plan.ok());
+  IncrementalMaintainerOptions options;
+  options.build.min_support = 2;
+
+  int n = 0;
+  std::string forty;
+  for (size_t records : {size_t{0}, size_t{8}, size_t{40}}) {
+    Result<IncrementalMaintainer> m =
+        IncrementalMaintainer::Create(db.schema_ptr(), plan.value(), options);
+    FC_CHECK(m.ok());
+    FC_CHECK(m->ApplyRecords(std::span<const PathRecord>(db.records())
+                                 .subspan(0, records))
+                 .ok());
+    forty = EncodeCheckpoint(m.value(), nullptr, kCheckpointFormatV2);
+    WriteFile(dir / ("seed_" + std::to_string(n++) + ".fcsp"), forty);
+  }
+
+  // One seed with the resumable-ingestor tail in the resume section.
+  Result<IncrementalMaintainer> m =
+      IncrementalMaintainer::Create(db.schema_ptr(), plan.value(), options);
+  FC_CHECK(m.ok());
+  FC_CHECK(m->ApplyRecords(std::span<const PathRecord>(db.records())
+                               .subspan(0, 12))
+               .ok());
+  IngestorState state;
+  state.registrations[7] = db.record(0).dims;
+  state.registrations[9] = db.record(1).dims;
+  state.open_readings[7] = {
+      RawReading{7, db.record(0).path.stages[0].location, 100},
+      RawReading{7, db.record(0).path.stages[0].location, 700}};
+  state.watermark = 700;
+  state.batches_processed = 3;
+  WriteFile(dir / ("seed_" + std::to_string(n++) + ".fcsp"),
+            EncodeCheckpoint(m.value(), &state, kCheckpointFormatV2));
+
+  // A cube-only variant of the 40-record seed: resume section stripped,
+  // resume header fields and live count zeroed, header CRC refreshed. The
+  // mapped loader accepts it; the resume reader rejects it — keeping both
+  // sides of that boundary in the corpus.
+  std::string cube_only = forty;
+  uint64_t resume_offset = 0;
+  std::memcpy(&resume_offset, cube_only.data() + 64, sizeof resume_offset);
+  FC_CHECK(resume_offset != 0 && resume_offset < cube_only.size());
+  cube_only.resize(resume_offset);
+  const uint64_t file_size = cube_only.size();
+  std::memcpy(cube_only.data() + 16, &file_size, sizeof file_size);
+  const uint64_t zero64 = 0;
+  const uint32_t zero32 = 0;
+  std::memcpy(cube_only.data() + 64, &zero64, sizeof zero64);  // resume off
+  std::memcpy(cube_only.data() + 72, &zero64, sizeof zero64);  // resume size
+  std::memcpy(cube_only.data() + 80, &zero32, sizeof zero32);  // resume crc
+  std::memcpy(cube_only.data() + 88, &zero64, sizeof zero64);  // live count
+  const uint32_t header_crc =
+      Crc32(std::string_view(cube_only).substr(12, 96 - 12));
+  std::memcpy(cube_only.data() + 8, &header_crc, sizeof header_crc);
+  WriteFile(dir / ("seed_" + std::to_string(n++) + ".fcsp"), cube_only);
+
+  // Degenerate shapes the mutator finds slowly: a truncated header and a
+  // full-size file with a foreign magic.
+  WriteFile(dir / ("seed_" + std::to_string(n++) + ".fcsp"),
+            forty.substr(0, 17));
+  std::string bad_magic = forty;
+  bad_magic[0] = 'X';
+  WriteFile(dir / ("seed_" + std::to_string(n++) + ".fcsp"), bad_magic);
 }
 
 void MakeServeSeeds(const std::filesystem::path& dir) {
@@ -163,9 +237,11 @@ int main(int argc, char** argv) {
   const std::filesystem::path root(argv[1]);
   std::filesystem::create_directories(root / "text_io");
   std::filesystem::create_directories(root / "checkpoint");
+  std::filesystem::create_directories(root / "fcsp_v2");
   std::filesystem::create_directories(root / "serve");
   flowcube::MakeTextIoSeeds(root / "text_io");
   flowcube::MakeCheckpointSeeds(root / "checkpoint");
+  flowcube::MakeFcspV2Seeds(root / "fcsp_v2");
   flowcube::MakeServeSeeds(root / "serve");
   std::fprintf(stderr, "seed corpora written under %s\n", argv[1]);
   return 0;

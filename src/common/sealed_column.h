@@ -1,0 +1,107 @@
+#ifndef FLOWCUBE_COMMON_SEALED_COLUMN_H_
+#define FLOWCUBE_COMMON_SEALED_COLUMN_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace flowcube {
+
+// A read-mostly flat column that either owns its elements (a std::vector)
+// or borrows them from an external allocation — typically a checkpoint
+// mapping (src/store) — pinned by a shared keepalive handle. This is the
+// ownership abstraction behind the sealed storage forms: readers go through
+// one span view regardless of where the bytes live, and writers are only
+// legal on owned storage (mutating a borrowed column FC_CHECKs, so a
+// mapped cube can never be silently modified through a const_cast slip).
+//
+// Copying a borrowed column shares the borrow (span + keepalive); copying
+// an owned column deep-copies the vector. Both directions keep the view
+// pointing at the copy's own storage, so the implicit copy/move of an
+// enclosing class (e.g. Cuboid) can never leave a dangling span behind.
+template <typename T>
+class SealedColumn {
+ public:
+  SealedColumn() = default;
+
+  SealedColumn(const SealedColumn& other) { CopyFrom(other); }
+  SealedColumn& operator=(const SealedColumn& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  SealedColumn(SealedColumn&& other) noexcept { MoveFrom(std::move(other)); }
+  SealedColumn& operator=(SealedColumn&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+
+  // Replaces the contents with `n` owned copies of `fill`. Requires owned
+  // (or empty) storage: a borrowed column is immutable by contract.
+  void Reset(size_t n, const T& fill) {
+    FC_CHECK_MSG(!borrowed_, "cannot mutate a borrowed sealed column");
+    owned_.assign(n, fill);
+    view_ = std::span<const T>(owned_.data(), owned_.size());
+  }
+
+  // Points the column at externally owned elements; `keepalive` pins the
+  // allocation (e.g. the mmap handle) for as long as any copy of this
+  // column is alive.
+  void Borrow(std::span<const T> view, std::shared_ptr<const void> keepalive) {
+    owned_.clear();
+    owned_.shrink_to_fit();
+    view_ = view;
+    keepalive_ = std::move(keepalive);
+    borrowed_ = true;
+  }
+
+  // In-place element write. Requires owned storage; never reallocates, so
+  // the view stays valid.
+  T& Mut(size_t i) {
+    FC_CHECK_MSG(!borrowed_, "cannot mutate a borrowed sealed column");
+    FC_DCHECK(i < owned_.size());
+    return owned_[i];
+  }
+
+  const T& operator[](size_t i) const { return view_[i]; }
+  std::span<const T> view() const { return view_; }
+  const T* data() const { return view_.data(); }
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+  bool borrowed() const { return borrowed_; }
+
+  // Heap bytes owned by this column (0 when borrowed — the mapping owns
+  // the bytes and is accounted by the store layer).
+  size_t OwnedBytes() const { return owned_.capacity() * sizeof(T); }
+
+ private:
+  void CopyFrom(const SealedColumn& other) {
+    owned_ = other.owned_;
+    keepalive_ = other.keepalive_;
+    borrowed_ = other.borrowed_;
+    view_ = borrowed_ ? other.view_
+                      : std::span<const T>(owned_.data(), owned_.size());
+  }
+
+  void MoveFrom(SealedColumn&& other) noexcept {
+    owned_ = std::move(other.owned_);
+    keepalive_ = std::move(other.keepalive_);
+    borrowed_ = other.borrowed_;
+    view_ = borrowed_ ? other.view_
+                      : std::span<const T>(owned_.data(), owned_.size());
+    other.view_ = {};
+    other.borrowed_ = false;
+  }
+
+  std::vector<T> owned_;
+  std::span<const T> view_;
+  std::shared_ptr<const void> keepalive_;
+  bool borrowed_ = false;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_COMMON_SEALED_COLUMN_H_

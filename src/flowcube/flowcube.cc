@@ -24,12 +24,12 @@ size_t Cuboid::ProbeFor(const Itemset& dims) const {
 }
 
 void Cuboid::Rehash(size_t capacity) {
-  slots_.assign(capacity, kEmptySlot);
+  slots_.Reset(capacity, kEmptySlot);
   const size_t mask = capacity - 1;
   for (size_t i = 0; i < cells_.size(); ++i) {
     size_t slot = ItemsetHash{}(cells_[i].dims) & mask;
     while (slots_[slot] != kEmptySlot) slot = (slot + 1) & mask;
-    slots_[slot] = static_cast<uint32_t>(i);
+    slots_.Mut(slot) = static_cast<uint32_t>(i);
   }
 }
 
@@ -56,7 +56,7 @@ void Cuboid::Insert(FlowCell cell) {
   if (needed > slots_.size()) Rehash(needed);
   const size_t slot = ProbeFor(cell.dims);
   FC_CHECK_MSG(slots_[slot] == kEmptySlot, "cell already exists in cuboid");
-  slots_[slot] = static_cast<uint32_t>(cells_.size());
+  slots_.Mut(slot) = static_cast<uint32_t>(cells_.size());
   cells_.push_back(std::move(cell));
 }
 
@@ -80,11 +80,11 @@ bool Cuboid::Erase(const Itemset& dims) {
     const bool home_after_hole = hole <= next ? (home > hole && home <= next)
                                               : (home > hole || home <= next);
     if (!home_after_hole) {
-      slots_[hole] = slots_[next];
+      slots_.Mut(hole) = slots_[next];
       hole = next;
     }
   }
-  slots_[hole] = kEmptySlot;
+  slots_.Mut(hole) = kEmptySlot;
 
   // Dense-vector removal: move the last cell into the freed position and
   // repoint its slot (found by position value — the moved-from last cell no
@@ -94,7 +94,7 @@ bool Cuboid::Erase(const Itemset& dims) {
     cells_[pos] = std::move(cells_[last]);
     size_t s = ItemsetHash{}(cells_[pos].dims) & mask;
     while (slots_[s] != last) s = (s + 1) & mask;
-    slots_[s] = pos;
+    slots_.Mut(s) = pos;
   }
   cells_.pop_back();
   return true;
@@ -113,7 +113,7 @@ std::vector<const FlowCell*> Cuboid::SortedCells() const {
 size_t Cuboid::MemoryUsage() const {
   size_t bytes = sizeof(*this);
   bytes += item_level_.levels.capacity() * sizeof(int);
-  bytes += slots_.capacity() * sizeof(uint32_t);
+  bytes += slots_.OwnedBytes();
   bytes += cells_.capacity() * sizeof(FlowCell);
   for (const FlowCell& cell : cells_) {
     bytes += cell.dims.capacity() * sizeof(ItemId);

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sealed_column.h"
 #include "flowcube/plan.h"
 #include "flowgraph/flowgraph.h"
 #include "mining/item_catalog.h"
@@ -34,6 +35,11 @@ struct FlowCell {
 // deletion). Erase swaps the removed cell with the last one, so cell
 // pointers are only stable between mutations — callers must not hold a
 // FlowCell* across Insert/Erase.
+//
+// The slot index is a SealedColumn: for cuboids assembled by the store
+// loader (src/store) it borrows the canonical slot table straight from the
+// checkpoint mapping instead of rebuilding it, and any attempt to mutate
+// such a cuboid (Insert/Erase) FC_CHECKs — mapped cubes are immutable.
 class Cuboid {
  public:
   Cuboid(ItemLevel item_level, int path_level)
@@ -77,23 +83,32 @@ class Cuboid {
   // lookup index, and each cell's coordinates and flowgraph heap.
   size_t MemoryUsage() const;
 
- private:
+  // Slot capacity needed for `n` cells at the max load factor. Exposed for
+  // the store writer, which emits the canonical slot table (sorted cell
+  // order at exactly this capacity) so the loader can borrow it verbatim.
+  static size_t SlotCapacityFor(size_t n);
+
   // Index slot value meaning "empty".
   static constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
+
+ private:
+  // Store loader (src/store/cube_codec.cc): installs cells and a borrowed
+  // slot table assembled from a checkpoint mapping.
+  friend struct CuboidStoreAccess;
 
   // Slot holding `dims`, or the empty slot where it would go. Requires a
   // non-empty slot table.
   size_t ProbeFor(const Itemset& dims) const;
   // Grows the slot table to `capacity` (power of two) and reindexes.
   void Rehash(size_t capacity);
-  // Slot capacity needed for `n` cells at the max load factor.
-  static size_t SlotCapacityFor(size_t n);
 
   ItemLevel item_level_;
   int path_level_;
   std::vector<FlowCell> cells_;
   // Open-addressing index: slot -> position in cells_, kEmptySlot if free.
-  std::vector<uint32_t> slots_;
+  // Owned and rebuilt on mutation for live cuboids; borrowed read-only from
+  // the mapping for store-loaded cuboids.
+  SealedColumn<uint32_t> slots_;
 };
 
 // The flowcube (paper Definition 4.1): a collection of cuboids, each

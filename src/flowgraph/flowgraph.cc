@@ -109,6 +109,20 @@ FlowGraph FlowGraph::Canonical() const {
   return out;
 }
 
+size_t FlowGraph::Columns::OwnedBytes() const {
+  size_t bytes = 0;
+  bytes += owned.location.capacity() * sizeof(NodeId);
+  bytes += owned.parent.capacity() * sizeof(FlowNodeId);
+  bytes += owned.depth.capacity() * sizeof(int32_t);
+  bytes += owned.path_count.capacity() * sizeof(uint32_t);
+  bytes += owned.terminate_count.capacity() * sizeof(uint32_t);
+  bytes += owned.child_begin.capacity() * sizeof(uint32_t);
+  bytes += owned.child_arena.capacity() * sizeof(FlowNodeId);
+  bytes += owned.duration_begin.capacity() * sizeof(uint32_t);
+  bytes += owned.duration_arena.capacity() * sizeof(DurationCount);
+  return bytes;
+}
+
 void FlowGraph::Seal() {
   if (sealed_) return;
   const size_t n = nodes_.size();
@@ -119,35 +133,48 @@ void FlowGraph::Seal() {
     num_durations += node.duration_counts.size();
   }
 
-  Columns cols;
-  cols.location.reserve(n);
-  cols.parent.reserve(n);
-  cols.depth.reserve(n);
-  cols.path_count.reserve(n);
-  cols.terminate_count.reserve(n);
-  cols.child_begin.reserve(n + 1);
-  cols.child_arena.reserve(num_edges);
-  cols.duration_begin.reserve(n + 1);
-  cols.duration_arena.reserve(num_durations);
+  auto cols = std::make_shared<Columns>();
+  Columns::Owned& o = cols->owned;
+  o.location.reserve(n);
+  o.parent.reserve(n);
+  o.depth.reserve(n);
+  o.path_count.reserve(n);
+  o.terminate_count.reserve(n);
+  o.child_begin.reserve(n + 1);
+  o.child_arena.reserve(num_edges);
+  o.duration_begin.reserve(n + 1);
+  o.duration_arena.reserve(num_durations);
 
   for (const Node& node : nodes_) {
-    cols.location.push_back(node.location);
-    cols.parent.push_back(node.parent);
-    cols.depth.push_back(node.depth);
-    cols.path_count.push_back(node.path_count);
-    cols.terminate_count.push_back(node.terminate_count);
-    cols.child_begin.push_back(static_cast<uint32_t>(cols.child_arena.size()));
-    cols.child_arena.insert(cols.child_arena.end(), node.children.begin(),
-                            node.children.end());
-    cols.duration_begin.push_back(
-        static_cast<uint32_t>(cols.duration_arena.size()));
-    cols.duration_arena.insert(cols.duration_arena.end(),
-                               node.duration_counts.begin(),
-                               node.duration_counts.end());
+    o.location.push_back(node.location);
+    o.parent.push_back(node.parent);
+    o.depth.push_back(node.depth);
+    o.path_count.push_back(node.path_count);
+    o.terminate_count.push_back(node.terminate_count);
+    o.child_begin.push_back(static_cast<uint32_t>(o.child_arena.size()));
+    o.child_arena.insert(o.child_arena.end(), node.children.begin(),
+                         node.children.end());
+    o.duration_begin.push_back(
+        static_cast<uint32_t>(o.duration_arena.size()));
+    o.duration_arena.insert(o.duration_arena.end(),
+                            node.duration_counts.begin(),
+                            node.duration_counts.end());
   }
-  cols.child_begin.push_back(static_cast<uint32_t>(cols.child_arena.size()));
-  cols.duration_begin.push_back(
-      static_cast<uint32_t>(cols.duration_arena.size()));
+  o.child_begin.push_back(static_cast<uint32_t>(o.child_arena.size()));
+  o.duration_begin.push_back(static_cast<uint32_t>(o.duration_arena.size()));
+
+  // The views are set only after the owned vectors reach their final
+  // addresses inside the heap block.
+  cols->location = {o.location.data(), o.location.size()};
+  cols->parent = {o.parent.data(), o.parent.size()};
+  cols->depth = {o.depth.data(), o.depth.size()};
+  cols->path_count = {o.path_count.data(), o.path_count.size()};
+  cols->terminate_count = {o.terminate_count.data(),
+                           o.terminate_count.size()};
+  cols->child_begin = {o.child_begin.data(), o.child_begin.size()};
+  cols->child_arena = {o.child_arena.data(), o.child_arena.size()};
+  cols->duration_begin = {o.duration_begin.data(), o.duration_begin.size()};
+  cols->duration_arena = {o.duration_arena.data(), o.duration_arena.size()};
 
   cols_ = std::move(cols);
   nodes_.clear();
@@ -158,15 +185,11 @@ void FlowGraph::Seal() {
 size_t FlowGraph::MemoryUsage() const {
   size_t bytes = sizeof(*this);
   if (sealed_) {
-    bytes += cols_.location.capacity() * sizeof(NodeId);
-    bytes += cols_.parent.capacity() * sizeof(FlowNodeId);
-    bytes += cols_.depth.capacity() * sizeof(int32_t);
-    bytes += cols_.path_count.capacity() * sizeof(uint32_t);
-    bytes += cols_.terminate_count.capacity() * sizeof(uint32_t);
-    bytes += cols_.child_begin.capacity() * sizeof(uint32_t);
-    bytes += cols_.child_arena.capacity() * sizeof(FlowNodeId);
-    bytes += cols_.duration_begin.capacity() * sizeof(uint32_t);
-    bytes += cols_.duration_arena.capacity() * sizeof(DurationCount);
+    // The column block is shared between copies of a sealed graph (and is
+    // empty of heap when the columns borrow a checkpoint mapping); each
+    // holder reports the full block, mirroring how shared snapshots are
+    // accounted per cube.
+    bytes += sizeof(Columns) + cols_->OwnedBytes();
   } else {
     bytes += nodes_.capacity() * sizeof(Node);
     for (const Node& node : nodes_) {

@@ -2,6 +2,7 @@
 #define FLOWCUBE_FLOWGRAPH_FLOWGRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -86,6 +87,15 @@ struct FlowException {
 // bit-identical across the two forms. Mutation (AddPath / MergeFrom /
 // AddException) is only legal on the mutable form; a sealed graph can still
 // be a *source* of MergeFrom.
+//
+// The sealed columns live behind a shared immutable block
+// (shared_ptr<const Columns>): the column *views* are spans that resolve
+// against either vectors owned by the block (heap-sealed graphs) or an
+// external checkpoint mapping pinned by the block's keepalive handle
+// (store/mapped_cube.h). Copying a sealed graph therefore shares the
+// column block instead of deep-copying it — which is both what makes a
+// mapped cube zero-copy and what lets the serving layer share unchanged
+// graphs across snapshot epochs (sealed_identity()).
 class FlowGraph {
  public:
   // Sentinel transition target meaning "path terminates here".
@@ -127,29 +137,37 @@ class FlowGraph {
   size_t MemoryUsage() const;
 
   size_t num_nodes() const {
-    return sealed_ ? cols_.location.size() : nodes_.size();
+    return sealed_ ? cols_->location.size() : nodes_.size();
   }
 
   // Total number of paths added.
   uint32_t total_paths() const { return path_count(kRoot); }
 
+  // Identity of the sealed column block: two sealed graphs share storage
+  // iff their identities compare equal (copies of a sealed graph share the
+  // block). nullptr for mutable graphs. The serving layer counts
+  // epoch-over-epoch snapshot sharing with this.
+  const void* sealed_identity() const {
+    return static_cast<const void*>(cols_.get());
+  }
+
   // --- Node structure -------------------------------------------------------
 
   NodeId location(FlowNodeId n) const {
-    return sealed_ ? cols_.location[n] : nodes_[n].location;
+    return sealed_ ? cols_->location[n] : nodes_[n].location;
   }
   FlowNodeId parent(FlowNodeId n) const {
-    return sealed_ ? cols_.parent[n] : nodes_[n].parent;
+    return sealed_ ? cols_->parent[n] : nodes_[n].parent;
   }
   std::span<const FlowNodeId> children(FlowNodeId n) const {
     if (sealed_) {
-      return {cols_.child_arena.data() + cols_.child_begin[n],
-              cols_.child_begin[n + 1] - cols_.child_begin[n]};
+      return {cols_->child_arena.data() + cols_->child_begin[n],
+              cols_->child_begin[n + 1] - cols_->child_begin[n]};
     }
     return {nodes_[n].children.data(), nodes_[n].children.size()};
   }
   int depth(FlowNodeId n) const {
-    return sealed_ ? cols_.depth[n] : nodes_[n].depth;
+    return sealed_ ? cols_->depth[n] : nodes_[n].depth;
   }
 
   // Child of `n` whose location is `loc`, or kTerminate if none.
@@ -164,18 +182,18 @@ class FlowGraph {
 
   // Paths passing through the node.
   uint32_t path_count(FlowNodeId n) const {
-    return sealed_ ? cols_.path_count[n] : nodes_[n].path_count;
+    return sealed_ ? cols_->path_count[n] : nodes_[n].path_count;
   }
   // Paths terminating at the node.
   uint32_t terminate_count(FlowNodeId n) const {
-    return sealed_ ? cols_.terminate_count[n] : nodes_[n].terminate_count;
+    return sealed_ ? cols_->terminate_count[n] : nodes_[n].terminate_count;
   }
   // Count of each observed stay duration at the node, sorted by duration
   // ascending.
   std::span<const DurationCount> duration_counts(FlowNodeId n) const {
     if (sealed_) {
-      return {cols_.duration_arena.data() + cols_.duration_begin[n],
-              cols_.duration_begin[n + 1] - cols_.duration_begin[n]};
+      return {cols_->duration_arena.data() + cols_->duration_begin[n],
+              cols_->duration_begin[n + 1] - cols_->duration_begin[n]};
     }
     return {nodes_[n].duration_counts.data(),
             nodes_[n].duration_counts.size()};
@@ -205,6 +223,9 @@ class FlowGraph {
   // tables verbatim (children order included) so a restored graph dumps
   // byte-identically.
   friend struct FlowGraphSerializer;
+  // Store loader (src/store/cube_codec.cc): assembles sealed graphs whose
+  // column views borrow a checkpoint mapping.
+  friend struct FlowGraphStoreAccess;
 
   // Mutable accumulation form: one record per node.
   struct Node {
@@ -218,26 +239,49 @@ class FlowGraph {
     std::vector<DurationCount> duration_counts;
   };
 
-  // Sealed columnar form: parallel columns indexed by node id, plus CSR
-  // offset arrays (num_nodes + 1 entries) into the two shared arenas.
+  // Sealed columnar form: parallel column views indexed by node id, plus
+  // CSR offset arrays (num_nodes + 1 entries) into the two arenas. The
+  // views resolve against `owned` for heap-sealed graphs, or against an
+  // external allocation pinned by `keepalive` for mapped graphs — in which
+  // case child_begin/duration_begin values may be absolute offsets into an
+  // arena shared by every graph of a cuboid (the accessor arithmetic
+  // `arena.data() + begin[n]` is the same either way). Immutable once
+  // built; shared between graph copies via shared_ptr.
   struct Columns {
-    std::vector<NodeId> location;
-    std::vector<FlowNodeId> parent;
-    std::vector<int32_t> depth;
-    std::vector<uint32_t> path_count;
-    std::vector<uint32_t> terminate_count;
-    std::vector<uint32_t> child_begin;
-    std::vector<FlowNodeId> child_arena;
-    std::vector<uint32_t> duration_begin;
-    std::vector<DurationCount> duration_arena;
+    std::span<const NodeId> location;
+    std::span<const FlowNodeId> parent;
+    std::span<const int32_t> depth;
+    std::span<const uint32_t> path_count;
+    std::span<const uint32_t> terminate_count;
+    std::span<const uint32_t> child_begin;
+    std::span<const FlowNodeId> child_arena;
+    std::span<const uint32_t> duration_begin;
+    std::span<const DurationCount> duration_arena;
+
+    struct Owned {
+      std::vector<NodeId> location;
+      std::vector<FlowNodeId> parent;
+      std::vector<int32_t> depth;
+      std::vector<uint32_t> path_count;
+      std::vector<uint32_t> terminate_count;
+      std::vector<uint32_t> child_begin;
+      std::vector<FlowNodeId> child_arena;
+      std::vector<uint32_t> duration_begin;
+      std::vector<DurationCount> duration_arena;
+    };
+    Owned owned;                            // empty for mapped graphs
+    std::shared_ptr<const void> keepalive;  // mapping pin for mapped graphs
+
+    // Heap bytes held by the owned vectors (0 for mapped graphs).
+    size_t OwnedBytes() const;
   };
 
   // Increments the count of duration `d` at mutable node `n`, keeping the
   // entries sorted.
   void BumpDuration(FlowNodeId n, Duration d, uint32_t by);
 
-  std::vector<Node> nodes_;  // empty once sealed
-  Columns cols_;             // empty until sealed
+  std::vector<Node> nodes_;              // empty once sealed
+  std::shared_ptr<const Columns> cols_;  // null until sealed
   bool sealed_ = false;
   std::vector<FlowException> exceptions_;
 };

@@ -1,5 +1,6 @@
 #include "io/binary_io.h"
 
+#include <bit>
 #include <cstring>
 
 #include "common/logging.h"
@@ -101,21 +102,52 @@ Status ByteReader::Str(std::string* s) {
 }
 
 uint32_t Crc32(std::string_view data) {
-  // Table-driven CRC-32 (IEEE), table built once.
-  static const uint32_t* kTable = [] {
-    static uint32_t table[256];
+  // Slice-by-8 table-driven CRC-32 (IEEE), tables built once. The v2 store
+  // checksums whole mapped checkpoints, so this sits on the cold-start
+  // critical path — the 8-lane variant runs at memory bandwidth where the
+  // classic one-byte table loop tops out around a few hundred MB/s.
+  using Tables = uint32_t[8][256];
+  static const Tables& kTables = []() -> const Tables& {
+    static Tables tables;
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
       }
-      table[i] = c;
+      tables[0][i] = c;
     }
-    return table;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = tables[0][i];
+      for (int t = 1; t < 8; ++t) {
+        c = tables[0][c & 0xffu] ^ (c >> 8);
+        tables[t][i] = c;
+      }
+    }
+    return tables;
   }();
+
   uint32_t crc = 0xffffffffu;
-  for (char ch : data) {
-    crc = kTable[(crc ^ static_cast<uint8_t>(ch)) & 0xffu] ^ (crc >> 8);
+  const char* p = data.data();
+  size_t n = data.size();
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      uint64_t chunk = 0;
+      std::memcpy(&chunk, p, 8);
+      chunk ^= crc;
+      crc = kTables[7][chunk & 0xffu] ^
+            kTables[6][(chunk >> 8) & 0xffu] ^
+            kTables[5][(chunk >> 16) & 0xffu] ^
+            kTables[4][(chunk >> 24) & 0xffu] ^
+            kTables[3][(chunk >> 32) & 0xffu] ^
+            kTables[2][(chunk >> 40) & 0xffu] ^
+            kTables[1][(chunk >> 48) & 0xffu] ^
+            kTables[0][chunk >> 56];
+      p += 8;
+      n -= 8;
+    }
+  }
+  for (; n > 0; ++p, --n) {
+    crc = kTables[0][(crc ^ static_cast<uint8_t>(*p)) & 0xffu] ^ (crc >> 8);
   }
   return crc ^ 0xffffffffu;
 }

@@ -15,6 +15,8 @@ struct RegistryMetrics {
       MetricRegistry::Global().counter("serve.snapshots.published");
   Counter& acquires =
       MetricRegistry::Global().counter("serve.snapshots.acquires");
+  Counter& shared_graphs =
+      MetricRegistry::Global().counter("serve.snapshot_shared_graphs");
   Gauge& epoch = MetricRegistry::Global().gauge("serve.snapshot.epoch");
   Gauge& live = MetricRegistry::Global().gauge("serve.snapshots.live");
 
@@ -75,12 +77,40 @@ size_t SnapshotRegistry::live_snapshots() const {
   return outstanding_.size();
 }
 
+// Sealed flowgraph buffers the new snapshot physically shares with the
+// previous epoch. Clone() copies a sealed graph by bumping the refcount on
+// its column block, so a cell untouched between two Apply batches costs no
+// new graph memory across epochs — this counts those, per publication, for
+// the serve.snapshot_shared_graphs counter and the isolation tests.
+size_t CountSharedGraphs(const FlowCube& next, const FlowCube& prev) {
+  size_t shared = 0;
+  next.ForEachCuboid([&](const Cuboid& cuboid) {
+    const Cuboid* before =
+        prev.FindCuboid(cuboid.item_level(), cuboid.path_level());
+    if (before == nullptr) return;
+    cuboid.ForEach([&](const FlowCell& cell) {
+      const void* identity = cell.graph.sealed_identity();
+      if (identity == nullptr) return;
+      const FlowCell* old = before->Find(cell.dims);
+      if (old != nullptr && old->graph.sealed_identity() == identity) {
+        ++shared;
+      }
+    });
+  });
+  return shared;
+}
+
 void AttachToRegistry(IncrementalMaintainer* maintainer,
                       SnapshotRegistry* registry) {
   FC_CHECK(maintainer != nullptr && registry != nullptr);
   maintainer->SetPublishHook([registry](const IncrementalMaintainer& m) {
-    registry->Publish(std::make_shared<const FlowCube>(m.cube().Clone()),
-                      m.live_record_count());
+    SnapshotPtr prev = registry->Acquire();
+    auto clone = std::make_shared<const FlowCube>(m.cube().Clone());
+    if (prev != nullptr && prev->cube != nullptr) {
+      RegistryMetrics::Get().shared_graphs.Add(
+          static_cast<int64_t>(CountSharedGraphs(*clone, *prev->cube)));
+    }
+    registry->Publish(std::move(clone), m.live_record_count());
   });
 }
 

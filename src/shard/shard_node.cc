@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "stream/checkpoint.h"
 
 namespace flowcube {
 
@@ -51,6 +52,58 @@ Result<std::unique_ptr<ShardNode>> ShardNode::Create(SchemaPtr schema,
     node->server_ = std::move(server).value();
   }
   return node;
+}
+
+Result<std::unique_ptr<ShardNode>> ShardNode::ColdStart(
+    SchemaPtr schema, FlowCubePlan plan, ShardNodeOptions options,
+    const std::string& checkpoint_file, const MappedCubeOptions& mopts) {
+  IncrementalMaintainerOptions maintainer_options;
+  maintainer_options.build = ShardLocalBuild(options.global_build);
+  maintainer_options.window_records = options.window_records;
+
+  // Resume the maintainer first — it validates the fingerprint against the
+  // derived shard-local options and rebuilds the live-record indexes, so
+  // ingestion continues exactly where the checkpointed shard stopped.
+  Result<RestoredPipeline> restored =
+      LoadCheckpoint(checkpoint_file, schema, plan, maintainer_options);
+  if (!restored.ok()) return restored.status();
+
+  std::unique_ptr<ShardNode> node(new ShardNode());
+  node->maintainer_ = std::make_unique<IncrementalMaintainer>(
+      std::move(restored.value().maintainer));
+  AttachToRegistry(node->maintainer_.get(), &node->registry_);
+
+  // Epoch 1: the checkpointed cube. The v2 path publishes the mapped file
+  // image itself — the registry snapshot's columns are views into the
+  // mapping, so a cold shard serves before reading most of the file.
+  if (restored.value().format == kCheckpointFormatV2) {
+    Result<std::shared_ptr<const MappedCube>> mapped = MappedCube::Load(
+        checkpoint_file, std::move(schema), plan, maintainer_options, mopts);
+    if (!mapped.ok()) return mapped.status();
+    node->registry_.Publish(mapped.value()->shared_cube(),
+                            mapped.value()->live_records());
+  } else {
+    node->registry_.Publish(
+        std::make_shared<const FlowCube>(node->maintainer_->cube().Clone()),
+        node->maintainer_->live_record_count());
+  }
+
+  node->service_ = std::make_unique<QueryService>(&node->registry_,
+                                                  options.service);
+  if (options.serve_remote) {
+    ServerOptions server_options;
+    server_options.max_frame_payload = kMaxInternalFramePayload;
+    Result<std::unique_ptr<QueryServer>> server =
+        QueryServer::Start(node->service_.get(), server_options);
+    if (!server.ok()) return server.status();
+    node->server_ = std::move(server).value();
+  }
+  return node;
+}
+
+Status ShardNode::SaveCheckpoint(const std::string& filename,
+                                 uint32_t format) const {
+  return flowcube::SaveCheckpoint(*maintainer_, nullptr, filename, format);
 }
 
 ShardNode::~ShardNode() {

@@ -3,11 +3,13 @@
 
 #include <memory>
 #include <span>
+#include <string>
 
 #include "common/status.h"
 #include "serve/query_service.h"
 #include "serve/server.h"
 #include "serve/snapshot_registry.h"
+#include "store/mapped_cube.h"
 #include "stream/incremental_maintainer.h"
 
 namespace flowcube {
@@ -59,6 +61,26 @@ class ShardNode {
   static Result<std::unique_ptr<ShardNode>> Create(SchemaPtr schema,
                                                    FlowCubePlan plan,
                                                    ShardNodeOptions options);
+
+  // Like Create, but epoch 1 is the cube stored in `checkpoint_file`
+  // instead of the empty cube, and the maintainer resumes that file's live
+  // records — a restarted shard is queryable at its pre-restart state
+  // before any re-ingestion. The checkpoint must have been written by this
+  // shard's SaveCheckpoint (the config fingerprint covers the derived
+  // shard-local options, so a monolithic checkpoint is rejected). For v2
+  // files the published epoch is the zero-copy mapped image
+  // (store/mapped_cube.h); v1 files publish a heap clone of the restored
+  // cube.
+  static Result<std::unique_ptr<ShardNode>> ColdStart(
+      SchemaPtr schema, FlowCubePlan plan, ShardNodeOptions options,
+      const std::string& checkpoint_file,
+      const MappedCubeOptions& mopts = {});
+
+  // Checkpoints this shard's maintainer to `filename` (no ingestor state —
+  // the splitter upstream owns buffering). `format` as in SaveCheckpoint:
+  // kCheckpointFormatV1 / V2 / 0 for the env default.
+  Status SaveCheckpoint(const std::string& filename,
+                        uint32_t format = 0) const;
 
   ~ShardNode();
   ShardNode(const ShardNode&) = delete;

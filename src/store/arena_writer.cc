@@ -1,0 +1,23 @@
+#include "store/arena_writer.h"
+
+#include <cstring>
+
+namespace flowcube {
+
+uint64_t ArenaWriter::AppendDurations(std::span<const DurationCount> values) {
+  AlignTo(alignof(DurationCount));
+  const uint64_t offset = buf_.size();
+  buf_.resize(buf_.size() + values.size() * sizeof(DurationCount), '\0');
+  char* out = buf_.data() + offset;
+  for (const DurationCount& dc : values) {
+    const int64_t d = dc.duration;
+    const uint32_t c = dc.count;
+    std::memcpy(out, &d, sizeof(d));
+    std::memcpy(out + 8, &c, sizeof(c));
+    // Bytes [12, 16) stay zero from the resize.
+    out += sizeof(DurationCount);
+  }
+  return offset;
+}
+
+}  // namespace flowcube

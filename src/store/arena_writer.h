@@ -1,0 +1,55 @@
+#ifndef FLOWCUBE_STORE_ARENA_WRITER_H_
+#define FLOWCUBE_STORE_ARENA_WRITER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <type_traits>
+
+#include "flowgraph/flowgraph.h"
+#include "store/format.h"
+
+namespace flowcube {
+
+// Builds the FCSP v2 column arena: a flat byte buffer of raw little-endian
+// columns, each aligned to its element type so a mapped loader can
+// reinterpret them in place. Padding bytes are always zeroed — the arena is
+// CRC-covered, and canonical-form validation rejects nonzero fill.
+class ArenaWriter {
+ public:
+  // Zero-pads the cursor up to a multiple of `align` (a power of two).
+  void AlignTo(size_t align) {
+    buf_.resize(FcspAlignUp(buf_.size(), align), '\0');
+  }
+
+  // Appends a column of trivially copyable elements with no internal
+  // padding, aligned to the element type. Returns the arena-relative byte
+  // offset of the first element.
+  template <typename T>
+  uint64_t Append(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::has_unique_object_representations_v<T>,
+                  "column elements must have a unique byte representation");
+    AlignTo(alignof(T));
+    const uint64_t offset = buf_.size();
+    buf_.append(reinterpret_cast<const char*>(values.data()),
+                values.size_bytes());
+    return offset;
+  }
+
+  // DurationCount carries 4 bytes of struct padding, so a raw memcpy would
+  // leak indeterminate bytes into the CRC-covered arena. Each record is
+  // written element-wise instead: i64 duration, u32 count, u32 zero.
+  uint64_t AppendDurations(std::span<const DurationCount> values);
+
+  size_t size() const { return buf_.size(); }
+  const std::string& data() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_STORE_ARENA_WRITER_H_

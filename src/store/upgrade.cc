@@ -1,0 +1,117 @@
+#include "store/upgrade.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "io/binary_io.h"
+#include "stream/checkpoint.h"
+
+namespace flowcube {
+
+namespace {
+
+Status Corrupt(const char* what) {
+  return Status::InvalidArgument(std::string("corrupt checkpoint: ") + what);
+}
+
+Status CorruptV2(const char* what) {
+  return Status::InvalidArgument(std::string("corrupt v2 checkpoint: ") +
+                                 what);
+}
+
+Result<std::string> ReadFile(const std::string& filename) {
+  std::ifstream in(filename, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open " + filename);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return Status::Internal("checkpoint read failed");
+  }
+  return buffer.str();
+}
+
+}  // namespace
+
+Result<CheckpointFileInfo> InspectCheckpointFile(const std::string& filename) {
+  Result<std::string> bytes = ReadFile(filename);
+  if (!bytes.ok()) return bytes.status();
+  const std::string& data = bytes.value();
+
+  CheckpointFileInfo info;
+  info.file_size = data.size();
+
+  ByteReader r(data);
+  uint32_t magic = 0;
+  if (!r.U32(&magic).ok() || magic != kFcspMagic) {
+    return Status::InvalidArgument("not a flowcube checkpoint (bad magic)");
+  }
+  uint32_t version = 0;
+  FC_RETURN_IF_ERROR(r.U32(&version));
+
+  if (version == kFcspFormatV2) {
+    FcspV2Header h;
+    FC_RETURN_IF_ERROR(ValidateV2Header(data, &h));
+    if (Crc32(std::string_view(data).substr(h.meta_offset, h.meta_size)) !=
+        h.meta_crc) {
+      return CorruptV2("meta checksum mismatch");
+    }
+    if (Crc32(std::string_view(data).substr(h.arena_offset, h.arena_size)) !=
+        h.arena_crc) {
+      return CorruptV2("arena checksum mismatch");
+    }
+    if (h.resume_size != 0 &&
+        Crc32(std::string_view(data).substr(h.resume_offset,
+                                            h.resume_size)) != h.resume_crc) {
+      return CorruptV2("resume checksum mismatch");
+    }
+    info.format = kFcspFormatV2;
+    info.config_fingerprint = h.config_fingerprint;
+    info.live_records = h.live_records;
+    info.meta_size = h.meta_size;
+    info.arena_size = h.arena_size;
+    info.resume_size = h.resume_size;
+    return info;
+  }
+
+  if (version != kFcspFormatV1) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+
+  uint32_t crc = 0;
+  FC_RETURN_IF_ERROR(r.U32(&crc));
+  std::string payload;
+  if (!r.Str(&payload).ok()) {
+    return Corrupt("payload truncated");
+  }
+  if (!r.AtEnd()) return Corrupt("trailing bytes after payload");
+  if (Crc32(payload) != crc) {
+    return Corrupt("payload checksum mismatch");
+  }
+  ByteReader pr(payload);
+  uint64_t live = 0;
+  if (!pr.U32(&info.config_fingerprint).ok() || !pr.U64(&live).ok()) {
+    return Corrupt("payload truncated");
+  }
+  info.format = kFcspFormatV1;
+  info.live_records = live;
+  info.resume_size = payload.size();
+  return info;
+}
+
+Status UpgradeCheckpointFile(const std::string& in, const std::string& out,
+                             SchemaPtr schema, const FlowCubePlan& plan,
+                             const IncrementalMaintainerOptions& options,
+                             uint32_t format) {
+  Result<RestoredPipeline> restored =
+      LoadCheckpoint(in, std::move(schema), plan, options);
+  if (!restored.ok()) return restored.status();
+  const IngestorState* ing = restored.value().ingestor_state.has_value()
+                                 ? &*restored.value().ingestor_state
+                                 : nullptr;
+  return SaveCheckpoint(restored.value().maintainer, ing, out, format);
+}
+
+}  // namespace flowcube

@@ -1,0 +1,46 @@
+#ifndef FLOWCUBE_STORE_UPGRADE_H_
+#define FLOWCUBE_STORE_UPGRADE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "flowcube/plan.h"
+#include "store/format.h"
+#include "stream/incremental_maintainer.h"
+
+namespace flowcube {
+
+// Schema-free summary of a checkpoint file — what `fcsp_tool info` prints.
+// For v1 the sizes of the meta/arena/resume sections are not applicable and
+// stay 0 (v1 has one undifferentiated payload, reported as resume_size).
+struct CheckpointFileInfo {
+  uint32_t format = 0;  // kFcspFormatV1 / kFcspFormatV2
+  uint64_t file_size = 0;
+  uint32_t config_fingerprint = 0;
+  uint64_t live_records = 0;
+  uint64_t meta_size = 0;
+  uint64_t arena_size = 0;
+  uint64_t resume_size = 0;
+};
+
+// Reads framing + checksums of `filename` without needing the writer's
+// schema/plan/options: v1 verifies the payload CRC and reads the
+// fingerprint and live-record count from the payload prefix; v2 validates
+// the full header (canonical layout) plus all three section CRCs. Neither
+// path builds a cube, so inspection of a foreign checkpoint works.
+Result<CheckpointFileInfo> InspectCheckpointFile(const std::string& filename);
+
+// Rewrites `in` (either format) as `out` in `format` (default v2) by
+// restoring the full pipeline and re-encoding it. The config must match —
+// the same (schema, plan, options) gate every checkpoint read. An upgraded
+// v1 file serves byte-identical query results (the tool test round-trips
+// this), and upgrading a file already in `format` is a canonicalizing no-op.
+Status UpgradeCheckpointFile(const std::string& in, const std::string& out,
+                             SchemaPtr schema, const FlowCubePlan& plan,
+                             const IncrementalMaintainerOptions& options,
+                             uint32_t format = kFcspFormatV2);
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_STORE_UPGRADE_H_

@@ -1,0 +1,58 @@
+#include "store/warm_start.h"
+
+#include <fstream>
+#include <memory>
+#include <utility>
+
+#include "common/trace.h"
+#include "store/format.h"
+#include "stream/checkpoint.h"
+
+namespace flowcube {
+
+Result<WarmStart> WarmStartFromCheckpoint(
+    const std::string& filename, SchemaPtr schema, const FlowCubePlan& plan,
+    const IncrementalMaintainerOptions& options, SnapshotRegistry* registry,
+    const MappedCubeOptions& mopts) {
+  FC_CHECK(registry != nullptr);
+  TraceSpan span("store.warm_start");
+
+  uint32_t version = 0;
+  {
+    std::ifstream in(filename, std::ios::binary);
+    if (!in.is_open()) {
+      return Status::NotFound("cannot open " + filename);
+    }
+    char prefix[8] = {};
+    in.read(prefix, sizeof(prefix));
+    if (in.gcount() == sizeof(prefix)) {
+      PeekFcspVersion({prefix, sizeof(prefix)}, &version);
+    }
+    // On a short or foreign file `version` stays 0 and the v1 reader below
+    // reports the canonical bad-magic/truncation Status.
+  }
+
+  WarmStart ws;
+  if (version == kFcspFormatV2) {
+    Result<std::shared_ptr<const MappedCube>> mapped =
+        MappedCube::Load(filename, std::move(schema), plan, options, mopts);
+    if (!mapped.ok()) return mapped.status();
+    ws.mapped = std::move(mapped.value());
+    ws.format = kFcspFormatV2;
+    ws.live_records = ws.mapped->live_records();
+    ws.epoch = registry->Publish(ws.mapped->shared_cube(), ws.live_records);
+    return ws;
+  }
+
+  Result<RestoredPipeline> restored =
+      LoadCheckpoint(filename, std::move(schema), plan, options);
+  if (!restored.ok()) return restored.status();
+  const IncrementalMaintainer& m = restored.value().maintainer;
+  ws.format = restored.value().format;
+  ws.live_records = m.live_record_count();
+  ws.epoch = registry->Publish(
+      std::make_shared<const FlowCube>(m.cube().Clone()), ws.live_records);
+  return ws;
+}
+
+}  // namespace flowcube

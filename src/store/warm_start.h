@@ -1,0 +1,47 @@
+#ifndef FLOWCUBE_STORE_WARM_START_H_
+#define FLOWCUBE_STORE_WARM_START_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "serve/snapshot_registry.h"
+#include "store/mapped_cube.h"
+#include "stream/incremental_maintainer.h"
+
+namespace flowcube {
+
+// Result of warm-starting a serving process from a checkpoint file: the
+// epoch the cube was published under and how it got there.
+struct WarmStart {
+  // kFcspFormatV1 or kFcspFormatV2 — which reader produced the snapshot.
+  uint32_t format = 0;
+  // Live record count the published snapshot reports.
+  uint64_t live_records = 0;
+  // Epoch SnapshotRegistry::Publish returned.
+  uint64_t epoch = 0;
+  // Non-null for v2 files: the mapping backing the published cube. Callers
+  // can sample ResidentBytes() from it; dropping this handle is fine — the
+  // published snapshot pins the mapping on its own.
+  std::shared_ptr<const MappedCube> mapped;
+};
+
+// Publishes the cube stored in `filename` to `registry` so a QueryServer
+// can serve before (or without) any stream ingestion.
+//
+// v2 files take the zero-copy path: MappedCube::Load validates the image
+// and the registry publishes a cube whose columns view the mapping — no
+// decode, no per-cell allocation, cold-start time is validation-bound
+// (bench/bench_coldstart.cc measures the gap). v1 files fall back to the
+// full LoadCheckpoint decode and publish a heap clone. Either way the
+// published snapshot answers queries byte-identically to the pipeline that
+// wrote the checkpoint.
+Result<WarmStart> WarmStartFromCheckpoint(
+    const std::string& filename, SchemaPtr schema, const FlowCubePlan& plan,
+    const IncrementalMaintainerOptions& options, SnapshotRegistry* registry,
+    const MappedCubeOptions& mopts = {});
+
+}  // namespace flowcube
+
+#endif  // FLOWCUBE_STORE_WARM_START_H_

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -13,6 +16,9 @@
 #include "flowgraph/flowgraph.h"
 #include "io/binary_io.h"
 #include "path/path_database.h"
+#include "store/arena_writer.h"
+#include "store/cube_codec.h"
+#include "store/format.h"
 
 namespace flowcube {
 
@@ -20,6 +26,11 @@ namespace {
 
 Status Corrupt(const char* what) {
   return Status::InvalidArgument(std::string("corrupt checkpoint: ") + what);
+}
+
+Status CorruptV2(const char* what) {
+  return Status::InvalidArgument(std::string("corrupt v2 checkpoint: ") +
+                                 what);
 }
 
 // Reads a u64 element count and rejects counts that could not possibly fit
@@ -61,6 +72,97 @@ Status DecodeRecord(ByteReader* r, PathRecord* rec) {
     FC_RETURN_IF_ERROR(r->I64(&s.duration));
     rec->path.stages.push_back(s);
   }
+  return Status::OK();
+}
+
+// Optional-ingestor tail shared byte-for-byte by the v1 payload and the v2
+// resume section: u8 presence flag, then registrations, open readings,
+// watermark, batch count.
+void EncodeIngestorTail(const IngestorState* ing, ByteWriter* w) {
+  w->U8(ing != nullptr ? 1 : 0);
+  if (ing != nullptr) {
+    w->U64(ing->registrations.size());
+    for (const auto& [epc, dims] : ing->registrations) {
+      w->U64(epc);
+      w->U64(dims.size());
+      for (NodeId d : dims) w->U32(d);
+    }
+    w->U64(ing->open_readings.size());
+    for (const auto& [epc, readings] : ing->open_readings) {
+      w->U64(epc);
+      w->U64(readings.size());
+      for (const RawReading& r : readings) {
+        w->U32(r.location);
+        w->I64(r.timestamp);
+      }
+    }
+    w->I64(ing->watermark);
+    w->U64(ing->batches_processed);
+  }
+}
+
+// Decoder for the same tail; `corrupt` supplies the version-specific error
+// prefix so v1 messages stay exactly as they were.
+Status DecodeIngestorTail(ByteReader* r, const PathSchema& s,
+                          std::optional<IngestorState>* out,
+                          Status (*corrupt)(const char*)) {
+  auto read_count = [&](uint64_t* count) -> Status {
+    FC_RETURN_IF_ERROR(r->U64(count));
+    if (*count > r->remaining()) {
+      return corrupt("element count exceeds payload size");
+    }
+    return Status::OK();
+  };
+
+  uint8_t has_ingestor = 0;
+  FC_RETURN_IF_ERROR(r->U8(&has_ingestor));
+  if (has_ingestor > 1) return corrupt("ingestor flag out of range");
+  if (has_ingestor == 0) return Status::OK();
+
+  IngestorState state;
+  uint64_t num_regs = 0;
+  FC_RETURN_IF_ERROR(read_count(&num_regs));
+  for (uint64_t i = 0; i < num_regs; ++i) {
+    uint64_t epc = 0;
+    FC_RETURN_IF_ERROR(r->U64(&epc));
+    uint64_t num_dims = 0;
+    FC_RETURN_IF_ERROR(read_count(&num_dims));
+    if (num_dims != s.num_dimensions()) {
+      return corrupt("registration dimension count mismatch");
+    }
+    std::vector<NodeId> dims;
+    for (uint64_t d = 0; d < num_dims; ++d) {
+      uint32_t v = 0;
+      FC_RETURN_IF_ERROR(r->U32(&v));
+      if (v >= s.dimensions[d].NodeCount()) {
+        return corrupt("registration dimension value out of range");
+      }
+      dims.push_back(v);
+    }
+    state.registrations[epc] = std::move(dims);
+  }
+  uint64_t num_open = 0;
+  FC_RETURN_IF_ERROR(read_count(&num_open));
+  for (uint64_t i = 0; i < num_open; ++i) {
+    uint64_t epc = 0;
+    FC_RETURN_IF_ERROR(r->U64(&epc));
+    uint64_t num_readings = 0;
+    FC_RETURN_IF_ERROR(read_count(&num_readings));
+    std::vector<RawReading>& readings = state.open_readings[epc];
+    for (uint64_t j = 0; j < num_readings; ++j) {
+      RawReading reading;
+      reading.epc = epc;
+      FC_RETURN_IF_ERROR(r->U32(&reading.location));
+      FC_RETURN_IF_ERROR(r->I64(&reading.timestamp));
+      if (reading.location >= s.locations.NodeCount()) {
+        return corrupt("buffered reading location out of range");
+      }
+      readings.push_back(reading);
+    }
+  }
+  FC_RETURN_IF_ERROR(r->I64(&state.watermark));
+  FC_RETURN_IF_ERROR(r->U64(&state.batches_processed));
+  *out = std::move(state);
   return Status::OK();
 }
 
@@ -223,53 +325,13 @@ Status DecodeFlowGraph(ByteReader* reader, const PathSchema& schema,
 // linear — no mining replay; the cube's cells install verbatim).
 class CheckpointCodec {
  public:
+  // The fingerprint recipe itself now lives in store/format.cc, shared by
+  // the v1 payload and the v2 header; the byte values are unchanged, so
+  // existing checkpoints keep validating.
   static uint32_t ConfigFingerprint(const PathSchema& schema,
                                     const FlowCubePlan& plan,
                                     const IncrementalMaintainerOptions& opts) {
-    ByteWriter w;
-    w.U64(schema.num_dimensions());
-    for (const ConceptHierarchy& h : schema.dimensions) {
-      w.U64(h.NodeCount());
-      w.U32(static_cast<uint32_t>(h.MaxLevel()));
-    }
-    w.U64(schema.locations.NodeCount());
-    w.U32(static_cast<uint32_t>(schema.locations.MaxLevel()));
-    w.U64(schema.durations.factors().size());
-    for (int64_t f : schema.durations.factors()) w.I64(f);
-
-    w.U64(plan.mining.dim_levels.size());
-    for (const std::vector<int>& levels : plan.mining.dim_levels) {
-      w.U64(levels.size());
-      for (int l : levels) w.U32(static_cast<uint32_t>(l));
-    }
-    w.U64(plan.mining.cuts.size());
-    for (const LocationCut& cut : plan.mining.cuts) {
-      w.U64(cut.nodes().size());
-      for (NodeId n : cut.nodes()) w.U32(n);
-    }
-    w.U64(plan.mining.path_levels.size());
-    for (const PathLevel& pl : plan.mining.path_levels) {
-      w.U32(static_cast<uint32_t>(pl.cut_index));
-      w.U32(static_cast<uint32_t>(pl.duration_level));
-    }
-    w.U64(plan.item_levels.size());
-    for (const ItemLevel& il : plan.item_levels) {
-      w.U64(il.levels.size());
-      for (int l : il.levels) w.U32(static_cast<uint32_t>(l));
-    }
-    w.U64(plan.path_levels.size());
-    for (int p : plan.path_levels) w.U32(static_cast<uint32_t>(p));
-
-    w.U32(opts.build.min_support);
-    w.U8(opts.build.compute_exceptions ? 1 : 0);
-    w.F64(opts.build.exceptions.epsilon);
-    w.U32(opts.build.exceptions.min_support);
-    w.U8(opts.build.mark_redundant ? 1 : 0);
-    w.F64(opts.build.redundancy_tau);
-    w.U8(static_cast<uint8_t>(opts.build.similarity.kind));
-    w.F64(opts.build.similarity.kl_smoothing);
-    w.U32(opts.window_records);
-    return Crc32(w.data());
+    return CheckpointConfigFingerprint(schema, plan, opts);
   }
 
   static void EncodePayload(const IncrementalMaintainer& m,
@@ -300,26 +362,17 @@ class CheckpointCodec {
       }
     }
 
-    w->U8(ing != nullptr ? 1 : 0);
-    if (ing != nullptr) {
-      w->U64(ing->registrations.size());
-      for (const auto& [epc, dims] : ing->registrations) {
-        w->U64(epc);
-        w->U64(dims.size());
-        for (NodeId d : dims) w->U32(d);
-      }
-      w->U64(ing->open_readings.size());
-      for (const auto& [epc, readings] : ing->open_readings) {
-        w->U64(epc);
-        w->U64(readings.size());
-        for (const RawReading& r : readings) {
-          w->U32(r.location);
-          w->I64(r.timestamp);
-        }
-      }
-      w->I64(ing->watermark);
-      w->U64(ing->batches_processed);
-    }
+    EncodeIngestorTail(ing, w);
+  }
+
+  // The v2 resume section: live records then the ingestor tail. The cube
+  // itself lives in the meta/arena sections (store/cube_codec.h).
+  static void EncodeResume(const IncrementalMaintainer& m,
+                           const IngestorState* ing, ByteWriter* w) {
+    const std::vector<PathRecord> live = m.LiveRecords();
+    w->U64(live.size());
+    for (const PathRecord& rec : live) EncodeRecord(rec, w);
+    EncodeIngestorTail(ing, w);
   }
 
   static Result<RestoredPipeline> DecodePayload(
@@ -420,80 +473,199 @@ class CheckpointCodec {
       }
     }
 
-    RestoredPipeline restored{std::move(m), std::nullopt};
-
-    uint8_t has_ingestor = 0;
-    FC_RETURN_IF_ERROR(r->U8(&has_ingestor));
-    if (has_ingestor > 1) return Corrupt("ingestor flag out of range");
-    if (has_ingestor == 1) {
-      IngestorState state;
-      const PathSchema& s = *restored.maintainer.schema_;
-      uint64_t num_regs = 0;
-      FC_RETURN_IF_ERROR(ReadCount(r, &num_regs));
-      for (uint64_t i = 0; i < num_regs; ++i) {
-        uint64_t epc = 0;
-        FC_RETURN_IF_ERROR(r->U64(&epc));
-        uint64_t num_dims = 0;
-        FC_RETURN_IF_ERROR(ReadCount(r, &num_dims));
-        if (num_dims != s.num_dimensions()) {
-          return Corrupt("registration dimension count mismatch");
-        }
-        std::vector<NodeId> dims;
-        for (uint64_t d = 0; d < num_dims; ++d) {
-          uint32_t v = 0;
-          FC_RETURN_IF_ERROR(r->U32(&v));
-          if (v >= s.dimensions[d].NodeCount()) {
-            return Corrupt("registration dimension value out of range");
-          }
-          dims.push_back(v);
-        }
-        state.registrations[epc] = std::move(dims);
-      }
-      uint64_t num_open = 0;
-      FC_RETURN_IF_ERROR(ReadCount(r, &num_open));
-      for (uint64_t i = 0; i < num_open; ++i) {
-        uint64_t epc = 0;
-        FC_RETURN_IF_ERROR(r->U64(&epc));
-        uint64_t num_readings = 0;
-        FC_RETURN_IF_ERROR(ReadCount(r, &num_readings));
-        std::vector<RawReading>& readings = state.open_readings[epc];
-        for (uint64_t j = 0; j < num_readings; ++j) {
-          RawReading reading;
-          reading.epc = epc;
-          FC_RETURN_IF_ERROR(r->U32(&reading.location));
-          FC_RETURN_IF_ERROR(r->I64(&reading.timestamp));
-          if (reading.location >= s.locations.NodeCount()) {
-            return Corrupt("buffered reading location out of range");
-          }
-          readings.push_back(reading);
-        }
-      }
-      FC_RETURN_IF_ERROR(r->I64(&state.watermark));
-      FC_RETURN_IF_ERROR(r->U64(&state.batches_processed));
-      restored.ingestor_state = std::move(state);
-    }
+    RestoredPipeline restored{std::move(m), std::nullopt,
+                              kCheckpointFormatV1};
+    FC_RETURN_IF_ERROR(DecodeIngestorTail(
+        r, *restored.maintainer.schema_, &restored.ingestor_state, &Corrupt));
 
     if (!r->AtEnd()) return Corrupt("trailing bytes after payload");
     return restored;
   }
+
+  // --- v2 (store/format.h layout) -----------------------------------------
+
+  static std::string EncodeV2(const IncrementalMaintainer& m,
+                              const IngestorState* ing) {
+    ByteWriter meta;
+    ArenaWriter arena;
+    EncodeCubeSections(m.cube_, &meta, &arena);
+    ByteWriter resume;
+    EncodeResume(m, ing, &resume);
+
+    FcspV2Header h;
+    h.config_fingerprint = ConfigFingerprint(*m.schema_, m.plan_, m.options_);
+    h.meta_offset = kFcspV2HeaderSize;
+    h.meta_size = meta.size();
+    h.meta_crc = Crc32(meta.data());
+    h.arena_offset =
+        FcspAlignUp(kFcspV2HeaderSize + meta.size(), kFcspArenaAlignment);
+    h.arena_size = arena.size();
+    h.arena_crc = Crc32(arena.data());
+    h.resume_offset = h.arena_offset + h.arena_size;
+    h.resume_size = resume.size();
+    h.resume_crc = Crc32(resume.data());
+    h.live_records = m.live_record_count();
+    h.file_size = h.resume_offset + h.resume_size;
+
+    std::string out;
+    out.reserve(h.file_size);
+    out += EncodeV2Header(h);
+    out += meta.data();
+    out.resize(h.arena_offset, '\0');  // canonical zero padding
+    out += arena.data();
+    out += resume.data();
+    FC_CHECK(out.size() == h.file_size);
+    return out;
+  }
+
+  // Strict v2 restore: every CRC verified, canonical layout enforced, the
+  // cube rebuilt as views into a pinned copy of the file image, live
+  // records replayed through the same index path as Apply, and every
+  // maintainer-side invariant cross-checked exactly as in v1.
+  static Result<RestoredPipeline> DecodeV2(
+      std::string_view bytes, SchemaPtr schema, FlowCubePlan plan,
+      IncrementalMaintainerOptions options) {
+    FcspV2Header h;
+    FC_RETURN_IF_ERROR(ValidateV2Header(bytes, &h));
+    if (Crc32(bytes.substr(h.meta_offset, h.meta_size)) != h.meta_crc) {
+      return CorruptV2("meta checksum mismatch");
+    }
+    if (Crc32(bytes.substr(h.arena_offset, h.arena_size)) != h.arena_crc) {
+      return CorruptV2("arena checksum mismatch");
+    }
+    if (h.resume_size == 0) {
+      return Status::InvalidArgument(
+          "v2 checkpoint has no resume section (cube-only file)");
+    }
+    if (Crc32(bytes.substr(h.resume_offset, h.resume_size)) != h.resume_crc) {
+      return CorruptV2("resume checksum mismatch");
+    }
+
+    Result<IncrementalMaintainer> created = IncrementalMaintainer::Create(
+        std::move(schema), std::move(plan), options);
+    if (!created.ok()) return created.status();
+    IncrementalMaintainer m = std::move(created.value());
+    if (h.config_fingerprint !=
+        ConfigFingerprint(*m.schema_, m.plan_, m.options_)) {
+      return Status::InvalidArgument(
+          "checkpoint was written with a different schema, plan, or options");
+    }
+
+    // Pin a copy of the image; the restored graphs' columns view it, so no
+    // per-node structures are re-allocated for unchanged cells.
+    auto buffer = std::make_shared<const std::string>(bytes);
+    const std::string_view view(*buffer);
+    Result<FlowCube> built = BuildCubeFromSections(
+        view.substr(h.meta_offset, h.meta_size),
+        view.substr(h.arena_offset, h.arena_size), buffer, m.schema_,
+        m.plan_, m.options_);
+    if (!built.ok()) return built.status();
+
+    // Resume section: live records replayed through AppendToIndexes.
+    ByteReader rr(view.substr(h.resume_offset, h.resume_size));
+    uint64_t num_records = 0;
+    FC_RETURN_IF_ERROR(rr.U64(&num_records));
+    if (num_records != h.live_records) {
+      return CorruptV2("live record count disagrees with the header");
+    }
+    std::vector<IncrementalMaintainer::KeySet> scratch_dirty(
+        m.plan_.item_levels.size());
+    for (uint64_t i = 0; i < num_records; ++i) {
+      PathRecord rec;
+      if (!DecodeRecord(&rr, &rec).ok()) {
+        return CorruptV2("malformed live record");
+      }
+      if (const Status s = ValidateRecord(*m.schema_, rec); !s.ok()) {
+        return CorruptV2("live record fails schema validation");
+      }
+      m.AppendToIndexes(rec, &scratch_dirty);
+    }
+
+    // Install the cells into the maintainer's cube, cross-checking each
+    // against the rebuilt membership index. The cells (and their slot
+    // tables) are copied into owned cuboids so the maintainer can keep
+    // mutating them, but each cell's flowgraph still SHARES the pinned
+    // image — continuation replaces only the cells a future batch dirties.
+    for (size_t i = 0; i < m.plan_.item_levels.size(); ++i) {
+      for (size_t p = 0; p < m.plan_.path_levels.size(); ++p) {
+        const Cuboid& src = built.value().cuboid(i, p);
+        Cuboid& dst = m.cube_.mutable_cuboid(i, p);
+        dst.Reserve(src.size());
+        Status install = Status::OK();
+        src.ForEach([&](const FlowCell& cell) {
+          if (!install.ok()) return;
+          const auto member = m.cells_[i].find(cell.dims);
+          if (member == m.cells_[i].end() ||
+              member->second.tids.size() != cell.support) {
+            install =
+                CorruptV2("cell support disagrees with the live records");
+            return;
+          }
+          member->second.materialized = true;
+          dst.Insert(cell);
+        });
+        FC_RETURN_IF_ERROR(install);
+        if (p == 0) {
+          for (const auto& [key, state] : m.cells_[i]) {
+            const bool qualifies =
+                key.empty() ? !state.tids.empty()
+                            : state.tids.size() >=
+                                  m.options_.build.min_support;
+            if (qualifies && !state.materialized) {
+              return CorruptV2("cube is missing a qualifying cell");
+            }
+          }
+        }
+      }
+    }
+
+    RestoredPipeline restored{std::move(m), std::nullopt,
+                              kCheckpointFormatV2};
+    FC_RETURN_IF_ERROR(DecodeIngestorTail(&rr, *restored.maintainer.schema_,
+                                          &restored.ingestor_state,
+                                          &CorruptV2));
+    if (!rr.AtEnd()) {
+      return CorruptV2("trailing bytes after resume section");
+    }
+    return restored;
+  }
 };
 
+uint32_t DefaultCheckpointFormat() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* v = std::getenv("FLOWCUBE_CHECKPOINT_FORMAT");
+  if (v != nullptr && std::strcmp(v, "1") == 0) return kCheckpointFormatV1;
+  return kCheckpointFormatV2;
+}
+
 std::string EncodeCheckpoint(const IncrementalMaintainer& maintainer,
-                             const IngestorState* ingestor_state) {
+                             const IngestorState* ingestor_state,
+                             uint32_t format) {
   TraceSpan span("stream.checkpoint.save");
-  ByteWriter payload;
-  CheckpointCodec::EncodePayload(maintainer, ingestor_state, &payload);
-  ByteWriter out;
-  out.U32(kCheckpointMagic);
-  out.U32(kCheckpointVersion);
-  out.U32(Crc32(payload.data()));
-  out.Str(payload.data());  // u64 payload size + payload bytes
+  if (format == 0) format = DefaultCheckpointFormat();
+  FC_CHECK_MSG(
+      format == kCheckpointFormatV1 || format == kCheckpointFormatV2,
+      "unknown checkpoint format");
+
+  std::string bytes;
+  if (format == kCheckpointFormatV2) {
+    bytes = CheckpointCodec::EncodeV2(maintainer, ingestor_state);
+  } else {
+    ByteWriter payload;
+    CheckpointCodec::EncodePayload(maintainer, ingestor_state, &payload);
+    ByteWriter out;
+    out.U32(kCheckpointMagic);
+    out.U32(kCheckpointVersion);
+    out.U32(Crc32(payload.data()));
+    out.Str(payload.data());  // u64 payload size + payload bytes
+    bytes = out.data();
+  }
   MetricRegistry& reg = MetricRegistry::Global();
   static Counter& m_saves = reg.counter("stream.checkpoint.saves");
   static Counter& m_bytes = reg.counter("stream.checkpoint.bytes_written");
   m_saves.Increment();
-  m_bytes.Add(out.size());
-  return out.data();
+  m_bytes.Add(bytes.size());
+  return bytes;
 }
 
 Result<RestoredPipeline> DecodeCheckpoint(
@@ -507,22 +679,29 @@ Result<RestoredPipeline> DecodeCheckpoint(
   }
   uint32_t version = 0;
   FC_RETURN_IF_ERROR(r.U32(&version));
-  if (version != kCheckpointVersion) {
+  if (version != kCheckpointFormatV1 && version != kCheckpointFormatV2) {
     return Status::InvalidArgument("unsupported checkpoint version");
   }
-  uint32_t crc = 0;
-  FC_RETURN_IF_ERROR(r.U32(&crc));
-  std::string payload;
-  if (!r.Str(&payload).ok()) {
-    return Corrupt("payload truncated");
+
+  Result<RestoredPipeline> restored = Status::OK();
+  if (version == kCheckpointFormatV2) {
+    restored = CheckpointCodec::DecodeV2(bytes, std::move(schema),
+                                         std::move(plan), options);
+  } else {
+    uint32_t crc = 0;
+    FC_RETURN_IF_ERROR(r.U32(&crc));
+    std::string payload;
+    if (!r.Str(&payload).ok()) {
+      return Corrupt("payload truncated");
+    }
+    if (!r.AtEnd()) return Corrupt("trailing bytes after payload");
+    if (Crc32(payload) != crc) {
+      return Corrupt("payload checksum mismatch");
+    }
+    ByteReader pr(payload);
+    restored = CheckpointCodec::DecodePayload(&pr, std::move(schema),
+                                              std::move(plan), options);
   }
-  if (!r.AtEnd()) return Corrupt("trailing bytes after payload");
-  if (Crc32(payload) != crc) {
-    return Corrupt("payload checksum mismatch");
-  }
-  ByteReader pr(payload);
-  Result<RestoredPipeline> restored = CheckpointCodec::DecodePayload(
-      &pr, std::move(schema), std::move(plan), options);
   if (restored.ok()) {
     MetricRegistry::Global().counter("stream.checkpoint.restores").Increment();
   }
@@ -531,8 +710,9 @@ Result<RestoredPipeline> DecodeCheckpoint(
 
 Status SaveCheckpoint(const IncrementalMaintainer& maintainer,
                       const IngestorState* ingestor_state,
-                      const std::string& filename) {
-  const std::string bytes = EncodeCheckpoint(maintainer, ingestor_state);
+                      const std::string& filename, uint32_t format) {
+  const std::string bytes =
+      EncodeCheckpoint(maintainer, ingestor_state, format);
   std::ofstream out(filename, std::ios::binary | std::ios::trunc);
   if (!out.is_open()) {
     return Status::Internal("cannot open " + filename + " for writing");

@@ -63,6 +63,10 @@ TEST(FuzzRegressionTest, CheckpointCorpusReplaysCleanly) {
   Replay("checkpoint", &FuzzCheckpoint);
 }
 
+TEST(FuzzRegressionTest, FcspV2CorpusReplaysCleanly) {
+  Replay("fcsp_v2", &FuzzFcspV2);
+}
+
 TEST(FuzzRegressionTest, ServeFrameCorpusReplaysCleanly) {
   Replay("serve", &FuzzServeFrame);
 }

@@ -19,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "flowcube/builder.h"
 #include "gen/path_generator.h"
 #include "path/path_database.h"
@@ -318,6 +319,70 @@ TEST(SnapshotIsolationTest, PinnedEpochSurvivesLaterPublishes) {
   EXPECT_EQ(registry.live_snapshots(), 1u);
   current.reset();
   EXPECT_EQ(registry.live_snapshots(), 1u);  // registry's own reference
+}
+
+TEST(SnapshotIsolationTest, UnchangedCellsShareSealedGraphsAcrossEpochs) {
+  // Publication is not a deep copy: a cell untouched between two Apply
+  // batches reaches the next epoch as the SAME sealed column block (Clone
+  // bumps a refcount), counted by serve.snapshot_shared_graphs. Two pinned
+  // epochs therefore cost one graph allocation for shared cells — the
+  // snapshot-publication copy-reduction contract.
+  PathGenerator gen(FixtureConfig());
+  const PathDatabase db = gen.Generate(61);
+  Result<FlowCubePlan> plan = FlowCubePlan::Default(db.schema());
+  ASSERT_TRUE(plan.ok());
+  IncrementalMaintainerOptions options;
+  options.build = BuildOptions();
+  Result<IncrementalMaintainer> created =
+      IncrementalMaintainer::Create(db.schema_ptr(), plan.value(), options);
+  ASSERT_TRUE(created.ok());
+  IncrementalMaintainer maintainer = std::move(created.value());
+  SnapshotRegistry registry;
+  AttachToRegistry(&maintainer, &registry);
+
+  Counter& shared_counter =
+      MetricRegistry::Global().counter("serve.snapshot_shared_graphs");
+
+  // A large first batch, then a single record: most cells of epoch 1 are
+  // untouched by the second publish.
+  ASSERT_TRUE(maintainer
+                  .ApplyRecords(
+                      std::span<const PathRecord>(db.records()).subspan(0, 60))
+                  .ok());
+  SnapshotPtr first = registry.Acquire();
+  ASSERT_NE(first, nullptr);
+  const uint64_t counter_before = shared_counter.value();
+
+  ASSERT_TRUE(maintainer
+                  .ApplyRecords(
+                      std::span<const PathRecord>(db.records()).subspan(60, 1))
+                  .ok());
+  SnapshotPtr second = registry.Acquire();
+  ASSERT_NE(second, nullptr);
+  ASSERT_NE(first->cube.get(), second->cube.get());
+
+  // Count physical sharing directly via sealed_identity().
+  size_t shared = 0;
+  size_t total = 0;
+  second->cube->ForEachCuboid([&](const Cuboid& cuboid) {
+    const Cuboid* before = first->cube->FindCuboid(cuboid.item_level(),
+                                                   cuboid.path_level());
+    ASSERT_NE(before, nullptr);
+    cuboid.ForEach([&](const FlowCell& cell) {
+      ++total;
+      const FlowCell* old = before->Find(cell.dims);
+      if (old != nullptr && cell.graph.sealed_identity() != nullptr &&
+          old->graph.sealed_identity() == cell.graph.sealed_identity()) {
+        ++shared;
+      }
+    });
+  });
+  EXPECT_GT(total, 0u);
+  EXPECT_GT(shared, 0u) << "a one-record batch must leave some sealed "
+                           "graphs shared across epochs";
+  EXPECT_EQ(shared_counter.value() - counter_before,
+            static_cast<uint64_t>(shared))
+      << "the publish hook must count exactly the physically shared graphs";
 }
 
 }  // namespace

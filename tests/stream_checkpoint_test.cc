@@ -264,7 +264,7 @@ TEST_F(CheckpointTest, RejectsRecordCountOverflow) {
   // A u64 record count far beyond the payload size must be rejected by the
   // count/remaining guard before any allocation is attempted.
   IncrementalMaintainer m = MakeMaintainer(10);
-  std::string bad = EncodeCheckpoint(m, nullptr);
+  std::string bad = EncodeCheckpoint(m, nullptr, kCheckpointFormatV1);
   PutU64(&bad, kPayloadOffset + 4, ~uint64_t{0});
   RepairHeader(&bad);
   const Status s = Restore(bad).status();
@@ -276,7 +276,7 @@ TEST_F(CheckpointTest, RejectsRecordCountOverflow) {
 TEST_F(CheckpointTest, RejectsPayloadSizeFieldOverflow) {
   // The header's u64 payload-size field claims more bytes than exist.
   IncrementalMaintainer m = MakeMaintainer(10);
-  std::string bad = EncodeCheckpoint(m, nullptr);
+  std::string bad = EncodeCheckpoint(m, nullptr, kCheckpointFormatV1);
   PutU64(&bad, 12, ~uint64_t{0});
   const Status s = Restore(bad).status();
   EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
@@ -285,7 +285,7 @@ TEST_F(CheckpointTest, RejectsPayloadSizeFieldOverflow) {
 
 TEST_F(CheckpointTest, RejectsPayloadCorruptionViaChecksum) {
   IncrementalMaintainer m = MakeMaintainer(10);
-  std::string bad = EncodeCheckpoint(m, nullptr);
+  std::string bad = EncodeCheckpoint(m, nullptr, kCheckpointFormatV1);
   bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0x20);
   const Status s = Restore(bad).status();
   EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
@@ -297,7 +297,7 @@ TEST_F(CheckpointTest, RejectsFingerprintTamperEvenWithValidCrc) {
   // altered and the checksum repaired, so only the fingerprint comparison
   // can catch it.
   IncrementalMaintainer m = MakeMaintainer(10);
-  std::string bad = EncodeCheckpoint(m, nullptr);
+  std::string bad = EncodeCheckpoint(m, nullptr, kCheckpointFormatV1);
   bad[kPayloadOffset] = static_cast<char>(bad[kPayloadOffset] ^ 0x01);
   RepairHeader(&bad);
   const Status s = Restore(bad).status();
@@ -311,7 +311,7 @@ TEST_F(CheckpointTest, RejectsSupportTamperEvenWithValidCrc) {
   // the checksum repaired). The decoder must cross-check every cell against
   // the membership index rebuilt from the live records.
   IncrementalMaintainer m = MakeMaintainer(10);
-  std::string bad = EncodeCheckpoint(m, nullptr);
+  std::string bad = EncodeCheckpoint(m, nullptr, kCheckpointFormatV1);
   const size_t support_offset = FirstCellSupportOffset(bad);
   ASSERT_LT(support_offset + 4, bad.size());
   PutU32(&bad, support_offset, 1000000);
@@ -326,7 +326,7 @@ TEST_F(CheckpointTest, RejectsIngestorFlagOutOfRangeEvenWithValidCrc) {
   // The has-ingestor flag is the final payload byte of a maintainer-only
   // checkpoint; values other than 0/1 must be rejected, not interpreted.
   IncrementalMaintainer m = MakeMaintainer(10);
-  std::string bad = EncodeCheckpoint(m, nullptr);
+  std::string bad = EncodeCheckpoint(m, nullptr, kCheckpointFormatV1);
   bad.back() = static_cast<char>(2);
   RepairHeader(&bad);
   const Status s = Restore(bad).status();
@@ -339,7 +339,7 @@ TEST_F(CheckpointTest, RejectsTrailingPayloadBytesEvenWithValidCrc) {
   // garbage case is covered above): the payload parser must consume the
   // payload exactly.
   IncrementalMaintainer m = MakeMaintainer(10);
-  std::string bad = EncodeCheckpoint(m, nullptr);
+  std::string bad = EncodeCheckpoint(m, nullptr, kCheckpointFormatV1);
   bad.push_back('\0');
   RepairHeader(&bad);
   const Status s = Restore(bad).status();
